@@ -1,0 +1,102 @@
+// Ablation A2 — document-store retrieval path. §2.1 notes the Schema
+// Summary and Cluster Schema "can be easily memorized and retrieved on the
+// MongoDB improving data recovery performance and graph visualization".
+// This bench measures dataset-document lookup by endpoint URL with and
+// without the hash index the server creates, across store sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "store/collection.h"
+
+namespace {
+
+hbold::store::Collection BuildCollection(size_t docs, bool indexed) {
+  hbold::store::Collection c("cluster_schemas");
+  if (indexed) c.CreateIndex("endpoint_url");
+  for (size_t i = 0; i < docs; ++i) {
+    hbold::Json doc = hbold::Json::MakeObject();
+    doc.Set("endpoint_url",
+            "http://ld" + std::to_string(i) + ".example.org/sparql");
+    // A plausible payload so scans pay realistic comparison costs.
+    hbold::Json clusters = hbold::Json::MakeArray();
+    for (int k = 0; k < 8; ++k) {
+      hbold::Json cl = hbold::Json::MakeObject();
+      cl.Set("label", "cluster" + std::to_string(k));
+      cl.Set("total_instances", k * 100);
+      clusters.Append(std::move(cl));
+    }
+    doc.Set("clusters", std::move(clusters));
+    if (!c.Insert(std::move(doc)).ok()) break;
+  }
+  return c;
+}
+
+void PrintTable() {
+  hbold::bench::PrintHeader(
+      "A2: document retrieval by endpoint URL, hash index vs scan");
+  std::printf("%-10s %16s %16s %10s\n", "docs", "scan us/op",
+              "indexed us/op", "speedup");
+  for (size_t docs : {10, 130, 1000, 5000}) {
+    auto plain = BuildCollection(docs, false);
+    auto indexed = BuildCollection(docs, true);
+    hbold::Json filter = hbold::Json::MakeObject();
+    filter.Set("endpoint_url", "http://ld" + std::to_string(docs - 1) +
+                                   ".example.org/sparql");  // worst case
+
+    constexpr int kReps = 300;
+    hbold::Stopwatch sw;
+    for (int r = 0; r < kReps; ++r) {
+      auto doc = plain.FindOne(filter);
+      benchmark::DoNotOptimize(doc);
+    }
+    double scan_us = sw.ElapsedMillis() * 1000 / kReps;
+    sw.Reset();
+    for (int r = 0; r < kReps; ++r) {
+      auto doc = indexed.FindOne(filter);
+      benchmark::DoNotOptimize(doc);
+    }
+    double index_us = sw.ElapsedMillis() * 1000 / kReps;
+    std::printf("%-10zu %16.2f %16.2f %9.1fx\n", docs, scan_us, index_us,
+                scan_us / index_us);
+  }
+  std::printf("\nshape check: the scan cost grows linearly with the number\n"
+              "of stored datasets while the indexed lookup stays flat —\n"
+              "at the paper's 130 datasets the index already wins, and the\n"
+              "gap widens as H-BOLD's list grows.\n");
+}
+
+void BM_FindOneScan(benchmark::State& state) {
+  auto c = BuildCollection(static_cast<size_t>(state.range(0)), false);
+  hbold::Json filter = hbold::Json::MakeObject();
+  filter.Set("endpoint_url",
+             "http://ld" + std::to_string(state.range(0) - 1) +
+                 ".example.org/sparql");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.FindOne(filter));
+  }
+}
+BENCHMARK(BM_FindOneScan)->Arg(130)->Arg(1000);
+
+void BM_FindOneIndexed(benchmark::State& state) {
+  auto c = BuildCollection(static_cast<size_t>(state.range(0)), true);
+  hbold::Json filter = hbold::Json::MakeObject();
+  filter.Set("endpoint_url",
+             "http://ld" + std::to_string(state.range(0) - 1) +
+                 ".example.org/sparql");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.FindOne(filter));
+  }
+}
+BENCHMARK(BM_FindOneIndexed)->Arg(130)->Arg(1000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// E4 — Fig. 4: Treemap of the Cluster Schema. Regenerates the figure's
+// layout on the Scholarly LD and checks the visual invariants the paper
+// describes (area proportional to instance count within a part-to-whole
+// relationship; cluster area = total of its classes), then times the
+// layout across schema sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "bench/bench_util.h"
+#include "cluster/cluster_schema.h"
+#include "cluster/louvain.h"
+#include "extraction/extractor.h"
+#include "viz/render.h"
+#include "viz/treemap.h"
+#include "workload/ld_generator.h"
+#include "workload/scholarly.h"
+
+namespace {
+
+/// Builds the Fig. 4 hierarchy for a synthetic LD with `classes` classes.
+hbold::viz::Hierarchy SyntheticHierarchy(size_t classes, uint64_t seed) {
+  hbold::rdf::TripleStore store;
+  hbold::workload::SyntheticLdConfig config;
+  config.num_classes = classes;
+  config.max_instances_per_class = 50;
+  config.seed = seed;
+  hbold::workload::GenerateSyntheticLd(config, &store);
+  hbold::SimClock clock;
+  hbold::endpoint::SimulatedRemoteEndpoint ep("http://x/sparql", "x", &store,
+                                              &clock);
+  auto indexes = hbold::extraction::IndexExtractor().Extract(&ep, nullptr);
+  auto summary = hbold::schema::SchemaSummary::FromIndexes(*indexes);
+  auto partition =
+      hbold::cluster::Louvain(hbold::cluster::BuildClassGraph(summary));
+  auto clusters =
+      hbold::cluster::ClusterSchema::FromPartition(summary, partition);
+  return hbold::viz::HierarchyFromClusterSchema(clusters, summary, "synth");
+}
+
+void PrintInvariantTable() {
+  hbold::bench::PrintHeader("E4: Fig. 4 treemap of the Cluster Schema");
+  std::printf("%-10s %9s %9s %16s %14s %12s\n", "classes", "cells",
+              "clusters", "area error", "overlaps", "layout ms");
+  for (size_t classes : {10, 30, 100, 300}) {
+    hbold::viz::Hierarchy h = SyntheticHierarchy(classes, classes);
+    hbold::viz::TreemapOptions opt;
+    opt.padding = 0;
+    opt.header = 0;
+    hbold::viz::Rect bounds{0, 0, 1000, 800};
+    hbold::Stopwatch sw;
+    auto cells = hbold::viz::TreemapLayout(h, bounds, opt);
+    double ms = sw.ElapsedMillis();
+
+    // Invariant 1: cluster areas proportional to values (relative error).
+    std::vector<double> values = h.ChildValues();
+    double total = std::accumulate(values.begin(), values.end(), 0.0);
+    double max_rel_error = 0;
+    size_t cluster_idx = 0;
+    std::vector<const hbold::viz::TreemapCell*> clusters;
+    for (const auto& c : cells) {
+      if (c.depth == 1) clusters.push_back(&c);
+    }
+    for (const auto* c : clusters) {
+      double expected = values[cluster_idx++] / total * bounds.Area();
+      max_rel_error = std::max(
+          max_rel_error, std::fabs(c->rect.Area() - expected) / expected);
+    }
+    // Invariant 2: sibling clusters never overlap.
+    size_t overlaps = 0;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        if (clusters[i]->rect.Overlaps(clusters[j]->rect, 1e-6)) ++overlaps;
+      }
+    }
+    std::printf("%-10zu %9zu %9zu %15.2e %14zu %12.3f\n", classes,
+                cells.size(), clusters.size(), max_rel_error, overlaps, ms);
+  }
+  std::printf("\nshape check: area error ~ 0 and overlaps == 0 at every "
+              "size.\n");
+}
+
+void BM_TreemapLayout(benchmark::State& state) {
+  hbold::viz::Hierarchy h =
+      SyntheticHierarchy(static_cast<size_t>(state.range(0)), 99);
+  for (auto _ : state) {
+    auto cells =
+        hbold::viz::TreemapLayout(h, hbold::viz::Rect{0, 0, 1000, 800}, {});
+    benchmark::DoNotOptimize(cells);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TreemapLayout)->Arg(10)->Arg(100)->Arg(1000)->Complexity();
+
+void BM_ScholarlyTreemapEndToEnd(benchmark::State& state) {
+  // Full figure regeneration: hierarchy + layout + SVG.
+  hbold::rdf::TripleStore store;
+  hbold::workload::GenerateScholarly({}, &store);
+  hbold::SimClock clock;
+  hbold::endpoint::SimulatedRemoteEndpoint ep("u", "n", &store, &clock);
+  auto indexes = hbold::extraction::IndexExtractor().Extract(&ep, nullptr);
+  auto summary = hbold::schema::SchemaSummary::FromIndexes(*indexes);
+  auto clusters = hbold::cluster::ClusterSchema::FromPartition(
+      summary, hbold::cluster::Louvain(
+                   hbold::cluster::BuildClassGraph(summary)));
+  for (auto _ : state) {
+    auto h = hbold::viz::HierarchyFromClusterSchema(clusters, summary, "s");
+    auto cells =
+        hbold::viz::TreemapLayout(h, hbold::viz::Rect{0, 0, 800, 600}, {});
+    auto svg = hbold::viz::RenderTreemap(cells, 800, 600);
+    benchmark::DoNotOptimize(svg.ToString());
+  }
+}
+BENCHMARK(BM_ScholarlyTreemapEndToEnd);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintInvariantTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

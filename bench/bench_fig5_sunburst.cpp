@@ -1,0 +1,116 @@
+// E5 — Fig. 5: Sunburst of the Cluster Schema. Regenerates the layout,
+// verifies the ring structure (inner ring = clusters, outer ring =
+// classes, angles proportional to instance counts, rings partition the
+// full circle), and times the layout across schema sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cluster/cluster_schema.h"
+#include "cluster/louvain.h"
+#include "extraction/extractor.h"
+#include "viz/render.h"
+#include "viz/sunburst.h"
+#include "workload/ld_generator.h"
+
+namespace {
+
+hbold::viz::Hierarchy SyntheticHierarchy(size_t classes, uint64_t seed) {
+  hbold::rdf::TripleStore store;
+  hbold::workload::SyntheticLdConfig config;
+  config.num_classes = classes;
+  config.max_instances_per_class = 50;
+  config.seed = seed;
+  hbold::workload::GenerateSyntheticLd(config, &store);
+  hbold::SimClock clock;
+  hbold::endpoint::SimulatedRemoteEndpoint ep("http://x/sparql", "x", &store,
+                                              &clock);
+  auto indexes = hbold::extraction::IndexExtractor().Extract(&ep, nullptr);
+  auto summary = hbold::schema::SchemaSummary::FromIndexes(*indexes);
+  auto clusters = hbold::cluster::ClusterSchema::FromPartition(
+      summary,
+      hbold::cluster::Louvain(hbold::cluster::BuildClassGraph(summary)));
+  return hbold::viz::HierarchyFromClusterSchema(clusters, summary, "synth");
+}
+
+void PrintInvariantTable() {
+  hbold::bench::PrintHeader("E5: Fig. 5 sunburst of the Cluster Schema");
+  std::printf("%-10s %8s %14s %16s %12s\n", "classes", "slices",
+              "ring-1 angle", "angle error", "layout ms");
+  for (size_t classes : {10, 30, 100, 300}) {
+    hbold::viz::Hierarchy h = SyntheticHierarchy(classes, classes + 1);
+    hbold::Stopwatch sw;
+    auto slices = hbold::viz::SunburstLayout(h, {});
+    double ms = sw.ElapsedMillis();
+
+    // Ring 1 (clusters) must cover exactly 2*pi.
+    double ring1 = 0;
+    for (const auto& s : slices) {
+      if (s.depth == 1) ring1 += s.a1 - s.a0;
+    }
+    // Leaf angular spans proportional to effective values within each
+    // cluster: compare against direct computation.
+    double max_err = 0;
+    size_t cluster_index = 0;
+    std::vector<double> cluster_values = h.ChildValues();
+    for (size_t ci = 0; ci < h.children.size(); ++ci) {
+      const auto& cluster = h.children[ci];
+      std::vector<double> leaf_values = cluster.ChildValues();
+      double cluster_total = 0;
+      for (double v : leaf_values) cluster_total += v;
+      // Find this cluster's slice span.
+      double span = 0;
+      for (const auto& s : slices) {
+        if (s.depth == 1 && s.name == cluster.name) span = s.a1 - s.a0;
+      }
+      size_t li = 0;
+      for (const auto& s : slices) {
+        if (s.depth == 2 && s.group == ci) {
+          double expected = span * leaf_values[li] / cluster_total;
+          max_err = std::max(max_err,
+                             std::fabs((s.a1 - s.a0) - expected));
+          ++li;
+        }
+      }
+      ++cluster_index;
+    }
+    (void)cluster_values;
+    (void)cluster_index;
+    std::printf("%-10zu %8zu %13.6f %15.2e %12.3f\n", classes, slices.size(),
+                ring1 / (2 * hbold::viz::kPi), max_err, ms);
+  }
+  std::printf("\nshape check: ring-1 angle == 1.0 turns, angle error ~ 0.\n");
+}
+
+void BM_SunburstLayout(benchmark::State& state) {
+  hbold::viz::Hierarchy h =
+      SyntheticHierarchy(static_cast<size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    auto slices = hbold::viz::SunburstLayout(h, {});
+    benchmark::DoNotOptimize(slices);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SunburstLayout)->Arg(10)->Arg(100)->Arg(1000)->Complexity();
+
+void BM_SunburstRender(benchmark::State& state) {
+  hbold::viz::Hierarchy h = SyntheticHierarchy(100, 6);
+  auto slices = hbold::viz::SunburstLayout(h, {});
+  for (auto _ : state) {
+    auto svg = hbold::viz::RenderSunburst(slices, 300);
+    benchmark::DoNotOptimize(svg.ToString());
+  }
+}
+BENCHMARK(BM_SunburstRender);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintInvariantTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// E8 — §2.1/§3.1 index extraction with pattern strategies across the
+// endpoint-dialect grid (the reason H-BOLD's extraction "is able to deal
+// with the performance issues of the different implementations of SPARQL
+// endpoints by using pattern strategies" [1]).
+//
+// For every (dialect, size) pair we run the full extractor and report the
+// strategy that ended up being used, how many queries it issued, and the
+// simulated endpoint time it consumed.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "extraction/extractor.h"
+#include "workload/ld_generator.h"
+
+namespace {
+
+using hbold::endpoint::Dialect;
+
+struct DialectSpec {
+  const char* name;
+  Dialect dialect;
+};
+
+std::vector<DialectSpec> DialectGrid() {
+  return {
+      {"full (Virtuoso-class)", Dialect::Full()},
+      {"no GROUP BY", Dialect::NoGroupBy()},
+      {"no aggregates", Dialect::NoAggregates()},
+      {"row cap 500", Dialect::RowCapped(500)},
+  };
+}
+
+std::unique_ptr<hbold::rdf::TripleStore> MakeStore(size_t classes,
+                                                   uint64_t seed) {
+  auto store = std::make_unique<hbold::rdf::TripleStore>();
+  hbold::workload::SyntheticLdConfig config;
+  config.num_classes = classes;
+  config.max_instances_per_class = 40;
+  config.seed = seed;
+  hbold::workload::GenerateSyntheticLd(config, store.get());
+  return store;
+}
+
+void PrintGrid() {
+  hbold::bench::PrintHeader(
+      "E8: index extraction pattern strategies across endpoint dialects");
+  std::printf("%-24s %8s %-20s %9s %10s %12s %10s\n", "dialect", "classes",
+              "strategy used", "queries", "rows", "endpoint ms", "fallbacks");
+  for (const DialectSpec& spec : DialectGrid()) {
+    for (size_t classes : {10, 30, 60}) {
+      auto store = MakeStore(classes, classes * 31);
+      hbold::SimClock clock;
+      hbold::endpoint::SimulatedRemoteEndpoint ep(
+          "http://grid/sparql", "grid", store.get(), &clock, spec.dialect);
+      hbold::extraction::ExtractionReport report;
+      auto summary = hbold::extraction::IndexExtractor().Extract(&ep, &report);
+      if (!summary.ok()) {
+        std::printf("%-24s %8zu %-20s %9s %10s %12s %10s\n", spec.name,
+                    classes, "FAILED", "-", "-", "-", "-");
+        continue;
+      }
+      std::printf("%-24s %8zu %-20s %9zu %10zu %12.1f %10zu\n", spec.name,
+                  classes, report.strategy_used.c_str(),
+                  report.queries_issued, report.rows_transferred,
+                  report.total_latency_ms, report.fallbacks.size());
+    }
+  }
+  std::printf(
+      "\nshape check: the fallback chain always lands on a strategy the\n"
+      "endpoint can answer, and all strategies extract identical summaries\n"
+      "(tests/extraction_test.cc). Aggregation pushdown (direct) transfers\n"
+      "the fewest rows; losing GROUP BY multiplies the query count; losing\n"
+      "aggregates entirely forces the paginated scan, which transfers the\n"
+      "whole dataset — few queries here only because the simulated network\n"
+      "is free per row.\n");
+}
+
+void BM_ExtractFullDialect(benchmark::State& state) {
+  auto store = MakeStore(static_cast<size_t>(state.range(0)), 5);
+  hbold::SimClock clock;
+  hbold::endpoint::SimulatedRemoteEndpoint ep("u", "n", store.get(), &clock);
+  hbold::extraction::IndexExtractor extractor;
+  for (auto _ : state) {
+    auto summary = extractor.Extract(&ep, nullptr);
+    benchmark::DoNotOptimize(summary);
+  }
+}
+BENCHMARK(BM_ExtractFullDialect)->Arg(10)->Arg(30)->Arg(60);
+
+void BM_ExtractPaginated(benchmark::State& state) {
+  auto store = MakeStore(static_cast<size_t>(state.range(0)), 6);
+  hbold::SimClock clock;
+  hbold::endpoint::SimulatedRemoteEndpoint ep(
+      "u", "n", store.get(), &clock, Dialect::NoAggregates());
+  hbold::extraction::IndexExtractor extractor;
+  for (auto _ : state) {
+    auto summary = extractor.Extract(&ep, nullptr);
+    benchmark::DoNotOptimize(summary);
+  }
+}
+BENCHMARK(BM_ExtractPaginated)->Arg(10)->Arg(30);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintGrid();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// E10 — §5: "H-BOLD has been tested on 130 Big LD showing good
+// performances." Runs the complete server pipeline (index extraction with
+// pattern strategies -> Schema Summary -> Louvain -> Cluster Schema ->
+// document-store persist) over a 130-endpoint fleet with realistic
+// size/dialect diversity, and reports per-stage latency percentiles and
+// fleet-level throughput.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "hbold/hbold.h"
+
+int main() {
+  using hbold::bench::Percentile;
+
+  hbold::SimClock clock;
+  hbold::store::Database db;
+  hbold::Server server(&db, &clock);
+
+  hbold::bench::FleetOptions options;
+  options.size = 130;
+  options.min_classes = 5;
+  options.max_classes = 120;
+  options.max_instances_per_class = 30;
+  auto fleet = hbold::bench::BuildFleet(options, &clock);
+  hbold::bench::AttachFleet(&fleet, &server);
+
+  hbold::bench::PrintHeader("E10: full pipeline over the 130-endpoint fleet");
+  hbold::Stopwatch wall;
+  std::vector<double> extract_ms, summary_ms, cluster_ms, persist_ms;
+  std::vector<double> classes, clusters;
+  size_t ok = 0, failed = 0;
+  size_t by_strategy[3] = {0, 0, 0};
+  for (const auto& member : fleet) {
+    auto report = server.ProcessEndpoint(member.url);
+    if (!report.ok()) {
+      ++failed;
+      continue;
+    }
+    ++ok;
+    extract_ms.push_back(report->extraction_ms);
+    summary_ms.push_back(report->summary_ms);
+    cluster_ms.push_back(report->cluster_ms);
+    persist_ms.push_back(report->persist_ms);
+    classes.push_back(static_cast<double>(report->classes));
+    clusters.push_back(static_cast<double>(report->clusters));
+    if (report->extraction.strategy_used == "direct-aggregation") {
+      ++by_strategy[0];
+    } else if (report->extraction.strategy_used == "per-class-count") {
+      ++by_strategy[1];
+    } else {
+      ++by_strategy[2];
+    }
+  }
+  double total_s = wall.ElapsedMillis() / 1000.0;
+
+  std::printf("endpoints: %zu ok, %zu failed; wall time %.1f s (%.1f "
+              "endpoints/s)\n\n",
+              ok, failed, total_s, static_cast<double>(ok) / total_s);
+  std::printf("strategy mix: direct-aggregation=%zu per-class-count=%zu "
+              "paginated-scan=%zu\n\n",
+              by_strategy[0], by_strategy[1], by_strategy[2]);
+  std::printf("%-28s %10s %10s %10s\n", "stage", "p50", "p95", "max");
+  auto row = [](const char* name, std::vector<double> v) {
+    std::printf("%-28s %10.2f %10.2f %10.2f\n", name, Percentile(v, 50),
+                Percentile(v, 95), Percentile(v, 100));
+  };
+  row("extraction (simulated ms)", extract_ms);
+  row("schema summary (ms)", summary_ms);
+  row("community detection (ms)", cluster_ms);
+  row("persist (ms)", persist_ms);
+  std::printf("\nschema sizes: p50=%.0f p95=%.0f classes; cluster schemas: "
+              "p50=%.0f p95=%.0f clusters\n",
+              Percentile(classes, 50), Percentile(classes, 95),
+              Percentile(clusters, 50), Percentile(clusters, 95));
+  std::printf(
+      "\nshape check: all reachable endpoints index successfully (\"good\n"
+      "performances\" on 130 LD); extraction dominates the pipeline, which\n"
+      "is why §3.2 moves everything else server-side and precomputes.\n");
+  return ok > 0 && failed == 0 ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+#ifndef HBOLD_BENCH_BENCH_UTIL_H_
+#define HBOLD_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment-reproduction benchmarks: a fleet of
+// simulated endpoints with H-BOLD-like size/dialect diversity, simple
+// percentile math, and table printing.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "endpoint/simulated_endpoint.h"
+#include "hbold/server.h"
+#include "rdf/graph.h"
+#include "workload/ld_generator.h"
+
+namespace hbold::bench {
+
+/// One simulated Linked Data source behind an endpoint.
+struct FleetMember {
+  std::string url;
+  std::unique_ptr<rdf::TripleStore> store;
+  std::unique_ptr<endpoint::SimulatedRemoteEndpoint> endpoint;
+  size_t classes = 0;
+};
+
+/// Options for BuildFleet.
+struct FleetOptions {
+  size_t size = 130;  // the paper: "tested on 130 Big LD"
+  size_t min_classes = 5;
+  size_t max_classes = 120;
+  size_t max_instances_per_class = 40;
+  /// Fraction of endpoints per dialect family (rest are full-featured).
+  double no_group_by_fraction = 0.15;
+  double no_aggregates_fraction = 0.10;
+  double row_capped_fraction = 0.10;
+  uint64_t seed = 1234;
+};
+
+/// Builds `options.size` endpoints with Zipf-distributed schema sizes and a
+/// dialect mix. Endpoint i's URL is "http://ld<i>.example.org/sparql".
+inline std::vector<FleetMember> BuildFleet(const FleetOptions& options,
+                                           const SimClock* clock) {
+  std::vector<FleetMember> fleet;
+  fleet.reserve(options.size);
+  Rng rng(options.seed);
+  for (size_t i = 0; i < options.size; ++i) {
+    FleetMember member;
+    member.url = "http://ld" + std::to_string(i) + ".example.org/sparql";
+    member.store = std::make_unique<rdf::TripleStore>();
+
+    workload::SyntheticLdConfig config;
+    config.namespace_iri = "http://ld" + std::to_string(i) + ".example.org/";
+    // Zipf-shaped schema sizes: a few big sources, many small ones.
+    size_t span = options.max_classes - options.min_classes;
+    size_t rank = rng.Zipf(span + 1, 1.0);
+    config.num_classes = options.min_classes + (span - rank);
+    config.num_domains = 2 + config.num_classes / 12;
+    config.max_instances_per_class = options.max_instances_per_class;
+    config.seed = options.seed + i * 7919;
+    workload::GenerateSyntheticLd(config, member.store.get());
+    member.classes = config.num_classes;
+
+    endpoint::Dialect dialect = endpoint::Dialect::Full();
+    double mix = rng.NextDouble();
+    if (mix < options.no_aggregates_fraction) {
+      dialect = endpoint::Dialect::NoAggregates();
+    } else if (mix < options.no_aggregates_fraction +
+                         options.no_group_by_fraction) {
+      dialect = endpoint::Dialect::NoGroupBy();
+    } else if (mix < options.no_aggregates_fraction +
+                         options.no_group_by_fraction +
+                         options.row_capped_fraction) {
+      dialect = endpoint::Dialect::RowCapped(5000);
+    }
+    member.endpoint = std::make_unique<endpoint::SimulatedRemoteEndpoint>(
+        member.url, "LD " + std::to_string(i), member.store.get(), clock,
+        dialect);
+    fleet.push_back(std::move(member));
+  }
+  return fleet;
+}
+
+/// Registers and attaches a fleet to a server.
+inline void AttachFleet(std::vector<FleetMember>* fleet, Server* server) {
+  for (FleetMember& member : *fleet) {
+    server->AttachEndpoint(member.url, member.endpoint.get());
+    endpoint::EndpointRecord record;
+    record.url = member.url;
+    record.name = member.endpoint->name();
+    server->RegisterEndpoint(record);
+  }
+}
+
+/// p in [0,100]; v is copied and sorted.
+inline double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1 - frac) + v[hi] * frac;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRow(const std::string& label, const std::string& paper,
+                     const std::string& measured) {
+  std::printf("%-46s %-22s %s\n", label.c_str(), paper.c_str(),
+              measured.c_str());
+}
+
+}  // namespace hbold::bench
+
+#endif  // HBOLD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,65 @@
+// Future-work feature (§5): discovering endpoints from a repository that
+// collects SPARQL endpoint *metadata* (SPARQLES-style availability
+// measurements), filtering out endpoints too flaky to be worth indexing.
+//
+//   ./build/examples/metadata_discovery
+
+#include <cstdio>
+#include <vector>
+
+#include "hbold/hbold.h"
+#include "workload/metadata_repo.h"
+
+int main() {
+  hbold::SimClock clock;
+
+  // The repository lists endpoints with measured availability.
+  std::vector<hbold::workload::MetadataEntry> entries = {
+      {"http://stable-a.example.org/sparql", 0.99},
+      {"http://stable-b.example.org/sparql", 0.93},
+      {"http://stable-c.example.org/sparql", 0.88},
+      {"http://weekly.example.org/sparql", 0.72},
+      {"http://flaky.example.org/sparql", 0.41},
+      {"http://dying.example.org/sparql", 0.12},
+      {"http://dead.example.org/sparql", 0.00},
+  };
+  hbold::rdf::TripleStore repo_store;
+  hbold::workload::GenerateMetadataRepository(
+      entries, "http://sparqles.example.org/", &repo_store);
+  hbold::endpoint::SimulatedRemoteEndpoint repository(
+      "http://sparqles.example.org/sparql", "sparqles-like", &repo_store,
+      &clock);
+
+  std::printf("discovery query at threshold 0.8:\n%s\n\n",
+              hbold::MetadataRepositoryCrawler::DiscoveryQuery(0.8).c_str());
+
+  hbold::endpoint::EndpointRegistry registry;
+  // One of the stable endpoints is already listed.
+  hbold::endpoint::EndpointRecord known;
+  known.url = "http://stable-b.example.org/sparql";
+  known.name = "Stable B";
+  registry.Add(known);
+
+  hbold::MetadataRepositoryCrawler crawler(&registry);
+  std::printf("%-10s %8s %10s %8s %6s\n", "threshold", "listed", "eligible",
+              "known", "new");
+  for (double threshold : {0.95, 0.8, 0.5, 0.0}) {
+    // Fresh registry copy per threshold so rows are independent.
+    hbold::endpoint::EndpointRegistry reg;
+    reg.Add(known);
+    hbold::MetadataRepositoryCrawler c(&reg);
+    auto result = c.Crawl("sparqles-like", &repository, threshold,
+                          clock.NowDay());
+    if (!result.ok()) {
+      std::fprintf(stderr, "crawl failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-10.2f %8zu %10zu %8zu %6zu\n", threshold,
+                result->endpoints_listed, result->above_threshold,
+                result->already_known, result->newly_added);
+  }
+  std::printf("\nhigher thresholds admit fewer endpoints but spare the\n"
+              "refresh scheduler the daily-retry churn of flaky sources.\n");
+  return 0;
+}

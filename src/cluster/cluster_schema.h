@@ -1,0 +1,84 @@
+#ifndef HBOLD_CLUSTER_CLUSTER_SCHEMA_H_
+#define HBOLD_CLUSTER_CLUSTER_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/ugraph.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "schema/schema_summary.h"
+
+namespace hbold::cluster {
+
+/// One cluster: a group of classes of the Schema Summary. The label is the
+/// local name of the member class with the highest degree (sum of in- and
+/// out-degree), per §2.1.
+struct Cluster {
+  std::string label;
+  std::vector<size_t> class_nodes;  // indexes into the SchemaSummary nodes
+  size_t total_instances = 0;
+};
+
+/// An aggregated arc between clusters (sum of the property-arc counts
+/// crossing the two groups). Self-arcs (within one cluster) are omitted —
+/// the Cluster Schema shows connections *among* clusters.
+struct ClusterArc {
+  size_t src = 0;
+  size_t dst = 0;
+  size_t weight = 0;  // total property usage across the cut
+  size_t property_count = 0;  // number of distinct property arcs aggregated
+};
+
+/// How a cluster chooses its display label among member classes. The paper
+/// (§2.1) uses the degree criterion; the alternatives exist for the
+/// labeling ablation (bench_ablation_labeling).
+enum class LabelPolicy {
+  /// Member with the highest degree in the Schema Summary (the paper).
+  kHighestDegree,
+  /// Member with the most instances.
+  kMostInstances,
+  /// Member whose attribute usage count is largest (most described).
+  kMostAttributes,
+};
+
+/// The paper's Cluster Schema (§2.1): the Schema Summary shrunk by a
+/// community detection partition. Every class belongs to exactly one
+/// cluster.
+class ClusterSchema {
+ public:
+  ClusterSchema() = default;
+
+  /// Builds the Cluster Schema from `summary` and a community `partition`
+  /// over its nodes (partition.size() == summary.NodeCount()).
+  static ClusterSchema FromPartition(
+      const schema::SchemaSummary& summary, const Partition& partition,
+      LabelPolicy label_policy = LabelPolicy::kHighestDegree);
+
+  const std::string& endpoint_url() const { return endpoint_url_; }
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+  const std::vector<ClusterArc>& arcs() const { return arcs_; }
+  size_t ClusterCount() const { return clusters_.size(); }
+
+  /// Cluster index containing schema node `node`, or -1.
+  int ClusterOf(size_t node) const;
+
+  hbold::Json ToJson() const;
+  static Result<ClusterSchema> FromJson(const hbold::Json& j);
+
+ private:
+  std::string endpoint_url_;
+  std::vector<Cluster> clusters_;
+  std::vector<ClusterArc> arcs_;
+  std::vector<size_t> cluster_of_;  // schema node -> cluster index
+};
+
+/// Convenience: builds the undirected weighted graph over which community
+/// detection runs (one node per class, arcs collapsed; self-loops dropped —
+/// a class's self-links say nothing about which cluster it joins).
+UGraph BuildClassGraph(const schema::SchemaSummary& summary);
+
+}  // namespace hbold::cluster
+
+#endif  // HBOLD_CLUSTER_CLUSTER_SCHEMA_H_

@@ -1,0 +1,70 @@
+#include "cluster/greedy_merge.h"
+
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace hbold::cluster {
+
+Partition GreedyMerge(const UGraph& graph) {
+  const size_t n = graph.NodeCount();
+  Partition part(n);
+  std::iota(part.begin(), part.end(), 0);
+  double m = graph.TotalWeight();
+  if (n == 0 || m <= 0) return part;
+
+  // Community state: degree sum and pairwise inter-community weights.
+  std::vector<double> degree(n, 0);
+  for (size_t u = 0; u < n; ++u) degree[u] = graph.Degree(u);
+  // links[{a,b}] with a < b: total weight between communities a and b.
+  std::map<std::pair<size_t, size_t>, double> links;
+  for (size_t u = 0; u < n; ++u) {
+    for (const UGraph::Neighbor& nb : graph.NeighborsOf(u)) {
+      if (nb.node <= u) continue;
+      auto key = std::make_pair(u, nb.node);
+      links[key] += nb.weight;
+    }
+  }
+
+  std::vector<bool> alive(n, true);
+  while (true) {
+    // Find the merge with the best modularity gain:
+    //   dQ = e_ab / m - k_a k_b / (2 m^2)   (merging a and b)
+    double best_gain = 0;
+    std::pair<size_t, size_t> best_pair{0, 0};
+    for (const auto& [pair, w] : links) {
+      auto [a, b] = pair;
+      if (!alive[a] || !alive[b]) continue;
+      double gain = w / m - degree[a] * degree[b] / (2 * m * m);
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_pair = pair;
+      }
+    }
+    if (best_gain <= 0) break;
+    auto [a, b] = best_pair;
+    // Merge b into a.
+    for (size_t& c : part) {
+      if (c == b) c = a;
+    }
+    degree[a] += degree[b];
+    alive[b] = false;
+    // Fold b's links into a's.
+    std::map<std::pair<size_t, size_t>, double> updated;
+    for (const auto& [pair, w] : links) {
+      auto [x, y] = pair;
+      if (!alive[x] && x != b) continue;
+      if (!alive[y] && y != b) continue;
+      size_t nx = (x == b) ? a : x;
+      size_t ny = (y == b) ? a : y;
+      if (nx == ny) continue;  // became internal
+      auto key = nx < ny ? std::make_pair(nx, ny) : std::make_pair(ny, nx);
+      updated[key] += w;
+    }
+    links = std::move(updated);
+  }
+  NormalizePartition(&part);
+  return part;
+}
+
+}  // namespace hbold::cluster

@@ -1,0 +1,17 @@
+#ifndef HBOLD_CLUSTER_GREEDY_MERGE_H_
+#define HBOLD_CLUSTER_GREEDY_MERGE_H_
+
+#include "cluster/ugraph.h"
+
+namespace hbold::cluster {
+
+/// Greedy agglomerative modularity optimization in the spirit of
+/// Clauset-Newman-Moore: start with singleton communities and repeatedly
+/// merge the connected pair with the largest modularity gain until no merge
+/// improves Q. Simpler (O(n^2)-ish) than the heap-based CNM — adequate for
+/// schema graphs, and a second baseline for E9.
+Partition GreedyMerge(const UGraph& graph);
+
+}  // namespace hbold::cluster
+
+#endif  // HBOLD_CLUSTER_GREEDY_MERGE_H_

@@ -1,0 +1,52 @@
+#include "cluster/label_propagation.h"
+
+#include <map>
+#include <numeric>
+
+namespace hbold::cluster {
+
+Partition LabelPropagation(const UGraph& graph,
+                           const LabelPropagationOptions& options) {
+  const size_t n = graph.NodeCount();
+  Partition labels(n);
+  std::iota(labels.begin(), labels.end(), 0);
+  if (n == 0) return labels;
+
+  Rng rng(options.seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    rng.Shuffle(&order);
+    bool changed = false;
+    for (size_t u : order) {
+      const auto& neighbors = graph.NeighborsOf(u);
+      if (neighbors.empty()) continue;
+      std::map<size_t, double> freq;
+      for (const UGraph::Neighbor& nb : neighbors) {
+        if (nb.node == u) continue;
+        freq[labels[nb.node]] += nb.weight;
+      }
+      if (freq.empty()) continue;
+      // Pick the heaviest label; ties broken by smallest label id for
+      // determinism.
+      size_t best = labels[u];
+      double best_w = -1;
+      for (const auto& [label, w] : freq) {
+        if (w > best_w) {
+          best_w = w;
+          best = label;
+        }
+      }
+      if (best != labels[u]) {
+        labels[u] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  NormalizePartition(&labels);
+  return labels;
+}
+
+}  // namespace hbold::cluster

@@ -1,0 +1,23 @@
+#ifndef HBOLD_CLUSTER_LABEL_PROPAGATION_H_
+#define HBOLD_CLUSTER_LABEL_PROPAGATION_H_
+
+#include "cluster/ugraph.h"
+#include "common/random.h"
+
+namespace hbold::cluster {
+
+struct LabelPropagationOptions {
+  size_t max_iterations = 100;
+  uint64_t seed = 42;
+};
+
+/// Asynchronous label propagation (Raghavan et al. 2007): every node
+/// repeatedly adopts the label with the largest weighted frequency among
+/// its neighbors, until stable. Fast, no objective, noisier than Louvain —
+/// a baseline for the E9 community-detection comparison.
+Partition LabelPropagation(const UGraph& graph,
+                           const LabelPropagationOptions& options = {});
+
+}  // namespace hbold::cluster
+
+#endif  // HBOLD_CLUSTER_LABEL_PROPAGATION_H_

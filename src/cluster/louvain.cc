@@ -1,0 +1,116 @@
+#include "cluster/louvain.h"
+
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace hbold::cluster {
+
+namespace {
+
+/// One level of local moves. Returns true if anything moved.
+bool LocalMoves(const UGraph& g, Partition* part, const LouvainOptions& opt,
+                Rng* rng) {
+  const size_t n = g.NodeCount();
+  const double m2 = 2 * g.TotalWeight();
+  if (m2 <= 0) return false;
+
+  // Community degree sums.
+  std::vector<double> comm_degree(n, 0);
+  for (size_t u = 0; u < n; ++u) comm_degree[(*part)[u]] += g.Degree(u);
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+
+  bool any_move = false;
+  for (size_t sweep = 0; sweep < opt.max_sweeps_per_level; ++sweep) {
+    bool moved = false;
+    for (size_t u : order) {
+      size_t current = (*part)[u];
+      double ku = g.Degree(u);
+
+      // Weight from u to each neighboring community (self-loops excluded —
+      // they move with u and cancel in the gain).
+      std::map<size_t, double> links;
+      links[current];  // staying is always an option
+      for (const UGraph::Neighbor& nb : g.NeighborsOf(u)) {
+        if (nb.node == u) continue;
+        links[(*part)[nb.node]] += nb.weight;
+      }
+
+      // Remove u from its community for the gain computation.
+      comm_degree[current] -= ku;
+      double base = links[current] - comm_degree[current] * ku / m2;
+
+      size_t best = current;
+      double best_gain = 0;
+      for (const auto& [comm, w] : links) {
+        if (comm == current) continue;
+        double gain = (w - comm_degree[comm] * ku / m2) - base;
+        if (gain > best_gain + opt.min_gain) {
+          best_gain = gain;
+          best = comm;
+        }
+      }
+      (*part)[u] = best;
+      comm_degree[best] += ku;
+      if (best != current) moved = true;
+    }
+    if (!moved) break;
+    any_move = true;
+  }
+  return any_move;
+}
+
+/// Builds the community-aggregated graph and the node->supernode map.
+UGraph Aggregate(const UGraph& g, const Partition& part, size_t k) {
+  UGraph agg(k);
+  // Accumulate pairwise weights first to avoid O(E^2) AddEdge merging.
+  std::map<std::pair<size_t, size_t>, double> weights;
+  for (size_t u = 0; u < g.NodeCount(); ++u) {
+    for (const UGraph::Neighbor& nb : g.NeighborsOf(u)) {
+      size_t cu = part[u];
+      size_t cv = part[nb.node];
+      if (nb.node == u) {
+        weights[{cu, cu}] += nb.weight;  // self-loop carried over
+      } else if (nb.node > u) {
+        auto key = cu <= cv ? std::make_pair(cu, cv) : std::make_pair(cv, cu);
+        weights[key] += nb.weight;
+      }
+    }
+  }
+  for (const auto& [pair, w] : weights) {
+    agg.AddEdge(pair.first, pair.second, w);
+  }
+  return agg;
+}
+
+}  // namespace
+
+Partition Louvain(const UGraph& graph, const LouvainOptions& options) {
+  const size_t n = graph.NodeCount();
+  Partition result(n);
+  std::iota(result.begin(), result.end(), 0);
+  if (n == 0 || graph.TotalWeight() <= 0) return result;
+
+  Rng rng(options.seed);
+  UGraph level_graph(0);
+  const UGraph* current = &graph;
+  while (true) {
+    Partition part(current->NodeCount());
+    std::iota(part.begin(), part.end(), 0);
+    bool improved = LocalMoves(*current, &part, options, &rng);
+    size_t k = NormalizePartition(&part);
+    if (!improved || k == current->NodeCount()) break;
+    // Project the level partition onto the original nodes.
+    for (size_t u = 0; u < n; ++u) result[u] = part[result[u]];
+    if (k <= 1) break;
+    level_graph = Aggregate(*current, part, k);
+    current = &level_graph;
+  }
+  NormalizePartition(&result);
+  return result;
+}
+
+}  // namespace hbold::cluster

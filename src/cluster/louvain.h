@@ -1,0 +1,28 @@
+#ifndef HBOLD_CLUSTER_LOUVAIN_H_
+#define HBOLD_CLUSTER_LOUVAIN_H_
+
+#include "cluster/ugraph.h"
+#include "common/random.h"
+
+namespace hbold::cluster {
+
+/// Options for the Louvain method.
+struct LouvainOptions {
+  /// Minimum modularity gain to keep iterating a level.
+  double min_gain = 1e-7;
+  /// Safety cap on local-move sweeps per level.
+  size_t max_sweeps_per_level = 100;
+  /// Node visiting order is shuffled with this seed (deterministic).
+  uint64_t seed = 42;
+};
+
+/// Louvain community detection (Blondel et al. 2008): greedy local moves
+/// maximizing modularity, then graph aggregation, repeated until no gain.
+/// This is the community detection applied to the Schema Summary to build
+/// the Cluster Schema [Po & Malvezzi 2018]. Every node ends in exactly one
+/// community — the paper's "a node belongs to several Clusters is avoided".
+Partition Louvain(const UGraph& graph, const LouvainOptions& options = {});
+
+}  // namespace hbold::cluster
+
+#endif  // HBOLD_CLUSTER_LOUVAIN_H_

@@ -1,0 +1,33 @@
+#include "cluster/modularity.h"
+
+#include <map>
+
+namespace hbold::cluster {
+
+double Modularity(const UGraph& graph, const Partition& partition) {
+  double m = graph.TotalWeight();
+  if (m <= 0) return 0;
+  // Per community: total internal weight (each internal edge once,
+  // self-loops once) and total degree.
+  std::map<size_t, double> internal;
+  std::map<size_t, double> degree;
+  for (size_t u = 0; u < graph.NodeCount(); ++u) {
+    degree[partition[u]] += graph.Degree(u);
+    for (const UGraph::Neighbor& n : graph.NeighborsOf(u)) {
+      if (partition[n.node] != partition[u]) continue;
+      if (n.node == u) {
+        internal[partition[u]] += n.weight;  // self-loop seen once
+      } else if (n.node > u) {
+        internal[partition[u]] += n.weight;  // each pair once
+      }
+    }
+  }
+  double q = 0;
+  for (const auto& [c, deg] : degree) {
+    double in = internal.count(c) > 0 ? internal.at(c) : 0.0;
+    q += in / m - (deg / (2 * m)) * (deg / (2 * m));
+  }
+  return q;
+}
+
+}  // namespace hbold::cluster

@@ -1,0 +1,15 @@
+#ifndef HBOLD_CLUSTER_MODULARITY_H_
+#define HBOLD_CLUSTER_MODULARITY_H_
+
+#include "cluster/ugraph.h"
+
+namespace hbold::cluster {
+
+/// Newman-Girvan modularity of `partition` on `graph`:
+///   Q = (1/2m) * sum_ij [A_ij - k_i k_j / 2m] * delta(c_i, c_j)
+/// Returns 0 for an empty graph.
+double Modularity(const UGraph& graph, const Partition& partition);
+
+}  // namespace hbold::cluster
+
+#endif  // HBOLD_CLUSTER_MODULARITY_H_

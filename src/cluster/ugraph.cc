@@ -1,0 +1,63 @@
+#include "cluster/ugraph.h"
+
+#include <map>
+
+namespace hbold::cluster {
+
+void UGraph::AddEdge(size_t u, size_t v, double weight) {
+  // Merge parallel edges: look for an existing neighbor entry.
+  for (Neighbor& n : adj_[u]) {
+    if (n.node == v) {
+      n.weight += weight;
+      if (u != v) {
+        for (Neighbor& m : adj_[v]) {
+          if (m.node == u) {
+            m.weight += weight;
+            break;
+          }
+        }
+      }
+      total_weight_ += weight;
+      return;
+    }
+  }
+  adj_[u].push_back(Neighbor{v, weight});
+  if (u != v) adj_[v].push_back(Neighbor{u, weight});
+  total_weight_ += weight;
+}
+
+double UGraph::Degree(size_t u) const {
+  double d = 0;
+  for (const Neighbor& n : adj_[u]) {
+    d += n.weight;
+    if (n.node == u) d += n.weight;  // self-loop counts twice
+  }
+  return d;
+}
+
+double UGraph::SelfLoop(size_t u) const {
+  for (const Neighbor& n : adj_[u]) {
+    if (n.node == u) return n.weight;
+  }
+  return 0;
+}
+
+size_t NormalizePartition(Partition* partition) {
+  std::map<size_t, size_t> remap;
+  for (size_t& c : *partition) {
+    auto it = remap.find(c);
+    if (it == remap.end()) {
+      size_t next = remap.size();
+      it = remap.emplace(c, next).first;
+    }
+    c = it->second;
+  }
+  return remap.size();
+}
+
+size_t CommunityCount(const Partition& partition) {
+  Partition copy = partition;
+  return NormalizePartition(&copy);
+}
+
+}  // namespace hbold::cluster

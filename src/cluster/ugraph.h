@@ -1,0 +1,54 @@
+#ifndef HBOLD_CLUSTER_UGRAPH_H_
+#define HBOLD_CLUSTER_UGRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hbold::cluster {
+
+/// Weighted undirected graph for community detection. Parallel edges are
+/// merged by accumulating weight; self-loops are kept (weight counts once
+/// in adjacency, twice in degree, per the modularity convention).
+class UGraph {
+ public:
+  explicit UGraph(size_t n = 0) : adj_(n) {}
+
+  size_t NodeCount() const { return adj_.size(); }
+
+  /// Adds (or reinforces) the undirected edge {u, v} with `weight`.
+  void AddEdge(size_t u, size_t v, double weight = 1.0);
+
+  struct Neighbor {
+    size_t node;
+    double weight;
+  };
+  const std::vector<Neighbor>& NeighborsOf(size_t u) const { return adj_[u]; }
+
+  /// Weighted degree: sum of incident edge weights, self-loops twice.
+  double Degree(size_t u) const;
+
+  /// Sum of all edge weights (m). Self-loop weight counts once.
+  double TotalWeight() const { return total_weight_; }
+
+  /// Weight of the self-loop at u (0 if none).
+  double SelfLoop(size_t u) const;
+
+ private:
+  std::vector<std::vector<Neighbor>> adj_;
+  double total_weight_ = 0;
+};
+
+/// A partition of graph nodes into communities: partition[node] = community
+/// id (ids need not be dense).
+using Partition = std::vector<size_t>;
+
+/// Renumbers community ids to dense 0..k-1 (order of first appearance).
+/// Returns the number of communities.
+size_t NormalizePartition(Partition* partition);
+
+/// Number of distinct communities.
+size_t CommunityCount(const Partition& partition);
+
+}  // namespace hbold::cluster
+
+#endif  // HBOLD_CLUSTER_UGRAPH_H_

@@ -1,0 +1,43 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace hbold {
+
+std::string SimClock::ToString() const {
+  int64_t day = now_ms_ / kMillisPerDay;
+  int64_t rem = now_ms_ % kMillisPerDay;
+  int64_t h = rem / kMillisPerHour;
+  rem %= kMillisPerHour;
+  int64_t m = rem / kMillisPerMinute;
+  rem %= kMillisPerMinute;
+  int64_t s = rem / kMillisPerSecond;
+  int64_t ms = rem % kMillisPerSecond;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "day %lld %02lld:%02lld:%02lld.%03lld",
+                static_cast<long long>(day), static_cast<long long>(h),
+                static_cast<long long>(m), static_cast<long long>(s),
+                static_cast<long long>(ms));
+  return buf;
+}
+
+namespace {
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+Stopwatch::Stopwatch() : start_ns_(MonotonicNowNs()) {}
+
+void Stopwatch::Reset() { start_ns_ = MonotonicNowNs(); }
+
+int64_t Stopwatch::ElapsedNanos() const { return MonotonicNowNs() - start_ns_; }
+
+double Stopwatch::ElapsedMillis() const {
+  return static_cast<double>(ElapsedNanos()) / 1e6;
+}
+
+}  // namespace hbold

@@ -1,0 +1,22 @@
+#ifndef HBOLD_COMMON_HASH_H_
+#define HBOLD_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace hbold {
+
+/// FNV-1a 64-bit hash — stable across runs/platforms, used for content
+/// fingerprints (e.g. detecting an unchanged Schema Summary, §3.2).
+inline uint64_t Fnv64(std::string_view data) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace hbold
+
+#endif  // HBOLD_COMMON_HASH_H_

@@ -1,0 +1,46 @@
+#ifndef HBOLD_COMMON_LOGGING_H_
+#define HBOLD_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hbold {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimal leveled logger writing to stderr. The threshold is global;
+/// benchmarks raise it to kWarn to keep output machine-readable.
+class Logger {
+ public:
+  static LogLevel threshold();
+  static void set_threshold(LogLevel level);
+  static void Log(LogLevel level, const std::string& message);
+};
+
+/// Stream-style log statement: HBOLD_LOG(kInfo) << "x=" << x;
+#define HBOLD_LOG(level)                                               \
+  for (bool _hbold_log_once =                                          \
+           ::hbold::LogLevel::level >= ::hbold::Logger::threshold();   \
+       _hbold_log_once; _hbold_log_once = false)                       \
+  ::hbold::internal_logging::LogMessage(::hbold::LogLevel::level).stream()
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace hbold
+
+#endif  // HBOLD_COMMON_LOGGING_H_

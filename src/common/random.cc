@@ -1,0 +1,52 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hbold {
+
+uint64_t Rng::Next() {
+  // splitmix64 (public domain, Sebastiano Vigna).
+  state_ += 0x9E3779B97f4A7C15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  // Bound > 0 expected; modulo bias is negligible for our bounds (<< 2^64).
+  return Next() % bound;
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Chance(double p) { return NextDouble() < p; }
+
+size_t Rng::Zipf(size_t n, double s) {
+  if (n == 0) return 0;
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(n);
+    double sum = 0;
+    for (size_t r = 0; r < n; ++r) {
+      sum += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      zipf_cdf_[r] = sum;
+    }
+    for (size_t r = 0; r < n; ++r) zipf_cdf_[r] /= sum;
+  }
+  double u = NextDouble();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  if (it == zipf_cdf_.end()) return n - 1;
+  return static_cast<size_t>(it - zipf_cdf_.begin());
+}
+
+}  // namespace hbold

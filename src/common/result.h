@@ -1,0 +1,84 @@
+#ifndef HBOLD_COMMON_RESULT_H_
+#define HBOLD_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace hbold {
+
+/// Either a value of type T or an error Status. The library's counterpart to
+/// arrow::Result. A Result constructed from an OK status is a programming
+/// error (asserted in debug builds, normalized to Internal otherwise).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit by design so functions
+  /// can `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error (implicit so functions can
+  /// `return Status::NotFound(...);`).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Pre: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Unwraps a Result into `lhs`, propagating errors. Usage:
+///   HBOLD_ASSIGN_OR_RETURN(auto table, endpoint->Query(q));
+#define HBOLD_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define HBOLD_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define HBOLD_ASSIGN_OR_RETURN_NAME(x, y) HBOLD_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define HBOLD_ASSIGN_OR_RETURN(lhs, expr) \
+  HBOLD_ASSIGN_OR_RETURN_IMPL(            \
+      HBOLD_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace hbold
+
+#endif  // HBOLD_COMMON_RESULT_H_

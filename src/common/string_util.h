@@ -1,0 +1,43 @@
+#ifndef HBOLD_COMMON_STRING_UTIL_H_
+#define HBOLD_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hbold {
+
+/// Splits `s` on `sep` (single character). Empty pieces are kept, so
+/// Split("a,,b", ',') == {"a", "", "b"}. Split("", ',') == {""}.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII-only lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// True if `needle` occurs in `haystack` ignoring ASCII case.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Extracts a human-friendly local name from an IRI: the fragment after '#'
+/// if present, else the last path segment. "http://x.org/onto#Person" ->
+/// "Person"; "http://x.org/Person" -> "Person".
+std::string IriLocalName(std::string_view iri);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// Escapes a string for embedding in XML/SVG text or attribute content.
+std::string XmlEscape(std::string_view s);
+
+}  // namespace hbold
+
+#endif  // HBOLD_COMMON_STRING_UTIL_H_

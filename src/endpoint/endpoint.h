@@ -1,0 +1,54 @@
+#ifndef HBOLD_ENDPOINT_ENDPOINT_H_
+#define HBOLD_ENDPOINT_ENDPOINT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sparql/results.h"
+
+namespace hbold::endpoint {
+
+/// Outcome of one endpoint query: the solution table plus the metadata the
+/// server layer needs for cost accounting and robustness decisions.
+struct QueryOutcome {
+  sparql::ResultTable table;
+  /// Simulated (or measured) end-to-end latency.
+  double latency_ms = 0;
+  /// True when the endpoint's result-size cap truncated the table — the
+  /// signal that makes paginated extraction strategies necessary.
+  bool truncated = false;
+};
+
+/// A SPARQL endpoint as H-BOLD sees it: an opaque URL that answers SPARQL
+/// SELECT text. Implementations: LocalEndpoint (in-process store) and
+/// SimulatedRemoteEndpoint (availability/latency/dialect model on top).
+class SparqlEndpoint {
+ public:
+  virtual ~SparqlEndpoint() = default;
+
+  /// Executes a SELECT query. Error statuses the server layer reacts to:
+  ///   Unavailable — endpoint offline today (retry tomorrow, §3.1)
+  ///   Timeout     — query exceeded the endpoint's work budget
+  ///   Unsupported — dialect rejects a feature (COUNT/GROUP BY/...)
+  ///   ParseError  — malformed query
+  virtual Result<QueryOutcome> Query(const std::string& query_text) = 0;
+
+  /// Stable identifier (the endpoint URL).
+  virtual const std::string& url() const = 0;
+
+  /// Human-readable name for listings.
+  virtual const std::string& name() const = 0;
+
+  /// Total number of Query() calls (for strategy cost accounting).
+  virtual size_t queries_served() const = 0;
+};
+
+/// Liveness probe: runs the idiomatic `ASK { ?s ?p ?o . }`. Returns true
+/// if the endpoint answered and holds at least one triple, false if it
+/// answered but is empty; error statuses (Unavailable/Timeout) propagate
+/// so the §3.1 scheduler can distinguish "down" from "empty".
+Result<bool> Probe(SparqlEndpoint* ep);
+
+}  // namespace hbold::endpoint
+
+#endif  // HBOLD_ENDPOINT_ENDPOINT_H_

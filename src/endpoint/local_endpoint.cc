@@ -1,0 +1,19 @@
+#include "endpoint/local_endpoint.h"
+
+#include "common/clock.h"
+
+namespace hbold::endpoint {
+
+Result<QueryOutcome> LocalEndpoint::Query(const std::string& query_text) {
+  ++queries_served_;
+  Stopwatch sw;
+  last_stats_ = sparql::ExecStats{};
+  HBOLD_ASSIGN_OR_RETURN(sparql::ResultTable table,
+                         executor_.Execute(query_text, &last_stats_));
+  QueryOutcome outcome;
+  outcome.table = std::move(table);
+  outcome.latency_ms = sw.ElapsedMillis();
+  return outcome;
+}
+
+}  // namespace hbold::endpoint

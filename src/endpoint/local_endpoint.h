@@ -1,0 +1,45 @@
+#ifndef HBOLD_ENDPOINT_LOCAL_ENDPOINT_H_
+#define HBOLD_ENDPOINT_LOCAL_ENDPOINT_H_
+
+#include <string>
+
+#include "endpoint/endpoint.h"
+#include "rdf/graph.h"
+#include "sparql/executor.h"
+
+namespace hbold::endpoint {
+
+/// An endpoint backed directly by an in-process TripleStore. Latency is the
+/// measured wall-clock execution time; no availability or dialect modeling.
+class LocalEndpoint : public SparqlEndpoint {
+ public:
+  /// `store` must outlive the endpoint.
+  LocalEndpoint(std::string url, std::string name,
+                const rdf::TripleStore* store)
+      : url_(std::move(url)), name_(std::move(name)), store_(store),
+        executor_(store) {}
+
+  Result<QueryOutcome> Query(const std::string& query_text) override;
+
+  const std::string& url() const override { return url_; }
+  const std::string& name() const override { return name_; }
+  size_t queries_served() const override { return queries_served_; }
+
+  const rdf::TripleStore* store() const { return store_; }
+
+  /// Execution stats of the most recent query (for the latency model of
+  /// SimulatedRemoteEndpoint).
+  const sparql::ExecStats& last_stats() const { return last_stats_; }
+
+ private:
+  std::string url_;
+  std::string name_;
+  const rdf::TripleStore* store_;
+  sparql::Executor executor_;
+  sparql::ExecStats last_stats_;
+  size_t queries_served_ = 0;
+};
+
+}  // namespace hbold::endpoint
+
+#endif  // HBOLD_ENDPOINT_LOCAL_ENDPOINT_H_

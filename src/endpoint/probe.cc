@@ -1,0 +1,15 @@
+#include "endpoint/endpoint.h"
+
+namespace hbold::endpoint {
+
+Result<bool> Probe(SparqlEndpoint* ep) {
+  HBOLD_ASSIGN_OR_RETURN(QueryOutcome outcome,
+                         ep->Query("ASK { ?s ?p ?o . }"));
+  std::optional<bool> answer = outcome.table.AskResult();
+  if (!answer.has_value()) {
+    return Status::Internal("endpoint returned a non-boolean ASK result");
+  }
+  return *answer;
+}
+
+}  // namespace hbold::endpoint

@@ -1,0 +1,111 @@
+#include "endpoint/registry.h"
+
+namespace hbold::endpoint {
+
+const char* EndpointSourceName(EndpointSource source) {
+  switch (source) {
+    case EndpointSource::kSeedList:
+      return "seed";
+    case EndpointSource::kPortalCrawl:
+      return "portal";
+    case EndpointSource::kManualInsert:
+      return "manual";
+  }
+  return "?";
+}
+
+namespace {
+EndpointSource SourceFromName(const std::string& name) {
+  if (name == "portal") return EndpointSource::kPortalCrawl;
+  if (name == "manual") return EndpointSource::kManualInsert;
+  return EndpointSource::kSeedList;
+}
+}  // namespace
+
+Json EndpointRecord::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("url", url);
+  j.Set("name", name);
+  j.Set("source", EndpointSourceName(source));
+  j.Set("added_day", added_day);
+  j.Set("last_attempt_day", last_attempt_day);
+  j.Set("last_success_day", last_success_day);
+  j.Set("last_attempt_failed", last_attempt_failed);
+  j.Set("indexed", indexed);
+  return j;
+}
+
+EndpointRecord EndpointRecord::FromJson(const Json& j) {
+  EndpointRecord r;
+  r.url = j.GetString("url");
+  r.name = j.GetString("name");
+  r.source = SourceFromName(j.GetString("source"));
+  r.added_day = j.GetInt("added_day");
+  r.last_attempt_day = j.GetInt("last_attempt_day", -1);
+  r.last_success_day = j.GetInt("last_success_day", -1);
+  r.last_attempt_failed = j.GetBool("last_attempt_failed");
+  r.indexed = j.GetBool("indexed");
+  return r;
+}
+
+bool EndpointRegistry::Add(EndpointRecord record) {
+  if (by_url_.count(record.url) > 0) return false;
+  order_.push_back(record.url);
+  by_url_.emplace(record.url, std::move(record));
+  return true;
+}
+
+bool EndpointRegistry::Contains(const std::string& url) const {
+  return by_url_.count(url) > 0;
+}
+
+size_t EndpointRegistry::IndexedCount() const {
+  size_t n = 0;
+  for (const auto& [url, r] : by_url_) {
+    if (r.indexed) ++n;
+  }
+  return n;
+}
+
+const EndpointRecord* EndpointRegistry::Find(const std::string& url) const {
+  auto it = by_url_.find(url);
+  return it == by_url_.end() ? nullptr : &it->second;
+}
+
+EndpointRecord* EndpointRegistry::FindMutable(const std::string& url) {
+  auto it = by_url_.find(url);
+  return it == by_url_.end() ? nullptr : &it->second;
+}
+
+std::vector<const EndpointRecord*> EndpointRegistry::All() const {
+  std::vector<const EndpointRecord*> out;
+  out.reserve(order_.size());
+  for (const std::string& url : order_) {
+    out.push_back(&by_url_.at(url));
+  }
+  return out;
+}
+
+Json EndpointRegistry::ToJson() const {
+  Json arr = Json::MakeArray();
+  for (const EndpointRecord* r : All()) arr.Append(r->ToJson());
+  return arr;
+}
+
+Status EndpointRegistry::LoadJson(const Json& j) {
+  if (!j.is_array()) {
+    return Status::InvalidArgument("registry JSON must be an array");
+  }
+  by_url_.clear();
+  order_.clear();
+  for (const Json& item : j.as_array()) {
+    EndpointRecord r = EndpointRecord::FromJson(item);
+    if (r.url.empty()) {
+      return Status::InvalidArgument("registry record missing url");
+    }
+    Add(std::move(r));
+  }
+  return Status::OK();
+}
+
+}  // namespace hbold::endpoint

@@ -1,0 +1,79 @@
+#ifndef HBOLD_ENDPOINT_REGISTRY_H_
+#define HBOLD_ENDPOINT_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace hbold::endpoint {
+
+/// How an endpoint URL entered the registry (§3.3 / §3.4).
+enum class EndpointSource {
+  kSeedList,      // inherited from the old LODeX list
+  kPortalCrawl,   // discovered by the open-data-portal crawler
+  kManualInsert,  // user-submitted URL
+};
+
+const char* EndpointSourceName(EndpointSource source);
+
+/// Registry record for one SPARQL endpoint: discovery provenance plus the
+/// §3.1 extraction bookkeeping (last attempt day, last success day,
+/// indexed flag).
+struct EndpointRecord {
+  std::string url;
+  std::string name;
+  EndpointSource source = EndpointSource::kSeedList;
+  int64_t added_day = 0;
+
+  /// Day of the most recent extraction attempt; -1 = never attempted.
+  int64_t last_attempt_day = -1;
+  /// Day of the most recent successful extraction; -1 = never succeeded.
+  int64_t last_success_day = -1;
+  /// True when the last attempt failed (drives the daily-retry policy).
+  bool last_attempt_failed = false;
+  /// True once the endpoint has a stored Schema Summary ("indexed and
+  /// exposed" in the paper's wording).
+  bool indexed = false;
+
+  hbold::Json ToJson() const;
+  static EndpointRecord FromJson(const hbold::Json& j);
+};
+
+/// The H-BOLD endpoint list. URLs are unique; re-adding an existing URL is
+/// a no-op that reports the duplicate (the crawler counts those).
+class EndpointRegistry {
+ public:
+  EndpointRegistry() = default;
+
+  /// Adds a record. Returns true if it was new, false if the URL already
+  /// existed (record unchanged).
+  bool Add(EndpointRecord record);
+
+  bool Contains(const std::string& url) const;
+  size_t size() const { return order_.size(); }
+
+  /// Number of endpoints with indexed == true.
+  size_t IndexedCount() const;
+
+  const EndpointRecord* Find(const std::string& url) const;
+  EndpointRecord* FindMutable(const std::string& url);
+
+  /// Records in insertion order.
+  std::vector<const EndpointRecord*> All() const;
+
+  hbold::Json ToJson() const;
+  Status LoadJson(const hbold::Json& j);
+
+ private:
+  std::map<std::string, EndpointRecord> by_url_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace hbold::endpoint
+
+#endif  // HBOLD_ENDPOINT_REGISTRY_H_

@@ -1,0 +1,71 @@
+#include "endpoint/simulated_endpoint.h"
+
+#include "sparql/parser.h"
+
+namespace hbold::endpoint {
+
+bool AvailabilityModel::IsUp(int64_t day) const {
+  if (forced_outage_days.count(day) > 0) return false;
+  if (uptime >= 1.0) return true;
+  if (uptime <= 0.0) return false;
+  // Deterministic hash of (seed, day) -> [0, 1).
+  uint64_t h = seed * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(day);
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  double u = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return u < uptime;
+}
+
+SimulatedRemoteEndpoint::SimulatedRemoteEndpoint(
+    std::string url, std::string name, const rdf::TripleStore* store,
+    const SimClock* clock, Dialect dialect, AvailabilityModel availability,
+    LatencyModel latency)
+    : local_(std::move(url), std::move(name), store),
+      clock_(clock),
+      dialect_(dialect),
+      availability_(availability),
+      latency_(latency) {}
+
+Result<QueryOutcome> SimulatedRemoteEndpoint::Query(
+    const std::string& query_text) {
+  ++queries_served_;
+  if (!availability_.IsUp(clock_->NowDay())) {
+    return Status::Unavailable("endpoint " + url() + " is down on day " +
+                               std::to_string(clock_->NowDay()));
+  }
+  // Dialect gate: parse first so feature rejection happens before any work,
+  // as a real server would reject at query planning time.
+  HBOLD_ASSIGN_OR_RETURN(sparql::SelectQuery parsed,
+                         sparql::ParseQuery(query_text));
+  if (!dialect_.supports_aggregates && parsed.UsesAggregates()) {
+    return Status::Unsupported("endpoint " + url() +
+                               " does not implement aggregates");
+  }
+  if (!dialect_.supports_group_by && !parsed.group_by.empty()) {
+    return Status::Unsupported("endpoint " + url() +
+                               " does not implement GROUP BY");
+  }
+
+  HBOLD_ASSIGN_OR_RETURN(QueryOutcome outcome, local_.Query(query_text));
+  const sparql::ExecStats& stats = local_.last_stats();
+
+  if (dialect_.work_budget_bindings > 0 &&
+      stats.intermediate_bindings > dialect_.work_budget_bindings) {
+    return Status::Timeout("endpoint " + url() + " exceeded work budget (" +
+                           std::to_string(stats.intermediate_bindings) + " > " +
+                           std::to_string(dialect_.work_budget_bindings) + ")");
+  }
+  if (dialect_.max_result_rows > 0 &&
+      outcome.table.num_rows() > dialect_.max_result_rows) {
+    outcome.table.Truncate(dialect_.max_result_rows);
+    outcome.truncated = true;
+  }
+  outcome.latency_ms =
+      latency_.Cost(stats.intermediate_bindings, outcome.table.num_rows());
+  return outcome;
+}
+
+}  // namespace hbold::endpoint

@@ -1,0 +1,117 @@
+#ifndef HBOLD_ENDPOINT_SIMULATED_ENDPOINT_H_
+#define HBOLD_ENDPOINT_SIMULATED_ENDPOINT_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/clock.h"
+#include "endpoint/endpoint.h"
+#include "endpoint/local_endpoint.h"
+#include "rdf/graph.h"
+
+namespace hbold::endpoint {
+
+/// The feature surface of a remote SPARQL implementation. Real endpoints
+/// differ exactly along these axes (Virtuoso vs Fuseki vs 4store vs hand-
+/// rolled servers), which is why the paper's index extraction needs
+/// "pattern strategies" [Benedetti et al. 2014].
+struct Dialect {
+  /// Endpoint rejects COUNT aggregates with an error.
+  bool supports_aggregates = true;
+  /// Endpoint rejects GROUP BY (some implementations allow plain COUNT but
+  /// not grouped aggregation).
+  bool supports_group_by = true;
+  /// Hard cap on returned rows; 0 = unlimited. Real endpoints commonly cap
+  /// at 10000. Truncation is flagged in QueryOutcome::truncated.
+  size_t max_result_rows = 0;
+  /// Work budget: queries producing more intermediate bindings than this
+  /// fail with Timeout. 0 = unlimited.
+  size_t work_budget_bindings = 0;
+
+  /// Presets mirroring the implementation families H-BOLD meets in the
+  /// wild.
+  static Dialect Full() { return Dialect{}; }
+  static Dialect NoGroupBy() {
+    Dialect d;
+    d.supports_group_by = false;
+    return d;
+  }
+  static Dialect NoAggregates() {
+    Dialect d;
+    d.supports_aggregates = false;
+    d.supports_group_by = false;
+    return d;
+  }
+  static Dialect RowCapped(size_t cap) {
+    Dialect d;
+    d.max_result_rows = cap;
+    return d;
+  }
+};
+
+/// Day-granularity availability model for §3.1: a SPARQL endpoint "might
+/// often be not available, [...] it might work again after 1 or 2 days".
+/// Availability is deterministic per (seed, day) so simulations reproduce.
+struct AvailabilityModel {
+  /// Probability the endpoint is up on any given day.
+  double uptime = 1.0;
+  /// Days that are always outages regardless of `uptime` (maintenance
+  /// windows etc.).
+  std::set<int64_t> forced_outage_days;
+  uint64_t seed = 0;
+
+  bool IsUp(int64_t day) const;
+};
+
+/// Latency model: constant per-query overhead plus a per-binding cost, so
+/// big scans on big datasets are slow the way remote endpoints are.
+struct LatencyModel {
+  double base_ms = 50.0;           // connection + parsing overhead
+  double per_binding_us = 2.0;     // join work
+  double per_row_us = 5.0;         // serialization of results
+
+  double Cost(size_t intermediate_bindings, size_t rows) const {
+    return base_ms + intermediate_bindings * per_binding_us / 1000.0 +
+           rows * per_row_us / 1000.0;
+  }
+};
+
+/// A remote SPARQL endpoint simulation: an in-process store behind an
+/// availability calendar, a latency model, and a dialect with feature gaps.
+/// The wall clock is a SimClock owned by the caller, so a whole fleet of
+/// endpoints shares one simulated timeline.
+class SimulatedRemoteEndpoint : public SparqlEndpoint {
+ public:
+  /// `store` and `clock` must outlive the endpoint.
+  SimulatedRemoteEndpoint(std::string url, std::string name,
+                          const rdf::TripleStore* store, const SimClock* clock,
+                          Dialect dialect = Dialect::Full(),
+                          AvailabilityModel availability = {},
+                          LatencyModel latency = {});
+
+  Result<QueryOutcome> Query(const std::string& query_text) override;
+
+  const std::string& url() const override { return local_.url(); }
+  const std::string& name() const override { return local_.name(); }
+  size_t queries_served() const override { return queries_served_; }
+
+  const Dialect& dialect() const { return dialect_; }
+  const AvailabilityModel& availability() const { return availability_; }
+  const LatencyModel& latency_model() const { return latency_; }
+
+  /// True if the endpoint answers queries on `day`.
+  bool IsUpOn(int64_t day) const { return availability_.IsUp(day); }
+
+ private:
+  LocalEndpoint local_;
+  const SimClock* clock_;
+  Dialect dialect_;
+  AvailabilityModel availability_;
+  LatencyModel latency_;
+  size_t queries_served_ = 0;
+};
+
+}  // namespace hbold::endpoint
+
+#endif  // HBOLD_ENDPOINT_SIMULATED_ENDPOINT_H_

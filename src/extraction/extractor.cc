@@ -1,0 +1,38 @@
+#include "extraction/extractor.h"
+
+#include "common/logging.h"
+
+namespace hbold::extraction {
+
+IndexExtractor::IndexExtractor() {
+  strategies_.push_back(std::make_unique<DirectAggregationStrategy>());
+  strategies_.push_back(std::make_unique<PerClassCountStrategy>());
+  strategies_.push_back(std::make_unique<PaginatedScanStrategy>());
+}
+
+IndexExtractor::IndexExtractor(
+    std::vector<std::unique_ptr<ExtractionStrategy>> strategies)
+    : strategies_(std::move(strategies)) {}
+
+Result<IndexSummary> IndexExtractor::Extract(endpoint::SparqlEndpoint* ep,
+                                             ExtractionReport* report) const {
+  ExtractionReport local;
+  ExtractionReport* r = report != nullptr ? report : &local;
+  Status last_error = Status::Internal("no extraction strategies configured");
+  for (const auto& strategy : strategies_) {
+    Result<IndexSummary> result = strategy->Extract(ep, r);
+    if (result.ok()) return result;
+    last_error = result.status();
+    if (last_error.IsUnsupported() || last_error.IsTimeout()) {
+      HBOLD_LOG(kDebug) << "strategy " << strategy->name() << " on "
+                        << ep->url() << " fell back: "
+                        << last_error.ToString();
+      r->fallbacks.push_back(strategy->name());
+      continue;  // try the next, cheaper-assumption strategy
+    }
+    return last_error;  // Unavailable / parse / internal: abort
+  }
+  return last_error;
+}
+
+}  // namespace hbold::extraction

@@ -1,0 +1,40 @@
+#ifndef HBOLD_EXTRACTION_EXTRACTOR_H_
+#define HBOLD_EXTRACTION_EXTRACTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "endpoint/endpoint.h"
+#include "extraction/indexes.h"
+#include "extraction/strategies.h"
+
+namespace hbold::extraction {
+
+/// Runs the index extraction against an endpoint by trying pattern
+/// strategies in order of decreasing efficiency: direct aggregation, then
+/// per-class counting, then paginated scanning. A strategy rejected by the
+/// endpoint's dialect (Unsupported) or blown past its work budget (Timeout)
+/// falls through to the next; Unavailable aborts immediately (§3.1: retry
+/// tomorrow).
+class IndexExtractor {
+ public:
+  IndexExtractor();
+
+  /// Custom strategy chain (owned). Used by benchmarks to force a single
+  /// strategy.
+  explicit IndexExtractor(
+      std::vector<std::unique_ptr<ExtractionStrategy>> strategies);
+
+  /// Extracts the indexes; fills `report` (strategy used, fallbacks,
+  /// query count, simulated latency).
+  Result<IndexSummary> Extract(endpoint::SparqlEndpoint* ep,
+                               ExtractionReport* report) const;
+
+ private:
+  std::vector<std::unique_ptr<ExtractionStrategy>> strategies_;
+};
+
+}  // namespace hbold::extraction
+
+#endif  // HBOLD_EXTRACTION_EXTRACTOR_H_

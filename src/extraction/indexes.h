@@ -1,0 +1,55 @@
+#ifndef HBOLD_EXTRACTION_INDEXES_H_
+#define HBOLD_EXTRACTION_INDEXES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+
+namespace hbold::extraction {
+
+/// One property observed on instances of a class, with usage count. Object
+/// properties record the classes of their objects (range histogram), which
+/// the Schema Summary turns into edges.
+struct PropertyInfo {
+  std::string iri;
+  size_t count = 0;
+  bool is_object_property = false;
+  /// Range class IRI -> number of (instance, value) pairs landing in it.
+  std::map<std::string, size_t> range_classes;
+};
+
+/// Per-class slice of the index: instance count plus property list.
+struct ClassInfo {
+  std::string iri;
+  size_t instance_count = 0;
+  std::vector<PropertyInfo> properties;
+};
+
+/// The paper's "indexes" (§2.1): the structural and statistical summary
+/// extracted from one endpoint — number of instances, number of classes,
+/// the class list with properties, and per-class instance counts.
+struct IndexSummary {
+  std::string endpoint_url;
+  size_t num_triples = 0;
+  size_t num_instances = 0;   // distinct typed subjects
+  size_t num_classes = 0;
+  std::vector<ClassInfo> classes;
+  int64_t extracted_day = -1;
+
+  /// Sum of instance counts (>= num_instances when instances are
+  /// multi-typed).
+  size_t TotalClassInstances() const;
+
+  const ClassInfo* FindClass(const std::string& iri) const;
+
+  hbold::Json ToJson() const;
+  static Result<IndexSummary> FromJson(const hbold::Json& j);
+};
+
+}  // namespace hbold::extraction
+
+#endif  // HBOLD_EXTRACTION_INDEXES_H_

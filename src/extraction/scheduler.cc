@@ -1,0 +1,33 @@
+#include "extraction/scheduler.h"
+
+namespace hbold::extraction {
+
+bool RefreshScheduler::IsDue(const endpoint::EndpointRecord& record,
+                             int64_t today) const {
+  if (record.last_attempt_day < 0) return true;  // never attempted
+  if (record.last_attempt_day >= today) return false;  // already ran today
+  if (record.last_attempt_failed) return true;         // daily retry
+  if (record.last_success_day < 0) return true;
+  return today - record.last_success_day >= refresh_age_days_;
+}
+
+std::vector<std::string> RefreshScheduler::DueToday(
+    const endpoint::EndpointRegistry& registry, int64_t today) const {
+  std::vector<std::string> due;
+  for (const endpoint::EndpointRecord* r : registry.All()) {
+    if (IsDue(*r, today)) due.push_back(r->url);
+  }
+  return due;
+}
+
+void RefreshScheduler::RecordAttempt(endpoint::EndpointRecord* record,
+                                     int64_t today, bool success) {
+  record->last_attempt_day = today;
+  record->last_attempt_failed = !success;
+  if (success) {
+    record->last_success_day = today;
+    record->indexed = true;
+  }
+}
+
+}  // namespace hbold::extraction

@@ -1,0 +1,44 @@
+#ifndef HBOLD_EXTRACTION_SCHEDULER_H_
+#define HBOLD_EXTRACTION_SCHEDULER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "endpoint/registry.h"
+
+namespace hbold::extraction {
+
+/// The §3.1 refresh policy.
+///
+/// Linked Data changes weekly/monthly at most, but endpoints flap daily, so
+/// H-BOLD runs the extraction job every day and decides per endpoint:
+///   - never attempted            -> extract today
+///   - last attempt failed        -> retry daily until it succeeds
+///   - last success >= N days ago -> refresh (N = 7 in the paper)
+///   - otherwise                  -> skip
+class RefreshScheduler {
+ public:
+  explicit RefreshScheduler(int64_t refresh_age_days = 7)
+      : refresh_age_days_(refresh_age_days) {}
+
+  int64_t refresh_age_days() const { return refresh_age_days_; }
+
+  /// True if `record` is due for extraction on `today`.
+  bool IsDue(const endpoint::EndpointRecord& record, int64_t today) const;
+
+  /// URLs due for extraction today, in registry order.
+  std::vector<std::string> DueToday(const endpoint::EndpointRegistry& registry,
+                                    int64_t today) const;
+
+  /// Updates a record's bookkeeping after an extraction attempt.
+  static void RecordAttempt(endpoint::EndpointRecord* record, int64_t today,
+                            bool success);
+
+ private:
+  int64_t refresh_age_days_;
+};
+
+}  // namespace hbold::extraction
+
+#endif  // HBOLD_EXTRACTION_SCHEDULER_H_

@@ -1,0 +1,357 @@
+#include "extraction/strategies.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "rdf/vocab.h"
+
+namespace hbold::extraction {
+
+namespace {
+
+using endpoint::QueryOutcome;
+using endpoint::SparqlEndpoint;
+using sparql::ResultTable;
+
+/// Issues one query, accumulating report cost.
+Result<QueryOutcome> Run(SparqlEndpoint* ep, const std::string& q,
+                         ExtractionReport* report) {
+  auto outcome = ep->Query(q);
+  if (report != nullptr) {
+    ++report->queries_issued;
+    if (outcome.ok()) {
+      report->total_latency_ms += outcome->latency_ms;
+      report->rows_transferred += outcome->table.num_rows();
+    }
+  }
+  return outcome;
+}
+
+/// Extracts the single COUNT cell of an aggregate query result.
+Result<int64_t> RunCount(SparqlEndpoint* ep, const std::string& q,
+                         ExtractionReport* report) {
+  HBOLD_ASSIGN_OR_RETURN(QueryOutcome outcome, Run(ep, q, report));
+  std::optional<int64_t> n = outcome.table.ScalarInt("n");
+  if (!n.has_value()) {
+    return Status::Internal("count query returned no scalar: " + q);
+  }
+  return *n;
+}
+
+std::string IriRef(const std::string& iri) { return "<" + iri + ">"; }
+
+/// Sorts classes by descending instance count, then IRI, so every strategy
+/// produces the summary in the same canonical order.
+void Canonicalize(IndexSummary* s) {
+  std::sort(s->classes.begin(), s->classes.end(),
+            [](const ClassInfo& a, const ClassInfo& b) {
+              if (a.instance_count != b.instance_count) {
+                return a.instance_count > b.instance_count;
+              }
+              return a.iri < b.iri;
+            });
+  for (ClassInfo& c : s->classes) {
+    std::sort(c.properties.begin(), c.properties.end(),
+              [](const PropertyInfo& a, const PropertyInfo& b) {
+                return a.iri < b.iri;
+              });
+  }
+  s->num_classes = s->classes.size();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------------
+// Strategy 1: direct aggregation.
+// ------------------------------------------------------------------------
+
+Result<IndexSummary> DirectAggregationStrategy::Extract(
+    SparqlEndpoint* ep, ExtractionReport* report) const {
+  IndexSummary s;
+  s.endpoint_url = ep->url();
+
+  HBOLD_ASSIGN_OR_RETURN(
+      int64_t triples,
+      RunCount(ep, "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }", report));
+  s.num_triples = static_cast<size_t>(triples);
+
+  HBOLD_ASSIGN_OR_RETURN(
+      int64_t instances,
+      RunCount(ep, "SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s a ?c . }",
+               report));
+  s.num_instances = static_cast<size_t>(instances);
+
+  // Class list with per-class instance counts in one grouped query.
+  HBOLD_ASSIGN_OR_RETURN(
+      QueryOutcome classes,
+      Run(ep,
+          "SELECT ?c (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s a ?c . } "
+          "GROUP BY ?c",
+          report));
+  if (classes.truncated) {
+    return Status::Unsupported("class list truncated by endpoint row cap");
+  }
+  for (size_t i = 0; i < classes.table.num_rows(); ++i) {
+    auto c = classes.table.Cell(i, "c");
+    auto n = classes.table.Cell(i, "n");
+    if (!c.has_value() || !n.has_value()) continue;
+    ClassInfo info;
+    info.iri = c->lexical();
+    info.instance_count =
+        static_cast<size_t>(std::strtoll(n->lexical().c_str(), nullptr, 10));
+    s.classes.push_back(std::move(info));
+  }
+
+  // Per class: property usage counts, then object-property ranges.
+  for (ClassInfo& cls : s.classes) {
+    HBOLD_ASSIGN_OR_RETURN(
+        QueryOutcome props,
+        Run(ep,
+            "SELECT ?p (COUNT(?o) AS ?n) WHERE { ?s a " + IriRef(cls.iri) +
+                " . ?s ?p ?o . } GROUP BY ?p",
+            report));
+    if (props.truncated) {
+      return Status::Unsupported("property list truncated");
+    }
+    for (size_t i = 0; i < props.table.num_rows(); ++i) {
+      auto p = props.table.Cell(i, "p");
+      auto n = props.table.Cell(i, "n");
+      if (!p.has_value() || !n.has_value()) continue;
+      if (p->lexical() == rdf::vocab::kRdfType) continue;
+      PropertyInfo info;
+      info.iri = p->lexical();
+      info.count =
+          static_cast<size_t>(std::strtoll(n->lexical().c_str(), nullptr, 10));
+      cls.properties.push_back(std::move(info));
+    }
+    // Range histogram for properties whose objects are typed resources.
+    HBOLD_ASSIGN_OR_RETURN(
+        QueryOutcome ranges,
+        Run(ep,
+            "SELECT ?p ?rc (COUNT(?o) AS ?n) WHERE { ?s a " + IriRef(cls.iri) +
+                " . ?s ?p ?o . ?o a ?rc . } GROUP BY ?p ?rc",
+            report));
+    if (ranges.truncated) {
+      return Status::Unsupported("range list truncated");
+    }
+    for (size_t i = 0; i < ranges.table.num_rows(); ++i) {
+      auto p = ranges.table.Cell(i, "p");
+      auto rc = ranges.table.Cell(i, "rc");
+      auto n = ranges.table.Cell(i, "n");
+      if (!p.has_value() || !rc.has_value() || !n.has_value()) continue;
+      if (p->lexical() == rdf::vocab::kRdfType) continue;
+      for (PropertyInfo& info : cls.properties) {
+        if (info.iri == p->lexical()) {
+          info.is_object_property = true;
+          info.range_classes[rc->lexical()] = static_cast<size_t>(
+              std::strtoll(n->lexical().c_str(), nullptr, 10));
+          break;
+        }
+      }
+    }
+  }
+
+  Canonicalize(&s);
+  if (report != nullptr) report->strategy_used = name();
+  return s;
+}
+
+// ------------------------------------------------------------------------
+// Strategy 2: per-class COUNT, no GROUP BY.
+// ------------------------------------------------------------------------
+
+Result<IndexSummary> PerClassCountStrategy::Extract(
+    SparqlEndpoint* ep, ExtractionReport* report) const {
+  IndexSummary s;
+  s.endpoint_url = ep->url();
+
+  HBOLD_ASSIGN_OR_RETURN(
+      int64_t triples,
+      RunCount(ep, "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }", report));
+  s.num_triples = static_cast<size_t>(triples);
+
+  HBOLD_ASSIGN_OR_RETURN(
+      int64_t instances,
+      RunCount(ep, "SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s a ?c . }",
+               report));
+  s.num_instances = static_cast<size_t>(instances);
+
+  HBOLD_ASSIGN_OR_RETURN(
+      QueryOutcome classes,
+      Run(ep, "SELECT DISTINCT ?c WHERE { ?s a ?c . }", report));
+  if (classes.truncated) {
+    return Status::Unsupported("class enumeration truncated");
+  }
+
+  for (size_t i = 0; i < classes.table.num_rows(); ++i) {
+    auto c = classes.table.Cell(i, "c");
+    if (!c.has_value()) continue;
+    ClassInfo cls;
+    cls.iri = c->lexical();
+    HBOLD_ASSIGN_OR_RETURN(
+        int64_t count,
+        RunCount(ep,
+                 "SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s a " +
+                     IriRef(cls.iri) + " . }",
+                 report));
+    cls.instance_count = static_cast<size_t>(count);
+
+    HBOLD_ASSIGN_OR_RETURN(
+        QueryOutcome props,
+        Run(ep,
+            "SELECT DISTINCT ?p WHERE { ?s a " + IriRef(cls.iri) +
+                " . ?s ?p ?o . }",
+            report));
+    if (props.truncated) {
+      return Status::Unsupported("property enumeration truncated");
+    }
+    for (size_t pi = 0; pi < props.table.num_rows(); ++pi) {
+      auto p = props.table.Cell(pi, "p");
+      if (!p.has_value() || p->lexical() == rdf::vocab::kRdfType) continue;
+      PropertyInfo info;
+      info.iri = p->lexical();
+      HBOLD_ASSIGN_OR_RETURN(
+          int64_t usage,
+          RunCount(ep,
+                   "SELECT (COUNT(?o) AS ?n) WHERE { ?s a " + IriRef(cls.iri) +
+                       " . ?s " + IriRef(info.iri) + " ?o . }",
+                   report));
+      info.count = static_cast<size_t>(usage);
+
+      HBOLD_ASSIGN_OR_RETURN(
+          QueryOutcome ranges,
+          Run(ep,
+              "SELECT DISTINCT ?rc WHERE { ?s a " + IriRef(cls.iri) + " . ?s " +
+                  IriRef(info.iri) + " ?o . ?o a ?rc . }",
+              report));
+      for (size_t ri = 0; ri < ranges.table.num_rows(); ++ri) {
+        auto rc = ranges.table.Cell(ri, "rc");
+        if (!rc.has_value()) continue;
+        HBOLD_ASSIGN_OR_RETURN(
+            int64_t rn,
+            RunCount(ep,
+                     "SELECT (COUNT(?o) AS ?n) WHERE { ?s a " +
+                         IriRef(cls.iri) + " . ?s " + IriRef(info.iri) +
+                         " ?o . ?o a " + IriRef(rc->lexical()) + " . }",
+                     report));
+        info.is_object_property = true;
+        info.range_classes[rc->lexical()] = static_cast<size_t>(rn);
+      }
+      cls.properties.push_back(std::move(info));
+    }
+    s.classes.push_back(std::move(cls));
+  }
+
+  Canonicalize(&s);
+  if (report != nullptr) report->strategy_used = name();
+  return s;
+}
+
+// ------------------------------------------------------------------------
+// Strategy 3: paginated scan, all counting client-side.
+// ------------------------------------------------------------------------
+
+Result<IndexSummary> PaginatedScanStrategy::Extract(
+    SparqlEndpoint* ep, ExtractionReport* report) const {
+  IndexSummary s;
+  s.endpoint_url = ep->url();
+
+  // Pass 1: page through typed subjects to build the instance->classes map.
+  std::map<std::string, std::set<std::string>> types_of;  // subject -> classes
+  size_t offset = 0;
+  while (true) {
+    HBOLD_ASSIGN_OR_RETURN(
+        QueryOutcome page,
+        Run(ep,
+            "SELECT ?s ?c WHERE { ?s a ?c . } LIMIT " +
+                std::to_string(page_size_) + " OFFSET " +
+                std::to_string(offset),
+            report));
+    for (size_t i = 0; i < page.table.num_rows(); ++i) {
+      auto subj = page.table.Cell(i, "s");
+      auto cls = page.table.Cell(i, "c");
+      if (subj.has_value() && cls.has_value()) {
+        types_of[subj->ToNTriples()].insert(cls->lexical());
+      }
+    }
+    // A row-capped endpoint may return fewer rows than LIMIT asked for;
+    // advance by what actually arrived and keep paging.
+    if (page.truncated) {
+      offset += page.table.num_rows();
+      continue;
+    }
+    if (page.table.num_rows() < page_size_) break;
+    offset += page_size_;
+  }
+
+  s.num_instances = types_of.size();
+  std::map<std::string, ClassInfo> classes;
+  for (const auto& [subj, cls_set] : types_of) {
+    for (const std::string& c : cls_set) {
+      ClassInfo& info = classes[c];
+      info.iri = c;
+      ++info.instance_count;
+    }
+  }
+
+  // Pass 2: page through all triples; attribute properties to the classes
+  // of their subject, detect object properties via the type map.
+  std::map<std::string, std::map<std::string, PropertyInfo>> props_by_class;
+  offset = 0;
+  size_t total_triples = 0;
+  while (true) {
+    HBOLD_ASSIGN_OR_RETURN(
+        QueryOutcome page,
+        Run(ep,
+            "SELECT ?s ?p ?o WHERE { ?s ?p ?o . } LIMIT " +
+                std::to_string(page_size_) + " OFFSET " +
+                std::to_string(offset),
+            report));
+    total_triples += page.table.num_rows();
+    for (size_t i = 0; i < page.table.num_rows(); ++i) {
+      auto subj = page.table.Cell(i, "s");
+      auto pred = page.table.Cell(i, "p");
+      auto obj = page.table.Cell(i, "o");
+      if (!subj.has_value() || !pred.has_value() || !obj.has_value()) continue;
+      if (pred->lexical() == rdf::vocab::kRdfType) continue;
+      auto it = types_of.find(subj->ToNTriples());
+      if (it == types_of.end()) continue;  // untyped subject
+      auto obj_types = types_of.find(obj->ToNTriples());
+      for (const std::string& cls : it->second) {
+        PropertyInfo& info = props_by_class[cls][pred->lexical()];
+        info.iri = pred->lexical();
+        ++info.count;
+        if (obj_types != types_of.end()) {
+          info.is_object_property = true;
+          for (const std::string& range : obj_types->second) {
+            ++info.range_classes[range];
+          }
+        }
+      }
+    }
+    if (page.truncated) {
+      offset += page.table.num_rows();
+      continue;
+    }
+    if (page.table.num_rows() < page_size_) break;
+    offset += page_size_;
+  }
+
+  s.num_triples = total_triples;
+  for (auto& [iri, info] : classes) {
+    auto props = props_by_class.find(iri);
+    if (props != props_by_class.end()) {
+      for (auto& [piri, pinfo] : props->second) {
+        info.properties.push_back(pinfo);
+      }
+    }
+    s.classes.push_back(std::move(info));
+  }
+
+  Canonicalize(&s);
+  if (report != nullptr) report->strategy_used = name();
+  return s;
+}
+
+}  // namespace hbold::extraction

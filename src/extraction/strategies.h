@@ -1,0 +1,78 @@
+#ifndef HBOLD_EXTRACTION_STRATEGIES_H_
+#define HBOLD_EXTRACTION_STRATEGIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "endpoint/endpoint.h"
+#include "extraction/indexes.h"
+
+namespace hbold::extraction {
+
+/// Cost accounting for one extraction run (per strategy attempt or total).
+struct ExtractionReport {
+  std::string strategy_used;
+  size_t queries_issued = 0;
+  /// Result rows received from the endpoint across all queries — the
+  /// network volume a strategy implies (aggregation-pushdown strategies
+  /// transfer little; the paginated scan transfers the whole dataset).
+  size_t rows_transferred = 0;
+  double total_latency_ms = 0;
+  /// Names of strategies that were tried and rejected before the one that
+  /// succeeded (Unsupported/Timeout fallbacks).
+  std::vector<std::string> fallbacks;
+};
+
+/// One "pattern strategy" [1]: a way of phrasing the index-extraction
+/// queries that matches what a given endpoint implementation can answer.
+class ExtractionStrategy {
+ public:
+  virtual ~ExtractionStrategy() = default;
+  virtual const char* name() const = 0;
+
+  /// Runs the full index extraction against `ep`. Returns Unsupported when
+  /// the endpoint's dialect cannot answer this strategy's query shapes
+  /// (callers then fall back to the next strategy).
+  virtual Result<IndexSummary> Extract(endpoint::SparqlEndpoint* ep,
+                                       ExtractionReport* report) const = 0;
+};
+
+/// Strategy 1 — aggregation pushed to the endpoint: COUNT + GROUP BY do the
+/// heavy lifting server-side. Fewest queries, needs a full-featured
+/// endpoint (Virtuoso-class).
+class DirectAggregationStrategy : public ExtractionStrategy {
+ public:
+  const char* name() const override { return "direct-aggregation"; }
+  Result<IndexSummary> Extract(endpoint::SparqlEndpoint* ep,
+                               ExtractionReport* report) const override;
+};
+
+/// Strategy 2 — plain COUNT without GROUP BY: enumerate classes with
+/// SELECT DISTINCT, then issue one COUNT per class/property. Many more
+/// queries; works on endpoints whose aggregation support is partial.
+class PerClassCountStrategy : public ExtractionStrategy {
+ public:
+  const char* name() const override { return "per-class-count"; }
+  Result<IndexSummary> Extract(endpoint::SparqlEndpoint* ep,
+                               ExtractionReport* report) const override;
+};
+
+/// Strategy 3 — no aggregates at all: page through raw triples with
+/// LIMIT/OFFSET and count client-side. Slowest, works everywhere, and is
+/// the only strategy that tolerates hard result-row caps.
+class PaginatedScanStrategy : public ExtractionStrategy {
+ public:
+  explicit PaginatedScanStrategy(size_t page_size = 10000)
+      : page_size_(page_size) {}
+  const char* name() const override { return "paginated-scan"; }
+  Result<IndexSummary> Extract(endpoint::SparqlEndpoint* ep,
+                               ExtractionReport* report) const override;
+
+ private:
+  size_t page_size_;
+};
+
+}  // namespace hbold::extraction
+
+#endif  // HBOLD_EXTRACTION_STRATEGIES_H_

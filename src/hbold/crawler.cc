@@ -1,0 +1,56 @@
+#include "hbold/crawler.h"
+
+#include <set>
+
+namespace hbold {
+
+std::string Listing1Query() {
+  // Listing 1 of the paper (whitespace normalized): "perfectly fits all
+  // the portals".
+  return R"(PREFIX dcat: <http://www.w3.org/ns/dcat#>
+PREFIX dc: <http://purl.org/dc/terms/>
+SELECT ?dataset ?title ?url
+WHERE {
+  ?dataset a dcat:Dataset .
+  ?dataset dc:title ?title .
+  ?dataset dcat:distribution ?distribution .
+  ?distribution dcat:accessURL ?url .
+  FILTER ( regex(?url, "sparql") ) .
+})";
+}
+
+Result<PortalCrawlResult> PortalCrawler::Crawl(
+    const std::string& portal_name, endpoint::SparqlEndpoint* portal,
+    int64_t today) {
+  PortalCrawlResult result;
+  result.portal_name = portal_name;
+
+  HBOLD_ASSIGN_OR_RETURN(endpoint::QueryOutcome outcome,
+                         portal->Query(Listing1Query()));
+  result.datasets_matched = outcome.table.num_rows();
+
+  // Distinct URLs with their dataset titles (first title wins).
+  std::set<std::string> urls;
+  for (size_t i = 0; i < outcome.table.num_rows(); ++i) {
+    auto url = outcome.table.Cell(i, "url");
+    auto title = outcome.table.Cell(i, "title");
+    if (!url.has_value()) continue;
+    const std::string& u = url->lexical();
+    if (!urls.insert(u).second) continue;
+    if (registry_->Contains(u)) {
+      ++result.already_known;
+      continue;
+    }
+    endpoint::EndpointRecord record;
+    record.url = u;
+    record.name = title.has_value() ? title->lexical() : u;
+    record.source = endpoint::EndpointSource::kPortalCrawl;
+    record.added_day = today;
+    registry_->Add(std::move(record));
+    ++result.newly_added;
+  }
+  result.distinct_urls = urls.size();
+  return result;
+}
+
+}  // namespace hbold

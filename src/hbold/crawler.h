@@ -1,0 +1,46 @@
+#ifndef HBOLD_HBOLD_CRAWLER_H_
+#define HBOLD_HBOLD_CRAWLER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "endpoint/endpoint.h"
+#include "endpoint/registry.h"
+
+namespace hbold {
+
+/// The DCAT discovery query of the paper's Listing 1, verbatim in shape:
+/// datasets with a distribution whose accessURL matches /sparql/.
+std::string Listing1Query();
+
+/// Per-portal crawl outcome (the §3.3 numbers).
+struct PortalCrawlResult {
+  std::string portal_name;
+  size_t datasets_matched = 0;   // rows returned by Listing 1
+  size_t distinct_urls = 0;      // distinct SPARQL URLs on this portal
+  size_t already_known = 0;      // URLs already in the registry
+  size_t newly_added = 0;        // URLs added to the registry
+};
+
+/// Crawls open data portals for SPARQL endpoints (§3.3): runs the Listing 1
+/// query on each portal's own SPARQL endpoint, extracts the discovered
+/// accessURLs, deduplicates against (and inserts into) the registry.
+class PortalCrawler {
+ public:
+  /// `registry` must outlive the crawler.
+  explicit PortalCrawler(endpoint::EndpointRegistry* registry)
+      : registry_(registry) {}
+
+  /// Crawls one portal. `today` stamps the added_day of new records.
+  Result<PortalCrawlResult> Crawl(const std::string& portal_name,
+                                  endpoint::SparqlEndpoint* portal,
+                                  int64_t today);
+
+ private:
+  endpoint::EndpointRegistry* registry_;
+};
+
+}  // namespace hbold
+
+#endif  // HBOLD_HBOLD_CRAWLER_H_

@@ -1,0 +1,159 @@
+#include "hbold/effectiveness.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace hbold {
+
+namespace {
+
+/// Shared-prefix length between two labels, the (crude but deterministic)
+/// relevance signal a user gets from a cluster label.
+size_t SharedPrefix(const std::string& a, const std::string& b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+}  // namespace
+
+TaskOutcome EffectivenessSimulator::FindClassByLabel(
+    const std::string& label, ExplorationStrategy strategy) const {
+  TaskOutcome outcome;
+  if (strategy == ExplorationStrategy::kFlatScan) {
+    for (const schema::ClassNode& node : summary_.nodes()) {
+      ++outcome.interactions;
+      if (node.label == label) {
+        outcome.success = true;
+        return outcome;
+      }
+    }
+    return outcome;
+  }
+  // Cluster-first: rank clusters by label affinity to the target (longer
+  // shared prefix first, bigger cluster as tiebreak), open them in that
+  // order, scan members.
+  std::vector<size_t> order(clusters_.ClusterCount());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    size_t pa = SharedPrefix(clusters_.clusters()[a].label, label);
+    size_t pb = SharedPrefix(clusters_.clusters()[b].label, label);
+    if (pa != pb) return pa > pb;
+    return clusters_.clusters()[a].total_instances >
+           clusters_.clusters()[b].total_instances;
+  });
+  for (size_t ci : order) {
+    ++outcome.interactions;  // inspect the cluster label / open it
+    for (size_t node : clusters_.clusters()[ci].class_nodes) {
+      ++outcome.interactions;
+      if (summary_.nodes()[node].label == label) {
+        outcome.success = true;
+        return outcome;
+      }
+    }
+  }
+  return outcome;
+}
+
+TaskOutcome EffectivenessSimulator::FindMostPopulatedClass(
+    ExplorationStrategy strategy) const {
+  TaskOutcome outcome;
+  if (summary_.NodeCount() == 0) return outcome;
+  if (strategy == ExplorationStrategy::kFlatScan) {
+    // The flat view has no aggregate hints: every class must be inspected.
+    outcome.interactions = summary_.NodeCount();
+    outcome.success = true;
+    return outcome;
+  }
+  // The Cluster Schema shows per-cluster instance totals; the user reads
+  // them (k interactions), then opens clusters in descending-total order —
+  // and can stop as soon as the best class found so far is at least the
+  // next cluster's total, because a cluster's total bounds every member.
+  // This branch-and-bound is always correct; it is cheap exactly when
+  // class sizes are skewed, which Linked Data sources are.
+  outcome.interactions = clusters_.ClusterCount();
+  std::vector<size_t> order(clusters_.ClusterCount());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return clusters_.clusters()[a].total_instances >
+           clusters_.clusters()[b].total_instances;
+  });
+  size_t best_seen = 0;
+  for (size_t ci : order) {
+    const cluster::Cluster& c = clusters_.clusters()[ci];
+    if (c.total_instances <= best_seen) break;  // cannot contain a bigger one
+    outcome.interactions += c.class_nodes.size();
+    for (size_t node : c.class_nodes) {
+      best_seen = std::max(best_seen, summary_.nodes()[node].instance_count);
+    }
+  }
+  outcome.success = true;
+  return outcome;
+}
+
+TaskOutcome EffectivenessSimulator::FindConnection(
+    size_t src_node, size_t dst_node, ExplorationStrategy strategy) const {
+  TaskOutcome outcome;
+  if (src_node >= summary_.NodeCount() || dst_node >= summary_.NodeCount()) {
+    return outcome;
+  }
+  auto arc_between = [&](size_t a, size_t b) {
+    for (const schema::PropertyArc& arc : summary_.arcs()) {
+      if ((arc.src == a && arc.dst == b) || (arc.src == b && arc.dst == a)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  if (strategy == ExplorationStrategy::kFlatScan) {
+    // Scan the arc list until one touches both classes.
+    for (const schema::PropertyArc& arc : summary_.arcs()) {
+      ++outcome.interactions;
+      if ((arc.src == src_node && arc.dst == dst_node) ||
+          (arc.src == dst_node && arc.dst == src_node)) {
+        outcome.success = true;
+        return outcome;
+      }
+    }
+    outcome.success = false;
+    return outcome;
+  }
+  // Cluster-first: check the cluster-level arcs first (few); only when the
+  // clusters touch (or coincide) drill into the class arcs between them.
+  int ca = clusters_.ClusterOf(src_node);
+  int cb = clusters_.ClusterOf(dst_node);
+  ++outcome.interactions;  // read the cluster arc list entry for (ca, cb)
+  bool clusters_touch = ca == cb;
+  for (const cluster::ClusterArc& arc : clusters_.arcs()) {
+    if ((static_cast<int>(arc.src) == ca && static_cast<int>(arc.dst) == cb) ||
+        (static_cast<int>(arc.src) == cb && static_cast<int>(arc.dst) == ca)) {
+      clusters_touch = true;
+    }
+  }
+  if (!clusters_touch) {
+    // No cluster arc => no class arc can exist; one interaction decided it.
+    outcome.success = !arc_between(src_node, dst_node);
+    // success=true means the user's conclusion (not connected) is right —
+    // which it always is, by construction of the Cluster Schema.
+    return outcome;
+  }
+  // Drill down: inspect arcs incident to the (usually few) classes of the
+  // source's cluster crossing toward dst.
+  for (const schema::PropertyArc& arc : summary_.arcs()) {
+    if (clusters_.ClusterOf(arc.src) != ca &&
+        clusters_.ClusterOf(arc.dst) != ca) {
+      continue;  // filtered out by the focused view, not charged
+    }
+    ++outcome.interactions;
+    if ((arc.src == src_node && arc.dst == dst_node) ||
+        (arc.src == dst_node && arc.dst == src_node)) {
+      outcome.success = true;
+      return outcome;
+    }
+  }
+  outcome.success = !arc_between(src_node, dst_node);
+  return outcome;
+}
+
+}  // namespace hbold

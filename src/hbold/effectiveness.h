@@ -1,0 +1,67 @@
+#ifndef HBOLD_HBOLD_EFFECTIVENESS_H_
+#define HBOLD_HBOLD_EFFECTIVENESS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "cluster/cluster_schema.h"
+#include "schema/schema_summary.h"
+
+namespace hbold {
+
+/// How the simulated user explores the dataset.
+enum class ExplorationStrategy {
+  /// Start from the Cluster Schema: inspect cluster labels/sizes first,
+  /// open the most promising cluster, then scan classes inside it —
+  /// H-BOLD's intended workflow.
+  kClusterFirst,
+  /// Scan the flat Schema Summary class list (what a user gets without the
+  /// high-level view).
+  kFlatScan,
+};
+
+/// Outcome of one simulated task: how many UI interactions (a click /
+/// label inspection) the user needed, and whether they found the target.
+struct TaskOutcome {
+  size_t interactions = 0;
+  bool success = false;
+};
+
+/// A simulated user study — the paper's §5 future work ("evaluate the
+/// effectiveness of H-BOLD as a visualization tool through a survey")
+/// recast as a deterministic task simulator. Each task models a common
+/// exploration question; the interaction count is the effectiveness
+/// metric. The model charges one interaction per inspected cluster label,
+/// per opened cluster, and per inspected class.
+class EffectivenessSimulator {
+ public:
+  /// Both references must outlive the simulator.
+  EffectivenessSimulator(const schema::SchemaSummary& summary,
+                         const cluster::ClusterSchema& clusters)
+      : summary_(summary), clusters_(clusters) {}
+
+  /// Task 1: locate the class with a given label ("where is Person?").
+  /// Cluster-first users open clusters whose label shares a prefix with
+  /// the target first (labels summarize content); flat users scan the
+  /// class list in display order.
+  TaskOutcome FindClassByLabel(const std::string& label,
+                               ExplorationStrategy strategy) const;
+
+  /// Task 2: find the class with the most instances. Cluster-first users
+  /// exploit the per-cluster instance totals the Cluster Schema displays.
+  TaskOutcome FindMostPopulatedClass(ExplorationStrategy strategy) const;
+
+  /// Task 3: determine whether two classes are connected by a property
+  /// arc. Cluster-first users check the (few) cluster arcs before drilling
+  /// into the (many) class arcs.
+  TaskOutcome FindConnection(size_t src_node, size_t dst_node,
+                             ExplorationStrategy strategy) const;
+
+ private:
+  const schema::SchemaSummary& summary_;
+  const cluster::ClusterSchema& clusters_;
+};
+
+}  // namespace hbold
+
+#endif  // HBOLD_HBOLD_EFFECTIVENESS_H_

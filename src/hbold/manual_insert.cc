@@ -1,0 +1,59 @@
+#include "hbold/manual_insert.h"
+
+#include "common/string_util.h"
+
+namespace hbold {
+
+Status ManualInsertionService::Submit(const std::string& url,
+                                      const std::string& email) {
+  if (!StartsWith(url, "http://") && !StartsWith(url, "https://")) {
+    return Status::InvalidArgument("endpoint URL must be http(s): " + url);
+  }
+  size_t at = email.find('@');
+  if (at == std::string::npos || at == 0 ||
+      email.find('.', at) == std::string::npos) {
+    return Status::InvalidArgument("invalid e-mail address");
+  }
+  if (server_->registry().Contains(url)) {
+    return Status::AlreadyExists("endpoint already listed: " + url);
+  }
+  for (const PendingInsertion& p : pending_) {
+    if (p.url == url) {
+      return Status::AlreadyExists("endpoint already queued: " + url);
+    }
+  }
+  pending_.push_back(PendingInsertion{url, email});
+  return Status::OK();
+}
+
+size_t ManualInsertionService::ProcessPending() {
+  size_t succeeded = 0;
+  std::vector<PendingInsertion> batch = std::move(pending_);
+  pending_.clear();
+  for (PendingInsertion& p : batch) {
+    endpoint::EndpointRecord record;
+    record.url = p.url;
+    record.name = p.url;
+    record.source = endpoint::EndpointSource::kManualInsert;
+    server_->RegisterEndpoint(record);
+
+    auto report = server_->ProcessEndpoint(p.url);
+    if (report.ok()) {
+      ++succeeded;
+      notifier_->Send(p.email, "H-BOLD: endpoint indexed",
+                      "The SPARQL endpoint " + p.url +
+                          " has been indexed successfully and is now listed "
+                          "among the available datasets.");
+    } else {
+      notifier_->Send(p.email, "H-BOLD: endpoint extraction failed",
+                      "The SPARQL endpoint " + p.url +
+                          " could not be indexed: " +
+                          report.status().ToString());
+    }
+    // §3.4: the e-mail address is deleted after notification.
+    p.email.clear();
+  }
+  return succeeded;
+}
+
+}  // namespace hbold

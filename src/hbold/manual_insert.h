@@ -1,0 +1,75 @@
+#ifndef HBOLD_HBOLD_MANUAL_INSERT_H_
+#define HBOLD_HBOLD_MANUAL_INSERT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hbold/server.h"
+
+namespace hbold {
+
+/// Notification sink abstraction (production: SMTP; here: an in-memory
+/// mailbox the tests inspect).
+class Notifier {
+ public:
+  virtual ~Notifier() = default;
+  virtual void Send(const std::string& to, const std::string& subject,
+                    const std::string& body) = 0;
+};
+
+/// In-memory notifier recording every message.
+class MemoryMailbox : public Notifier {
+ public:
+  struct Mail {
+    std::string to;
+    std::string subject;
+    std::string body;
+  };
+  void Send(const std::string& to, const std::string& subject,
+            const std::string& body) override {
+    mails_.push_back(Mail{to, subject, body});
+  }
+  const std::vector<Mail>& mails() const { return mails_; }
+
+ private:
+  std::vector<Mail> mails_;
+};
+
+/// A queued user submission.
+struct PendingInsertion {
+  std::string url;
+  std::string email;
+};
+
+/// §3.4: users submit the URL of a SPARQL endpoint together with an e-mail
+/// address; the extraction runs asynchronously, the user is notified about
+/// the outcome, and the address is deleted afterwards ("we do not want to
+/// keep person data").
+class ManualInsertionService {
+ public:
+  /// `server` and `notifier` must outlive the service.
+  ManualInsertionService(Server* server, Notifier* notifier)
+      : server_(server), notifier_(notifier) {}
+
+  /// Validates and queues a submission. Rejects malformed URLs/e-mails and
+  /// URLs already registered.
+  Status Submit(const std::string& url, const std::string& email);
+
+  /// Number of submissions waiting for processing.
+  size_t PendingCount() const { return pending_.size(); }
+
+  /// Processes every queued submission: registers the endpoint, runs the
+  /// pipeline, notifies, forgets the address. Returns the number that
+  /// extracted successfully.
+  size_t ProcessPending();
+
+ private:
+  Server* server_;
+  Notifier* notifier_;
+  std::vector<PendingInsertion> pending_;
+};
+
+}  // namespace hbold
+
+#endif  // HBOLD_HBOLD_MANUAL_INSERT_H_

@@ -1,0 +1,64 @@
+#include "hbold/metadata_crawler.h"
+
+#include <cstdio>
+#include <set>
+
+namespace hbold {
+
+std::string MetadataRepositoryCrawler::DiscoveryQuery(
+    double min_availability) {
+  char threshold[32];
+  std::snprintf(threshold, sizeof(threshold), "%.3f", min_availability);
+  return std::string("PREFIX sq: <http://sparqles.example.org/ns#>\n") +
+         "SELECT ?ep ?url ?avail\n"
+         "WHERE {\n"
+         "  ?ep a sq:Endpoint .\n"
+         "  ?ep sq:url ?url .\n"
+         "  ?ep sq:availability ?avail .\n"
+         "  FILTER (?avail >= " +
+         threshold +
+         ") .\n"
+         "}";
+}
+
+Result<MetadataCrawlResult> MetadataRepositoryCrawler::Crawl(
+    const std::string& repository_name, endpoint::SparqlEndpoint* repository,
+    double min_availability, int64_t today) {
+  MetadataCrawlResult result;
+  result.repository_name = repository_name;
+
+  // Total entries (unfiltered), for the listed/filtered funnel.
+  HBOLD_ASSIGN_OR_RETURN(
+      endpoint::QueryOutcome all,
+      repository->Query(
+          "PREFIX sq: <http://sparqles.example.org/ns#>\n"
+          "SELECT (COUNT(DISTINCT ?ep) AS ?n) WHERE { ?ep a sq:Endpoint . }"));
+  result.endpoints_listed =
+      static_cast<size_t>(all.table.ScalarInt("n").value_or(0));
+
+  HBOLD_ASSIGN_OR_RETURN(endpoint::QueryOutcome filtered,
+                         repository->Query(DiscoveryQuery(min_availability)));
+
+  std::set<std::string> urls;
+  for (size_t i = 0; i < filtered.table.num_rows(); ++i) {
+    auto url = filtered.table.Cell(i, "url");
+    if (!url.has_value()) continue;
+    const std::string& u = url->lexical();
+    if (!urls.insert(u).second) continue;
+    if (registry_->Contains(u)) {
+      ++result.already_known;
+      continue;
+    }
+    endpoint::EndpointRecord record;
+    record.url = u;
+    record.name = u;
+    record.source = endpoint::EndpointSource::kPortalCrawl;
+    record.added_day = today;
+    registry_->Add(std::move(record));
+    ++result.newly_added;
+  }
+  result.above_threshold = urls.size();
+  return result;
+}
+
+}  // namespace hbold

@@ -1,0 +1,51 @@
+#ifndef HBOLD_HBOLD_METADATA_CRAWLER_H_
+#define HBOLD_HBOLD_METADATA_CRAWLER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "endpoint/endpoint.h"
+#include "endpoint/registry.h"
+
+namespace hbold {
+
+// The repository vocabulary lives in rdf/vocab.h (kSqEndpointClass, kSqUrl,
+// kSqAvailability). The paper cites sparqles.ai.wu.ac.at for availability
+// data and names "querying new repositories that collect SPARQL endpoints
+// metadata" as future work (§5) — implemented here.
+
+/// Outcome of crawling one metadata repository.
+struct MetadataCrawlResult {
+  std::string repository_name;
+  size_t endpoints_listed = 0;     // entries in the repository
+  size_t above_threshold = 0;      // entries passing the availability gate
+  size_t already_known = 0;
+  size_t newly_added = 0;
+};
+
+/// Discovers endpoints from repositories that publish SPARQL endpoint
+/// *metadata* (URL + measured availability), rather than DCAT catalogs.
+/// Unlike the portal crawler, this one can filter on data quality before
+/// registering: endpoints below `min_availability` are skipped, which
+/// keeps the §3.1 daily-retry load down.
+class MetadataRepositoryCrawler {
+ public:
+  /// `registry` must outlive the crawler.
+  explicit MetadataRepositoryCrawler(endpoint::EndpointRegistry* registry)
+      : registry_(registry) {}
+
+  /// The discovery query (SELECT ?url ?availability with the threshold
+  /// inlined as a FILTER).
+  static std::string DiscoveryQuery(double min_availability);
+
+  Result<MetadataCrawlResult> Crawl(const std::string& repository_name,
+                                    endpoint::SparqlEndpoint* repository,
+                                    double min_availability, int64_t today);
+
+ private:
+  endpoint::EndpointRegistry* registry_;
+};
+
+}  // namespace hbold
+
+#endif  // HBOLD_HBOLD_METADATA_CRAWLER_H_

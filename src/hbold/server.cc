@@ -1,0 +1,168 @@
+#include "hbold/server.h"
+
+#include <cstdio>
+
+#include "cluster/cluster_schema.h"
+#include "cluster/louvain.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "schema/schema_summary.h"
+
+namespace hbold {
+
+Server::Server(store::Database* db, SimClock* clock, int64_t refresh_age_days)
+    : db_(db), clock_(clock), scheduler_(refresh_age_days) {}
+
+void Server::AttachEndpoint(const std::string& url,
+                            endpoint::SparqlEndpoint* ep) {
+  network_[url] = ep;
+}
+
+bool Server::RegisterEndpoint(endpoint::EndpointRecord record) {
+  return registry_.Add(std::move(record));
+}
+
+Result<PipelineReport> Server::ProcessEndpoint(const std::string& url) {
+  PipelineReport report;
+  report.url = url;
+  const int64_t today = clock_->NowDay();
+
+  endpoint::EndpointRecord* record = registry_.FindMutable(url);
+  auto fail = [&](Status status) -> Result<PipelineReport> {
+    if (record != nullptr) {
+      extraction::RefreshScheduler::RecordAttempt(record, today, false);
+    }
+    return status;
+  };
+
+  auto net = network_.find(url);
+  if (net == network_.end()) {
+    return fail(Status::Unavailable("no route to endpoint " + url));
+  }
+
+  // Stage 1: index extraction (pattern strategies with fallback).
+  auto indexes = extractor_.Extract(net->second, &report.extraction);
+  if (!indexes.ok()) return fail(indexes.status());
+  indexes->extracted_day = today;
+  report.extraction_ms = report.extraction.total_latency_ms;
+
+  // Stage 2: Schema Summary.
+  Stopwatch sw;
+  schema::SchemaSummary summary = schema::SchemaSummary::FromIndexes(*indexes);
+  report.summary_ms = sw.ElapsedMillis();
+  report.classes = summary.NodeCount();
+  report.arcs = summary.ArcCount();
+
+  // §3.2 reuse: when the extracted Schema Summary is bit-identical to the
+  // stored one, the Cluster Schema cannot have changed — skip clustering
+  // and persist, just refresh the bookkeeping.
+  Json summary_doc = summary.ToJson();
+  // The hash is stored as a hex string: JSON numbers are doubles and would
+  // truncate 64-bit fingerprints.
+  char hash_hex[24];
+  std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                static_cast<unsigned long long>(Fnv64(summary_doc.Dump())));
+  std::string content_hash = hash_hex;
+  {
+    const store::Collection* summaries =
+        db_->FindCollection(kSummariesCollection);
+    if (summaries != nullptr) {
+      Json url_filter = Json::MakeObject();
+      url_filter.Set("endpoint_url", url);
+      auto stored = summaries->FindOne(url_filter);
+      if (stored.has_value() &&
+          stored->GetString("content_hash") == content_hash) {
+        report.reused_cluster_schema = true;
+        if (record != nullptr) {
+          extraction::RefreshScheduler::RecordAttempt(record, today, true);
+        }
+        return report;
+      }
+    }
+  }
+
+  // Stage 3: community detection + Cluster Schema (precomputed server-side
+  // per §3.2, instead of on-the-fly in the presentation layer).
+  sw.Reset();
+  cluster::UGraph graph = cluster::BuildClassGraph(summary);
+  cluster::Partition partition = cluster::Louvain(graph);
+  cluster::ClusterSchema clusters =
+      cluster::ClusterSchema::FromPartition(summary, partition);
+  report.cluster_ms = sw.ElapsedMillis();
+  report.clusters = clusters.ClusterCount();
+
+  // Stage 4: persist both artifacts, replacing any previous version.
+  sw.Reset();
+  store::Collection* summaries = db_->GetCollection(kSummariesCollection);
+  store::Collection* cluster_docs = db_->GetCollection(kClustersCollection);
+  // Retrieval during display is by endpoint URL; keep it indexed (§2.1:
+  // the store "improv[es] data recovery performance").
+  summaries->CreateIndex("endpoint_url");
+  cluster_docs->CreateIndex("endpoint_url");
+  Json url_filter = Json::MakeObject();
+  url_filter.Set("endpoint_url", url);
+  summaries->Remove(url_filter);
+  cluster_docs->Remove(url_filter);
+  {
+    Json doc = std::move(summary_doc);
+    doc.Set("extracted_day", today);
+    doc.Set("content_hash", content_hash);
+    HBOLD_RETURN_NOT_OK(summaries->Insert(std::move(doc)).status());
+  }
+  {
+    Json doc = clusters.ToJson();
+    doc.Set("extracted_day", today);
+    HBOLD_RETURN_NOT_OK(cluster_docs->Insert(std::move(doc)).status());
+  }
+  report.persist_ms = sw.ElapsedMillis();
+
+  if (record != nullptr) {
+    extraction::RefreshScheduler::RecordAttempt(record, today, true);
+  }
+  HBOLD_LOG(kDebug) << "processed " << url << " classes=" << report.classes
+                    << " clusters=" << report.clusters << " strategy="
+                    << report.extraction.strategy_used;
+  return report;
+}
+
+DailyReport Server::RunDailyUpdate() {
+  DailyReport daily;
+  daily.day = clock_->NowDay();
+  std::vector<std::string> due = scheduler_.DueToday(registry_, daily.day);
+  daily.due = due.size();
+  for (const std::string& url : due) {
+    auto report = ProcessEndpoint(url);
+    if (report.ok()) {
+      ++daily.succeeded;
+      if (report->reused_cluster_schema) ++daily.reused;
+      daily.reports.push_back(std::move(*report));
+    } else {
+      ++daily.failed;
+      HBOLD_LOG(kDebug) << "daily update failed for " << url << ": "
+                        << report.status().ToString();
+    }
+  }
+  return daily;
+}
+
+Status Server::PersistRegistry() {
+  store::Collection* c = db_->GetCollection(kRegistryCollection);
+  c->Remove(Json::MakeObject());
+  Json wrapper = Json::MakeObject();
+  wrapper.Set("records", registry_.ToJson());
+  return c->Insert(std::move(wrapper)).status();
+}
+
+Status Server::LoadRegistry() {
+  const store::Collection* c = db_->FindCollection(kRegistryCollection);
+  if (c == nullptr) return Status::NotFound("no registry collection");
+  auto doc = c->FindOne(Json::MakeObject());
+  if (!doc.has_value()) return Status::NotFound("registry document missing");
+  const Json* records = doc->Find("records");
+  if (records == nullptr) {
+    return Status::InvalidArgument("registry document malformed");
+  }
+  return registry_.LoadJson(*records);
+}
+
+}  // namespace hbold

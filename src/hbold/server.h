@@ -1,0 +1,100 @@
+#ifndef HBOLD_HBOLD_SERVER_H_
+#define HBOLD_HBOLD_SERVER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "endpoint/endpoint.h"
+#include "endpoint/registry.h"
+#include "extraction/extractor.h"
+#include "extraction/scheduler.h"
+#include "store/database.h"
+
+namespace hbold {
+
+/// Store collection names used by the server layer.
+inline constexpr const char* kSummariesCollection = "schema_summaries";
+inline constexpr const char* kClustersCollection = "cluster_schemas";
+inline constexpr const char* kRegistryCollection = "registry";
+
+/// Outcome of processing one endpoint through the full pipeline.
+struct PipelineReport {
+  std::string url;
+  extraction::ExtractionReport extraction;
+  double extraction_ms = 0;   // simulated endpoint latency total
+  double summary_ms = 0;      // Schema Summary build (wall clock)
+  double cluster_ms = 0;      // community detection + Cluster Schema build
+  double persist_ms = 0;      // store writes
+  size_t classes = 0;
+  size_t arcs = 0;
+  size_t clusters = 0;
+  /// §3.2: "if the Schema Summary does not change then the Cluster Schema
+  /// will not change [either], so it does not make sense to recompute" —
+  /// true when the freshly extracted summary matched the stored content
+  /// hash and the clustering + persist stages were skipped.
+  bool reused_cluster_schema = false;
+};
+
+/// Outcome of one daily update cycle (§3.1).
+struct DailyReport {
+  int64_t day = 0;
+  size_t due = 0;
+  size_t succeeded = 0;
+  size_t failed = 0;
+  /// Successful runs whose Schema Summary was unchanged (clustering
+  /// skipped per §3.2).
+  size_t reused = 0;
+  std::vector<PipelineReport> reports;
+};
+
+/// H-BOLD's server layer: owns the endpoint registry and the document
+/// store, runs Index Extraction -> Schema Summary -> Cluster Schema ->
+/// persist for each endpoint, and the daily refresh cycle.
+///
+/// The "network" is a map from endpoint URL to a SparqlEndpoint*; in
+/// production these would be HTTP clients, here they are simulated
+/// endpoints.
+class Server {
+ public:
+  /// `db` and `clock` must outlive the server.
+  Server(store::Database* db, SimClock* clock,
+         int64_t refresh_age_days = 7);
+
+  endpoint::EndpointRegistry& registry() { return registry_; }
+  const endpoint::EndpointRegistry& registry() const { return registry_; }
+  store::Database* db() { return db_; }
+
+  /// Attaches a live endpoint for `url` (does not register it).
+  void AttachEndpoint(const std::string& url, endpoint::SparqlEndpoint* ep);
+
+  /// Registers an endpoint record; returns false on duplicate URL.
+  bool RegisterEndpoint(endpoint::EndpointRecord record);
+
+  /// Runs the full pipeline for one endpoint and persists the results.
+  /// Updates the registry bookkeeping. Fails (and records the failure) when
+  /// the endpoint is unreachable or extraction fails.
+  Result<PipelineReport> ProcessEndpoint(const std::string& url);
+
+  /// One §3.1 daily cycle: extract everything the scheduler says is due.
+  DailyReport RunDailyUpdate();
+
+  /// Persists the registry into the store (collection kRegistryCollection).
+  Status PersistRegistry();
+  /// Restores the registry from the store.
+  Status LoadRegistry();
+
+ private:
+  store::Database* db_;
+  SimClock* clock_;
+  extraction::RefreshScheduler scheduler_;
+  extraction::IndexExtractor extractor_;
+  endpoint::EndpointRegistry registry_;
+  std::map<std::string, endpoint::SparqlEndpoint*> network_;
+};
+
+}  // namespace hbold
+
+#endif  // HBOLD_HBOLD_SERVER_H_

@@ -1,0 +1,103 @@
+#include "hbold/visual_query.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace hbold {
+
+std::string VisualQuery::VarForNode(size_t node) {
+  for (const auto& [n, var] : selected_) {
+    if (n == node) return var;
+  }
+  // Sanitized lowercase label + counter for uniqueness.
+  std::string base = ToLower(summary_.nodes()[node].label);
+  std::string var;
+  for (char c : base) {
+    if (std::isalnum(static_cast<unsigned char>(c))) var += c;
+  }
+  if (var.empty()) var = "c";
+  var += std::to_string(var_counter_++);
+  selected_.emplace_back(node, var);
+  return var;
+}
+
+std::string VisualQuery::SelectClass(size_t node) {
+  if (node >= summary_.NodeCount()) return "";
+  return VarForNode(node);
+}
+
+std::string VisualQuery::SelectAttribute(size_t node,
+                                         const std::string& attribute_iri,
+                                         bool optional) {
+  for (const auto& [n, var] : selected_) {
+    if (n != node) continue;
+    std::string attr_var = var + "_" + IriLocalName(attribute_iri);
+    attributes_.push_back({var, attribute_iri, attr_var, optional});
+    return attr_var;
+  }
+  return "";
+}
+
+std::string VisualQuery::FollowArc(const schema::PropertyArc& arc) {
+  if (arc.src >= summary_.NodeCount() || arc.dst >= summary_.NodeCount()) {
+    return "";
+  }
+  // Source must already be selected; destination joins the selection.
+  bool src_selected = false;
+  std::string src_var;
+  for (const auto& [n, var] : selected_) {
+    if (n == arc.src) {
+      src_selected = true;
+      src_var = var;
+    }
+  }
+  if (!src_selected) return "";
+  std::string dst_var = VarForNode(arc.dst);
+  arcs_.push_back({src_var, arc.iri, dst_var});
+  return dst_var;
+}
+
+void VisualQuery::FilterRegex(const std::string& var,
+                              const std::string& pattern,
+                              bool case_insensitive) {
+  filters_.push_back({true, var, pattern, "", case_insensitive});
+}
+
+void VisualQuery::FilterCompare(const std::string& var, const std::string& op,
+                                const std::string& value) {
+  filters_.push_back({false, var, op, value});
+}
+
+std::string VisualQuery::GenerateSparql() const {
+  sparql::QueryBuilder b;
+  b.Distinct(distinct_);
+  for (const auto& [node, var] : selected_) {
+    b.Select(var);
+    b.WhereClass(var, summary_.nodes()[node].iri);
+  }
+  for (const AttrPattern& a : attributes_) {
+    b.Select(a.attr_var);
+    b.WhereLink(a.class_var, a.attr_iri, a.attr_var);
+    if (a.optional) b.MakeLastOptional();
+  }
+  for (const ArcPattern& a : arcs_) {
+    b.WhereLink(a.src_var, a.property, a.dst_var);
+  }
+  for (const FilterSpec& f : filters_) {
+    if (f.is_regex) {
+      b.FilterRegex(f.var, f.a, f.icase);
+    } else {
+      b.FilterCompare(f.var, f.a, f.b);
+    }
+  }
+  if (limit_.has_value()) b.Limit(*limit_);
+  return b.Build();
+}
+
+Result<endpoint::QueryOutcome> VisualQuery::Execute(
+    endpoint::SparqlEndpoint* ep) const {
+  return ep->Query(GenerateSparql());
+}
+
+}  // namespace hbold

@@ -1,0 +1,91 @@
+#ifndef HBOLD_HBOLD_VISUAL_QUERY_H_
+#define HBOLD_HBOLD_VISUAL_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "endpoint/endpoint.h"
+#include "schema/schema_summary.h"
+#include "sparql/query_builder.h"
+
+namespace hbold {
+
+/// The visual interface for querying the endpoint: the user clicks a class
+/// in the Schema Summary, ticks attributes, follows property arcs to
+/// connected classes and adds filters; H-BOLD "automatically generates
+/// SPARQL queries" from those gestures (abstract, §1).
+///
+/// Each selected class gets a variable named after its label (lowercased,
+/// de-duplicated); attribute selections add OPTIONAL-free triple patterns
+/// plus projection.
+class VisualQuery {
+ public:
+  /// `summary` must outlive the query.
+  explicit VisualQuery(const schema::SchemaSummary& summary)
+      : summary_(summary) {}
+
+  /// Starts (or joins) a selection on class `node`. Returns the variable
+  /// name bound to that class's instances. Invalid nodes return "".
+  std::string SelectClass(size_t node);
+
+  /// Projects attribute `attribute_iri` of the selected class `node`
+  /// (adds `?var <attr> ?attr_var`). Returns the attribute variable name,
+  /// "" if the class is not selected.
+  std::string SelectAttribute(size_t node, const std::string& attribute_iri,
+                              bool optional = false);
+
+  /// Follows an arc of the Schema Summary from a selected class: adds
+  /// `?src <property> ?dst` and selects the destination class. Returns the
+  /// destination variable, "" on error.
+  std::string FollowArc(const schema::PropertyArc& arc);
+
+  /// Adds FILTER regex on an attribute variable.
+  void FilterRegex(const std::string& var, const std::string& pattern,
+                   bool case_insensitive = false);
+  /// Adds FILTER (?var op value).
+  void FilterCompare(const std::string& var, const std::string& op,
+                     const std::string& value);
+
+  void SetLimit(size_t limit) { limit_ = limit; }
+  void SetDistinct(bool distinct) { distinct_ = distinct; }
+
+  /// Generated SPARQL text for the current selection.
+  std::string GenerateSparql() const;
+
+  /// Convenience: generates and runs the query.
+  Result<endpoint::QueryOutcome> Execute(endpoint::SparqlEndpoint* ep) const;
+
+ private:
+  std::string VarForNode(size_t node);
+
+  const schema::SchemaSummary& summary_;
+  std::vector<std::pair<size_t, std::string>> selected_;  // node -> var
+  struct AttrPattern {
+    std::string class_var;
+    std::string attr_iri;
+    std::string attr_var;
+    bool optional;
+  };
+  std::vector<AttrPattern> attributes_;
+  struct ArcPattern {
+    std::string src_var;
+    std::string property;
+    std::string dst_var;
+  };
+  std::vector<ArcPattern> arcs_;
+  struct FilterSpec {
+    bool is_regex;
+    std::string var, a, b;
+    bool icase = false;
+  };
+  std::vector<FilterSpec> filters_;
+  std::optional<size_t> limit_;
+  bool distinct_ = true;
+  size_t var_counter_ = 0;
+};
+
+}  // namespace hbold
+
+#endif  // HBOLD_HBOLD_VISUAL_QUERY_H_

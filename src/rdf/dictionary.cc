@@ -1,0 +1,20 @@
+#include "rdf/dictionary.h"
+
+namespace hbold::rdf {
+
+TermId Dictionary::Intern(const Term& term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(term);
+  index_.emplace(term, id);
+  return id;
+}
+
+TermId Dictionary::Lookup(const Term& term) const {
+  auto it = index_.find(term);
+  if (it == index_.end()) return kInvalidTermId;
+  return it->second;
+}
+
+}  // namespace hbold::rdf

@@ -1,0 +1,51 @@
+#ifndef HBOLD_RDF_DICTIONARY_H_
+#define HBOLD_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace hbold::rdf {
+
+/// Interned term id. 0 is reserved as "invalid / unbound".
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTermId = 0;
+
+/// Bidirectional Term <-> TermId mapping. Ids are dense, starting at 1, and
+/// stable for the dictionary's lifetime.
+class Dictionary {
+ public:
+  Dictionary() { terms_.emplace_back(); /* slot 0 = invalid */ }
+
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Interns `term`, returning its id (existing id if already present).
+  TermId Intern(const Term& term);
+
+  /// Returns the id of `term` or kInvalidTermId if absent.
+  TermId Lookup(const Term& term) const;
+
+  /// Returns the term for a valid id. Precondition: 0 < id < size().
+  const Term& Get(TermId id) const { return terms_[id]; }
+
+  /// Number of slots including the reserved invalid slot; valid ids are
+  /// 1..size()-1.
+  size_t size() const { return terms_.size(); }
+
+  /// Convenience: intern an IRI string.
+  TermId InternIri(const std::string& iri) { return Intern(Term::Iri(iri)); }
+
+ private:
+  std::vector<Term> terms_;
+  std::unordered_map<Term, TermId, TermHash> index_;
+};
+
+}  // namespace hbold::rdf
+
+#endif  // HBOLD_RDF_DICTIONARY_H_

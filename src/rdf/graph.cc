@@ -1,0 +1,207 @@
+#include "rdf/graph.h"
+
+#include <algorithm>
+
+namespace hbold::rdf {
+
+namespace {
+
+// Key extractors per index order.
+inline std::tuple<TermId, TermId, TermId> KeySpo(const Triple& t) {
+  return {t.s, t.p, t.o};
+}
+inline std::tuple<TermId, TermId, TermId> KeyPos(const Triple& t) {
+  return {t.p, t.o, t.s};
+}
+inline std::tuple<TermId, TermId, TermId> KeyOsp(const Triple& t) {
+  return {t.o, t.s, t.p};
+}
+
+template <typename KeyFn>
+void SortIndex(std::vector<Triple>* index, KeyFn key) {
+  std::sort(index->begin(), index->end(),
+            [&](const Triple& a, const Triple& b) { return key(a) < key(b); });
+}
+
+}  // namespace
+
+void TripleStore::Add(const Term& s, const Term& p, const Term& o) {
+  AddIds(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+}
+
+void TripleStore::AddIds(TermId s, TermId p, TermId o) {
+  staged_.push_back(Triple{s, p, o});
+  dirty_ = true;
+}
+
+void TripleStore::EnsureIndexed() const {
+  if (!dirty_) return;
+  spo_.insert(spo_.end(), staged_.begin(), staged_.end());
+  staged_.clear();
+  SortIndex(&spo_, KeySpo);
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  pos_ = spo_;
+  SortIndex(&pos_, KeyPos);
+  osp_ = spo_;
+  SortIndex(&osp_, KeyOsp);
+  dirty_ = false;
+}
+
+size_t TripleStore::size() const {
+  EnsureIndexed();
+  return spo_.size();
+}
+
+bool TripleStore::Contains(const Term& s, const Term& p, const Term& o) const {
+  TermId si = dict_.Lookup(s);
+  TermId pi = dict_.Lookup(p);
+  TermId oi = dict_.Lookup(o);
+  if (si == kInvalidTermId || pi == kInvalidTermId || oi == kInvalidTermId) {
+    return false;
+  }
+  EnsureIndexed();
+  Triple t{si, pi, oi};
+  return std::binary_search(spo_.begin(), spo_.end(), t);
+}
+
+std::pair<size_t, size_t> TripleStore::EqualRange(
+    const std::vector<Triple>& index, Order order, TermId k1, TermId k2) {
+  // Comparators considering only the bound prefix of the key.
+  auto key = [order](const Triple& t) -> std::pair<TermId, TermId> {
+    switch (order) {
+      case Order::kSpo:
+        return {t.s, t.p};
+      case Order::kPos:
+        return {t.p, t.o};
+      case Order::kOsp:
+        return {t.o, t.s};
+    }
+    return {0, 0};
+  };
+  std::pair<TermId, TermId> lo{k1, k2 == kInvalidTermId ? 0 : k2};
+  auto begin = std::lower_bound(
+      index.begin(), index.end(), lo,
+      [&](const Triple& t, const std::pair<TermId, TermId>& v) {
+        auto k = key(t);
+        if (k.first != v.first) return k.first < v.first;
+        if (v.second == 0) return false;  // only first component bound
+        return k.second < v.second;
+      });
+  // Upper bound: increment the most specific bound component.
+  std::pair<TermId, TermId> hi = lo;
+  if (k2 == kInvalidTermId) {
+    hi.first += 1;
+    hi.second = 0;
+  } else {
+    hi.second += 1;
+  }
+  auto end = std::lower_bound(
+      begin, index.end(), hi,
+      [&](const Triple& t, const std::pair<TermId, TermId>& v) {
+        auto k = key(t);
+        if (k.first != v.first) return k.first < v.first;
+        if (v.second == 0) return false;
+        return k.second < v.second;
+      });
+  return {static_cast<size_t>(begin - index.begin()),
+          static_cast<size_t>(end - index.begin())};
+}
+
+void TripleStore::Match(const TriplePattern& pattern,
+                        const std::function<bool(const Triple&)>& fn) const {
+  EnsureIndexed();
+  const bool bs = pattern.s != kInvalidTermId;
+  const bool bp = pattern.p != kInvalidTermId;
+  const bool bo = pattern.o != kInvalidTermId;
+
+  const std::vector<Triple>* index = &spo_;
+  Order order = Order::kSpo;
+  TermId k1 = kInvalidTermId;
+  TermId k2 = kInvalidTermId;
+  bool full_scan = false;
+
+  if (bs) {
+    index = &spo_;
+    order = Order::kSpo;
+    k1 = pattern.s;
+    k2 = bp ? pattern.p : kInvalidTermId;
+    // (s, ?, o) needs a residual filter on o.
+  } else if (bp) {
+    index = &pos_;
+    order = Order::kPos;
+    k1 = pattern.p;
+    k2 = bo ? pattern.o : kInvalidTermId;
+  } else if (bo) {
+    index = &osp_;
+    order = Order::kOsp;
+    k1 = pattern.o;
+    k2 = kInvalidTermId;
+  } else {
+    full_scan = true;
+  }
+
+  if (full_scan) {
+    for (const Triple& t : spo_) {
+      if (!fn(t)) return;
+    }
+    return;
+  }
+
+  auto [begin, end] = EqualRange(*index, order, k1, k2);
+  for (size_t i = begin; i < end; ++i) {
+    const Triple& t = (*index)[i];
+    if (!pattern.Matches(t)) continue;  // residual position filter
+    if (!fn(t)) return;
+  }
+}
+
+std::vector<Triple> TripleStore::MatchAll(const TriplePattern& pattern) const {
+  std::vector<Triple> out;
+  Match(pattern, [&](const Triple& t) {
+    out.push_back(t);
+    return true;
+  });
+  return out;
+}
+
+size_t TripleStore::Count(const TriplePattern& pattern) const {
+  size_t n = 0;
+  Match(pattern, [&](const Triple&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+std::vector<TermId> TripleStore::DistinctObjects(TermId p) const {
+  EnsureIndexed();
+  std::vector<TermId> out;
+  TriplePattern pat;
+  pat.p = p;
+  TermId last = kInvalidTermId;
+  // POS index yields objects in sorted order for fixed p.
+  Match(pat, [&](const Triple& t) {
+    if (t.o != last) {
+      out.push_back(t.o);
+      last = t.o;
+    }
+    return true;
+  });
+  return out;
+}
+
+std::vector<TermId> TripleStore::DistinctSubjects(TermId p) const {
+  EnsureIndexed();
+  std::vector<TermId> out;
+  TriplePattern pat;
+  pat.p = p;
+  Match(pat, [&](const Triple& t) {
+    out.push_back(t.s);
+    return true;
+  });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace hbold::rdf

@@ -1,0 +1,83 @@
+#ifndef HBOLD_RDF_GRAPH_H_
+#define HBOLD_RDF_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+
+namespace hbold::rdf {
+
+/// In-memory RDF graph: a term dictionary plus three sorted triple indexes
+/// (SPO, POS, OSP) so that any triple pattern with at least one bound
+/// position is answered with a binary search + contiguous range scan.
+///
+/// Writes append to a staging buffer; indexes are (re)built lazily on first
+/// read after a write (sort + dedup), which makes bulk loading linearithmic
+/// instead of per-insert logarithmic.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+  TripleStore(TripleStore&&) = default;
+  TripleStore& operator=(TripleStore&&) = default;
+
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+
+  /// Adds a triple of terms (interning them). Duplicate triples are stored
+  /// once.
+  void Add(const Term& s, const Term& p, const Term& o);
+  /// Adds a triple of already-interned ids.
+  void AddIds(TermId s, TermId p, TermId o);
+
+  /// Number of distinct triples.
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// True if the exact triple is present.
+  bool Contains(const Term& s, const Term& p, const Term& o) const;
+
+  /// Enumerates all triples matching `pattern` (wildcard = kInvalidTermId).
+  /// The callback returns false to stop early.
+  void Match(const TriplePattern& pattern,
+             const std::function<bool(const Triple&)>& fn) const;
+
+  /// Collects matches into a vector (convenience over Match).
+  std::vector<Triple> MatchAll(const TriplePattern& pattern) const;
+
+  /// Number of triples matching `pattern`.
+  size_t Count(const TriplePattern& pattern) const;
+
+  /// All distinct objects of (s=*, p, o=?) — e.g. the class list via
+  /// p = rdf:type.
+  std::vector<TermId> DistinctObjects(TermId p) const;
+  /// All distinct subjects with predicate p.
+  std::vector<TermId> DistinctSubjects(TermId p) const;
+
+ private:
+  enum class Order { kSpo, kPos, kOsp };
+
+  void EnsureIndexed() const;
+  // Returns the [begin, end) range of `index` whose first `bound` key
+  // components equal those of `key` under `order`.
+  static std::pair<size_t, size_t> EqualRange(const std::vector<Triple>& index,
+                                              Order order, TermId k1,
+                                              TermId k2);
+
+  Dictionary dict_;
+  mutable std::vector<Triple> spo_;
+  mutable std::vector<Triple> pos_;
+  mutable std::vector<Triple> osp_;
+  mutable std::vector<Triple> staged_;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace hbold::rdf
+
+#endif  // HBOLD_RDF_GRAPH_H_

@@ -1,0 +1,25 @@
+#ifndef HBOLD_RDF_NTRIPLES_H_
+#define HBOLD_RDF_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/graph.h"
+
+namespace hbold::rdf {
+
+/// Parses N-Triples text into `store`. Returns the number of triples added.
+/// Supports comments (# ...), IRIs, blank nodes, plain/typed/lang literals
+/// with \-escapes. Fails with ParseError on the first malformed line
+/// (message includes the line number).
+Result<size_t> ParseNTriples(std::string_view text, TripleStore* store);
+
+/// Serializes the whole store as N-Triples (sorted SPO order, one triple
+/// per line).
+std::string WriteNTriples(const TripleStore& store);
+
+}  // namespace hbold::rdf
+
+#endif  // HBOLD_RDF_NTRIPLES_H_

@@ -1,0 +1,94 @@
+#include "rdf/term.h"
+
+#include <cstdio>
+#include <functional>
+
+#include "common/string_util.h"
+#include "rdf/vocab.h"
+
+namespace hbold::rdf {
+
+Term Term::IntLiteral(int64_t v) {
+  return Literal(std::to_string(v), vocab::kXsdInteger);
+}
+
+Term Term::DoubleLiteral(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return Literal(buf, vocab::kXsdDouble);
+}
+
+Term Term::BoolLiteral(bool v) {
+  return Literal(v ? "true" : "false", vocab::kXsdBoolean);
+}
+
+namespace {
+// Escapes a literal lexical form per N-Triples rules.
+std::string EscapeLiteral(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string Term::ToNTriples() const {
+  switch (kind_) {
+    case Kind::kIri:
+      return "<" + lexical_ + ">";
+    case Kind::kBlank:
+      return "_:" + lexical_;
+    case Kind::kLiteral: {
+      std::string out = "\"" + EscapeLiteral(lexical_) + "\"";
+      if (!lang_.empty()) {
+        out += "@" + lang_;
+      } else if (!datatype_.empty() && datatype_ != vocab::kXsdString) {
+        out += "^^<" + datatype_ + ">";
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string Term::ToDisplay() const {
+  switch (kind_) {
+    case Kind::kIri:
+      return IriLocalName(lexical_);
+    case Kind::kBlank:
+      return "_:" + lexical_;
+    case Kind::kLiteral:
+      return "\"" + lexical_ + "\"";
+  }
+  return "";
+}
+
+size_t Term::Hash() const {
+  size_t h = std::hash<std::string>()(lexical_);
+  h = h * 31 + static_cast<size_t>(kind_);
+  if (!datatype_.empty()) h = h * 31 + std::hash<std::string>()(datatype_);
+  if (!lang_.empty()) h = h * 31 + std::hash<std::string>()(lang_);
+  return h;
+}
+
+}  // namespace hbold::rdf

@@ -1,0 +1,88 @@
+#ifndef HBOLD_RDF_TERM_H_
+#define HBOLD_RDF_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <tuple>
+
+namespace hbold::rdf {
+
+/// One RDF term: an IRI, a blank node, or a literal (with optional datatype
+/// IRI and language tag). Terms are immutable value types; the TripleStore
+/// interns them in a Dictionary and works with integer ids.
+class Term {
+ public:
+  enum class Kind : uint8_t { kIri = 0, kBlank = 1, kLiteral = 2 };
+
+  Term() : kind_(Kind::kIri) {}
+
+  static Term Iri(std::string iri) {
+    Term t;
+    t.kind_ = Kind::kIri;
+    t.lexical_ = std::move(iri);
+    return t;
+  }
+  static Term Blank(std::string label) {
+    Term t;
+    t.kind_ = Kind::kBlank;
+    t.lexical_ = std::move(label);
+    return t;
+  }
+  static Term Literal(std::string value, std::string datatype = "",
+                      std::string lang = "") {
+    Term t;
+    t.kind_ = Kind::kLiteral;
+    t.lexical_ = std::move(value);
+    t.datatype_ = std::move(datatype);
+    t.lang_ = std::move(lang);
+    return t;
+  }
+  /// Convenience constructors for typed literals.
+  static Term IntLiteral(int64_t v);
+  static Term DoubleLiteral(double v);
+  static Term BoolLiteral(bool v);
+
+  Kind kind() const { return kind_; }
+  bool is_iri() const { return kind_ == Kind::kIri; }
+  bool is_blank() const { return kind_ == Kind::kBlank; }
+  bool is_literal() const { return kind_ == Kind::kLiteral; }
+
+  /// The IRI string, blank node label, or literal lexical form.
+  const std::string& lexical() const { return lexical_; }
+  const std::string& datatype() const { return datatype_; }
+  const std::string& lang() const { return lang_; }
+
+  /// N-Triples serialization: <iri>, _:label, "value"^^<dt> / "value"@lang.
+  std::string ToNTriples() const;
+
+  /// Human-readable short form (local name for IRIs, quoted literals).
+  std::string ToDisplay() const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind_ == b.kind_ && a.lexical_ == b.lexical_ &&
+           a.datatype_ == b.datatype_ && a.lang_ == b.lang_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+  friend bool operator<(const Term& a, const Term& b) {
+    return std::tie(a.kind_, a.lexical_, a.datatype_, a.lang_) <
+           std::tie(b.kind_, b.lexical_, b.datatype_, b.lang_);
+  }
+
+  /// Stable hash for unordered containers.
+  size_t Hash() const;
+
+ private:
+  Kind kind_;
+  std::string lexical_;
+  std::string datatype_;  // literals only
+  std::string lang_;      // literals only
+};
+
+struct TermHash {
+  size_t operator()(const Term& t) const { return t.Hash(); }
+};
+
+}  // namespace hbold::rdf
+
+#endif  // HBOLD_RDF_TERM_H_

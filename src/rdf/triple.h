@@ -1,0 +1,39 @@
+#ifndef HBOLD_RDF_TRIPLE_H_
+#define HBOLD_RDF_TRIPLE_H_
+
+#include <tuple>
+
+#include "rdf/dictionary.h"
+
+namespace hbold::rdf {
+
+/// One triple in interned-id form.
+struct Triple {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.s == b.s && a.p == b.p && a.o == b.o;
+  }
+  friend bool operator<(const Triple& a, const Triple& b) {
+    return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
+  }
+};
+
+/// A match pattern: kInvalidTermId means wildcard in that position.
+struct TriplePattern {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  bool Matches(const Triple& t) const {
+    return (s == kInvalidTermId || s == t.s) &&
+           (p == kInvalidTermId || p == t.p) &&
+           (o == kInvalidTermId || o == t.o);
+  }
+};
+
+}  // namespace hbold::rdf
+
+#endif  // HBOLD_RDF_TRIPLE_H_

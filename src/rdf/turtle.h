@@ -1,0 +1,31 @@
+#ifndef HBOLD_RDF_TURTLE_H_
+#define HBOLD_RDF_TURTLE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "rdf/graph.h"
+
+namespace hbold::rdf {
+
+/// Parses a practical subset of Turtle into `store`:
+///   - @prefix / PREFIX declarations, prefixed names (ex:Thing)
+///   - `a` keyword for rdf:type
+///   - predicate lists with ';' and object lists with ','
+///   - IRIs, blank nodes, string literals ("..." with escapes, @lang, ^^dt)
+///   - numeric literals (integer / decimal / double) and true/false
+///   - comments
+/// Not supported: collections, [] anonymous blank nodes, multiline strings.
+/// Returns the number of triples added.
+Result<size_t> ParseTurtle(std::string_view text, TripleStore* store);
+
+/// Serializes `store` as Turtle. Prefixes are derived automatically from
+/// the most frequent IRI namespaces (split at the last '#' or '/') plus
+/// the well-known rdf/rdfs/xsd prefixes; triples are grouped by subject
+/// with ';' predicate lists and ',' object lists, in sorted SPO order.
+std::string WriteTurtle(const TripleStore& store);
+
+}  // namespace hbold::rdf
+
+#endif  // HBOLD_RDF_TURTLE_H_

@@ -1,0 +1,56 @@
+#ifndef HBOLD_RDF_VOCAB_H_
+#define HBOLD_RDF_VOCAB_H_
+
+namespace hbold::rdf::vocab {
+
+// RDF / RDFS / XSD core terms used throughout the pipeline.
+inline constexpr const char* kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr const char* kRdfsLabel =
+    "http://www.w3.org/2000/01/rdf-schema#label";
+inline constexpr const char* kRdfsClass =
+    "http://www.w3.org/2000/01/rdf-schema#Class";
+inline constexpr const char* kRdfsDomain =
+    "http://www.w3.org/2000/01/rdf-schema#domain";
+inline constexpr const char* kRdfsRange =
+    "http://www.w3.org/2000/01/rdf-schema#range";
+inline constexpr const char* kXsdString =
+    "http://www.w3.org/2001/XMLSchema#string";
+inline constexpr const char* kXsdInteger =
+    "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr const char* kXsdDouble =
+    "http://www.w3.org/2001/XMLSchema#double";
+inline constexpr const char* kXsdBoolean =
+    "http://www.w3.org/2001/XMLSchema#boolean";
+inline constexpr const char* kXsdDateTime =
+    "http://www.w3.org/2001/XMLSchema#dateTime";
+inline constexpr const char* kRdfLangString =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+
+// DCAT / Dublin Core terms used by the open-data-portal crawler (Listing 1).
+inline constexpr const char* kDcatDataset = "http://www.w3.org/ns/dcat#Dataset";
+inline constexpr const char* kDcatDistribution =
+    "http://www.w3.org/ns/dcat#distribution";
+inline constexpr const char* kDcatAccessUrl =
+    "http://www.w3.org/ns/dcat#accessURL";
+inline constexpr const char* kDcTitle = "http://purl.org/dc/terms/title";
+
+// SPARQLES-like endpoint-metadata vocabulary (used by the §5 future-work
+// metadata-repository discovery).
+inline constexpr const char* kSqEndpointClass =
+    "http://sparqles.example.org/ns#Endpoint";
+inline constexpr const char* kSqUrl = "http://sparqles.example.org/ns#url";
+inline constexpr const char* kSqAvailability =
+    "http://sparqles.example.org/ns#availability";
+
+// Namespace prefixes for the Turtle writer / parser defaults.
+inline constexpr const char* kRdfNs =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+inline constexpr const char* kRdfsNs = "http://www.w3.org/2000/01/rdf-schema#";
+inline constexpr const char* kXsdNs = "http://www.w3.org/2001/XMLSchema#";
+inline constexpr const char* kDcatNs = "http://www.w3.org/ns/dcat#";
+inline constexpr const char* kDcNs = "http://purl.org/dc/terms/";
+
+}  // namespace hbold::rdf::vocab
+
+#endif  // HBOLD_RDF_VOCAB_H_

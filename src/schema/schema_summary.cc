@@ -1,0 +1,165 @@
+#include "schema/schema_summary.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace hbold::schema {
+
+SchemaSummary SchemaSummary::FromIndexes(
+    const extraction::IndexSummary& indexes) {
+  SchemaSummary s;
+  s.endpoint_url_ = indexes.endpoint_url;
+
+  std::map<std::string, size_t> index_of;
+  for (const extraction::ClassInfo& c : indexes.classes) {
+    ClassNode node;
+    node.iri = c.iri;
+    node.label = IriLocalName(c.iri);
+    node.instance_count = c.instance_count;
+    index_of[c.iri] = s.nodes_.size();
+    s.nodes_.push_back(std::move(node));
+    s.total_instances_ += c.instance_count;
+  }
+
+  for (const extraction::ClassInfo& c : indexes.classes) {
+    size_t src = index_of[c.iri];
+    for (const extraction::PropertyInfo& p : c.properties) {
+      if (p.is_object_property) {
+        for (const auto& [range_iri, count] : p.range_classes) {
+          auto it = index_of.find(range_iri);
+          if (it == index_of.end()) continue;  // range class not instantiated
+          PropertyArc arc;
+          arc.src = src;
+          arc.dst = it->second;
+          arc.iri = p.iri;
+          arc.count = count;
+          s.arcs_.push_back(std::move(arc));
+        }
+      } else {
+        s.nodes_[src].attributes.push_back(Attribute{p.iri, p.count});
+      }
+    }
+  }
+  return s;
+}
+
+int SchemaSummary::FindNode(const std::string& iri) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].iri == iri) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<const PropertyArc*> SchemaSummary::IncidentArcs(size_t i) const {
+  std::vector<const PropertyArc*> out;
+  for (const PropertyArc& a : arcs_) {
+    if (a.src == i || a.dst == i) out.push_back(&a);
+  }
+  return out;
+}
+
+std::vector<size_t> SchemaSummary::Neighbors(size_t i) const {
+  std::set<size_t> out;
+  for (const PropertyArc& a : arcs_) {
+    if (a.src == i && a.dst != i) out.insert(a.dst);
+    if (a.dst == i && a.src != i) out.insert(a.src);
+  }
+  return {out.begin(), out.end()};
+}
+
+size_t SchemaSummary::Degree(size_t i) const {
+  size_t d = 0;
+  for (const PropertyArc& a : arcs_) {
+    if (a.src == i) ++d;
+    if (a.dst == i) ++d;  // self-loops count twice, as in graph theory
+  }
+  return d;
+}
+
+double SchemaSummary::CoveragePercent(const std::set<size_t>& subset) const {
+  if (total_instances_ == 0) return 0;
+  size_t covered = 0;
+  for (size_t i : subset) {
+    if (i < nodes_.size()) covered += nodes_[i].instance_count;
+  }
+  return 100.0 * static_cast<double>(covered) /
+         static_cast<double>(total_instances_);
+}
+
+Json SchemaSummary::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("endpoint_url", endpoint_url_);
+  j.Set("total_instances", total_instances_);
+  Json nodes = Json::MakeArray();
+  for (const ClassNode& n : nodes_) {
+    Json nj = Json::MakeObject();
+    nj.Set("iri", n.iri);
+    nj.Set("label", n.label);
+    nj.Set("instances", n.instance_count);
+    Json attrs = Json::MakeArray();
+    for (const Attribute& a : n.attributes) {
+      Json aj = Json::MakeObject();
+      aj.Set("iri", a.iri);
+      aj.Set("count", a.count);
+      attrs.Append(std::move(aj));
+    }
+    nj.Set("attributes", std::move(attrs));
+    nodes.Append(std::move(nj));
+  }
+  j.Set("nodes", std::move(nodes));
+  Json arcs = Json::MakeArray();
+  for (const PropertyArc& a : arcs_) {
+    Json aj = Json::MakeObject();
+    aj.Set("src", a.src);
+    aj.Set("dst", a.dst);
+    aj.Set("iri", a.iri);
+    aj.Set("count", a.count);
+    arcs.Append(std::move(aj));
+  }
+  j.Set("arcs", std::move(arcs));
+  return j;
+}
+
+Result<SchemaSummary> SchemaSummary::FromJson(const Json& j) {
+  if (!j.is_object()) {
+    return Status::InvalidArgument("SchemaSummary JSON must be an object");
+  }
+  SchemaSummary s;
+  s.endpoint_url_ = j.GetString("endpoint_url");
+  s.total_instances_ = static_cast<size_t>(j.GetInt("total_instances"));
+  const Json* nodes = j.Find("nodes");
+  if (nodes != nullptr && nodes->is_array()) {
+    for (const Json& nj : nodes->as_array()) {
+      ClassNode n;
+      n.iri = nj.GetString("iri");
+      n.label = nj.GetString("label");
+      n.instance_count = static_cast<size_t>(nj.GetInt("instances"));
+      const Json* attrs = nj.Find("attributes");
+      if (attrs != nullptr && attrs->is_array()) {
+        for (const Json& aj : attrs->as_array()) {
+          n.attributes.push_back(Attribute{
+              aj.GetString("iri"), static_cast<size_t>(aj.GetInt("count"))});
+        }
+      }
+      s.nodes_.push_back(std::move(n));
+    }
+  }
+  const Json* arcs = j.Find("arcs");
+  if (arcs != nullptr && arcs->is_array()) {
+    for (const Json& aj : arcs->as_array()) {
+      PropertyArc a;
+      a.src = static_cast<size_t>(aj.GetInt("src"));
+      a.dst = static_cast<size_t>(aj.GetInt("dst"));
+      a.iri = aj.GetString("iri");
+      a.count = static_cast<size_t>(aj.GetInt("count"));
+      if (a.src >= s.nodes_.size() || a.dst >= s.nodes_.size()) {
+        return Status::InvalidArgument("arc endpoint out of range");
+      }
+      s.arcs_.push_back(std::move(a));
+    }
+  }
+  return s;
+}
+
+}  // namespace hbold::schema

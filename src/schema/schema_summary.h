@@ -1,0 +1,92 @@
+#ifndef HBOLD_SCHEMA_SCHEMA_SUMMARY_H_
+#define HBOLD_SCHEMA_SCHEMA_SUMMARY_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "extraction/indexes.h"
+
+namespace hbold::schema {
+
+/// A datatype attribute of a class node (name + usage count), e.g.
+/// foaf:name used 1200 times on Person.
+struct Attribute {
+  std::string iri;
+  size_t count = 0;
+};
+
+/// One node of the Schema Summary: an instantiated class.
+struct ClassNode {
+  std::string iri;
+  std::string label;  // local name, for display
+  size_t instance_count = 0;
+  std::vector<Attribute> attributes;
+};
+
+/// One arc: an object property connecting instances of `src` to instances
+/// of `dst`, with usage count. The Schema Summary is a pseudograph: parallel
+/// arcs (different properties between the same classes) and self-loops are
+/// both meaningful.
+struct PropertyArc {
+  size_t src = 0;  // index into nodes()
+  size_t dst = 0;
+  std::string iri;
+  size_t count = 0;
+};
+
+/// The paper's Schema Summary (§2.1, [2,5]): a pseudograph whose nodes are
+/// the instantiated classes of a source and whose arcs are the object
+/// properties observed between their instances, annotated with counts.
+class SchemaSummary {
+ public:
+  SchemaSummary() = default;
+
+  /// Derives the Schema Summary from extracted indexes. Object properties
+  /// contribute one arc per (property, range class) pair; datatype
+  /// properties become attributes of their class node.
+  static SchemaSummary FromIndexes(const extraction::IndexSummary& indexes);
+
+  const std::string& endpoint_url() const { return endpoint_url_; }
+  size_t total_instances() const { return total_instances_; }
+
+  const std::vector<ClassNode>& nodes() const { return nodes_; }
+  const std::vector<PropertyArc>& arcs() const { return arcs_; }
+  size_t NodeCount() const { return nodes_.size(); }
+  size_t ArcCount() const { return arcs_.size(); }
+
+  /// Index of a class by IRI, or -1.
+  int FindNode(const std::string& iri) const;
+
+  /// Arcs incident to node `i` (as src or dst).
+  std::vector<const PropertyArc*> IncidentArcs(size_t i) const;
+
+  /// Neighbor node indexes of `i` (undirected view, unique, sorted).
+  std::vector<size_t> Neighbors(size_t i) const;
+
+  /// Degree of node `i` = in-degree + out-degree over arcs (parallel arcs
+  /// each count). This is the degree used for cluster labeling.
+  size_t Degree(size_t i) const;
+
+  /// Percentage (0..100) of all class-instance mass covered by `subset`
+  /// (node indexes) — the "percentage of the instances represented by the
+  /// graph" shown during exploration (Fig. 2).
+  double CoveragePercent(const std::set<size_t>& subset) const;
+
+  hbold::Json ToJson() const;
+  static Result<SchemaSummary> FromJson(const hbold::Json& j);
+
+ private:
+  std::string endpoint_url_;
+  size_t total_instances_ = 0;  // sum over nodes of instance_count
+  std::vector<ClassNode> nodes_;
+  std::vector<PropertyArc> arcs_;
+};
+
+}  // namespace hbold::schema
+
+#endif  // HBOLD_SCHEMA_SCHEMA_SUMMARY_H_

@@ -1,0 +1,45 @@
+#include "sparql/ast.h"
+
+namespace hbold::sparql {
+
+std::unique_ptr<Expr> Expr::Var(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kVar;
+  e->var = std::move(name);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Literal(rdf::Term t) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(t);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Compare(CmpOp op, std::unique_ptr<Expr> l,
+                                    std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kCompare;
+  e->op = op;
+  e->args.push_back(std::move(l));
+  e->args.push_back(std::move(r));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Unary(Kind kind, std::unique_ptr<Expr> a) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->args.push_back(std::move(a));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Binary(Kind kind, std::unique_ptr<Expr> a,
+                                   std::unique_ptr<Expr> b) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->args.push_back(std::move(a));
+  e->args.push_back(std::move(b));
+  return e;
+}
+
+}  // namespace hbold::sparql

@@ -1,0 +1,125 @@
+#ifndef HBOLD_SPARQL_AST_H_
+#define HBOLD_SPARQL_AST_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace hbold::sparql {
+
+/// A triple-pattern slot: either a concrete RDF term or a variable name
+/// (without the '?').
+struct TermOrVar {
+  bool is_var = false;
+  rdf::Term term;
+  std::string var;
+
+  static TermOrVar Var(std::string name) {
+    TermOrVar t;
+    t.is_var = true;
+    t.var = std::move(name);
+    return t;
+  }
+  static TermOrVar Const(rdf::Term term) {
+    TermOrVar t;
+    t.is_var = false;
+    t.term = std::move(term);
+    return t;
+  }
+};
+
+/// One triple pattern inside a basic graph pattern.
+struct TriplePatternNode {
+  TermOrVar s;
+  TermOrVar p;
+  TermOrVar o;
+};
+
+/// FILTER expression tree.
+struct Expr {
+  enum class Kind {
+    kVar,       // ?x
+    kLiteral,   // constant term
+    kCompare,   // = != < > <= >=
+    kAnd,
+    kOr,
+    kNot,
+    kRegex,     // REGEX(text, pattern [, flags])
+    kStr,       // STR(e)
+    kBound,     // BOUND(?x)
+    kIsIri,     // isIRI(e)
+    kIsLiteral, // isLITERAL(e)
+    kContains,  // CONTAINS(text, needle)
+    kLcase,     // LCASE(e)
+  };
+  enum class CmpOp { kEq, kNe, kLt, kGt, kLe, kGe };
+
+  Kind kind = Kind::kLiteral;
+  std::string var;      // kVar / kBound
+  rdf::Term literal;    // kLiteral
+  CmpOp op = CmpOp::kEq;
+  std::vector<std::unique_ptr<Expr>> args;
+
+  static std::unique_ptr<Expr> Var(std::string name);
+  static std::unique_ptr<Expr> Literal(rdf::Term t);
+  static std::unique_ptr<Expr> Compare(CmpOp op, std::unique_ptr<Expr> l,
+                                       std::unique_ptr<Expr> r);
+  static std::unique_ptr<Expr> Unary(Kind kind, std::unique_ptr<Expr> a);
+  static std::unique_ptr<Expr> Binary(Kind kind, std::unique_ptr<Expr> a,
+                                      std::unique_ptr<Expr> b);
+};
+
+struct GroupGraphPattern;
+
+/// A UNION of two alternative group patterns.
+struct UnionPattern {
+  std::unique_ptr<GroupGraphPattern> left;
+  std::unique_ptr<GroupGraphPattern> right;
+};
+
+/// { triples . FILTER(..) OPTIONAL { .. } { .. } UNION { .. } }
+struct GroupGraphPattern {
+  std::vector<TriplePatternNode> triples;
+  std::vector<std::unique_ptr<Expr>> filters;
+  std::vector<std::unique_ptr<GroupGraphPattern>> optionals;
+  std::vector<UnionPattern> unions;
+};
+
+/// SELECT-clause aggregate. Only COUNT is needed by the H-BOLD index
+/// extraction queries, with optional DISTINCT and * argument.
+struct Aggregate {
+  bool distinct = false;
+  std::optional<std::string> var;  // nullopt means COUNT(*)
+  std::string as;                  // projected name (without '?')
+};
+
+/// Query form: SELECT returns a solution table; ASK returns a single
+/// boolean (the idiomatic endpoint liveness probe is `ASK { ?s ?p ?o }`).
+enum class QueryForm { kSelect, kAsk };
+
+/// A parsed SELECT or ASK query.
+struct SelectQuery {
+  QueryForm form = QueryForm::kSelect;
+  std::map<std::string, std::string> prefixes;
+  bool distinct = false;
+  bool select_all = false;               // SELECT *
+  std::vector<std::string> vars;         // projected plain variables
+  std::vector<Aggregate> aggregates;     // projected aggregates
+  GroupGraphPattern where;
+  std::vector<std::string> group_by;
+  std::vector<std::pair<std::string, bool>> order_by;  // (var, ascending)
+  std::optional<size_t> limit;
+  std::optional<size_t> offset;
+
+  /// True if the query uses any aggregate (COUNT) — used by the endpoint
+  /// dialect simulation to reject aggregates on weak endpoints.
+  bool UsesAggregates() const { return !aggregates.empty(); }
+};
+
+}  // namespace hbold::sparql
+
+#endif  // HBOLD_SPARQL_AST_H_

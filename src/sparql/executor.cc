@@ -1,0 +1,610 @@
+#include "sparql/executor.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <regex>
+#include <set>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "sparql/parser.h"
+
+namespace hbold::sparql {
+
+namespace {
+
+using rdf::kInvalidTermId;
+using rdf::Term;
+using rdf::TermId;
+
+/// Maps variable names to dense row slots.
+class VarRegistry {
+ public:
+  size_t Intern(const std::string& name) {
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    size_t id = names_.size();
+    names_.push_back(name);
+    index_.emplace(name, id);
+    return id;
+  }
+  int Lookup(const std::string& name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? -1 : static_cast<int>(it->second);
+  }
+  size_t size() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+using RowIds = std::vector<TermId>;  // slot -> bound term id (0 = unbound)
+
+void CollectVars(const GroupGraphPattern& g, VarRegistry* vars);
+
+void CollectExprVars(const Expr& e, VarRegistry* vars) {
+  if (e.kind == Expr::Kind::kVar || e.kind == Expr::Kind::kBound) {
+    vars->Intern(e.var);
+  }
+  for (const auto& a : e.args) CollectExprVars(*a, vars);
+}
+
+void CollectVars(const GroupGraphPattern& g, VarRegistry* vars) {
+  for (const auto& t : g.triples) {
+    if (t.s.is_var) vars->Intern(t.s.var);
+    if (t.p.is_var) vars->Intern(t.p.var);
+    if (t.o.is_var) vars->Intern(t.o.var);
+  }
+  for (const auto& f : g.filters) CollectExprVars(*f, vars);
+  for (const auto& o : g.optionals) CollectVars(*o, vars);
+  for (const auto& u : g.unions) {
+    CollectVars(*u.left, vars);
+    CollectVars(*u.right, vars);
+  }
+}
+
+/// Value produced by expression evaluation. Errors propagate and make the
+/// enclosing FILTER false (SPARQL error semantics).
+struct EvalValue {
+  enum class Kind { kTerm, kBool, kError };
+  Kind kind = Kind::kError;
+  Term term;
+  bool b = false;
+
+  static EvalValue Error() { return EvalValue{}; }
+  static EvalValue Bool(bool v) {
+    EvalValue e;
+    e.kind = Kind::kBool;
+    e.b = v;
+    return e;
+  }
+  static EvalValue OfTerm(Term t) {
+    EvalValue e;
+    e.kind = Kind::kTerm;
+    e.term = std::move(t);
+    return e;
+  }
+};
+
+bool TryParseNumber(const Term& t, double* out) {
+  if (!t.is_literal()) return false;
+  const std::string& lex = t.lexical();
+  if (lex.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(lex.c_str(), &end);
+  if (end != lex.c_str() + lex.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Effective boolean value; returns kError-signalling nullopt on non-boolean
+/// non-coercible values.
+std::optional<bool> Ebv(const EvalValue& v) {
+  switch (v.kind) {
+    case EvalValue::Kind::kBool:
+      return v.b;
+    case EvalValue::Kind::kTerm: {
+      const Term& t = v.term;
+      if (t.is_literal()) {
+        if (t.lexical() == "true") return true;
+        if (t.lexical() == "false") return false;
+        double d;
+        if (TryParseNumber(t, &d)) return d != 0;
+        return !t.lexical().empty();
+      }
+      return std::nullopt;
+    }
+    case EvalValue::Kind::kError:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+class GroupEvaluator {
+ public:
+  GroupEvaluator(const rdf::TripleStore* store, VarRegistry* vars,
+                 ExecStats* stats, const ExecOptions& options)
+      : store_(store), vars_(vars), stats_(stats), options_(options) {}
+
+  /// Joins `input` rows with the solutions of `group`.
+  std::vector<RowIds> Eval(const GroupGraphPattern& group,
+                           std::vector<RowIds> input) {
+    std::vector<RowIds> rows = EvalTriples(group.triples, std::move(input));
+    for (const auto& u : group.unions) {
+      std::vector<RowIds> left = Eval(*u.left, rows);
+      std::vector<RowIds> right = Eval(*u.right, rows);
+      rows = std::move(left);
+      rows.insert(rows.end(), right.begin(), right.end());
+    }
+    for (const auto& opt : group.optionals) {
+      std::vector<RowIds> joined;
+      for (const RowIds& row : rows) {
+        std::vector<RowIds> ext = Eval(*opt, {row});
+        if (ext.empty()) {
+          joined.push_back(row);
+        } else {
+          joined.insert(joined.end(), ext.begin(), ext.end());
+        }
+      }
+      rows = std::move(joined);
+    }
+    for (const auto& f : group.filters) {
+      std::vector<RowIds> kept;
+      kept.reserve(rows.size());
+      for (const RowIds& row : rows) {
+        std::optional<bool> v = Ebv(EvalExpr(*f, row));
+        if (v.has_value() && *v) kept.push_back(row);
+      }
+      rows = std::move(kept);
+    }
+    return rows;
+  }
+
+  EvalValue EvalExpr(const Expr& e, const RowIds& row) const {
+    switch (e.kind) {
+      case Expr::Kind::kVar: {
+        int slot = vars_->Lookup(e.var);
+        if (slot < 0 || row[static_cast<size_t>(slot)] == kInvalidTermId) {
+          return EvalValue::Error();
+        }
+        return EvalValue::OfTerm(
+            store_->dict().Get(row[static_cast<size_t>(slot)]));
+      }
+      case Expr::Kind::kLiteral:
+        return EvalValue::OfTerm(e.literal);
+      case Expr::Kind::kBound: {
+        int slot = vars_->Lookup(e.var);
+        return EvalValue::Bool(slot >= 0 &&
+                               row[static_cast<size_t>(slot)] !=
+                                   kInvalidTermId);
+      }
+      case Expr::Kind::kNot: {
+        std::optional<bool> v = Ebv(EvalExpr(*e.args[0], row));
+        if (!v.has_value()) return EvalValue::Error();
+        return EvalValue::Bool(!*v);
+      }
+      case Expr::Kind::kAnd: {
+        std::optional<bool> a = Ebv(EvalExpr(*e.args[0], row));
+        std::optional<bool> b = Ebv(EvalExpr(*e.args[1], row));
+        // SPARQL three-valued logic: false && error == false.
+        if (a.has_value() && !*a) return EvalValue::Bool(false);
+        if (b.has_value() && !*b) return EvalValue::Bool(false);
+        if (!a.has_value() || !b.has_value()) return EvalValue::Error();
+        return EvalValue::Bool(true);
+      }
+      case Expr::Kind::kOr: {
+        std::optional<bool> a = Ebv(EvalExpr(*e.args[0], row));
+        std::optional<bool> b = Ebv(EvalExpr(*e.args[1], row));
+        if (a.has_value() && *a) return EvalValue::Bool(true);
+        if (b.has_value() && *b) return EvalValue::Bool(true);
+        if (!a.has_value() || !b.has_value()) return EvalValue::Error();
+        return EvalValue::Bool(false);
+      }
+      case Expr::Kind::kCompare: {
+        EvalValue a = EvalExpr(*e.args[0], row);
+        EvalValue b = EvalExpr(*e.args[1], row);
+        if (a.kind != EvalValue::Kind::kTerm ||
+            b.kind != EvalValue::Kind::kTerm) {
+          return EvalValue::Error();
+        }
+        int cmp;
+        double da, db;
+        if (TryParseNumber(a.term, &da) && TryParseNumber(b.term, &db)) {
+          cmp = da < db ? -1 : (da > db ? 1 : 0);
+        } else {
+          const std::string& sa = a.term.lexical();
+          const std::string& sb = b.term.lexical();
+          cmp = sa < sb ? -1 : (sa > sb ? 1 : 0);
+        }
+        switch (e.op) {
+          case Expr::CmpOp::kEq:
+            // Term equality also considers kind (IRI vs literal).
+            if (cmp == 0 && a.term.kind() != b.term.kind()) {
+              return EvalValue::Bool(false);
+            }
+            return EvalValue::Bool(cmp == 0);
+          case Expr::CmpOp::kNe:
+            if (cmp == 0 && a.term.kind() != b.term.kind()) {
+              return EvalValue::Bool(true);
+            }
+            return EvalValue::Bool(cmp != 0);
+          case Expr::CmpOp::kLt:
+            return EvalValue::Bool(cmp < 0);
+          case Expr::CmpOp::kGt:
+            return EvalValue::Bool(cmp > 0);
+          case Expr::CmpOp::kLe:
+            return EvalValue::Bool(cmp <= 0);
+          case Expr::CmpOp::kGe:
+            return EvalValue::Bool(cmp >= 0);
+        }
+        return EvalValue::Error();
+      }
+      case Expr::Kind::kStr: {
+        EvalValue a = EvalExpr(*e.args[0], row);
+        if (a.kind != EvalValue::Kind::kTerm) return EvalValue::Error();
+        return EvalValue::OfTerm(Term::Literal(a.term.lexical()));
+      }
+      case Expr::Kind::kLcase: {
+        EvalValue a = EvalExpr(*e.args[0], row);
+        if (a.kind != EvalValue::Kind::kTerm) return EvalValue::Error();
+        return EvalValue::OfTerm(Term::Literal(ToLower(a.term.lexical())));
+      }
+      case Expr::Kind::kIsIri: {
+        EvalValue a = EvalExpr(*e.args[0], row);
+        if (a.kind != EvalValue::Kind::kTerm) return EvalValue::Error();
+        return EvalValue::Bool(a.term.is_iri());
+      }
+      case Expr::Kind::kIsLiteral: {
+        EvalValue a = EvalExpr(*e.args[0], row);
+        if (a.kind != EvalValue::Kind::kTerm) return EvalValue::Error();
+        return EvalValue::Bool(a.term.is_literal());
+      }
+      case Expr::Kind::kContains: {
+        EvalValue a = EvalExpr(*e.args[0], row);
+        EvalValue b = EvalExpr(*e.args[1], row);
+        if (a.kind != EvalValue::Kind::kTerm ||
+            b.kind != EvalValue::Kind::kTerm) {
+          return EvalValue::Error();
+        }
+        return EvalValue::Bool(a.term.lexical().find(b.term.lexical()) !=
+                               std::string::npos);
+      }
+      case Expr::Kind::kRegex: {
+        // Lenient REGEX: the text argument is coerced with STR() semantics
+        // so IRIs match too — the paper's Listing 1 applies
+        // regex(?url, 'sparql') where ?url may be an IRI-valued accessURL.
+        EvalValue text = EvalExpr(*e.args[0], row);
+        EvalValue pattern = EvalExpr(*e.args[1], row);
+        if (text.kind != EvalValue::Kind::kTerm ||
+            pattern.kind != EvalValue::Kind::kTerm) {
+          return EvalValue::Error();
+        }
+        auto flags = std::regex::ECMAScript;
+        if (e.args.size() > 2) {
+          EvalValue f = EvalExpr(*e.args[2], row);
+          if (f.kind == EvalValue::Kind::kTerm &&
+              f.term.lexical().find('i') != std::string::npos) {
+            flags |= std::regex::icase;
+          }
+        }
+        try {
+          std::regex re(pattern.term.lexical(), flags);
+          return EvalValue::Bool(
+              std::regex_search(text.term.lexical(), re));
+        } catch (const std::regex_error&) {
+          return EvalValue::Error();
+        }
+      }
+    }
+    return EvalValue::Error();
+  }
+
+ private:
+  /// Greedy join ordering: repeatedly pick the pattern with the most bound
+  /// slots (constants + already-bound variables), tie-broken by smaller
+  /// index count estimate.
+  std::vector<RowIds> EvalTriples(const std::vector<TriplePatternNode>& triples,
+                                  std::vector<RowIds> input) {
+    if (triples.empty()) return input;
+    std::vector<const TriplePatternNode*> pending;
+    pending.reserve(triples.size());
+    for (const auto& t : triples) pending.push_back(&t);
+
+    std::set<std::string> bound;  // variable names bound so far
+
+    std::vector<RowIds> rows = std::move(input);
+    while (!pending.empty()) {
+      size_t best = 0;
+      if (options_.greedy_join_order) {
+        int best_score = -1;
+        for (size_t i = 0; i < pending.size(); ++i) {
+          int score = Boundness(*pending[i], bound);
+          if (score > best_score) {
+            best_score = score;
+            best = i;
+          }
+        }
+      }
+      const TriplePatternNode* pat = pending[best];
+      pending.erase(pending.begin() + static_cast<long>(best));
+      rows = ExtendRows(*pat, std::move(rows));
+      if (pat->s.is_var) bound.insert(pat->s.var);
+      if (pat->p.is_var) bound.insert(pat->p.var);
+      if (pat->o.is_var) bound.insert(pat->o.var);
+      if (rows.empty()) break;
+    }
+    return rows;
+  }
+
+  static int Boundness(const TriplePatternNode& t,
+                       const std::set<std::string>& bound) {
+    auto slot = [&](const TermOrVar& tv) {
+      if (!tv.is_var) return 2;                  // constant: best
+      return bound.count(tv.var) ? 2 : 0;        // bound var as good as const
+    };
+    // Connectivity dominates: joining through a shared variable avoids the
+    // cartesian products that pure boundness ordering produces on triangle
+    // and chain patterns. Among equally-connected candidates, weight
+    // subject/object binding higher than predicate binding (predicates are
+    // usually low-selectivity).
+    bool connected = (t.s.is_var && bound.count(t.s.var) > 0) ||
+                     (t.p.is_var && bound.count(t.p.var) > 0) ||
+                     (t.o.is_var && bound.count(t.o.var) > 0);
+    int score = 3 * slot(t.s) + 2 * slot(t.p) + 3 * slot(t.o);
+    if (connected || bound.empty()) score += 1000;
+    return score;
+  }
+
+  std::vector<RowIds> ExtendRows(const TriplePatternNode& pat,
+                                 std::vector<RowIds> rows) {
+    std::vector<RowIds> out;
+    const rdf::Dictionary& dict = store_->dict();
+
+    // Pre-resolve constant term ids; a constant not present in the
+    // dictionary can never match.
+    TermId const_s = kInvalidTermId, const_p = kInvalidTermId,
+           const_o = kInvalidTermId;
+    if (!pat.s.is_var) {
+      const_s = dict.Lookup(pat.s.term);
+      if (const_s == kInvalidTermId) return out;
+    }
+    if (!pat.p.is_var) {
+      const_p = dict.Lookup(pat.p.term);
+      if (const_p == kInvalidTermId) return out;
+    }
+    if (!pat.o.is_var) {
+      const_o = dict.Lookup(pat.o.term);
+      if (const_o == kInvalidTermId) return out;
+    }
+    int slot_s = pat.s.is_var ? vars_->Lookup(pat.s.var) : -1;
+    int slot_p = pat.p.is_var ? vars_->Lookup(pat.p.var) : -1;
+    int slot_o = pat.o.is_var ? vars_->Lookup(pat.o.var) : -1;
+
+    for (const RowIds& row : rows) {
+      rdf::TriplePattern q;
+      q.s = pat.s.is_var ? row[static_cast<size_t>(slot_s)] : const_s;
+      q.p = pat.p.is_var ? row[static_cast<size_t>(slot_p)] : const_p;
+      q.o = pat.o.is_var ? row[static_cast<size_t>(slot_o)] : const_o;
+      store_->Match(q, [&](const rdf::Triple& t) {
+        RowIds next = row;
+        // Shared-variable consistency within a single pattern, e.g.
+        // ?x ?p ?x — enforce equal bindings.
+        bool consistent = true;
+        auto bind = [&](int slot, TermId value) {
+          if (slot < 0) return;
+          TermId& cell = next[static_cast<size_t>(slot)];
+          if (cell == kInvalidTermId) {
+            cell = value;
+          } else if (cell != value) {
+            consistent = false;
+          }
+        };
+        bind(slot_s, t.s);
+        bind(slot_p, t.p);
+        bind(slot_o, t.o);
+        if (consistent) {
+          if (stats_ != nullptr) ++stats_->intermediate_bindings;
+          out.push_back(std::move(next));
+        }
+        return true;
+      });
+    }
+    return out;
+  }
+
+  const rdf::TripleStore* store_;
+  VarRegistry* vars_;
+  ExecStats* stats_;
+  ExecOptions options_;
+};
+
+/// Numeric-aware ordering for ORDER BY and deterministic output.
+bool TermLess(const std::optional<Term>& a, const std::optional<Term>& b) {
+  if (!a.has_value() || !b.has_value()) return b.has_value();
+  double da, db;
+  if (TryParseNumber(*a, &da) && TryParseNumber(*b, &db) && da != db) {
+    return da < db;
+  }
+  return a->lexical() < b->lexical();
+}
+
+}  // namespace
+
+Result<ResultTable> Executor::Execute(std::string_view query_text,
+                                      ExecStats* stats) const {
+  HBOLD_ASSIGN_OR_RETURN(SelectQuery q, ParseQuery(query_text));
+  return Execute(q, stats);
+}
+
+Result<ResultTable> Executor::Execute(const SelectQuery& q,
+                                      ExecStats* stats) const {
+  VarRegistry vars;
+  CollectVars(q.where, &vars);
+  for (const std::string& v : q.vars) vars.Intern(v);
+  for (const std::string& v : q.group_by) vars.Intern(v);
+  for (const Aggregate& a : q.aggregates) {
+    if (a.var.has_value()) vars.Intern(*a.var);
+  }
+
+  GroupEvaluator evaluator(store_, &vars, stats, options_);
+  std::vector<RowIds> rows =
+      evaluator.Eval(q.where, {RowIds(vars.size(), kInvalidTermId)});
+
+  // ASK: one row, one boolean cell named "ask" (mirrors the SPARQL JSON
+  // results `boolean` member; ResultTable::AskResult decodes it).
+  if (q.form == QueryForm::kAsk) {
+    ResultTable ask_table({"ask"});
+    ask_table.AddRow({Term::BoolLiteral(!rows.empty())});
+    if (stats != nullptr) stats->result_rows = 1;
+    return ask_table;
+  }
+
+  const rdf::Dictionary& dict = store_->dict();
+  auto term_at = [&](const RowIds& row, int slot) -> std::optional<Term> {
+    if (slot < 0 || row[static_cast<size_t>(slot)] == kInvalidTermId) {
+      return std::nullopt;
+    }
+    return dict.Get(row[static_cast<size_t>(slot)]);
+  };
+
+  // Projection column list.
+  std::vector<std::string> columns;
+  if (q.select_all) {
+    columns = vars.names();
+  } else {
+    columns = q.vars;
+    for (const Aggregate& a : q.aggregates) columns.push_back(a.as);
+  }
+  ResultTable table(columns);
+
+  const bool grouping = !q.group_by.empty() || !q.aggregates.empty();
+  if (grouping) {
+    // Group rows by the GROUP BY key (empty key = single global group).
+    std::vector<int> key_slots;
+    for (const std::string& g : q.group_by) key_slots.push_back(vars.Lookup(g));
+    std::map<std::vector<TermId>, std::vector<const RowIds*>> groups;
+    for (const RowIds& row : rows) {
+      std::vector<TermId> key;
+      key.reserve(key_slots.size());
+      for (int s : key_slots) {
+        key.push_back(s < 0 ? kInvalidTermId : row[static_cast<size_t>(s)]);
+      }
+      groups[std::move(key)].push_back(&row);
+    }
+    // An empty input still yields one (empty) group for a global aggregate.
+    if (groups.empty() && q.group_by.empty()) {
+      groups[{}] = {};
+    }
+    for (const auto& [key, members] : groups) {
+      ResultTable::Row out_row;
+      for (const std::string& v : q.vars) {
+        int slot = vars.Lookup(v);
+        if (!members.empty()) {
+          out_row.push_back(term_at(*members.front(), slot));
+        } else {
+          out_row.push_back(std::nullopt);
+        }
+      }
+      for (const Aggregate& a : q.aggregates) {
+        int64_t count = 0;
+        if (!a.var.has_value()) {
+          if (a.distinct) {
+            std::set<RowIds> distinct_rows;
+            for (const RowIds* r : members) distinct_rows.insert(*r);
+            count = static_cast<int64_t>(distinct_rows.size());
+          } else {
+            count = static_cast<int64_t>(members.size());
+          }
+        } else {
+          int slot = vars.Lookup(*a.var);
+          if (a.distinct) {
+            std::set<TermId> seen;
+            for (const RowIds* r : members) {
+              TermId v = slot < 0 ? kInvalidTermId
+                                  : (*r)[static_cast<size_t>(slot)];
+              if (v != kInvalidTermId) seen.insert(v);
+            }
+            count = static_cast<int64_t>(seen.size());
+          } else {
+            for (const RowIds* r : members) {
+              if (slot >= 0 &&
+                  (*r)[static_cast<size_t>(slot)] != kInvalidTermId) {
+                ++count;
+              }
+            }
+          }
+        }
+        out_row.push_back(Term::IntLiteral(count));
+      }
+      table.AddRow(std::move(out_row));
+    }
+  } else {
+    std::vector<int> slots;
+    for (const std::string& c : columns) slots.push_back(vars.Lookup(c));
+    for (const RowIds& row : rows) {
+      ResultTable::Row out_row;
+      out_row.reserve(slots.size());
+      for (int s : slots) out_row.push_back(term_at(row, s));
+      table.AddRow(std::move(out_row));
+    }
+  }
+
+  // DISTINCT.
+  if (q.distinct) {
+    std::set<std::string> seen;
+    ResultTable deduped(table.columns());
+    for (const auto& row : table.rows()) {
+      std::string key;
+      for (const auto& cell : row) {
+        key += cell.has_value() ? cell->ToNTriples() : "~";
+        key += '\x1f';
+      }
+      if (seen.insert(std::move(key)).second) {
+        deduped.AddRow(row);
+      }
+    }
+    table = std::move(deduped);
+  }
+
+  // ORDER BY.
+  if (!q.order_by.empty()) {
+    std::vector<std::pair<int, bool>> keys;
+    for (const auto& [var, asc] : q.order_by) {
+      keys.emplace_back(table.ColumnIndex(var), asc);
+    }
+    std::vector<ResultTable::Row> sorted = table.rows();
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [&](const ResultTable::Row& a, const ResultTable::Row& b) {
+                       for (const auto& [col, asc] : keys) {
+                         if (col < 0) continue;
+                         const auto& ca = a[static_cast<size_t>(col)];
+                         const auto& cb = b[static_cast<size_t>(col)];
+                         if (TermLess(ca, cb)) return asc;
+                         if (TermLess(cb, ca)) return !asc;
+                       }
+                       return false;
+                     });
+    ResultTable reordered(table.columns());
+    for (auto& r : sorted) reordered.AddRow(std::move(r));
+    table = std::move(reordered);
+  }
+
+  // OFFSET / LIMIT.
+  if (q.offset.has_value() || q.limit.has_value()) {
+    size_t off = q.offset.value_or(0);
+    size_t lim = q.limit.value_or(table.num_rows());
+    ResultTable sliced(table.columns());
+    for (size_t i = off; i < table.num_rows() && i < off + lim; ++i) {
+      sliced.AddRow(table.rows()[i]);
+    }
+    table = std::move(sliced);
+  }
+
+  if (stats != nullptr) stats->result_rows = table.num_rows();
+  return table;
+}
+
+}  // namespace hbold::sparql

@@ -1,0 +1,55 @@
+#ifndef HBOLD_SPARQL_EXECUTOR_H_
+#define HBOLD_SPARQL_EXECUTOR_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "rdf/graph.h"
+#include "sparql/ast.h"
+#include "sparql/results.h"
+
+namespace hbold::sparql {
+
+/// Statistics about one query execution, used by the endpoint latency model
+/// (cost proportional to scanned/produced bindings).
+struct ExecStats {
+  size_t intermediate_bindings = 0;  // rows produced across all BGP steps
+  size_t result_rows = 0;
+};
+
+/// Execution tuning knobs (exposed mainly for the join-order ablation
+/// benchmark; defaults match production behaviour).
+struct ExecOptions {
+  /// Reorder triple patterns greedily by bound-position selectivity before
+  /// evaluation. Off = evaluate in the order the query wrote them.
+  bool greedy_join_order = true;
+};
+
+/// Evaluates SELECT queries against a TripleStore.
+///
+/// Evaluation strategy: per group pattern, triple patterns are reordered
+/// greedily by estimated selectivity (bound positions count most), then
+/// evaluated left-to-right by index lookups that extend a binding table.
+/// FILTERs run once all triples of the group are joined; OPTIONALs are left
+/// joins; UNION concatenates the two sides' solutions.
+class Executor {
+ public:
+  explicit Executor(const rdf::TripleStore* store, ExecOptions options = {})
+      : store_(store), options_(options) {}
+
+  /// Parses and executes `query_text`.
+  Result<ResultTable> Execute(std::string_view query_text,
+                              ExecStats* stats = nullptr) const;
+
+  /// Executes an already-parsed query.
+  Result<ResultTable> Execute(const SelectQuery& query,
+                              ExecStats* stats = nullptr) const;
+
+ private:
+  const rdf::TripleStore* store_;
+  ExecOptions options_;
+};
+
+}  // namespace hbold::sparql
+
+#endif  // HBOLD_SPARQL_EXECUTOR_H_

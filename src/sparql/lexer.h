@@ -1,0 +1,56 @@
+#ifndef HBOLD_SPARQL_LEXER_H_
+#define HBOLD_SPARQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hbold::sparql {
+
+/// SPARQL token kinds (subset sufficient for H-BOLD's query workload).
+enum class TokenKind {
+  kKeyword,    // SELECT WHERE FILTER ... (uppercased in `text`)
+  kVar,        // ?name or $name (text = name without sigil)
+  kIri,        // <...> (text = IRI)
+  kPname,      // prefix:local (text as written)
+  kString,     // "..." (text = unescaped value)
+  kNumber,     // 123 / 1.5 / 1e3 (text = lexical form)
+  kLBrace,     // {
+  kRBrace,     // }
+  kLParen,     // (
+  kRParen,     // )
+  kDot,        // .
+  kSemicolon,  // ;
+  kComma,      // ,
+  kStar,       // *
+  kEq,         // =
+  kNe,         // !=
+  kLt,         // <
+  kGt,         // >
+  kLe,         // <=
+  kGe,         // >=
+  kAnd,        // &&
+  kOr,         // ||
+  kBang,       // !
+  kAt,         // @lang (text = tag)
+  kDtCaret,    // ^^
+  kA,          // bare 'a' (rdf:type)
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t offset = 0;  // byte offset in the query string, for error messages
+};
+
+/// Tokenizes SPARQL query text. Keywords are case-insensitive and returned
+/// uppercased; '<' is disambiguated between IRIREF and less-than by the
+/// character that follows.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace hbold::sparql
+
+#endif  // HBOLD_SPARQL_LEXER_H_

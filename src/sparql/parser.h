@@ -1,0 +1,18 @@
+#ifndef HBOLD_SPARQL_PARSER_H_
+#define HBOLD_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sparql/ast.h"
+
+namespace hbold::sparql {
+
+/// Parses a SPARQL SELECT query (the subset described in ast.h / lexer.h:
+/// PREFIX, SELECT [DISTINCT] vars|*|(COUNT(...) AS ?v), WHERE { BGP, FILTER,
+/// OPTIONAL, UNION }, GROUP BY, ORDER BY, LIMIT, OFFSET).
+Result<SelectQuery> ParseQuery(std::string_view text);
+
+}  // namespace hbold::sparql
+
+#endif  // HBOLD_SPARQL_PARSER_H_

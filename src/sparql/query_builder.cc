@@ -1,0 +1,133 @@
+#include "sparql/query_builder.h"
+
+namespace hbold::sparql {
+
+QueryBuilder& QueryBuilder::Prefix(const std::string& label,
+                                   const std::string& iri) {
+  prefixes_.emplace_back(label, iri);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Select(const std::string& var) {
+  select_.push_back("?" + var);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::SelectCount(const std::optional<std::string>& var,
+                                        const std::string& as, bool distinct) {
+  std::string item = "(COUNT(";
+  if (distinct) item += "DISTINCT ";
+  item += var.has_value() ? ("?" + *var) : "*";
+  item += ") AS ?" + as + ")";
+  select_.push_back(std::move(item));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Distinct(bool distinct) {
+  distinct_ = distinct;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WhereClass(const std::string& var,
+                                       const std::string& class_iri) {
+  patterns_.push_back({"?" + var, "a", "<" + class_iri + ">", false});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WhereLink(const std::string& subject_var,
+                                      const std::string& predicate_iri,
+                                      const std::string& object_var) {
+  patterns_.push_back({"?" + subject_var, "<" + predicate_iri + ">",
+                       "?" + object_var, false});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WhereRaw(const std::string& s, const std::string& p,
+                                     const std::string& o) {
+  patterns_.push_back({s, p, o, false});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::MakeLastOptional() {
+  if (!patterns_.empty()) patterns_.back().optional = true;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::FilterRegex(const std::string& var,
+                                        const std::string& pattern,
+                                        bool case_insensitive) {
+  std::string f = "regex(STR(?" + var + "), \"" + pattern + "\"";
+  if (case_insensitive) f += ", \"i\"";
+  f += ")";
+  filters_.push_back(std::move(f));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::FilterCompare(const std::string& var,
+                                          const std::string& op,
+                                          const std::string& value) {
+  filters_.push_back("(?" + var + " " + op + " " + value + ")");
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::GroupBy(const std::string& var) {
+  group_by_.push_back("?" + var);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::OrderBy(const std::string& var, bool ascending) {
+  order_by_.push_back((ascending ? "ASC(?" : "DESC(?") + var + ")");
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Limit(size_t n) {
+  limit_ = n;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Offset(size_t n) {
+  offset_ = n;
+  return *this;
+}
+
+std::string QueryBuilder::Build() const {
+  std::string q;
+  for (const auto& [label, iri] : prefixes_) {
+    q += "PREFIX " + label + ": <" + iri + ">\n";
+  }
+  q += "SELECT ";
+  if (distinct_) q += "DISTINCT ";
+  if (select_.empty()) {
+    q += "*";
+  } else {
+    for (size_t i = 0; i < select_.size(); ++i) {
+      if (i > 0) q += ' ';
+      q += select_[i];
+    }
+  }
+  q += "\nWHERE {\n";
+  for (const Pattern& p : patterns_) {
+    if (p.optional) {
+      q += "  OPTIONAL { " + p.s + " " + p.p + " " + p.o + " . }\n";
+    } else {
+      q += "  " + p.s + " " + p.p + " " + p.o + " .\n";
+    }
+  }
+  for (const std::string& f : filters_) {
+    q += "  FILTER " + f + " .\n";
+  }
+  q += "}";
+  if (!group_by_.empty()) {
+    q += "\nGROUP BY";
+    for (const std::string& g : group_by_) q += " " + g;
+  }
+  if (!order_by_.empty()) {
+    q += "\nORDER BY";
+    for (const std::string& o : order_by_) q += " " + o;
+  }
+  if (limit_.has_value()) q += "\nLIMIT " + std::to_string(*limit_);
+  if (offset_.has_value()) q += "\nOFFSET " + std::to_string(*offset_);
+  return q;
+}
+
+}  // namespace hbold::sparql

@@ -1,0 +1,81 @@
+#ifndef HBOLD_SPARQL_QUERY_BUILDER_H_
+#define HBOLD_SPARQL_QUERY_BUILDER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hbold::sparql {
+
+/// Programmatic SPARQL text generator.
+///
+/// This backs H-BOLD's visual query interface: the presentation layer
+/// translates user selections (a focus class, its attributes, paths to
+/// connected classes, filters) into builder calls, and the builder emits a
+/// well-formed SELECT query for the endpoint. Emission order is
+/// deterministic (insertion order) so generated queries are testable.
+class QueryBuilder {
+ public:
+  QueryBuilder() = default;
+
+  /// Registers a PREFIX declaration.
+  QueryBuilder& Prefix(const std::string& label, const std::string& iri);
+
+  /// Adds a projected variable (name without '?').
+  QueryBuilder& Select(const std::string& var);
+  /// Projects COUNT([DISTINCT] ?var | *) AS ?as.
+  QueryBuilder& SelectCount(const std::optional<std::string>& var,
+                            const std::string& as, bool distinct = false);
+  QueryBuilder& Distinct(bool distinct = true);
+
+  /// Adds the pattern `?var a <class_iri>`.
+  QueryBuilder& WhereClass(const std::string& var,
+                           const std::string& class_iri);
+  /// Adds `?s <predicate_iri> ?o`.
+  QueryBuilder& WhereLink(const std::string& subject_var,
+                          const std::string& predicate_iri,
+                          const std::string& object_var);
+  /// Adds a raw triple pattern; each part is emitted verbatim ("?x",
+  /// "<iri>", "\"literal\"", "a").
+  QueryBuilder& WhereRaw(const std::string& s, const std::string& p,
+                         const std::string& o);
+  /// Wraps the previous pattern in OPTIONAL { ... }. Applies to the most
+  /// recently added triple.
+  QueryBuilder& MakeLastOptional();
+
+  /// Adds FILTER regex(STR(?var), "pattern").
+  QueryBuilder& FilterRegex(const std::string& var, const std::string& pattern,
+                            bool case_insensitive = false);
+  /// Adds FILTER (?var <op> value) with a raw value string.
+  QueryBuilder& FilterCompare(const std::string& var, const std::string& op,
+                              const std::string& value);
+
+  QueryBuilder& GroupBy(const std::string& var);
+  QueryBuilder& OrderBy(const std::string& var, bool ascending = true);
+  QueryBuilder& Limit(size_t n);
+  QueryBuilder& Offset(size_t n);
+
+  /// Renders the SPARQL query text.
+  std::string Build() const;
+
+ private:
+  struct Pattern {
+    std::string s, p, o;
+    bool optional = false;
+  };
+
+  std::vector<std::pair<std::string, std::string>> prefixes_;
+  bool distinct_ = false;
+  std::vector<std::string> select_;  // rendered projection items
+  std::vector<Pattern> patterns_;
+  std::vector<std::string> filters_;
+  std::vector<std::string> group_by_;
+  std::vector<std::string> order_by_;
+  std::optional<size_t> limit_;
+  std::optional<size_t> offset_;
+};
+
+}  // namespace hbold::sparql
+
+#endif  // HBOLD_SPARQL_QUERY_BUILDER_H_

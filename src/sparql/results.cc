@@ -1,0 +1,137 @@
+#include "sparql/results.h"
+
+#include <cstdlib>
+
+namespace hbold::sparql {
+
+int ResultTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::optional<rdf::Term> ResultTable::Cell(size_t row,
+                                           const std::string& column) const {
+  int col = ColumnIndex(column);
+  if (col < 0 || row >= rows_.size()) return std::nullopt;
+  return rows_[row][static_cast<size_t>(col)];
+}
+
+std::optional<int64_t> ResultTable::ScalarInt(const std::string& column) const {
+  if (rows_.empty()) return std::nullopt;
+  std::optional<rdf::Term> cell = Cell(0, column);
+  if (!cell.has_value() || !cell->is_literal()) return std::nullopt;
+  const std::string& lex = cell->lexical();
+  char* end = nullptr;
+  long long v = std::strtoll(lex.c_str(), &end, 10);
+  if (end != lex.c_str() + lex.size() || lex.empty()) return std::nullopt;
+  return v;
+}
+
+std::optional<bool> ResultTable::AskResult() const {
+  if (columns_.size() != 1 || columns_[0] != "ask" || rows_.size() != 1) {
+    return std::nullopt;
+  }
+  const auto& cell = rows_[0][0];
+  if (!cell.has_value() || !cell->is_literal()) return std::nullopt;
+  if (cell->lexical() == "true") return true;
+  if (cell->lexical() == "false") return false;
+  return std::nullopt;
+}
+
+Json ResultTable::ToJson() const {
+  Json head = Json::MakeObject();
+  Json vars = Json::MakeArray();
+  for (const std::string& c : columns_) vars.Append(Json(c));
+  head.Set("vars", std::move(vars));
+
+  Json bindings = Json::MakeArray();
+  for (const Row& row : rows_) {
+    Json b = Json::MakeObject();
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (!row[i].has_value()) continue;
+      const rdf::Term& t = *row[i];
+      Json cell = Json::MakeObject();
+      switch (t.kind()) {
+        case rdf::Term::Kind::kIri:
+          cell.Set("type", "uri");
+          break;
+        case rdf::Term::Kind::kBlank:
+          cell.Set("type", "bnode");
+          break;
+        case rdf::Term::Kind::kLiteral:
+          cell.Set("type", "literal");
+          if (!t.datatype().empty()) cell.Set("datatype", t.datatype());
+          if (!t.lang().empty()) cell.Set("xml:lang", t.lang());
+          break;
+      }
+      cell.Set("value", t.lexical());
+      b.Set(columns_[i], std::move(cell));
+    }
+    bindings.Append(std::move(b));
+  }
+  Json results = Json::MakeObject();
+  results.Set("bindings", std::move(bindings));
+
+  Json out = Json::MakeObject();
+  out.Set("head", std::move(head));
+  out.Set("results", std::move(results));
+  return out;
+}
+
+std::string ResultTable::ToTsv() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += '\t';
+    out += '?' + columns_[i];
+  }
+  out += '\n';
+  for (const Row& row : rows_) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (i > 0) out += '\t';
+      if (row[i].has_value()) out += row[i]->ToNTriples();
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+// RFC 4180: quote when the value contains comma, quote or newline;
+// embedded quotes double.
+std::string CsvEscape(const std::string& s) {
+  bool needs_quotes = s.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string ResultTable::ToCsv() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += CsvEscape(columns_[i]);
+  }
+  out += "\r\n";
+  for (const Row& row : rows_) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (i > 0) out += ',';
+      if (row[i].has_value()) out += CsvEscape(row[i]->lexical());
+    }
+    out += "\r\n";
+  }
+  return out;
+}
+
+void ResultTable::Truncate(size_t n) {
+  if (rows_.size() > n) rows_.resize(n);
+}
+
+}  // namespace hbold::sparql

@@ -1,0 +1,68 @@
+#ifndef HBOLD_SPARQL_RESULTS_H_
+#define HBOLD_SPARQL_RESULTS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "rdf/term.h"
+
+namespace hbold::sparql {
+
+/// A solution sequence: named columns, rows of optional terms (a missing
+/// optional binding is an empty cell).
+class ResultTable {
+ public:
+  using Row = std::vector<std::optional<rdf::Term>>;
+
+  ResultTable() = default;
+  explicit ResultTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return columns_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  void AddRow(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Index of a column by name, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Cell accessor; returns nullopt when row/column is out of range or the
+  /// binding is absent.
+  std::optional<rdf::Term> Cell(size_t row, const std::string& column) const;
+
+  /// First row's value in `column` interpreted as an integer literal —
+  /// the common shape of COUNT query results. Returns nullopt when absent
+  /// or non-numeric.
+  std::optional<int64_t> ScalarInt(const std::string& column) const;
+
+  /// Decodes the result of an ASK query (single "ask" boolean cell);
+  /// nullopt when this is not an ASK result table.
+  std::optional<bool> AskResult() const;
+
+  /// SPARQL-JSON-results-like serialization (head/results/bindings).
+  hbold::Json ToJson() const;
+
+  /// Tab-separated text form for logs and examples.
+  std::string ToTsv() const;
+
+  /// SPARQL-results-CSV form (RFC 4180 quoting, header row of variable
+  /// names, cell values are plain lexical forms as the CSV results spec
+  /// prescribes).
+  std::string ToCsv() const;
+
+  /// Truncates to the first `n` rows (endpoint row-cap simulation).
+  void Truncate(size_t n);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace hbold::sparql
+
+#endif  // HBOLD_SPARQL_RESULTS_H_

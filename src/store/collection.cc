@@ -1,0 +1,312 @@
+#include "store/collection.h"
+
+#include "common/string_util.h"
+
+namespace hbold::store {
+
+namespace {
+
+/// Three-way comparison over JSON scalars: numbers numerically, strings
+/// lexically; mixed/other types compare unequal (returns nullopt).
+std::optional<int> CompareScalars(const Json& a, const Json& b) {
+  if (a.is_number() && b.is_number()) {
+    if (a.as_number() < b.as_number()) return -1;
+    if (a.as_number() > b.as_number()) return 1;
+    return 0;
+  }
+  if (a.is_string() && b.is_string()) {
+    if (a.as_string() < b.as_string()) return -1;
+    if (a.as_string() > b.as_string()) return 1;
+    return 0;
+  }
+  if (a.is_bool() && b.is_bool()) {
+    return static_cast<int>(a.as_bool()) - static_cast<int>(b.as_bool());
+  }
+  return std::nullopt;
+}
+
+bool MatchesOperator(const Json* field, const Json& op_obj) {
+  for (const auto& [op, operand] : op_obj.as_object()) {
+    if (op == "$exists") {
+      bool want = operand.is_bool() ? operand.as_bool() : true;
+      if ((field != nullptr) != want) return false;
+      continue;
+    }
+    if (field == nullptr) return false;
+    if (op == "$in") {
+      if (!operand.is_array()) return false;
+      bool found = false;
+      for (const Json& cand : operand.as_array()) {
+        if (cand == *field) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+      continue;
+    }
+    std::optional<int> cmp = CompareScalars(*field, operand);
+    if (op == "$ne") {
+      if (*field == operand) return false;
+      continue;
+    }
+    if (!cmp.has_value()) return false;
+    if (op == "$gt" && !(*cmp > 0)) return false;
+    if (op == "$gte" && !(*cmp >= 0)) return false;
+    if (op == "$lt" && !(*cmp < 0)) return false;
+    if (op == "$lte" && !(*cmp <= 0)) return false;
+    if (op != "$gt" && op != "$gte" && op != "$lt" && op != "$lte" &&
+        op != "$ne") {
+      return false;  // unknown operator matches nothing
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const Json* Collection::Resolve(const Document& doc, const std::string& path) {
+  const Json* cur = &doc;
+  for (const std::string& part : Split(path, '.')) {
+    if (!cur->is_object()) return nullptr;
+    cur = cur->Find(part);
+    if (cur == nullptr) return nullptr;
+  }
+  return cur;
+}
+
+bool Collection::Matches(const Document& doc, const Document& filter) {
+  if (!filter.is_object()) return false;
+  for (const auto& [key, constraint] : filter.as_object()) {
+    const Json* field = Resolve(doc, key);
+    if (constraint.is_object() && !constraint.as_object().empty() &&
+        constraint.as_object().begin()->first.rfind('$', 0) == 0) {
+      if (!MatchesOperator(field, constraint)) return false;
+    } else {
+      if (field == nullptr || !(*field == constraint)) return false;
+    }
+  }
+  return true;
+}
+
+Status Collection::CheckUnique(const Document& doc,
+                               std::optional<DocId> skip_id) const {
+  for (const std::string& path : unique_fields_) {
+    const Json* value = Resolve(doc, path);
+    if (value == nullptr) continue;
+    for (const auto& [id, existing] : docs_) {
+      if (skip_id.has_value() && id == *skip_id) continue;
+      const Json* other = Resolve(existing, path);
+      if (other != nullptr && *other == *value) {
+        return Status::AlreadyExists("unique index violation on '" + path +
+                                     "' in collection '" + name_ + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void Collection::IndexDoc(DocId id, const Document& doc) {
+  for (auto& [path, buckets] : field_indexes_) {
+    const Json* value = Resolve(doc, path);
+    if (value != nullptr) buckets[value->Dump()].insert(id);
+  }
+}
+
+void Collection::DeindexDoc(DocId id, const Document& doc) {
+  for (auto& [path, buckets] : field_indexes_) {
+    const Json* value = Resolve(doc, path);
+    if (value == nullptr) continue;
+    auto it = buckets.find(value->Dump());
+    if (it == buckets.end()) continue;
+    it->second.erase(id);
+    if (it->second.empty()) buckets.erase(it);
+  }
+}
+
+const std::set<DocId>* Collection::IndexCandidates(
+    const Document& filter) const {
+  if (!filter.is_object()) return nullptr;
+  for (const auto& [key, constraint] : filter.as_object()) {
+    auto index = field_indexes_.find(key);
+    if (index == field_indexes_.end()) continue;
+    // Only plain equality constraints are index-answerable.
+    if (constraint.is_object() && !constraint.as_object().empty() &&
+        constraint.as_object().begin()->first.rfind('$', 0) == 0) {
+      continue;
+    }
+    static const std::set<DocId> kEmpty;
+    auto bucket = index->second.find(constraint.Dump());
+    return bucket == index->second.end() ? &kEmpty : &bucket->second;
+  }
+  return nullptr;
+}
+
+Result<DocId> Collection::Insert(Document doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("documents must be JSON objects");
+  }
+  HBOLD_RETURN_NOT_OK(CheckUnique(doc, std::nullopt));
+  DocId id = next_id_++;
+  doc.Set(kIdField, Json(static_cast<int64_t>(id)));
+  IndexDoc(id, doc);
+  docs_.emplace(id, std::move(doc));
+  return id;
+}
+
+std::vector<Document> Collection::Find(const Document& filter) const {
+  std::vector<Document> out;
+  const std::set<DocId>* candidates = IndexCandidates(filter);
+  if (candidates != nullptr) {
+    for (DocId id : *candidates) {
+      auto it = docs_.find(id);
+      if (it != docs_.end() && Matches(it->second, filter)) {
+        out.push_back(it->second);
+      }
+    }
+    return out;
+  }
+  for (const auto& [id, doc] : docs_) {
+    if (Matches(doc, filter)) out.push_back(doc);
+  }
+  return out;
+}
+
+std::optional<Document> Collection::FindOne(const Document& filter) const {
+  const std::set<DocId>* candidates = IndexCandidates(filter);
+  if (candidates != nullptr) {
+    for (DocId id : *candidates) {
+      auto it = docs_.find(id);
+      if (it != docs_.end() && Matches(it->second, filter)) return it->second;
+    }
+    return std::nullopt;
+  }
+  for (const auto& [id, doc] : docs_) {
+    if (Matches(doc, filter)) return doc;
+  }
+  return std::nullopt;
+}
+
+std::optional<Document> Collection::FindById(DocId id) const {
+  auto it = docs_.find(id);
+  if (it == docs_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t Collection::CountMatching(const Document& filter) const {
+  size_t n = 0;
+  for (const auto& [id, doc] : docs_) {
+    if (Matches(doc, filter)) ++n;
+  }
+  return n;
+}
+
+Result<size_t> Collection::Update(const Document& filter,
+                                  const Document& update) {
+  if (!update.is_object()) {
+    return Status::InvalidArgument("update must be a JSON object");
+  }
+  // Two passes: validate uniqueness first so a failed update is atomic.
+  std::vector<DocId> targets;
+  for (const auto& [id, doc] : docs_) {
+    if (Matches(doc, filter)) targets.push_back(id);
+  }
+  for (DocId id : targets) {
+    Document merged = docs_[id];
+    for (const auto& [k, v] : update.as_object()) {
+      if (k == kIdField) continue;
+      merged.Set(k, v);
+    }
+    HBOLD_RETURN_NOT_OK(CheckUnique(merged, id));
+  }
+  for (DocId id : targets) {
+    Document& doc = docs_[id];
+    DeindexDoc(id, doc);
+    for (const auto& [k, v] : update.as_object()) {
+      if (k == kIdField) continue;
+      doc.Set(k, v);
+    }
+    IndexDoc(id, doc);
+  }
+  return targets.size();
+}
+
+size_t Collection::Remove(const Document& filter) {
+  size_t removed = 0;
+  for (auto it = docs_.begin(); it != docs_.end();) {
+    if (Matches(it->second, filter)) {
+      DeindexDoc(it->first, it->second);
+      it = docs_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+Status Collection::CreateUniqueIndex(const std::string& field_path) {
+  // Validate no existing duplicates.
+  std::vector<const Json*> seen;
+  for (const auto& [id, doc] : docs_) {
+    const Json* value = Resolve(doc, field_path);
+    if (value == nullptr) continue;
+    for (const Json* other : seen) {
+      if (*other == *value) {
+        return Status::InvalidArgument(
+            "cannot create unique index on '" + field_path +
+            "': duplicate values exist");
+      }
+    }
+    seen.push_back(value);
+  }
+  unique_fields_.push_back(field_path);
+  return Status::OK();
+}
+
+void Collection::CreateIndex(const std::string& field_path) {
+  if (field_indexes_.count(field_path) > 0) return;
+  auto& buckets = field_indexes_[field_path];
+  for (const auto& [id, doc] : docs_) {
+    const Json* value = Resolve(doc, field_path);
+    if (value != nullptr) buckets[value->Dump()].insert(id);
+  }
+}
+
+bool Collection::HasIndex(const std::string& field_path) const {
+  return field_indexes_.count(field_path) > 0;
+}
+
+std::string Collection::DumpJsonl() const {
+  std::string out;
+  for (const auto& [id, doc] : docs_) {
+    out += doc.Dump();
+    out += '\n';
+  }
+  return out;
+}
+
+Status Collection::LoadJsonl(const std::string& text) {
+  std::map<DocId, Document> loaded;
+  DocId max_id = 0;
+  for (const std::string& line : Split(text, '\n')) {
+    if (Trim(line).empty()) continue;
+    auto parsed = Json::Parse(line);
+    if (!parsed.ok()) return parsed.status();
+    DocId id = parsed->GetInt(kIdField, 0);
+    if (id <= 0) {
+      return Status::ParseError("document missing _id in collection '" +
+                                name_ + "'");
+    }
+    max_id = std::max(max_id, id);
+    loaded.emplace(id, std::move(*parsed));
+  }
+  docs_ = std::move(loaded);
+  next_id_ = max_id + 1;
+  // Rebuild hash indexes over the replaced content.
+  for (auto& [path, buckets] : field_indexes_) buckets.clear();
+  for (const auto& [id, doc] : docs_) IndexDoc(id, doc);
+  return Status::OK();
+}
+
+}  // namespace hbold::store

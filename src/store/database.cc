@@ -1,0 +1,75 @@
+#include "store/database.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace hbold::store {
+
+namespace fs = std::filesystem;
+
+Collection* Database::GetCollection(const std::string& name) {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    it = collections_.emplace(name, std::make_unique<Collection>(name)).first;
+  }
+  return it->second.get();
+}
+
+const Collection* Database::FindCollection(const std::string& name) const {
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::CollectionNames() const {
+  std::vector<std::string> out;
+  out.reserve(collections_.size());
+  for (const auto& [name, c] : collections_) out.push_back(name);
+  return out;
+}
+
+bool Database::DropCollection(const std::string& name) {
+  return collections_.erase(name) > 0;
+}
+
+Status Database::SaveToDirectory(const std::string& dir) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory '" + dir +
+                           "': " + ec.message());
+  }
+  for (const auto& [name, collection] : collections_) {
+    fs::path path = fs::path(dir) / (name + ".jsonl");
+    std::ofstream out(path);
+    if (!out) {
+      return Status::IOError("cannot open '" + path.string() +
+                             "' for writing");
+    }
+    out << collection->DumpJsonl();
+    if (!out) return Status::IOError("write failed for '" + path.string() + "'");
+  }
+  return Status::OK();
+}
+
+Status Database::LoadFromDirectory(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("directory '" + dir + "' does not exist");
+  }
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() != ".jsonl") continue;
+    std::ifstream in(entry.path());
+    if (!in) {
+      return Status::IOError("cannot open '" + entry.path().string() + "'");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    Collection* c = GetCollection(entry.path().stem().string());
+    HBOLD_RETURN_NOT_OK(c->LoadJsonl(buffer.str()));
+  }
+  if (ec) return Status::IOError("directory scan failed: " + ec.message());
+  return Status::OK();
+}
+
+}  // namespace hbold::store

@@ -1,0 +1,47 @@
+#ifndef HBOLD_STORE_DATABASE_H_
+#define HBOLD_STORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/collection.h"
+
+namespace hbold::store {
+
+/// A named set of collections with optional directory persistence — the
+/// library's embedded stand-in for the MongoDB instance H-BOLD uses to
+/// cache Schema Summaries and Cluster Schemas (§2.1, §3.2).
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Returns the collection, creating it on first access.
+  Collection* GetCollection(const std::string& name);
+
+  /// Returns the collection or nullptr if it does not exist.
+  const Collection* FindCollection(const std::string& name) const;
+
+  std::vector<std::string> CollectionNames() const;
+
+  /// Drops a collection. Returns true if it existed.
+  bool DropCollection(const std::string& name);
+
+  /// Writes every collection to `<dir>/<name>.jsonl` (creating `dir`).
+  Status SaveToDirectory(const std::string& dir) const;
+
+  /// Loads every `*.jsonl` file in `dir` as a collection.
+  Status LoadFromDirectory(const std::string& dir);
+
+ private:
+  std::map<std::string, std::unique_ptr<Collection>> collections_;
+};
+
+}  // namespace hbold::store
+
+#endif  // HBOLD_STORE_DATABASE_H_

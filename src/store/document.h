@@ -1,0 +1,19 @@
+#ifndef HBOLD_STORE_DOCUMENT_H_
+#define HBOLD_STORE_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+
+namespace hbold::store {
+
+/// Documents are JSON objects with a store-assigned integer `_id` field.
+using Document = hbold::Json;
+using DocId = int64_t;
+
+inline constexpr const char* kIdField = "_id";
+
+}  // namespace hbold::store
+
+#endif  // HBOLD_STORE_DOCUMENT_H_

@@ -1,0 +1,49 @@
+#ifndef HBOLD_VIZ_CIRCLE_PACK_H_
+#define HBOLD_VIZ_CIRCLE_PACK_H_
+
+#include <string>
+#include <vector>
+
+#include "viz/geometry.h"
+#include "viz/hierarchy.h"
+
+namespace hbold::viz {
+
+/// One circle of the pack (Fig. 6). depth 0 = the dataset circle, 1 =
+/// clusters, 2 = classes. Leaf areas are proportional to effective values
+/// within their cluster.
+struct PackedCircle {
+  std::string name;
+  size_t depth = 0;
+  size_t group = 0;
+  double value = 0;
+  Circle circle;
+};
+
+struct CirclePackOptions {
+  /// Radius of the outermost (dataset) circle.
+  double radius = 300.0;
+  /// Gap between sibling circles and between a circle and its parent rim,
+  /// expressed as a fraction of the parent radius.
+  double padding_fraction = 0.02;
+};
+
+/// Hierarchical circle packing: siblings are packed with the front-chain
+/// algorithm (Wang et al. 2006, as popularized by D3's pack layout), each
+/// parent circle is the (near-)smallest circle enclosing its packed
+/// children, and the whole arrangement is scaled to `options.radius`.
+std::vector<PackedCircle> CirclePackLayout(
+    const Hierarchy& root, const CirclePackOptions& options = {});
+
+/// Packs circles of the given radii around the origin so that no two
+/// overlap and the arrangement is compact. Returns centers aligned with
+/// `radii` by index. Exposed for testing.
+std::vector<Point> PackSiblings(const std::vector<double>& radii);
+
+/// Near-minimal circle enclosing all of `circles` (iterative; the returned
+/// circle is guaranteed to contain every input within 1e-6 relative slack).
+Circle EncloseCircles(const std::vector<Circle>& circles);
+
+}  // namespace hbold::viz
+
+#endif  // HBOLD_VIZ_CIRCLE_PACK_H_

@@ -1,0 +1,30 @@
+#ifndef HBOLD_VIZ_COLOR_H_
+#define HBOLD_VIZ_COLOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hbold::viz {
+
+struct Color {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+
+  /// "#rrggbb" for SVG attributes.
+  std::string ToHex() const;
+};
+
+/// Converts HSL (h in degrees, s/l in [0,1]) to RGB.
+Color FromHsl(double h, double s, double l);
+
+/// Categorical palette (stable assignment: index i always maps to the same
+/// color; cycles with lightness variation after the base palette).
+Color CategoricalColor(size_t index);
+
+/// Lightens toward white by `amount` in [0,1].
+Color Lighten(const Color& c, double amount);
+
+}  // namespace hbold::viz
+
+#endif  // HBOLD_VIZ_COLOR_H_

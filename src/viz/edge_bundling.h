@@ -1,0 +1,71 @@
+#ifndef HBOLD_VIZ_EDGE_BUNDLING_H_
+#define HBOLD_VIZ_EDGE_BUNDLING_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_schema.h"
+#include "schema/schema_summary.h"
+#include "viz/geometry.h"
+
+namespace hbold::viz {
+
+/// A class placed on the layout circle.
+struct BundleLeaf {
+  std::string label;
+  size_t schema_node = 0;
+  size_t cluster = 0;
+  double angle = 0;  // radians
+  Point position;
+};
+
+/// One bundled edge: a sampled B-spline from src leaf to dst leaf routed
+/// through the cluster hierarchy (Holten 2006).
+struct BundledEdge {
+  size_t src_leaf = 0;
+  size_t dst_leaf = 0;
+  std::string property_iri;
+  size_t count = 0;
+  std::vector<Point> polyline;  // sampled spline, first/last = leaf anchors
+
+  /// Total polyline length (the "ink" the bundling is meant to reduce).
+  double Length() const;
+};
+
+struct EdgeBundlingOptions {
+  double radius = 300.0;
+  /// Bundling strength beta in [0,1]: 0 = straight lines, 1 = fully routed
+  /// through the hierarchy (Holten's straightening parameter).
+  double beta = 0.85;
+  /// Samples per spline segment.
+  size_t samples_per_segment = 8;
+  /// Radial position of cluster control points as a fraction of `radius`.
+  double cluster_radius_fraction = 0.5;
+};
+
+/// The Fig. 7 layout: classes on an invisible circumference grouped by
+/// cluster, properties drawn as B-splines bundled along the
+/// leaf -> cluster -> root -> cluster -> leaf control path.
+struct EdgeBundlingLayout {
+  std::vector<BundleLeaf> leaves;
+  std::vector<BundledEdge> edges;
+
+  /// Sum of edge lengths.
+  double TotalInk() const;
+  /// Sum of straight-chord lengths between the same endpoints (the
+  /// baseline the bundling is compared against).
+  double StraightInk() const;
+};
+
+EdgeBundlingLayout BundleSchemaSummary(const schema::SchemaSummary& summary,
+                                       const cluster::ClusterSchema& clusters,
+                                       const EdgeBundlingOptions& options = {});
+
+/// Uniform cubic B-spline sampled through `control` points (endpoints
+/// interpolated by repeating them). Exposed for testing.
+std::vector<Point> SampleBSpline(const std::vector<Point>& control,
+                                 size_t samples_per_segment);
+
+}  // namespace hbold::viz
+
+#endif  // HBOLD_VIZ_EDGE_BUNDLING_H_

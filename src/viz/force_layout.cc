@@ -1,0 +1,82 @@
+#include "viz/force_layout.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace hbold::viz {
+
+std::vector<Point> ForceLayout(size_t node_count,
+                               const std::vector<ForceEdge>& edges,
+                               const ForceLayoutOptions& options) {
+  std::vector<Point> pos(node_count);
+  if (node_count == 0) return pos;
+  Rng rng(options.seed);
+  for (Point& p : pos) {
+    p.x = options.width * rng.NextDouble();
+    p.y = options.height * rng.NextDouble();
+  }
+  if (node_count == 1) {
+    pos[0] = Point{options.width / 2, options.height / 2};
+    return pos;
+  }
+
+  const double area = options.width * options.height;
+  const double k = std::sqrt(area / static_cast<double>(node_count));
+  double temperature = options.width / 10;
+  const double cooling =
+      std::pow(0.01, 1.0 / static_cast<double>(options.iterations));
+
+  std::vector<Point> disp(node_count);
+  for (size_t iter = 0; iter < options.iterations; ++iter) {
+    for (Point& d : disp) d = Point{0, 0};
+    // Repulsion: O(n^2) pairs (schema graphs are small; hundreds of nodes).
+    for (size_t i = 0; i < node_count; ++i) {
+      for (size_t j = i + 1; j < node_count; ++j) {
+        double dx = pos[i].x - pos[j].x;
+        double dy = pos[i].y - pos[j].y;
+        double d2 = dx * dx + dy * dy;
+        double d = std::sqrt(d2);
+        if (d < 1e-9) {
+          // Coincident nodes: nudge apart deterministically.
+          dx = 1e-3 * (static_cast<double>(i % 7) + 1);
+          dy = 1e-3 * (static_cast<double>(j % 5) + 1);
+          d = std::hypot(dx, dy);
+        }
+        double force = k * k / d;
+        disp[i].x += dx / d * force;
+        disp[i].y += dy / d * force;
+        disp[j].x -= dx / d * force;
+        disp[j].y -= dy / d * force;
+      }
+    }
+    // Attraction along edges.
+    for (const ForceEdge& e : edges) {
+      if (e.a >= node_count || e.b >= node_count || e.a == e.b) continue;
+      double dx = pos[e.a].x - pos[e.b].x;
+      double dy = pos[e.a].y - pos[e.b].y;
+      double d = std::hypot(dx, dy);
+      if (d < 1e-9) continue;
+      double force = d * d / k * std::min(e.weight, 4.0);
+      disp[e.a].x -= dx / d * force;
+      disp[e.a].y -= dy / d * force;
+      disp[e.b].x += dx / d * force;
+      disp[e.b].y += dy / d * force;
+    }
+    // Apply displacements, clamped by temperature and the frame.
+    for (size_t i = 0; i < node_count; ++i) {
+      double d = std::hypot(disp[i].x, disp[i].y);
+      if (d < 1e-12) continue;
+      double step = std::min(d, temperature);
+      pos[i].x += disp[i].x / d * step;
+      pos[i].y += disp[i].y / d * step;
+      pos[i].x = std::clamp(pos[i].x, 0.0, options.width);
+      pos[i].y = std::clamp(pos[i].y, 0.0, options.height);
+    }
+    temperature *= cooling;
+  }
+  return pos;
+}
+
+}  // namespace hbold::viz

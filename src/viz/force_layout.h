@@ -1,0 +1,36 @@
+#ifndef HBOLD_VIZ_FORCE_LAYOUT_H_
+#define HBOLD_VIZ_FORCE_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "viz/geometry.h"
+
+namespace hbold::viz {
+
+/// Edge for the force layout (indexes into the node list).
+struct ForceEdge {
+  size_t a = 0;
+  size_t b = 0;
+  double weight = 1.0;
+};
+
+struct ForceLayoutOptions {
+  double width = 800;
+  double height = 600;
+  size_t iterations = 300;
+  uint64_t seed = 42;
+};
+
+/// Fruchterman-Reingold force-directed placement for the graph views of
+/// the Cluster Schema and Schema Summary (Fig. 2): repulsion between all
+/// node pairs, attraction along edges, simulated annealing temperature.
+/// Deterministic for a fixed seed. Returns one position per node, inside
+/// the [0,width] x [0,height] box.
+std::vector<Point> ForceLayout(size_t node_count,
+                               const std::vector<ForceEdge>& edges,
+                               const ForceLayoutOptions& options = {});
+
+}  // namespace hbold::viz
+
+#endif  // HBOLD_VIZ_FORCE_LAYOUT_H_

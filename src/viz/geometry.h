@@ -1,0 +1,71 @@
+#ifndef HBOLD_VIZ_GEOMETRY_H_
+#define HBOLD_VIZ_GEOMETRY_H_
+
+#include <cmath>
+
+namespace hbold::viz {
+
+struct Point {
+  double x = 0;
+  double y = 0;
+};
+
+inline double Distance(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+struct Rect {
+  double x = 0;
+  double y = 0;
+  double w = 0;
+  double h = 0;
+
+  double Area() const { return w * h; }
+  Point Center() const { return {x + w / 2, y + h / 2}; }
+
+  bool Contains(const Point& p, double eps = 1e-9) const {
+    return p.x >= x - eps && p.x <= x + w + eps && p.y >= y - eps &&
+           p.y <= y + h + eps;
+  }
+  /// True if `inner` lies inside this rect (within eps).
+  bool ContainsRect(const Rect& inner, double eps = 1e-9) const {
+    return inner.x >= x - eps && inner.y >= y - eps &&
+           inner.x + inner.w <= x + w + eps && inner.y + inner.h <= y + h + eps;
+  }
+  /// True if the interiors of the two rects intersect.
+  bool Overlaps(const Rect& other, double eps = 1e-9) const {
+    return x + eps < other.x + other.w && other.x + eps < x + w &&
+           y + eps < other.y + other.h && other.y + eps < y + h;
+  }
+  /// Shrinks the rect by `pad` on every side (clamped to non-negative size).
+  Rect Inset(double pad) const {
+    Rect r{x + pad, y + pad, w - 2 * pad, h - 2 * pad};
+    if (r.w < 0) r.w = 0;
+    if (r.h < 0) r.h = 0;
+    return r;
+  }
+};
+
+struct Circle {
+  double x = 0;
+  double y = 0;
+  double r = 0;
+
+  Point center() const { return {x, y}; }
+  /// True if `inner` lies entirely inside this circle (within eps).
+  bool ContainsCircle(const Circle& inner, double eps = 1e-9) const {
+    return Distance(center(), inner.center()) + inner.r <= r + eps;
+  }
+  /// True if the two circle interiors intersect.
+  bool Overlaps(const Circle& other, double eps = 1e-9) const {
+    return Distance(center(), other.center()) + eps < r + other.r;
+  }
+};
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace hbold::viz
+
+#endif  // HBOLD_VIZ_GEOMETRY_H_

@@ -1,0 +1,81 @@
+#include "viz/hierarchy.h"
+
+#include <algorithm>
+
+namespace hbold::viz {
+
+double Hierarchy::EffectiveValue() const {
+  double total = 0;
+  for (double v : ChildValues()) total += v;
+  if (IsLeaf()) return value > 0 ? value : 1.0;
+  return total;
+}
+
+std::vector<double> Hierarchy::ChildValues() const {
+  std::vector<double> out;
+  out.reserve(children.size());
+  double nonzero_sum = 0;
+  size_t nonzero_count = 0;
+  for (const Hierarchy& c : children) {
+    double v = c.IsLeaf() ? c.value : c.EffectiveValue();
+    out.push_back(v);
+    if (v > 0) {
+      nonzero_sum += v;
+      ++nonzero_count;
+    }
+  }
+  // Zero-valued leaves receive the mean of their non-zero siblings (equal
+  // visual share), or 1 when everything is zero.
+  double fill = nonzero_count > 0
+                    ? nonzero_sum / static_cast<double>(nonzero_count)
+                    : 1.0;
+  for (double& v : out) {
+    if (v <= 0) v = fill;
+  }
+  return out;
+}
+
+size_t Hierarchy::TreeSize() const {
+  size_t n = 1;
+  for (const Hierarchy& c : children) n += c.TreeSize();
+  return n;
+}
+
+size_t Hierarchy::MaxDepth() const {
+  size_t d = 0;
+  for (const Hierarchy& c : children) d = std::max(d, c.MaxDepth() + 1);
+  return d;
+}
+
+Hierarchy HierarchyFromClusterSchema(const cluster::ClusterSchema& cs,
+                                     const schema::SchemaSummary& summary,
+                                     const std::string& dataset_name) {
+  Hierarchy root;
+  root.name = dataset_name;
+  for (const cluster::Cluster& c : cs.clusters()) {
+    Hierarchy cluster_node;
+    cluster_node.name = c.label;
+    for (size_t node : c.class_nodes) {
+      Hierarchy leaf;
+      leaf.name = summary.nodes()[node].label;
+      leaf.value = static_cast<double>(summary.nodes()[node].instance_count);
+      cluster_node.children.push_back(std::move(leaf));
+    }
+    // Deterministic display order: big classes first.
+    std::sort(cluster_node.children.begin(), cluster_node.children.end(),
+              [](const Hierarchy& a, const Hierarchy& b) {
+                if (a.value != b.value) return a.value > b.value;
+                return a.name < b.name;
+              });
+    root.children.push_back(std::move(cluster_node));
+  }
+  std::sort(root.children.begin(), root.children.end(),
+            [](const Hierarchy& a, const Hierarchy& b) {
+              double av = a.EffectiveValue(), bv = b.EffectiveValue();
+              if (av != bv) return av > bv;
+              return a.name < b.name;
+            });
+  return root;
+}
+
+}  // namespace hbold::viz

@@ -1,0 +1,47 @@
+#ifndef HBOLD_VIZ_HIERARCHY_H_
+#define HBOLD_VIZ_HIERARCHY_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_schema.h"
+#include "schema/schema_summary.h"
+
+namespace hbold::viz {
+
+/// Generic weighted hierarchy consumed by the treemap / sunburst / circle-
+/// pack layouts: dataset -> clusters -> classes for the Cluster Schema
+/// views (Figs. 4-6).
+struct Hierarchy {
+  std::string name;
+  /// Leaf quantity (class instance count). Internal nodes use the sum of
+  /// their leaves; a leaf with value 0 receives an equal share of its
+  /// parent (the paper: "if no quantity is assigned to a class, its area
+  /// is divided equally amongst the other classes within its cluster").
+  double value = 0;
+  std::vector<Hierarchy> children;
+
+  bool IsLeaf() const { return children.empty(); }
+
+  /// Sum of effective leaf values below this node (leaves with zero value
+  /// count as the mean of their non-zero siblings, or 1 if all are zero).
+  double EffectiveValue() const;
+
+  /// Effective values of direct children, aligned by index.
+  std::vector<double> ChildValues() const;
+
+  /// Number of nodes in the subtree (including this one).
+  size_t TreeSize() const;
+  /// Maximum depth below this node (0 for a leaf).
+  size_t MaxDepth() const;
+};
+
+/// dataset -> clusters -> classes, with class instance counts as values.
+/// Cluster node names are the degree-based cluster labels.
+Hierarchy HierarchyFromClusterSchema(const cluster::ClusterSchema& cs,
+                                     const schema::SchemaSummary& summary,
+                                     const std::string& dataset_name);
+
+}  // namespace hbold::viz
+
+#endif  // HBOLD_VIZ_HIERARCHY_H_

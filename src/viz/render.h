@@ -1,0 +1,49 @@
+#ifndef HBOLD_VIZ_RENDER_H_
+#define HBOLD_VIZ_RENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "viz/circle_pack.h"
+#include "viz/edge_bundling.h"
+#include "viz/force_layout.h"
+#include "viz/sunburst.h"
+#include "viz/svg.h"
+#include "viz/treemap.h"
+
+namespace hbold::viz {
+
+/// Renders the Fig. 4 treemap of a Cluster Schema to SVG.
+SvgDocument RenderTreemap(const std::vector<TreemapCell>& cells, double width,
+                          double height);
+
+/// Renders the Fig. 5 sunburst.
+SvgDocument RenderSunburst(const std::vector<SunburstSlice>& slices,
+                           double radius);
+
+/// Renders the Fig. 6 circle packing.
+SvgDocument RenderCirclePack(const std::vector<PackedCircle>& circles,
+                             double radius);
+
+/// Renders the Fig. 7 hierarchical edge bundling. `focus_leaf` >= 0
+/// highlights the class of interest with its rdfs:domain (red) and
+/// rdfs:range (green) counterparts, as in the paper's figure.
+SvgDocument RenderEdgeBundling(const EdgeBundlingLayout& layout, double radius,
+                               int focus_leaf = -1);
+
+/// A labeled node for graph rendering (Fig. 2 views).
+struct GraphNode {
+  std::string label;
+  double size = 8;     // radius
+  size_t group = 0;    // color index
+};
+
+/// Renders a node-link diagram from a force layout.
+SvgDocument RenderGraph(const std::vector<GraphNode>& nodes,
+                        const std::vector<ForceEdge>& edges,
+                        const std::vector<Point>& positions, double width,
+                        double height);
+
+}  // namespace hbold::viz
+
+#endif  // HBOLD_VIZ_RENDER_H_

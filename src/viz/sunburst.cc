@@ -1,0 +1,53 @@
+#include "viz/sunburst.h"
+
+#include <numeric>
+
+#include "viz/geometry.h"
+
+namespace hbold::viz {
+
+namespace {
+
+void LayoutNode(const Hierarchy& node, double a0, double a1, size_t depth,
+                size_t group, size_t max_depth, const SunburstOptions& opt,
+                std::vector<SunburstSlice>* out) {
+  if (depth > 0) {
+    double hole = opt.radius * opt.inner_hole;
+    double ring = (opt.radius - hole) / static_cast<double>(max_depth);
+    SunburstSlice slice;
+    slice.name = node.name;
+    slice.depth = depth;
+    slice.group = group;
+    slice.value = node.IsLeaf() ? node.value : node.EffectiveValue();
+    slice.a0 = a0;
+    slice.a1 = a1;
+    slice.r0 = hole + ring * static_cast<double>(depth - 1);
+    slice.r1 = hole + ring * static_cast<double>(depth) - opt.ring_gap;
+    out->push_back(std::move(slice));
+  }
+  if (node.IsLeaf()) return;
+  std::vector<double> values = node.ChildValues();
+  double total = std::accumulate(values.begin(), values.end(), 0.0);
+  if (total <= 0) return;
+  double angle = a0;
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    double span = (a1 - a0) * values[i] / total;
+    size_t child_group = depth == 0 ? i : group;
+    LayoutNode(node.children[i], angle, angle + span, depth + 1, child_group,
+               max_depth, opt, out);
+    angle += span;
+  }
+}
+
+}  // namespace
+
+std::vector<SunburstSlice> SunburstLayout(const Hierarchy& root,
+                                          const SunburstOptions& options) {
+  std::vector<SunburstSlice> out;
+  size_t max_depth = root.MaxDepth();
+  if (max_depth == 0) return out;
+  LayoutNode(root, 0, 2 * kPi, 0, 0, max_depth, options, &out);
+  return out;
+}
+
+}  // namespace hbold::viz

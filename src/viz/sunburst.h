@@ -1,0 +1,41 @@
+#ifndef HBOLD_VIZ_SUNBURST_H_
+#define HBOLD_VIZ_SUNBURST_H_
+
+#include <string>
+#include <vector>
+
+#include "viz/hierarchy.h"
+
+namespace hbold::viz {
+
+/// One annular slice of the sunburst (Fig. 5). Angles are radians,
+/// counterclockwise from the positive x axis; `a1 - a0` is proportional to
+/// the node's effective value within its parent. Depth-1 is the inner ring
+/// (clusters), depth-2 the outer ring (classes).
+struct SunburstSlice {
+  std::string name;
+  size_t depth = 0;
+  size_t group = 0;  // depth-1 ancestor index (for coloring)
+  double value = 0;
+  double a0 = 0;
+  double a1 = 0;
+  double r0 = 0;  // inner radius
+  double r1 = 0;  // outer radius
+};
+
+struct SunburstOptions {
+  double radius = 300.0;
+  /// Radius of the empty center disk, as a fraction of `radius`.
+  double inner_hole = 0.25;
+  /// Gap between rings, absolute units.
+  double ring_gap = 1.0;
+};
+
+/// Radial partition layout: rings per depth, angular extent proportional to
+/// value. The root (depth 0) is not emitted (it would be the full disk).
+std::vector<SunburstSlice> SunburstLayout(const Hierarchy& root,
+                                          const SunburstOptions& options = {});
+
+}  // namespace hbold::viz
+
+#endif  // HBOLD_VIZ_SUNBURST_H_

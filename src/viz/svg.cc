@@ -1,0 +1,127 @@
+#include "viz/svg.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace hbold::viz {
+
+namespace {
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+}  // namespace
+
+SvgDocument::SvgDocument(double width, double height)
+    : width_(width), height_(height) {}
+
+std::string SvgDocument::StyleAttrs(const Style& style) const {
+  std::string out = " fill=\"" + style.fill + "\"";
+  if (style.stroke != "none") {
+    out += " stroke=\"" + style.stroke + "\" stroke-width=\"" +
+           Num(style.stroke_width) + "\"";
+  }
+  if (style.opacity < 1.0) {
+    out += " opacity=\"" + Num(style.opacity) + "\"";
+  }
+  return out;
+}
+
+void SvgDocument::AddRect(const Rect& r, const Style& style,
+                          double corner_radius) {
+  std::string el = "<rect x=\"" + Num(r.x) + "\" y=\"" + Num(r.y) +
+                   "\" width=\"" + Num(r.w) + "\" height=\"" + Num(r.h) + "\"";
+  if (corner_radius > 0) el += " rx=\"" + Num(corner_radius) + "\"";
+  el += StyleAttrs(style) + "/>";
+  elements_.push_back(std::move(el));
+}
+
+void SvgDocument::AddCircle(const Circle& c, const Style& style) {
+  elements_.push_back("<circle cx=\"" + Num(c.x) + "\" cy=\"" + Num(c.y) +
+                      "\" r=\"" + Num(c.r) + "\"" + StyleAttrs(style) + "/>");
+}
+
+void SvgDocument::AddLine(const Point& a, const Point& b, const Style& style) {
+  elements_.push_back("<line x1=\"" + Num(a.x) + "\" y1=\"" + Num(a.y) +
+                      "\" x2=\"" + Num(b.x) + "\" y2=\"" + Num(b.y) + "\"" +
+                      StyleAttrs(style) + "/>");
+}
+
+void SvgDocument::AddPolyline(const std::vector<Point>& points,
+                              const Style& style) {
+  if (points.size() < 2) return;
+  std::string el = "<polyline points=\"";
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i > 0) el += ' ';
+    el += Num(points[i].x) + "," + Num(points[i].y);
+  }
+  el += "\"" + StyleAttrs(style) + "/>";
+  elements_.push_back(std::move(el));
+}
+
+void SvgDocument::AddAnnularSector(const Point& center, double r0, double r1,
+                                   double a0, double a1, const Style& style) {
+  // Full-circle sectors need two arcs; detect and split.
+  if (a1 - a0 >= 2 * kPi - 1e-9) {
+    double mid = a0 + (a1 - a0) / 2;
+    AddAnnularSector(center, r0, r1, a0, mid, style);
+    AddAnnularSector(center, r0, r1, mid, a1, style);
+    return;
+  }
+  auto at = [&](double r, double a) {
+    return Point{center.x + r * std::cos(a), center.y + r * std::sin(a)};
+  };
+  Point p0 = at(r1, a0), p1 = at(r1, a1), p2 = at(r0, a1), p3 = at(r0, a0);
+  int large = (a1 - a0) > kPi ? 1 : 0;
+  std::string el = "<path d=\"M " + Num(p0.x) + " " + Num(p0.y);
+  el += " A " + Num(r1) + " " + Num(r1) + " 0 " + std::to_string(large) +
+        " 1 " + Num(p1.x) + " " + Num(p1.y);
+  el += " L " + Num(p2.x) + " " + Num(p2.y);
+  el += " A " + Num(r0) + " " + Num(r0) + " 0 " + std::to_string(large) +
+        " 0 " + Num(p3.x) + " " + Num(p3.y);
+  el += " Z\"" + StyleAttrs(style) + "/>";
+  elements_.push_back(std::move(el));
+}
+
+void SvgDocument::AddText(const Point& p, const std::string& text,
+                          double font_size, const std::string& fill,
+                          const std::string& anchor, double rotate_deg) {
+  std::string el = "<text x=\"" + Num(p.x) + "\" y=\"" + Num(p.y) +
+                   "\" font-size=\"" + Num(font_size) +
+                   "\" font-family=\"sans-serif\" fill=\"" + fill +
+                   "\" text-anchor=\"" + anchor + "\"";
+  if (rotate_deg != 0) {
+    el += " transform=\"rotate(" + Num(rotate_deg) + " " + Num(p.x) + " " +
+          Num(p.y) + ")\"";
+  }
+  el += ">" + XmlEscape(text) + "</text>";
+  elements_.push_back(std::move(el));
+}
+
+std::string SvgDocument::ToString() const {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  out += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" + Num(width_) +
+         "\" height=\"" + Num(height_) + "\" viewBox=\"0 0 " + Num(width_) +
+         " " + Num(height_) + "\">\n";
+  out += "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const std::string& el : elements_) {
+    out += el;
+    out += '\n';
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+Status SvgDocument::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << ToString();
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace hbold::viz

@@ -1,0 +1,78 @@
+#ifndef HBOLD_VIZ_SVG_H_
+#define HBOLD_VIZ_SVG_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "viz/color.h"
+#include "viz/geometry.h"
+
+#include <vector>
+
+namespace hbold::viz {
+
+/// Stroke/fill styling for one SVG element.
+struct Style {
+  std::string fill = "none";
+  std::string stroke = "none";
+  double stroke_width = 1.0;
+  double opacity = 1.0;
+
+  static Style Fill(const Color& c, double opacity = 1.0) {
+    Style s;
+    s.fill = c.ToHex();
+    s.opacity = opacity;
+    return s;
+  }
+  static Style Stroke(const Color& c, double width = 1.0,
+                      double opacity = 1.0) {
+    Style s;
+    s.stroke = c.ToHex();
+    s.stroke_width = width;
+    s.opacity = opacity;
+    return s;
+  }
+};
+
+/// Minimal SVG document builder. Coordinates are in user units; the
+/// document carries width/height and an equal viewBox.
+class SvgDocument {
+ public:
+  SvgDocument(double width, double height);
+
+  double width() const { return width_; }
+  double height() const { return height_; }
+
+  void AddRect(const Rect& r, const Style& style, double corner_radius = 0);
+  void AddCircle(const Circle& c, const Style& style);
+  void AddLine(const Point& a, const Point& b, const Style& style);
+  void AddPolyline(const std::vector<Point>& points, const Style& style);
+  /// Annular sector between radii r0..r1 and angles a0..a1 (radians),
+  /// centered at `center` — the sunburst building block.
+  void AddAnnularSector(const Point& center, double r0, double r1, double a0,
+                        double a1, const Style& style);
+  /// Text anchored at `p`. `anchor` is "start", "middle" or "end".
+  void AddText(const Point& p, const std::string& text, double font_size,
+               const std::string& fill = "#222",
+               const std::string& anchor = "start", double rotate_deg = 0);
+
+  /// Number of elements added so far.
+  size_t ElementCount() const { return elements_.size(); }
+
+  /// Serializes the document.
+  std::string ToString() const;
+
+  /// Writes the document to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::string StyleAttrs(const Style& style) const;
+
+  double width_;
+  double height_;
+  std::vector<std::string> elements_;
+};
+
+}  // namespace hbold::viz
+
+#endif  // HBOLD_VIZ_SVG_H_

@@ -1,0 +1,98 @@
+#include "workload/ld_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "rdf/vocab.h"
+
+namespace hbold::workload {
+
+SyntheticLdStats GenerateSyntheticLd(const SyntheticLdConfig& config,
+                                     rdf::TripleStore* store) {
+  SyntheticLdStats stats;
+  if (config.num_classes == 0) return stats;
+  Rng rng(config.seed);
+  const std::string& ns = config.namespace_iri;
+
+  rdf::Term rdf_type = rdf::Term::Iri(rdf::vocab::kRdfType);
+
+  // Class IRIs and instance counts (Zipf by class rank).
+  std::vector<rdf::Term> classes;
+  std::vector<size_t> counts;
+  classes.reserve(config.num_classes);
+  for (size_t c = 0; c < config.num_classes; ++c) {
+    classes.push_back(rdf::Term::Iri(ns + "class/C" + std::to_string(c)));
+    double scale = 1.0 / std::pow(static_cast<double>(c + 1),
+                                  config.zipf_skew);
+    size_t n = std::max<size_t>(
+        1, static_cast<size_t>(
+               static_cast<double>(config.max_instances_per_class) * scale));
+    counts.push_back(n);
+  }
+
+  // Instances, typed.
+  std::vector<std::vector<rdf::Term>> instances(config.num_classes);
+  for (size_t c = 0; c < config.num_classes; ++c) {
+    instances[c].reserve(counts[c]);
+    for (size_t i = 0; i < counts[c]; ++i) {
+      rdf::Term inst = rdf::Term::Iri(ns + "inst/C" + std::to_string(c) + "_" +
+                                      std::to_string(i));
+      store->Add(inst, rdf_type, classes[c]);
+      ++stats.triples_added;
+      instances[c].push_back(std::move(inst));
+    }
+    stats.instances += counts[c];
+  }
+  stats.classes = config.num_classes;
+
+  // Datatype attributes.
+  for (size_t c = 0; c < config.num_classes; ++c) {
+    for (size_t a = 0; a < config.attributes_per_class; ++a) {
+      rdf::Term prop = rdf::Term::Iri(ns + "prop/attr" + std::to_string(c) +
+                                      "_" + std::to_string(a));
+      for (const rdf::Term& inst : instances[c]) {
+        if (!rng.Chance(config.property_fill)) continue;
+        store->Add(inst, prop,
+                   rdf::Term::Literal("v" + std::to_string(rng.Uniform(1000))));
+        ++stats.triples_added;
+      }
+    }
+  }
+
+  // Object-property links: intra-domain dense, cross-domain sparse.
+  size_t domains = std::max<size_t>(1, config.num_domains);
+  auto domain_of = [&](size_t c) { return c % domains; };
+  size_t link_id = 0;
+  for (size_t c = 0; c < config.num_classes; ++c) {
+    // Candidate targets in the same domain.
+    std::vector<size_t> same_domain;
+    for (size_t d = 0; d < config.num_classes; ++d) {
+      if (d != c && domain_of(d) == domain_of(c)) same_domain.push_back(d);
+    }
+    std::vector<size_t> targets;
+    for (size_t l = 0; l < config.intra_domain_links && !same_domain.empty();
+         ++l) {
+      targets.push_back(same_domain[rng.Uniform(same_domain.size())]);
+    }
+    if (config.num_classes > 1 && rng.Chance(config.cross_domain_link_prob)) {
+      size_t other = rng.Uniform(config.num_classes);
+      if (other != c) targets.push_back(other);
+    }
+    for (size_t target : targets) {
+      rdf::Term prop =
+          rdf::Term::Iri(ns + "prop/link" + std::to_string(link_id++));
+      for (const rdf::Term& inst : instances[c]) {
+        if (!rng.Chance(config.property_fill)) continue;
+        const rdf::Term& obj =
+            instances[target][rng.Uniform(instances[target].size())];
+        store->Add(inst, prop, obj);
+        ++stats.triples_added;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace hbold::workload

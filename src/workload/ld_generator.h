@@ -1,0 +1,48 @@
+#ifndef HBOLD_WORKLOAD_LD_GENERATOR_H_
+#define HBOLD_WORKLOAD_LD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rdf/graph.h"
+
+namespace hbold::workload {
+
+/// Shape of a synthetic Linked Data source. The generator mimics the
+/// statistical structure of real LD: Zipf-skewed class sizes, classes
+/// grouped into topical "domains" with dense intra-domain object-property
+/// links and sparse cross-domain links (so community detection has real
+/// structure to find), and a mix of datatype and object properties.
+struct SyntheticLdConfig {
+  std::string namespace_iri = "http://synth.example.org/";
+  size_t num_classes = 20;
+  /// Classes are split round-robin into this many topical domains.
+  size_t num_domains = 4;
+  /// Instances of class ranked r follow a Zipf law scaled to this maximum.
+  size_t max_instances_per_class = 200;
+  double zipf_skew = 1.1;
+  /// Datatype properties per class.
+  size_t attributes_per_class = 2;
+  /// Object-property links per class to other classes in the same domain.
+  size_t intra_domain_links = 2;
+  /// Probability of an additional cross-domain link per class.
+  double cross_domain_link_prob = 0.15;
+  /// Fraction of a class's instances carrying each property.
+  double property_fill = 0.8;
+  uint64_t seed = 42;
+};
+
+/// Summary of what was generated (for assertions and bench reporting).
+struct SyntheticLdStats {
+  size_t classes = 0;
+  size_t instances = 0;
+  size_t triples_added = 0;
+};
+
+/// Generates triples into `store` per `config`.
+SyntheticLdStats GenerateSyntheticLd(const SyntheticLdConfig& config,
+                                     rdf::TripleStore* store);
+
+}  // namespace hbold::workload
+
+#endif  // HBOLD_WORKLOAD_LD_GENERATOR_H_

@@ -1,0 +1,28 @@
+#include "workload/metadata_repo.h"
+
+#include "rdf/vocab.h"
+
+namespace hbold::workload {
+
+size_t GenerateMetadataRepository(const std::vector<MetadataEntry>& entries,
+                                  const std::string& namespace_iri,
+                                  rdf::TripleStore* store) {
+  size_t triples = 0;
+  rdf::Term rdf_type = rdf::Term::Iri(rdf::vocab::kRdfType);
+  rdf::Term endpoint_cls = rdf::Term::Iri(rdf::vocab::kSqEndpointClass);
+  rdf::Term url_prop = rdf::Term::Iri(rdf::vocab::kSqUrl);
+  rdf::Term avail_prop = rdf::Term::Iri(rdf::vocab::kSqAvailability);
+
+  size_t id = 0;
+  for (const MetadataEntry& entry : entries) {
+    rdf::Term ep =
+        rdf::Term::Iri(namespace_iri + "endpoint/e" + std::to_string(id++));
+    store->Add(ep, rdf_type, endpoint_cls);
+    store->Add(ep, url_prop, rdf::Term::Iri(entry.url));
+    store->Add(ep, avail_prop, rdf::Term::DoubleLiteral(entry.availability));
+    triples += 3;
+  }
+  return triples;
+}
+
+}  // namespace hbold::workload

@@ -1,0 +1,26 @@
+#ifndef HBOLD_WORKLOAD_METADATA_REPO_H_
+#define HBOLD_WORKLOAD_METADATA_REPO_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace hbold::workload {
+
+/// One endpoint entry of a SPARQLES-like metadata repository.
+struct MetadataEntry {
+  std::string url;
+  double availability = 1.0;  // measured uptime fraction in [0, 1]
+};
+
+/// Generates a synthetic endpoint-metadata repository (the §5 future-work
+/// discovery source): one sq:Endpoint resource per entry with sq:url and
+/// sq:availability. Returns the number of triples added.
+size_t GenerateMetadataRepository(const std::vector<MetadataEntry>& entries,
+                                  const std::string& namespace_iri,
+                                  rdf::TripleStore* store);
+
+}  // namespace hbold::workload
+
+#endif  // HBOLD_WORKLOAD_METADATA_REPO_H_

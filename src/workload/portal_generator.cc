@@ -1,0 +1,52 @@
+#include "workload/portal_generator.h"
+
+#include "common/random.h"
+#include "rdf/vocab.h"
+
+namespace hbold::workload {
+
+size_t GeneratePortalCatalog(const PortalConfig& config,
+                             rdf::TripleStore* store) {
+  Rng rng(config.seed);
+  size_t triples = 0;
+  const std::string& ns = config.namespace_iri;
+
+  rdf::Term rdf_type = rdf::Term::Iri(rdf::vocab::kRdfType);
+  rdf::Term dataset_cls = rdf::Term::Iri(rdf::vocab::kDcatDataset);
+  rdf::Term distribution = rdf::Term::Iri(rdf::vocab::kDcatDistribution);
+  rdf::Term access_url = rdf::Term::Iri(rdf::vocab::kDcatAccessUrl);
+  rdf::Term title = rdf::Term::Iri(rdf::vocab::kDcTitle);
+
+  auto add = [&](const rdf::Term& s, const rdf::Term& p, const rdf::Term& o) {
+    store->Add(s, p, o);
+    ++triples;
+  };
+
+  size_t sparql_count = config.sparql_urls.size();
+  for (size_t i = 0; i < config.total_datasets; ++i) {
+    rdf::Term ds = rdf::Term::Iri(ns + "dataset/d" + std::to_string(i));
+    add(ds, rdf_type, dataset_cls);
+    add(ds, title,
+        rdf::Term::Literal(config.portal_name + " dataset " +
+                           std::to_string(i)));
+    rdf::Term dist = rdf::Term::Iri(ns + "dist/d" + std::to_string(i));
+    add(ds, distribution, dist);
+    if (i < sparql_count) {
+      add(dist, access_url, rdf::Term::Iri(config.sparql_urls[i]));
+      // Realistic catalogs often list a data dump next to the endpoint.
+      if (rng.Chance(0.5)) {
+        rdf::Term dump = rdf::Term::Iri(ns + "dist/d" + std::to_string(i) +
+                                        "_dump");
+        add(ds, distribution, dump);
+        add(dump, access_url,
+            rdf::Term::Iri(ns + "files/d" + std::to_string(i) + ".nt.gz"));
+      }
+    } else {
+      add(dist, access_url,
+          rdf::Term::Iri(ns + "files/d" + std::to_string(i) + ".csv"));
+    }
+  }
+  return triples;
+}
+
+}  // namespace hbold::workload

@@ -1,0 +1,34 @@
+#ifndef HBOLD_WORKLOAD_PORTAL_GENERATOR_H_
+#define HBOLD_WORKLOAD_PORTAL_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace hbold::workload {
+
+/// Shape of a synthetic open-data portal catalog (DCAT metadata the
+/// crawler queries with the paper's Listing 1).
+struct PortalConfig {
+  std::string portal_name = "portal";
+  std::string namespace_iri = "http://portal.example.org/";
+  /// Total dcat:Dataset entries in the catalog.
+  size_t total_datasets = 100;
+  /// dcat:accessURL values that contain "sparql" (discoverable endpoints).
+  /// Must be <= total_datasets. Each such dataset gets one SPARQL
+  /// distribution; the rest get file-download URLs.
+  std::vector<std::string> sparql_urls;
+  uint64_t seed = 3;
+};
+
+/// Generates the DCAT catalog into `store`: per dataset a dcat:Dataset with
+/// dc:title and one or two dcat:distribution nodes carrying dcat:accessURL.
+/// Returns the number of triples added.
+size_t GeneratePortalCatalog(const PortalConfig& config,
+                             rdf::TripleStore* store);
+
+}  // namespace hbold::workload
+
+#endif  // HBOLD_WORKLOAD_PORTAL_GENERATOR_H_

@@ -1,0 +1,166 @@
+#include "workload/scholarly.h"
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "rdf/vocab.h"
+
+namespace hbold::workload {
+
+namespace {
+
+class Builder {
+ public:
+  Builder(rdf::TripleStore* store, uint64_t seed) : store_(store), rng_(seed) {}
+
+  rdf::Term Cls(const std::string& name) {
+    return rdf::Term::Iri(std::string(kScholarlyNs) + name);
+  }
+  rdf::Term Prop(const std::string& name) {
+    return rdf::Term::Iri(std::string(kScholarlyNs) + name);
+  }
+  rdf::Term Inst(const std::string& name) {
+    return rdf::Term::Iri("http://www.scholarlydata.org/inst/" + name);
+  }
+
+  void Add(const rdf::Term& s, const rdf::Term& p, const rdf::Term& o) {
+    store_->Add(s, p, o);
+    ++triples_;
+  }
+  void Type(const rdf::Term& s, const rdf::Term& cls) {
+    Add(s, rdf::Term::Iri(rdf::vocab::kRdfType), cls);
+  }
+  void Label(const rdf::Term& s, const std::string& text) {
+    Add(s, rdf::Term::Iri(rdf::vocab::kRdfsLabel), rdf::Term::Literal(text));
+  }
+
+  Rng& rng() { return rng_; }
+  size_t triples() const { return triples_; }
+
+ private:
+  rdf::TripleStore* store_;
+  Rng rng_;
+  size_t triples_ = 0;
+};
+
+}  // namespace
+
+size_t GenerateScholarly(const ScholarlyConfig& config,
+                         rdf::TripleStore* store) {
+  Builder b(store, config.seed);
+
+  // Ontology class terms (as seen in Figs. 2 and 7).
+  rdf::Term event = b.Cls("Event");
+  rdf::Term situation = b.Cls("Situation");
+  rdf::Term vevent = b.Cls("Vevent");
+  rdf::Term session_event = b.Cls("SessionEvent");
+  rdf::Term conference_series = b.Cls("ConferenceSeries");
+  rdf::Term information_object = b.Cls("InformationObject");
+  rdf::Term person = b.Cls("Person");
+  rdf::Term organisation = b.Cls("Organisation");
+  rdf::Term role = b.Cls("RoleDuringEvent");
+  rdf::Term site = b.Cls("Site");
+  rdf::Term talk = b.Cls("Talk");
+  rdf::Term paper = b.Cls("InProceedings");
+
+  // Properties. Fig. 7's focus: Event with range Situation and domains
+  // Vevent / SessionEvent / ConferenceSeries / InformationObject.
+  rdf::Term has_situation = b.Prop("hasSituation");      // Event -> Situation
+  rdf::Term sub_event_of = b.Prop("isSubEventOf");       // SessionEvent -> Event
+  rdf::Term v_describes = b.Prop("describesEvent");      // Vevent -> Event
+  rdf::Term part_of_series = b.Prop("partOfSeries");     // Event -> ConferenceSeries
+  rdf::Term about_event = b.Prop("isAboutEvent");        // InformationObject -> Event
+  rdf::Term held_at = b.Prop("heldAt");                  // Event -> Site
+  rdf::Term has_role = b.Prop("holdsRole");              // Person -> Role
+  rdf::Term role_at = b.Prop("roleAt");                  // Role -> Event
+  rdf::Term affiliated = b.Prop("hasAffiliation");       // Person -> Organisation
+  rdf::Term gives_talk = b.Prop("givesTalk");            // Person -> Talk
+  rdf::Term talk_in = b.Prop("presentedIn");             // Talk -> SessionEvent
+  rdf::Term authored = b.Prop("hasAuthor");              // InProceedings -> Person
+  rdf::Term relates_to = b.Prop("relatesTo");            // InProceedings -> Talk
+
+  // People and organisations.
+  std::vector<rdf::Term> people;
+  people.reserve(config.people);
+  for (size_t i = 0; i < config.people; ++i) {
+    rdf::Term p = b.Inst("person/p" + std::to_string(i));
+    b.Type(p, person);
+    b.Label(p, "Person " + std::to_string(i));
+    people.push_back(std::move(p));
+  }
+  std::vector<rdf::Term> orgs;
+  orgs.reserve(config.organisations);
+  for (size_t i = 0; i < config.organisations; ++i) {
+    rdf::Term o = b.Inst("org/o" + std::to_string(i));
+    b.Type(o, organisation);
+    b.Label(o, "Organisation " + std::to_string(i));
+    orgs.push_back(std::move(o));
+  }
+  for (const rdf::Term& p : people) {
+    b.Add(p, affiliated, orgs[b.rng().Uniform(orgs.size())]);
+  }
+
+  // One conference series, conferences, sessions, talks.
+  rdf::Term series = b.Inst("series/main");
+  b.Type(series, conference_series);
+  b.Label(series, "Main Conference Series");
+
+  size_t paper_id = 0;
+  for (size_t c = 0; c < config.conferences; ++c) {
+    rdf::Term conf = b.Inst("conf/c" + std::to_string(c));
+    b.Type(conf, event);
+    b.Label(conf, "Conference " + std::to_string(c));
+    b.Add(conf, part_of_series, series);
+
+    rdf::Term venue = b.Inst("site/s" + std::to_string(c));
+    b.Type(venue, site);
+    b.Add(conf, held_at, venue);
+
+    rdf::Term sit = b.Inst("situation/sit" + std::to_string(c));
+    b.Type(sit, situation);
+    b.Add(conf, has_situation, sit);
+
+    rdf::Term cal = b.Inst("vevent/v" + std::to_string(c));
+    b.Type(cal, vevent);
+    b.Add(cal, v_describes, conf);
+
+    for (size_t s = 0; s < config.sessions_per_conference; ++s) {
+      rdf::Term session =
+          b.Inst("session/c" + std::to_string(c) + "_s" + std::to_string(s));
+      b.Type(session, session_event);
+      b.Add(session, sub_event_of, conf);
+
+      // Session chair role.
+      rdf::Term chair_role = b.Inst("role/c" + std::to_string(c) + "_s" +
+                                    std::to_string(s));
+      b.Type(chair_role, role);
+      b.Add(chair_role, role_at, conf);
+      b.Add(people[b.rng().Uniform(people.size())], has_role, chair_role);
+
+      for (size_t t = 0; t < config.talks_per_session; ++t) {
+        rdf::Term tk = b.Inst("talk/c" + std::to_string(c) + "_s" +
+                              std::to_string(s) + "_t" + std::to_string(t));
+        b.Type(tk, talk);
+        b.Add(tk, talk_in, session);
+        const rdf::Term& speaker = people[b.rng().Uniform(people.size())];
+        b.Add(speaker, gives_talk, tk);
+
+        rdf::Term pub = b.Inst("paper/p" + std::to_string(paper_id++));
+        b.Type(pub, paper);
+        b.Add(pub, relates_to, tk);
+        b.Add(pub, about_event, conf);
+        b.Type(pub, information_object);
+        size_t n_authors = 1 + b.rng().Uniform(3);
+        size_t first_author = b.rng().Uniform(people.size());
+        for (size_t a = 0; a < n_authors; ++a) {
+          // Consecutive indexes avoid duplicate author triples for a paper.
+          b.Add(pub, authored, people[(first_author + a) % people.size()]);
+        }
+      }
+    }
+  }
+  return b.triples();
+}
+
+}  // namespace hbold::workload

@@ -1,0 +1,35 @@
+#ifndef HBOLD_WORKLOAD_SCHOLARLY_H_
+#define HBOLD_WORKLOAD_SCHOLARLY_H_
+
+#include <cstdint>
+
+#include "rdf/graph.h"
+
+namespace hbold::workload {
+
+/// Generates a ScholarlyData.org-like dataset — the LD the paper uses for
+/// Figs. 2 and 7. The ontology mirrors the classes visible in those
+/// figures (Event, Situation, Vevent, SessionEvent, ConferenceSeries,
+/// InformationObject, Person, Organisation, Role, Site, ...) and the
+/// domain/range structure around the Event class that Fig. 7 highlights.
+struct ScholarlyConfig {
+  /// Scale factor: number of conference editions generated.
+  size_t conferences = 4;
+  size_t sessions_per_conference = 8;
+  size_t talks_per_session = 4;
+  size_t people = 300;
+  size_t organisations = 40;
+  uint64_t seed = 7;
+};
+
+/// Adds the scholarly dataset to `store`. Returns the number of triples.
+size_t GenerateScholarly(const ScholarlyConfig& config,
+                         rdf::TripleStore* store);
+
+/// Namespace used by the scholarly generator.
+inline constexpr const char* kScholarlyNs =
+    "http://www.scholarlydata.org/ontology/conf-ontology.owl#";
+
+}  // namespace hbold::workload
+
+#endif  // HBOLD_WORKLOAD_SCHOLARLY_H_

@@ -1,0 +1,357 @@
+// Unit tests for src/common: Status/Result, string utilities, JSON, RNG,
+// clocks, logging.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/clock.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace hbold {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Timeout("x"), Status::Timeout("x"));
+  EXPECT_FALSE(Status::Timeout("x") == Status::Timeout("y"));
+  EXPECT_FALSE(Status::Timeout("x") == Status::Unavailable("x"));
+}
+
+TEST(StatusTest, PredicateHelpers) {
+  EXPECT_TRUE(Status::Unavailable("").IsUnavailable());
+  EXPECT_TRUE(Status::Timeout("").IsTimeout());
+  EXPECT_TRUE(Status::Unsupported("").IsUnsupported());
+  EXPECT_TRUE(Status::ParseError("").IsParseError());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto inner = []() { return Status::IOError("disk"); };
+  auto outer = [&]() -> Status {
+    HBOLD_RETURN_NOT_OK(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kIOError);
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kParseError,
+        StatusCode::kIOError, StatusCode::kUnavailable, StatusCode::kTimeout,
+        StatusCode::kUnsupported, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.value_or(0), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto get = [](bool good) -> Result<std::string> {
+    if (good) return std::string("yes");
+    return Status::Internal("boom");
+  };
+  auto use = [&](bool good) -> Result<size_t> {
+    HBOLD_ASSIGN_OR_RETURN(std::string s, get(good));
+    return s.size();
+  };
+  ASSERT_TRUE(use(true).ok());
+  EXPECT_EQ(*use(true), 3u);
+  EXPECT_FALSE(use(false).ok());
+}
+
+TEST(ResultTest, MoveOnlyType) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("solo", ','), (std::vector<std::string>{"solo"}));
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("http://x", "http"));
+  EXPECT_FALSE(StartsWith("ttp", "http"));
+  EXPECT_TRUE(EndsWith("file.jsonl", ".jsonl"));
+  EXPECT_FALSE(EndsWith("l", ".jsonl"));
+}
+
+TEST(StringUtilTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("SpArQl"), "sparql");
+  EXPECT_TRUE(ContainsIgnoreCase("http://x/SPARQL", "sparql"));
+  EXPECT_FALSE(ContainsIgnoreCase("http://x/rest", "sparql"));
+}
+
+TEST(StringUtilTest, IriLocalName) {
+  EXPECT_EQ(IriLocalName("http://x.org/onto#Person"), "Person");
+  EXPECT_EQ(IriLocalName("http://x.org/Person"), "Person");
+  EXPECT_EQ(IriLocalName("http://x.org/Person/"), "Person");
+  EXPECT_EQ(IriLocalName("Person"), "Person");
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");  // non-overlapping
+  EXPECT_EQ(ReplaceAll("x", "", "y"), "x");
+}
+
+TEST(StringUtilTest, XmlEscape) {
+  EXPECT_EQ(XmlEscape("<a & \"b\">"), "&lt;a &amp; &quot;b&quot;&gt;");
+}
+
+// ---------------------------------------------------------------- JSON
+
+TEST(JsonTest, ScalarsRoundTrip) {
+  for (const std::string text :
+       {"null", "true", "false", "42", "-3.5", "\"hi\""}) {
+    auto parsed = Json::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed->Dump(), text);
+  }
+}
+
+TEST(JsonTest, ObjectRoundTrip) {
+  std::string text = R"({"a":[1,2,{"b":"c"}],"d":null})";
+  auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Dump(), text);
+}
+
+TEST(JsonTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+}
+
+TEST(JsonTest, StringEscapes) {
+  auto parsed = Json::Parse(R"("line\nquote\"tab\t\\")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_string(), "line\nquote\"tab\t\\");
+}
+
+TEST(JsonTest, UnicodeEscapes) {
+  auto parsed = Json::Parse(R"("é€")");  // é €
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_string(), "\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonTest, SurrogatePair) {
+  auto parsed = Json::Parse(R"("😀")");  // 😀 U+1F600
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, FieldAccessors) {
+  auto doc = Json::Parse(R"({"s":"x","n":5,"b":true,"o":{"inner":1}})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->GetString("s"), "x");
+  EXPECT_EQ(doc->GetInt("n"), 5);
+  EXPECT_TRUE(doc->GetBool("b"));
+  EXPECT_EQ(doc->GetString("missing", "dflt"), "dflt");
+  ASSERT_NE(doc->Find("o"), nullptr);
+  EXPECT_EQ(doc->Find("o")->GetInt("inner"), 1);
+  EXPECT_EQ(doc->Find("nope"), nullptr);
+}
+
+TEST(JsonTest, SetAndAppend) {
+  Json obj = Json::MakeObject();
+  obj.Set("k", Json(1));
+  obj.Set("k", Json(2));  // overwrite
+  EXPECT_EQ(obj.GetInt("k"), 2);
+  Json arr = Json::MakeArray();
+  arr.Append(Json("a")).Append(Json("b"));
+  EXPECT_EQ(arr.as_array().size(), 2u);
+}
+
+TEST(JsonTest, Equality) {
+  auto a = Json::Parse(R"({"x":[1,2]})");
+  auto b = Json::Parse(R"({ "x" : [ 1 , 2 ] })");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(*a == *b);
+  auto c = Json::Parse(R"({"x":[1,3]})");
+  EXPECT_TRUE(*a != *c);
+}
+
+TEST(JsonTest, PrettyPrintParsesBack) {
+  auto doc = Json::Parse(R"({"a":{"b":[1,2,3]},"c":"s"})");
+  ASSERT_TRUE(doc.ok());
+  std::string pretty = doc->Dump(2);
+  auto reparsed = Json::Parse(pretty);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(*doc == *reparsed);
+}
+
+TEST(JsonTest, LargeIntegersPreserved) {
+  auto doc = Json::Parse("123456789012");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->as_int(), 123456789012LL);
+  EXPECT_EQ(doc->Dump(), "123456789012");
+}
+
+// ---------------------------------------------------------------- RNG
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewedTowardLowRanks) {
+  Rng rng(11);
+  size_t low = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.Zipf(100, 1.2) < 5) ++low;
+  }
+  // With s=1.2 the first five ranks should dominate clearly.
+  EXPECT_GT(low, static_cast<size_t>(kTrials) / 3);
+}
+
+TEST(RngTest, ZipfCoversRange) {
+  Rng rng(13);
+  std::set<size_t> seen;
+  for (int i = 0; i < 20000; ++i) seen.insert(rng.Zipf(10, 0.5));
+  EXPECT_EQ(seen.size(), 10u);
+  for (size_t v : seen) EXPECT_LT(v, 10u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+// ---------------------------------------------------------------- Clock
+
+TEST(SimClockTest, AdvancesByDaysAndMillis) {
+  SimClock clock;
+  EXPECT_EQ(clock.NowMs(), 0);
+  EXPECT_EQ(clock.NowDay(), 0);
+  clock.AdvanceDays(3);
+  EXPECT_EQ(clock.NowDay(), 3);
+  clock.AdvanceMs(SimClock::kMillisPerHour * 25);
+  EXPECT_EQ(clock.NowDay(), 4);
+}
+
+TEST(SimClockTest, ToStringFormat) {
+  SimClock clock(SimClock::kMillisPerDay * 2 + SimClock::kMillisPerHour * 3 +
+                 SimClock::kMillisPerMinute * 4 + 5 * 1000 + 6);
+  EXPECT_EQ(clock.ToString(), "day 2 03:04:05.006");
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  volatile double sink = 0;
+  for (int i = 0; i < 1000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
+  EXPECT_GE(sw.ElapsedNanos(), 0);
+  EXPECT_GE(sw.ElapsedMillis(), 0.0);
+  int64_t before = sw.ElapsedNanos();
+  sw.Reset();
+  EXPECT_LE(sw.ElapsedNanos(), before + 1000000000LL);
+}
+
+// ---------------------------------------------------------------- Logging
+
+TEST(LoggingTest, ThresholdFilters) {
+  LogLevel prev = Logger::threshold();
+  Logger::set_threshold(LogLevel::kError);
+  EXPECT_EQ(Logger::threshold(), LogLevel::kError);
+  // Smoke: must not crash under/over threshold.
+  HBOLD_LOG(kDebug) << "suppressed";
+  HBOLD_LOG(kError) << "emitted";
+  Logger::set_threshold(prev);
+}
+
+}  // namespace
+}  // namespace hbold

@@ -1,0 +1,284 @@
+// Unit tests for src/endpoint: local endpoint, simulated remote endpoint
+// (availability / dialect / latency / truncation), and the registry.
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "endpoint/local_endpoint.h"
+#include "endpoint/registry.h"
+#include "endpoint/simulated_endpoint.h"
+#include "rdf/turtle.h"
+
+namespace hbold::endpoint {
+namespace {
+
+class EndpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto n = rdf::ParseTurtle(R"(
+@prefix ex: <http://x/> .
+ex:a a ex:C ; ex:p ex:b ; ex:q "1" .
+ex:b a ex:C ; ex:q "2" .
+ex:c a ex:D ; ex:p ex:a .
+)",
+                              &store_);
+    ASSERT_TRUE(n.ok()) << n.status();
+  }
+  rdf::TripleStore store_;
+  SimClock clock_;
+};
+
+// ---------------------------------------------------------------- Local
+
+TEST_F(EndpointTest, LocalEndpointAnswersQueries) {
+  LocalEndpoint ep("http://local/sparql", "local", &store_);
+  auto r = ep.Query("SELECT ?s WHERE { ?s a <http://x/C> . }");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->table.num_rows(), 2u);
+  EXPECT_FALSE(r->truncated);
+  EXPECT_GE(r->latency_ms, 0);
+  EXPECT_EQ(ep.queries_served(), 1u);
+  EXPECT_EQ(ep.url(), "http://local/sparql");
+}
+
+TEST_F(EndpointTest, LocalEndpointPropagatesParseErrors) {
+  LocalEndpoint ep("u", "n", &store_);
+  auto r = ep.Query("SELECT garbage");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+// ---------------------------------------------------------------- Dialect
+
+TEST_F(EndpointTest, FullDialectAllowsAggregates) {
+  SimulatedRemoteEndpoint ep("http://r/sparql", "r", &store_, &clock_);
+  auto r = ep.Query("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->table.ScalarInt("n"), static_cast<int64_t>(store_.size()));
+}
+
+TEST_F(EndpointTest, NoAggregatesDialectRejectsCount) {
+  SimulatedRemoteEndpoint ep("u", "n", &store_, &clock_,
+                             Dialect::NoAggregates());
+  auto r = ep.Query("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnsupported());
+  // Plain selects still work.
+  EXPECT_TRUE(ep.Query("SELECT ?s WHERE { ?s ?p ?o . }").ok());
+}
+
+TEST_F(EndpointTest, NoGroupByDialectRejectsGrouping) {
+  SimulatedRemoteEndpoint ep("u", "n", &store_, &clock_, Dialect::NoGroupBy());
+  auto grouped = ep.Query(
+      "SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c . } GROUP BY ?c");
+  ASSERT_FALSE(grouped.ok());
+  EXPECT_TRUE(grouped.status().IsUnsupported());
+  // Ungrouped COUNT is allowed by this dialect.
+  EXPECT_TRUE(ep.Query("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }").ok());
+}
+
+TEST_F(EndpointTest, RowCapTruncatesAndFlags) {
+  SimulatedRemoteEndpoint ep("u", "n", &store_, &clock_, Dialect::RowCapped(2));
+  auto r = ep.Query("SELECT ?s ?p ?o WHERE { ?s ?p ?o . }");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->table.num_rows(), 2u);
+  EXPECT_TRUE(r->truncated);
+}
+
+TEST_F(EndpointTest, RowCapNotFlaggedWhenUnderCap) {
+  SimulatedRemoteEndpoint ep("u", "n", &store_, &clock_,
+                             Dialect::RowCapped(100));
+  auto r = ep.Query("SELECT ?s WHERE { ?s a <http://x/C> . }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->truncated);
+}
+
+TEST_F(EndpointTest, WorkBudgetTimesOut) {
+  Dialect d;
+  d.work_budget_bindings = 1;  // any real query exceeds this
+  SimulatedRemoteEndpoint ep("u", "n", &store_, &clock_, d);
+  auto r = ep.Query("SELECT ?s ?p ?o WHERE { ?s ?p ?o . }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTimeout());
+}
+
+// ---------------------------------------------------------------- Availability
+
+TEST_F(EndpointTest, ForcedOutageDaysAreDown) {
+  AvailabilityModel avail;
+  avail.forced_outage_days = {1, 3};
+  SimulatedRemoteEndpoint ep("u", "n", &store_, &clock_, Dialect::Full(),
+                             avail);
+  EXPECT_TRUE(ep.IsUpOn(0));
+  EXPECT_FALSE(ep.IsUpOn(1));
+  EXPECT_TRUE(ep.IsUpOn(2));
+  EXPECT_FALSE(ep.IsUpOn(3));
+
+  clock_.AdvanceDays(1);  // day 1
+  auto r = ep.Query("SELECT ?s WHERE { ?s ?p ?o . }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnavailable());
+  clock_.AdvanceDays(1);  // day 2
+  EXPECT_TRUE(ep.Query("SELECT ?s WHERE { ?s ?p ?o . }").ok());
+}
+
+TEST_F(EndpointTest, UptimeProbabilityIsDeterministicPerDay) {
+  AvailabilityModel avail;
+  avail.uptime = 0.5;
+  avail.seed = 99;
+  // Same (seed, day) must agree across calls and instances.
+  AvailabilityModel avail2 = avail;
+  size_t up_days = 0;
+  for (int64_t day = 0; day < 200; ++day) {
+    EXPECT_EQ(avail.IsUp(day), avail2.IsUp(day));
+    if (avail.IsUp(day)) ++up_days;
+  }
+  // Roughly half the days up.
+  EXPECT_GT(up_days, 70u);
+  EXPECT_LT(up_days, 130u);
+}
+
+TEST_F(EndpointTest, UptimeExtremes) {
+  AvailabilityModel always;
+  always.uptime = 1.0;
+  AvailabilityModel never;
+  never.uptime = 0.0;
+  for (int64_t day = 0; day < 10; ++day) {
+    EXPECT_TRUE(always.IsUp(day));
+    EXPECT_FALSE(never.IsUp(day));
+  }
+}
+
+// ---------------------------------------------------------------- Latency
+
+TEST_F(EndpointTest, LatencyModelScalesWithWork) {
+  LatencyModel lat;
+  lat.base_ms = 10;
+  lat.per_binding_us = 1000;  // 1 ms per binding to make the effect visible
+  SimulatedRemoteEndpoint ep("u", "n", &store_, &clock_, Dialect::Full(), {},
+                             lat);
+  auto small = ep.Query("SELECT ?s WHERE { ?s a <http://x/D> . }");
+  auto large = ep.Query("SELECT ?s ?p ?o WHERE { ?s ?p ?o . }");
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_GE(small->latency_ms, 10);
+  EXPECT_GT(large->latency_ms, small->latency_ms);
+}
+
+TEST(LatencyModelTest, CostFormula) {
+  LatencyModel lat;
+  lat.base_ms = 5;
+  lat.per_binding_us = 2;
+  lat.per_row_us = 4;
+  EXPECT_DOUBLE_EQ(lat.Cost(1000, 500), 5 + 2.0 + 2.0);
+}
+
+// ---------------------------------------------------------------- Probe
+
+TEST_F(EndpointTest, ProbeReportsLiveEndpoint) {
+  SimulatedRemoteEndpoint ep("u", "n", &store_, &clock_);
+  auto alive = Probe(&ep);
+  ASSERT_TRUE(alive.ok()) << alive.status();
+  EXPECT_TRUE(*alive);
+}
+
+TEST_F(EndpointTest, ProbeDistinguishesEmptyFromDown) {
+  rdf::TripleStore empty;
+  SimulatedRemoteEndpoint hollow("u", "n", &empty, &clock_);
+  auto answered = Probe(&hollow);
+  ASSERT_TRUE(answered.ok());
+  EXPECT_FALSE(*answered);  // answered, but holds no triples
+
+  AvailabilityModel avail;
+  avail.forced_outage_days = {0};
+  SimulatedRemoteEndpoint down("u", "n", &store_, &clock_, Dialect::Full(),
+                               avail);
+  auto failed = Probe(&down);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsUnavailable());
+}
+
+// ---------------------------------------------------------------- Registry
+
+TEST(RegistryTest, AddDedupsByUrl) {
+  EndpointRegistry reg;
+  EndpointRecord r;
+  r.url = "http://a/sparql";
+  r.name = "A";
+  EXPECT_TRUE(reg.Add(r));
+  EXPECT_FALSE(reg.Add(r));  // duplicate
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_TRUE(reg.Contains("http://a/sparql"));
+  EXPECT_FALSE(reg.Contains("http://b/sparql"));
+}
+
+TEST(RegistryTest, FindAndMutate) {
+  EndpointRegistry reg;
+  EndpointRecord r;
+  r.url = "http://a";
+  reg.Add(r);
+  EndpointRecord* mut = reg.FindMutable("http://a");
+  ASSERT_NE(mut, nullptr);
+  mut->indexed = true;
+  mut->last_success_day = 4;
+  const EndpointRecord* found = reg.Find("http://a");
+  ASSERT_NE(found, nullptr);
+  EXPECT_TRUE(found->indexed);
+  EXPECT_EQ(reg.IndexedCount(), 1u);
+  EXPECT_EQ(reg.Find("http://zzz"), nullptr);
+}
+
+TEST(RegistryTest, AllPreservesInsertionOrder) {
+  EndpointRegistry reg;
+  for (const char* url : {"http://c", "http://a", "http://b"}) {
+    EndpointRecord r;
+    r.url = url;
+    reg.Add(r);
+  }
+  auto all = reg.All();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0]->url, "http://c");
+  EXPECT_EQ(all[2]->url, "http://b");
+}
+
+TEST(RegistryTest, JsonRoundTrip) {
+  EndpointRegistry reg;
+  EndpointRecord r;
+  r.url = "http://a";
+  r.name = "A";
+  r.source = EndpointSource::kPortalCrawl;
+  r.added_day = 10;
+  r.last_attempt_day = 12;
+  r.last_success_day = 11;
+  r.last_attempt_failed = true;
+  r.indexed = true;
+  reg.Add(r);
+
+  EndpointRegistry loaded;
+  ASSERT_TRUE(loaded.LoadJson(reg.ToJson()).ok());
+  const EndpointRecord* got = loaded.Find("http://a");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->name, "A");
+  EXPECT_EQ(got->source, EndpointSource::kPortalCrawl);
+  EXPECT_EQ(got->added_day, 10);
+  EXPECT_EQ(got->last_attempt_day, 12);
+  EXPECT_EQ(got->last_success_day, 11);
+  EXPECT_TRUE(got->last_attempt_failed);
+  EXPECT_TRUE(got->indexed);
+}
+
+TEST(RegistryTest, LoadRejectsBadJson) {
+  EndpointRegistry reg;
+  EXPECT_FALSE(reg.LoadJson(Json(5)).ok());
+  Json arr = Json::MakeArray();
+  arr.Append(Json::MakeObject());  // record without url
+  EXPECT_FALSE(reg.LoadJson(arr).ok());
+}
+
+TEST(RegistryTest, SourceNames) {
+  EXPECT_STREQ(EndpointSourceName(EndpointSource::kSeedList), "seed");
+  EXPECT_STREQ(EndpointSourceName(EndpointSource::kPortalCrawl), "portal");
+  EXPECT_STREQ(EndpointSourceName(EndpointSource::kManualInsert), "manual");
+}
+
+}  // namespace
+}  // namespace hbold::endpoint

@@ -1,0 +1,226 @@
+// Failure-injection tests: corrupt persisted data, unreachable/flapping
+// endpoints mid-pipeline, degenerate layout inputs, and recovery behavior.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "hbold/hbold.h"
+#include "viz/circle_pack.h"
+#include "viz/sunburst.h"
+#include "viz/treemap.h"
+#include "workload/ld_generator.h"
+
+namespace hbold {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- store
+
+TEST(StoreFailureTest, CorruptJsonlFileFailsLoad) {
+  fs::path dir = fs::temp_directory_path() / "hbold_failure_corrupt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  {
+    std::ofstream out(dir / "broken.jsonl");
+    out << "{\"_id\":1,\"ok\":true}\n";
+    out << "{{{{ not json\n";
+  }
+  store::Database db;
+  auto st = db.LoadFromDirectory(dir.string());
+  EXPECT_FALSE(st.ok());
+  fs::remove_all(dir);
+}
+
+TEST(StoreFailureTest, SaveToUnwritablePathFails) {
+  store::Database db;
+  db.GetCollection("x");
+  EXPECT_FALSE(db.SaveToDirectory("/proc/definitely/not/writable").ok());
+}
+
+TEST(StoreFailureTest, LoadedCollectionKeepsWorkingAfterFailedLoad) {
+  store::Collection c("x");
+  ASSERT_TRUE(c.Insert(*Json::Parse(R"({"k":1})")).ok());
+  // Failed reload leaves the collection in a defined (replaced or
+  // unchanged) state; inserts must still work.
+  (void)c.LoadJsonl("garbage\n");
+  EXPECT_TRUE(c.Insert(*Json::Parse(R"({"k":2})")).ok());
+}
+
+// ---------------------------------------------------------------- presentation
+
+TEST(PresentationFailureTest, MalformedStoredDocumentFailsDecode) {
+  store::Database db;
+  store::Collection* summaries = db.GetCollection(kSummariesCollection);
+  Json bad = Json::MakeObject();
+  bad.Set("endpoint_url", "http://broken/sparql");
+  // Arc references a node that does not exist.
+  Json nodes = Json::MakeArray();
+  bad.Set("nodes", std::move(nodes));
+  Json arcs = Json::MakeArray();
+  Json arc = Json::MakeObject();
+  arc.Set("src", 3);
+  arc.Set("dst", 1);
+  arc.Set("iri", "http://x/p");
+  arc.Set("count", 1);
+  arcs.Append(std::move(arc));
+  bad.Set("arcs", std::move(arcs));
+  ASSERT_TRUE(summaries->Insert(std::move(bad)).ok());
+
+  Presentation pres(&db);
+  auto summary = pres.LoadSchemaSummary("http://broken/sparql");
+  EXPECT_FALSE(summary.ok());
+}
+
+// ---------------------------------------------------------------- pipeline
+
+class PipelineFailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::SyntheticLdConfig config;
+    config.num_classes = 6;
+    config.max_instances_per_class = 20;
+    workload::GenerateSyntheticLd(config, &data_);
+    server_ = std::make_unique<Server>(&db_, &clock_);
+  }
+  rdf::TripleStore data_;
+  SimClock clock_;
+  store::Database db_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(PipelineFailureTest, EndpointDownOnProcessingDayRecoversNextDay) {
+  endpoint::AvailabilityModel avail;
+  avail.forced_outage_days = {0};
+  auto ep = std::make_unique<endpoint::SimulatedRemoteEndpoint>(
+      "http://x/sparql", "x", &data_, &clock_, endpoint::Dialect::Full(),
+      avail);
+  server_->AttachEndpoint(ep->url(), ep.get());
+  endpoint::EndpointRecord record;
+  record.url = ep->url();
+  server_->RegisterEndpoint(record);
+
+  auto day0 = server_->ProcessEndpoint(ep->url());
+  EXPECT_FALSE(day0.ok());
+  EXPECT_TRUE(day0.status().IsUnavailable());
+  // Nothing was persisted for the failed endpoint.
+  EXPECT_EQ(db_.GetCollection(kSummariesCollection)->size(), 0u);
+
+  clock_.AdvanceDays(1);
+  auto day1 = server_->ProcessEndpoint(ep->url());
+  ASSERT_TRUE(day1.ok()) << day1.status();
+  EXPECT_EQ(db_.GetCollection(kSummariesCollection)->size(), 1u);
+}
+
+TEST_F(PipelineFailureTest, FailureDoesNotClobberPreviousGoodArtifacts) {
+  endpoint::AvailabilityModel avail;
+  avail.forced_outage_days = {7};
+  auto ep = std::make_unique<endpoint::SimulatedRemoteEndpoint>(
+      "http://x/sparql", "x", &data_, &clock_, endpoint::Dialect::Full(),
+      avail);
+  server_->AttachEndpoint(ep->url(), ep.get());
+  endpoint::EndpointRecord record;
+  record.url = ep->url();
+  server_->RegisterEndpoint(record);
+
+  ASSERT_TRUE(server_->ProcessEndpoint(ep->url()).ok());
+  clock_.AdvanceDays(7);
+  EXPECT_FALSE(server_->ProcessEndpoint(ep->url()).ok());
+  // The day-0 artifacts are still served.
+  Presentation pres(&db_);
+  EXPECT_TRUE(pres.LoadSchemaSummary(ep->url()).ok());
+  EXPECT_TRUE(pres.LoadClusterSchema(ep->url()).ok());
+  // And the registry reflects both the old success and the new failure.
+  const endpoint::EndpointRecord* rec = server_->registry().Find(ep->url());
+  EXPECT_EQ(rec->last_success_day, 0);
+  EXPECT_EQ(rec->last_attempt_day, 7);
+  EXPECT_TRUE(rec->last_attempt_failed);
+}
+
+TEST_F(PipelineFailureTest, DailyUpdateIsolatesPerEndpointFailures) {
+  // One good endpoint, one with no route: the good one must still index.
+  auto good = std::make_unique<endpoint::SimulatedRemoteEndpoint>(
+      "http://good/sparql", "good", &data_, &clock_);
+  server_->AttachEndpoint(good->url(), good.get());
+  endpoint::EndpointRecord g;
+  g.url = good->url();
+  server_->RegisterEndpoint(g);
+  endpoint::EndpointRecord dead;
+  dead.url = "http://dead/sparql";
+  server_->RegisterEndpoint(dead);
+
+  DailyReport report = server_->RunDailyUpdate();
+  EXPECT_EQ(report.due, 2u);
+  EXPECT_EQ(report.succeeded, 1u);
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_EQ(server_->registry().IndexedCount(), 1u);
+}
+
+// ---------------------------------------------------------------- layouts
+
+TEST(LayoutDegenerateTest, TreemapZeroAreaBounds) {
+  viz::Hierarchy h{"r", 0, {{"a", 5, {}}, {"b", 3, {}}}};
+  auto cells = viz::TreemapLayout(h, viz::Rect{0, 0, 0, 0}, {});
+  // Root cell emitted; no crash, no NaN rects.
+  ASSERT_FALSE(cells.empty());
+  for (const auto& c : cells) {
+    EXPECT_EQ(c.rect.w, c.rect.w);  // not NaN
+    EXPECT_EQ(c.rect.h, c.rect.h);
+  }
+}
+
+TEST(LayoutDegenerateTest, TreemapPaddingLargerThanRect) {
+  viz::Hierarchy h{"r", 0, {{"a", 5, {}}}};
+  viz::TreemapOptions opt;
+  opt.padding = 500;
+  auto cells = viz::TreemapLayout(h, viz::Rect{0, 0, 100, 100}, opt);
+  ASSERT_FALSE(cells.empty());
+}
+
+TEST(LayoutDegenerateTest, SunburstSingleLevel) {
+  viz::Hierarchy h{"r", 0, {{"a", 5, {}}, {"b", 5, {}}}};
+  auto slices = viz::SunburstLayout(h, {});
+  EXPECT_EQ(slices.size(), 2u);
+}
+
+TEST(LayoutDegenerateTest, CirclePackSingleLeaf) {
+  viz::Hierarchy h{"solo", 9, {}};
+  viz::CirclePackOptions opt;
+  opt.radius = 100;
+  auto circles = viz::CirclePackLayout(h, opt);
+  ASSERT_EQ(circles.size(), 1u);
+  EXPECT_NEAR(circles[0].circle.r, 100, 1e-6);
+}
+
+TEST(LayoutDegenerateTest, PackSiblingsHandlesEqualRadii) {
+  std::vector<double> radii(20, 5.0);
+  auto pos = viz::PackSiblings(radii);
+  ASSERT_EQ(pos.size(), 20u);
+  for (size_t i = 0; i < pos.size(); ++i) {
+    for (size_t j = i + 1; j < pos.size(); ++j) {
+      EXPECT_GE(viz::Distance(pos[i], pos[j]), 10.0 - 1e-6);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(RegistryFailureTest, LoadJsonResetsPreviousContent) {
+  endpoint::EndpointRegistry reg;
+  endpoint::EndpointRecord r;
+  r.url = "http://old";
+  reg.Add(r);
+  Json fresh = Json::MakeArray();
+  Json rec = Json::MakeObject();
+  rec.Set("url", "http://new");
+  fresh.Append(std::move(rec));
+  ASSERT_TRUE(reg.LoadJson(fresh).ok());
+  EXPECT_FALSE(reg.Contains("http://old"));
+  EXPECT_TRUE(reg.Contains("http://new"));
+}
+
+}  // namespace
+}  // namespace hbold

@@ -1,0 +1,394 @@
+// Integration tests for src/hbold: server pipeline, presentation layer,
+// exploration sessions (Fig. 2), visual querying, portal crawler (§3.3),
+// manual insertion (§3.4), and the daily update cycle (§3.1).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hbold/hbold.h"
+#include "sparql/parser.h"
+#include "workload/ld_generator.h"
+#include "workload/portal_generator.h"
+#include "workload/scholarly.h"
+
+namespace hbold {
+namespace {
+
+using endpoint::Dialect;
+using endpoint::EndpointRecord;
+using endpoint::EndpointSource;
+using endpoint::SimulatedRemoteEndpoint;
+
+/// Fixture: one scholarly endpoint attached to a server.
+class HboldTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::ScholarlyConfig config;
+    config.conferences = 2;
+    config.people = 60;
+    config.organisations = 10;
+    workload::GenerateScholarly(config, &scholarly_store_);
+    scholarly_ep_ = std::make_unique<SimulatedRemoteEndpoint>(
+        kUrl, "ScholarlyData", &scholarly_store_, &clock_);
+    server_ = std::make_unique<Server>(&db_, &clock_);
+    server_->AttachEndpoint(kUrl, scholarly_ep_.get());
+    EndpointRecord record;
+    record.url = kUrl;
+    record.name = "ScholarlyData";
+    server_->RegisterEndpoint(record);
+  }
+
+  static constexpr const char* kUrl = "http://scholarly.example.org/sparql";
+
+  rdf::TripleStore scholarly_store_;
+  SimClock clock_;
+  store::Database db_;
+  std::unique_ptr<SimulatedRemoteEndpoint> scholarly_ep_;
+  std::unique_ptr<Server> server_;
+};
+
+// ---------------------------------------------------------------- Server
+
+TEST_F(HboldTest, PipelinePersistsBothArtifacts) {
+  auto report = server_->ProcessEndpoint(kUrl);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->extraction.strategy_used, "direct-aggregation");
+  EXPECT_GT(report->classes, 8u);
+  EXPECT_GT(report->arcs, 5u);
+  EXPECT_GT(report->clusters, 1u);
+  EXPECT_LT(report->clusters, report->classes);
+  EXPECT_GT(report->extraction_ms, 0);
+
+  EXPECT_EQ(db_.FindCollection(kSummariesCollection)->size(), 1u);
+  EXPECT_EQ(db_.FindCollection(kClustersCollection)->size(), 1u);
+  // Registry bookkeeping updated.
+  const EndpointRecord* rec = server_->registry().Find(kUrl);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(rec->indexed);
+  EXPECT_EQ(rec->last_success_day, 0);
+}
+
+TEST_F(HboldTest, ReprocessingReplacesStoredDocuments) {
+  ASSERT_TRUE(server_->ProcessEndpoint(kUrl).ok());
+  clock_.AdvanceDays(8);
+  ASSERT_TRUE(server_->ProcessEndpoint(kUrl).ok());
+  EXPECT_EQ(db_.FindCollection(kSummariesCollection)->size(), 1u);
+  EXPECT_EQ(db_.FindCollection(kClustersCollection)->size(), 1u);
+  const EndpointRecord* rec = server_->registry().Find(kUrl);
+  EXPECT_EQ(rec->last_success_day, 8);
+}
+
+TEST_F(HboldTest, UnknownUrlIsUnavailableAndRecorded) {
+  EndpointRecord record;
+  record.url = "http://nowhere/sparql";
+  server_->RegisterEndpoint(record);
+  auto report = server_->ProcessEndpoint("http://nowhere/sparql");
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsUnavailable());
+  const EndpointRecord* rec = server_->registry().Find("http://nowhere/sparql");
+  EXPECT_TRUE(rec->last_attempt_failed);
+  EXPECT_FALSE(rec->indexed);
+}
+
+TEST_F(HboldTest, DailyUpdateFollowsScheduler) {
+  DailyReport day0 = server_->RunDailyUpdate();
+  EXPECT_EQ(day0.due, 1u);
+  EXPECT_EQ(day0.succeeded, 1u);
+  // Nothing due tomorrow (fresh success).
+  clock_.AdvanceDays(1);
+  DailyReport day1 = server_->RunDailyUpdate();
+  EXPECT_EQ(day1.due, 0u);
+  // Due again after the 7-day refresh age.
+  clock_.AdvanceDays(6);
+  DailyReport day7 = server_->RunDailyUpdate();
+  EXPECT_EQ(day7.due, 1u);
+}
+
+TEST_F(HboldTest, RegistryPersistRoundTrip) {
+  ASSERT_TRUE(server_->ProcessEndpoint(kUrl).ok());
+  ASSERT_TRUE(server_->PersistRegistry().ok());
+  Server other(&db_, &clock_);
+  ASSERT_TRUE(other.LoadRegistry().ok());
+  const EndpointRecord* rec = other.registry().Find(kUrl);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(rec->indexed);
+}
+
+// ---------------------------------------------------------------- Presentation
+
+TEST_F(HboldTest, ListDatasetsReflectsStore) {
+  Presentation pres(&db_);
+  EXPECT_TRUE(pres.ListDatasets().empty());
+  ASSERT_TRUE(server_->ProcessEndpoint(kUrl).ok());
+  auto datasets = pres.ListDatasets();
+  ASSERT_EQ(datasets.size(), 1u);
+  EXPECT_EQ(datasets[0].url, kUrl);
+  EXPECT_GT(datasets[0].classes, 8u);
+  EXPECT_GT(datasets[0].total_instances, 100u);
+  EXPECT_EQ(datasets[0].extracted_day, 0);
+}
+
+TEST_F(HboldTest, LoadPathsAgreeWithComputePath) {
+  ASSERT_TRUE(server_->ProcessEndpoint(kUrl).ok());
+  Presentation pres(&db_);
+  double load_ms = -1;
+  auto stored = pres.LoadClusterSchema(kUrl, &load_ms);
+  ASSERT_TRUE(stored.ok()) << stored.status();
+  EXPECT_GE(load_ms, 0);
+  double compute_ms = -1;
+  auto on_the_fly = pres.ComputeClusterSchemaOnTheFly(kUrl, &compute_ms);
+  ASSERT_TRUE(on_the_fly.ok()) << on_the_fly.status();
+  // Louvain is deterministic, so both paths yield the same clustering.
+  EXPECT_EQ(stored->ToJson().Dump(), on_the_fly->ToJson().Dump());
+}
+
+TEST_F(HboldTest, MissingDatasetIsNotFound) {
+  Presentation pres(&db_);
+  EXPECT_TRUE(pres.LoadSchemaSummary("http://none").status().IsNotFound());
+  EXPECT_TRUE(pres.LoadClusterSchema("http://none").status().IsNotFound());
+  ASSERT_TRUE(server_->ProcessEndpoint(kUrl).ok());
+  EXPECT_TRUE(pres.LoadSchemaSummary("http://other").status().IsNotFound());
+}
+
+// ---------------------------------------------------------------- Fig. 2 session
+
+TEST_F(HboldTest, ExplorationWalkMatchesFig2Steps) {
+  ASSERT_TRUE(server_->ProcessEndpoint(kUrl).ok());
+  Presentation pres(&db_);
+  auto summary = pres.LoadSchemaSummary(kUrl);
+  auto clusters = pres.LoadClusterSchema(kUrl);
+  ASSERT_TRUE(summary.ok() && clusters.ok());
+
+  ExplorationSession session(*summary, *clusters);
+  // Step 1: Cluster Schema view, nothing focused yet.
+  EXPECT_EQ(session.VisibleNodeCount(), 0u);
+  EXPECT_DOUBLE_EQ(session.CoveragePercent(), 0.0);
+
+  // Step 2: select the Event class within its cluster.
+  int event = summary->FindNode(std::string(workload::kScholarlyNs) + "Event");
+  ASSERT_GE(event, 0);
+  session.FocusClass(static_cast<size_t>(event));
+  EXPECT_EQ(session.VisibleNodeCount(), 1u);
+  double coverage_step2 = session.CoveragePercent();
+  EXPECT_GT(coverage_step2, 0.0);
+  EXPECT_LT(coverage_step2, 100.0);
+
+  // Step 3: expand the Event class — coverage and node count grow.
+  session.ExpandClass(static_cast<size_t>(event));
+  EXPECT_GT(session.VisibleNodeCount(), 1u);
+  double coverage_step3 = session.CoveragePercent();
+  EXPECT_GE(coverage_step3, coverage_step2);
+
+  // Step 4: full Schema Summary.
+  session.ExpandAll();
+  EXPECT_EQ(session.VisibleNodeCount(), session.TotalNodeCount());
+  EXPECT_NEAR(session.CoveragePercent(), 100.0, 1e-9);
+
+  // The visible subgraph is renderable.
+  auto edges = session.VisibleEdges();
+  EXPECT_EQ(edges.size(), summary->ArcCount());
+  session.Reset();
+  EXPECT_EQ(session.VisibleNodeCount(), 0u);
+}
+
+TEST_F(HboldTest, ExpandRequiresVisibility) {
+  ASSERT_TRUE(server_->ProcessEndpoint(kUrl).ok());
+  Presentation pres(&db_);
+  auto summary = pres.LoadSchemaSummary(kUrl);
+  auto clusters = pres.LoadClusterSchema(kUrl);
+  ASSERT_TRUE(summary.ok() && clusters.ok());
+  ExplorationSession session(*summary, *clusters);
+  session.ExpandClass(0);  // not visible: no-op
+  EXPECT_EQ(session.VisibleNodeCount(), 0u);
+  session.FocusClass(summary->NodeCount() + 5);  // out of range: no-op
+  EXPECT_EQ(session.VisibleNodeCount(), 0u);
+}
+
+// ---------------------------------------------------------------- VisualQuery
+
+TEST_F(HboldTest, VisualQueryGeneratesAndRuns) {
+  ASSERT_TRUE(server_->ProcessEndpoint(kUrl).ok());
+  Presentation pres(&db_);
+  auto summary = pres.LoadSchemaSummary(kUrl);
+  ASSERT_TRUE(summary.ok());
+
+  int person =
+      summary->FindNode(std::string(workload::kScholarlyNs) + "Person");
+  ASSERT_GE(person, 0);
+
+  VisualQuery vq(*summary);
+  std::string person_var = vq.SelectClass(static_cast<size_t>(person));
+  EXPECT_FALSE(person_var.empty());
+
+  // Follow the affiliation arc Person -> Organisation.
+  const schema::PropertyArc* affiliation = nullptr;
+  for (const schema::PropertyArc& arc : summary->arcs()) {
+    if (arc.src == static_cast<size_t>(person) &&
+        arc.iri.find("hasAffiliation") != std::string::npos) {
+      affiliation = &arc;
+    }
+  }
+  ASSERT_NE(affiliation, nullptr);
+  std::string org_var = vq.FollowArc(*affiliation);
+  EXPECT_FALSE(org_var.empty());
+  vq.SetLimit(10);
+
+  std::string sparql = vq.GenerateSparql();
+  EXPECT_NE(sparql.find("SELECT DISTINCT"), std::string::npos);
+  EXPECT_NE(sparql.find("hasAffiliation"), std::string::npos);
+
+  auto result = vq.Execute(scholarly_ep_.get());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->table.num_rows(), 0u);
+  EXPECT_LE(result->table.num_rows(), 10u);
+}
+
+TEST_F(HboldTest, VisualQueryAttributeAndFilter) {
+  ASSERT_TRUE(server_->ProcessEndpoint(kUrl).ok());
+  Presentation pres(&db_);
+  auto summary = pres.LoadSchemaSummary(kUrl);
+  ASSERT_TRUE(summary.ok());
+  int person =
+      summary->FindNode(std::string(workload::kScholarlyNs) + "Person");
+  ASSERT_GE(person, 0);
+
+  VisualQuery vq(*summary);
+  std::string var = vq.SelectClass(static_cast<size_t>(person));
+  std::string label_var = vq.SelectAttribute(
+      static_cast<size_t>(person),
+      "http://www.w3.org/2000/01/rdf-schema#label");
+  ASSERT_FALSE(label_var.empty());
+  vq.FilterRegex(label_var, "Person 1", /*case_insensitive=*/false);
+  auto result = vq.Execute(scholarly_ep_.get());
+  ASSERT_TRUE(result.ok()) << result.status();
+  // "Person 1" matches Person 1, 10..19, 100+ etc. — at least one row.
+  EXPECT_GT(result->table.num_rows(), 0u);
+}
+
+TEST_F(HboldTest, VisualQueryInvalidSelections) {
+  schema::SchemaSummary empty;
+  VisualQuery vq(empty);
+  EXPECT_EQ(vq.SelectClass(0), "");
+  EXPECT_EQ(vq.SelectAttribute(0, "http://x/p"), "");
+  schema::PropertyArc bogus;
+  bogus.src = 3;
+  bogus.dst = 4;
+  EXPECT_EQ(vq.FollowArc(bogus), "");
+}
+
+// ---------------------------------------------------------------- Crawler
+
+TEST(CrawlerTest, DiscoversDedupsAndRegisters) {
+  SimClock clock;
+  rdf::TripleStore portal_store;
+  workload::PortalConfig config;
+  config.portal_name = "EDP";
+  config.total_datasets = 20;
+  config.sparql_urls = {"http://a/sparql", "http://b/sparql",
+                        "http://known/sparql"};
+  workload::GeneratePortalCatalog(config, &portal_store);
+  SimulatedRemoteEndpoint portal("http://edp/sparql", "EDP", &portal_store,
+                                 &clock);
+
+  endpoint::EndpointRegistry registry;
+  EndpointRecord known;
+  known.url = "http://known/sparql";
+  registry.Add(known);
+
+  PortalCrawler crawler(&registry);
+  auto result = crawler.Crawl("EDP", &portal, /*today=*/5);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->distinct_urls, 3u);
+  EXPECT_EQ(result->already_known, 1u);
+  EXPECT_EQ(result->newly_added, 2u);
+  EXPECT_EQ(registry.size(), 3u);
+  const EndpointRecord* added = registry.Find("http://a/sparql");
+  ASSERT_NE(added, nullptr);
+  EXPECT_EQ(added->source, EndpointSource::kPortalCrawl);
+  EXPECT_EQ(added->added_day, 5);
+  EXPECT_FALSE(added->name.empty());
+}
+
+TEST(CrawlerTest, PortalOutagePropagates) {
+  SimClock clock;
+  rdf::TripleStore store;
+  endpoint::AvailabilityModel avail;
+  avail.forced_outage_days = {0};
+  SimulatedRemoteEndpoint portal("http://p/sparql", "P", &store, &clock,
+                                 Dialect::Full(), avail);
+  endpoint::EndpointRegistry registry;
+  PortalCrawler crawler(&registry);
+  auto result = crawler.Crawl("P", &portal, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnavailable());
+}
+
+TEST(CrawlerTest, Listing1QueryParses) {
+  auto q = sparql::ParseQuery(Listing1Query());
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->vars,
+            (std::vector<std::string>{"dataset", "title", "url"}));
+  EXPECT_EQ(q->where.triples.size(), 4u);
+  EXPECT_EQ(q->where.filters.size(), 1u);
+}
+
+// ---------------------------------------------------------------- §3.4
+
+TEST_F(HboldTest, ManualInsertionHappyPath) {
+  // A second endpoint the user submits by hand.
+  rdf::TripleStore user_store;
+  workload::SyntheticLdConfig config;
+  config.num_classes = 5;
+  workload::GenerateSyntheticLd(config, &user_store);
+  SimulatedRemoteEndpoint user_ep("http://user.example.org/sparql", "user",
+                                  &user_store, &clock_);
+  server_->AttachEndpoint(user_ep.url(), &user_ep);
+
+  MemoryMailbox mailbox;
+  ManualInsertionService service(server_.get(), &mailbox);
+  ASSERT_TRUE(
+      service.Submit("http://user.example.org/sparql", "user@example.org")
+          .ok());
+  EXPECT_EQ(service.PendingCount(), 1u);
+  EXPECT_EQ(service.ProcessPending(), 1u);
+  EXPECT_EQ(service.PendingCount(), 0u);
+
+  ASSERT_EQ(mailbox.mails().size(), 1u);
+  EXPECT_EQ(mailbox.mails()[0].to, "user@example.org");
+  EXPECT_NE(mailbox.mails()[0].subject.find("indexed"), std::string::npos);
+  // Endpoint is now listed and indexed.
+  const EndpointRecord* rec =
+      server_->registry().Find("http://user.example.org/sparql");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->source, EndpointSource::kManualInsert);
+  EXPECT_TRUE(rec->indexed);
+}
+
+TEST_F(HboldTest, ManualInsertionFailureNotifiesFailure) {
+  MemoryMailbox mailbox;
+  ManualInsertionService service(server_.get(), &mailbox);
+  // URL with no attached endpoint: extraction will fail.
+  ASSERT_TRUE(service.Submit("http://dead.example.org/sparql", "u@e.org")
+                  .ok());
+  EXPECT_EQ(service.ProcessPending(), 0u);
+  ASSERT_EQ(mailbox.mails().size(), 1u);
+  EXPECT_NE(mailbox.mails()[0].subject.find("failed"), std::string::npos);
+}
+
+TEST_F(HboldTest, ManualInsertionValidation) {
+  MemoryMailbox mailbox;
+  ManualInsertionService service(server_.get(), &mailbox);
+  EXPECT_FALSE(service.Submit("ftp://x/sparql", "a@b.org").ok());
+  EXPECT_FALSE(service.Submit("http://x/sparql", "not-an-email").ok());
+  EXPECT_FALSE(service.Submit("http://x/sparql", "@b.org").ok());
+  // Already-registered URL rejected.
+  EXPECT_EQ(service.Submit(kUrl, "a@b.org").code(),
+            StatusCode::kAlreadyExists);
+  // Double submission rejected.
+  ASSERT_TRUE(service.Submit("http://new.org/sparql", "a@b.org").ok());
+  EXPECT_FALSE(service.Submit("http://new.org/sparql", "c@d.org").ok());
+}
+
+}  // namespace
+}  // namespace hbold

@@ -1,0 +1,368 @@
+// Unit tests for src/rdf: terms, dictionary, triple store indexes, and the
+// N-Triples / Turtle parsers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+#include "rdf/ntriples.h"
+#include "rdf/term.h"
+#include "rdf/turtle.h"
+#include "rdf/vocab.h"
+
+namespace hbold::rdf {
+namespace {
+
+// ---------------------------------------------------------------- Term
+
+TEST(TermTest, KindsAndAccessors) {
+  Term iri = Term::Iri("http://x.org/A");
+  Term blank = Term::Blank("b0");
+  Term lit = Term::Literal("hello", "", "en");
+  EXPECT_TRUE(iri.is_iri());
+  EXPECT_TRUE(blank.is_blank());
+  EXPECT_TRUE(lit.is_literal());
+  EXPECT_EQ(lit.lang(), "en");
+}
+
+TEST(TermTest, NTriplesSerialization) {
+  EXPECT_EQ(Term::Iri("http://x/A").ToNTriples(), "<http://x/A>");
+  EXPECT_EQ(Term::Blank("n1").ToNTriples(), "_:n1");
+  EXPECT_EQ(Term::Literal("hi").ToNTriples(), "\"hi\"");
+  EXPECT_EQ(Term::Literal("hi", vocab::kRdfLangString, "en").ToNTriples(),
+            "\"hi\"@en");
+  EXPECT_EQ(Term::IntLiteral(42).ToNTriples(),
+            "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+  EXPECT_EQ(Term::Literal("a\"b\\c\nd").ToNTriples(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(TermTest, XsdStringDatatypeOmittedInSerialization) {
+  EXPECT_EQ(Term::Literal("x", vocab::kXsdString).ToNTriples(), "\"x\"");
+}
+
+TEST(TermTest, EqualityDistinguishesKindAndDatatype) {
+  EXPECT_EQ(Term::Iri("x"), Term::Iri("x"));
+  EXPECT_NE(Term::Iri("x"), Term::Blank("x"));
+  EXPECT_NE(Term::Literal("1", vocab::kXsdInteger),
+            Term::Literal("1", vocab::kXsdDouble));
+  EXPECT_NE(Term::Literal("a", "", "en"), Term::Literal("a", "", "fr"));
+}
+
+TEST(TermTest, DisplayUsesLocalName) {
+  EXPECT_EQ(Term::Iri("http://x.org/onto#Person").ToDisplay(), "Person");
+  EXPECT_EQ(Term::Literal("v").ToDisplay(), "\"v\"");
+}
+
+TEST(TermTest, TypedLiteralHelpers) {
+  EXPECT_EQ(Term::BoolLiteral(true).lexical(), "true");
+  EXPECT_EQ(Term::IntLiteral(-3).lexical(), "-3");
+  EXPECT_EQ(Term::DoubleLiteral(1.5).datatype(), vocab::kXsdDouble);
+}
+
+// ---------------------------------------------------------------- Dictionary
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  TermId a = dict.Intern(Term::Iri("http://x/A"));
+  TermId b = dict.Intern(Term::Iri("http://x/A"));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, kInvalidTermId);
+  EXPECT_EQ(dict.Get(a), Term::Iri("http://x/A"));
+}
+
+TEST(DictionaryTest, LookupMissingReturnsInvalid) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Lookup(Term::Iri("http://nothing")), kInvalidTermId);
+}
+
+TEST(DictionaryTest, IdsAreDenseFromOne) {
+  Dictionary dict;
+  TermId a = dict.Intern(Term::Iri("a"));
+  TermId b = dict.Intern(Term::Iri("b"));
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(dict.size(), 3u);  // includes reserved slot 0
+}
+
+// ---------------------------------------------------------------- TripleStore
+
+class TripleStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Small dataset: two Persons, one City; knows/livesIn links.
+    store_.Add(A("alice"), P("type"), C("Person"));
+    store_.Add(A("bob"), P("type"), C("Person"));
+    store_.Add(A("rome"), P("type"), C("City"));
+    store_.Add(A("alice"), P("knows"), A("bob"));
+    store_.Add(A("alice"), P("livesIn"), A("rome"));
+    store_.Add(A("bob"), P("livesIn"), A("rome"));
+  }
+
+  static Term A(const std::string& n) { return Term::Iri("http://x/i/" + n); }
+  static Term P(const std::string& n) { return Term::Iri("http://x/p/" + n); }
+  static Term C(const std::string& n) { return Term::Iri("http://x/c/" + n); }
+
+  TriplePattern Pat(const Term* s, const Term* p, const Term* o) {
+    TriplePattern pat;
+    if (s) pat.s = store_.dict().Lookup(*s);
+    if (p) pat.p = store_.dict().Lookup(*p);
+    if (o) pat.o = store_.dict().Lookup(*o);
+    return pat;
+  }
+
+  TripleStore store_;
+};
+
+TEST_F(TripleStoreTest, SizeAndContains) {
+  EXPECT_EQ(store_.size(), 6u);
+  EXPECT_TRUE(store_.Contains(A("alice"), P("knows"), A("bob")));
+  EXPECT_FALSE(store_.Contains(A("bob"), P("knows"), A("alice")));
+}
+
+TEST_F(TripleStoreTest, DuplicatesStoredOnce) {
+  store_.Add(A("alice"), P("knows"), A("bob"));
+  store_.Add(A("alice"), P("knows"), A("bob"));
+  EXPECT_EQ(store_.size(), 6u);
+}
+
+TEST_F(TripleStoreTest, MatchBySubject) {
+  Term alice = A("alice");
+  auto rows = store_.MatchAll(Pat(&alice, nullptr, nullptr));
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(TripleStoreTest, MatchByPredicate) {
+  Term lives = P("livesIn");
+  auto rows = store_.MatchAll(Pat(nullptr, &lives, nullptr));
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(TripleStoreTest, MatchByObject) {
+  Term rome = A("rome");
+  auto rows = store_.MatchAll(Pat(nullptr, nullptr, &rome));
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(TripleStoreTest, MatchPredicateObject) {
+  Term type = P("type"), person = C("Person");
+  auto rows = store_.MatchAll(Pat(nullptr, &type, &person));
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(TripleStoreTest, MatchSubjectObjectUsesResidualFilter) {
+  Term alice = A("alice"), rome = A("rome");
+  auto rows = store_.MatchAll(Pat(&alice, nullptr, &rome));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(store_.dict().Get(rows[0].p), P("livesIn"));
+}
+
+TEST_F(TripleStoreTest, FullScanAndEarlyStop) {
+  size_t seen = 0;
+  store_.Match(TriplePattern{}, [&](const Triple&) {
+    ++seen;
+    return seen < 4;  // stop early
+  });
+  EXPECT_EQ(seen, 4u);
+}
+
+TEST_F(TripleStoreTest, CountMatchesMatchAll) {
+  Term type = P("type");
+  EXPECT_EQ(store_.Count(Pat(nullptr, &type, nullptr)), 3u);
+  EXPECT_EQ(store_.Count(TriplePattern{}), 6u);
+}
+
+TEST_F(TripleStoreTest, DistinctObjectsSortedUnique) {
+  TermId type = store_.dict().Lookup(P("type"));
+  auto classes = store_.DistinctObjects(type);
+  EXPECT_EQ(classes.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(classes.begin(), classes.end()));
+}
+
+TEST_F(TripleStoreTest, DistinctSubjects) {
+  TermId lives = store_.dict().Lookup(P("livesIn"));
+  auto subjects = store_.DistinctSubjects(lives);
+  EXPECT_EQ(subjects.size(), 2u);
+}
+
+TEST_F(TripleStoreTest, UnknownConstantHasNoId) {
+  // A term that was never added cannot be expressed as a pattern: Lookup
+  // returns the wildcard sentinel, so callers (e.g. the SPARQL executor)
+  // must short-circuit to "no matches" themselves.
+  Term ghost = A("ghost");
+  EXPECT_EQ(store_.dict().Lookup(ghost), kInvalidTermId);
+  EXPECT_FALSE(store_.Contains(ghost, P("type"), C("Person")));
+}
+
+TEST_F(TripleStoreTest, InsertAfterQueryReindexes) {
+  EXPECT_EQ(store_.size(), 6u);  // forces index build
+  store_.Add(A("carol"), P("type"), C("Person"));
+  Term type = P("type"), person = C("Person");
+  EXPECT_EQ(store_.MatchAll(Pat(nullptr, &type, &person)).size(), 3u);
+}
+
+// Property-style sweep: random triples — every (s,p,o) pattern subset must
+// agree with a brute-force filter.
+class TripleStorePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TripleStorePropertyTest, PatternsAgreeWithBruteForce) {
+  const int seed = GetParam();
+  TripleStore store;
+  std::vector<Triple> truth;
+  // Deterministic small universe so patterns hit often.
+  for (int i = 0; i < 200; ++i) {
+    int s = (seed * 7 + i * 13) % 10;
+    int p = (seed * 5 + i * 11) % 5;
+    int o = (seed * 3 + i * 17) % 12;
+    Term st = Term::Iri("s" + std::to_string(s));
+    Term pt = Term::Iri("p" + std::to_string(p));
+    Term ot = Term::Iri("o" + std::to_string(o));
+    store.Add(st, pt, ot);
+    truth.push_back(Triple{store.dict().Lookup(st), store.dict().Lookup(pt),
+                           store.dict().Lookup(ot)});
+  }
+  std::sort(truth.begin(), truth.end());
+  truth.erase(std::unique(truth.begin(), truth.end()), truth.end());
+
+  for (int mask = 0; mask < 8; ++mask) {
+    TriplePattern pat;
+    if (mask & 1) pat.s = store.dict().Lookup(Term::Iri("s3"));
+    if (mask & 2) pat.p = store.dict().Lookup(Term::Iri("p2"));
+    if (mask & 4) pat.o = store.dict().Lookup(Term::Iri("o5"));
+    size_t expected = 0;
+    for (const Triple& t : truth) {
+      if (pat.Matches(t)) ++expected;
+    }
+    EXPECT_EQ(store.Count(pat), expected) << "mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TripleStorePropertyTest,
+                         ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------- N-Triples
+
+TEST(NTriplesTest, ParsesBasicTriples) {
+  TripleStore store;
+  auto n = ParseNTriples(
+      "<http://x/a> <http://x/p> <http://x/b> .\n"
+      "# comment line\n"
+      "\n"
+      "<http://x/a> <http://x/q> \"lit\" .\n"
+      "_:b0 <http://x/p> \"v\"@en .\n"
+      "<http://x/a> <http://x/r> \"3\"^^<http://www.w3.org/2001/XMLSchema#integer> .",
+      &store);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 4u);
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_TRUE(store.Contains(Term::Iri("http://x/a"), Term::Iri("http://x/q"),
+                             Term::Literal("lit")));
+}
+
+TEST(NTriplesTest, RejectsMalformedLines) {
+  TripleStore store;
+  EXPECT_FALSE(ParseNTriples("<a> <b> .", &store).ok());
+  EXPECT_FALSE(ParseNTriples("<a> <b> <c>", &store).ok());  // missing dot
+  EXPECT_FALSE(ParseNTriples("<a> \"lit\" <c> .", &store).ok());  // pred lit
+  EXPECT_FALSE(ParseNTriples("<a> <b> \"unterminated .", &store).ok());
+  EXPECT_FALSE(ParseNTriples("<a> <b> <c> . extra", &store).ok());
+}
+
+TEST(NTriplesTest, ErrorsIncludeLineNumber) {
+  TripleStore store;
+  auto r = ParseNTriples("<a> <b> <c> .\nbogus line\n", &store);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesTest, WriterRoundTrips) {
+  TripleStore store;
+  store.Add(Term::Iri("http://x/s"), Term::Iri("http://x/p"),
+            Term::Literal("a \"quoted\" value\nwith newline"));
+  store.Add(Term::Blank("b"), Term::Iri("http://x/p"), Term::IntLiteral(7));
+  std::string text = WriteNTriples(store);
+  TripleStore reparsed;
+  auto n = ParseNTriples(text, &reparsed);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(reparsed.size(), store.size());
+  EXPECT_EQ(WriteNTriples(reparsed), text);
+}
+
+// ---------------------------------------------------------------- Turtle
+
+TEST(TurtleTest, ParsesPrefixesAndLists) {
+  TripleStore store;
+  auto n = ParseTurtle(R"(
+@prefix ex: <http://x.org/> .
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+
+ex:alice a foaf:Person ;
+    foaf:knows ex:bob, ex:carol ;
+    foaf:name "Alice" .
+ex:bob a foaf:Person .
+)",
+                       &store);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 5u);
+  EXPECT_TRUE(store.Contains(Term::Iri("http://x.org/alice"),
+                             Term::Iri(vocab::kRdfType),
+                             Term::Iri("http://xmlns.com/foaf/0.1/Person")));
+  EXPECT_TRUE(store.Contains(Term::Iri("http://x.org/alice"),
+                             Term::Iri("http://xmlns.com/foaf/0.1/knows"),
+                             Term::Iri("http://x.org/carol")));
+}
+
+TEST(TurtleTest, ParsesLiteralFormsAndComments) {
+  TripleStore store;
+  auto n = ParseTurtle(R"(
+@prefix ex: <http://x/> .
+# a comment
+ex:s ex:int 42 ;         # trailing comment
+     ex:dec 3.14 ;
+     ex:dbl 1e3 ;
+     ex:neg -7 ;
+     ex:flag true ;
+     ex:lang "ciao"@it ;
+     ex:typed "5"^^ex:mytype .
+)",
+                       &store);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 7u);
+  EXPECT_TRUE(store.Contains(Term::Iri("http://x/s"), Term::Iri("http://x/int"),
+                             Term::Literal("42", vocab::kXsdInteger)));
+  EXPECT_TRUE(store.Contains(Term::Iri("http://x/s"), Term::Iri("http://x/flag"),
+                             Term::BoolLiteral(true)));
+  EXPECT_TRUE(store.Contains(Term::Iri("http://x/s"),
+                             Term::Iri("http://x/typed"),
+                             Term::Literal("5", "http://x/mytype")));
+}
+
+TEST(TurtleTest, SparqlStylePrefixKeyword) {
+  TripleStore store;
+  auto n = ParseTurtle("PREFIX ex: <http://x/>\nex:a ex:p ex:b .", &store);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 1u);
+}
+
+TEST(TurtleTest, UnknownPrefixFails) {
+  TripleStore store;
+  EXPECT_FALSE(ParseTurtle("nope:a nope:p nope:b .", &store).ok());
+}
+
+TEST(TurtleTest, MissingDotFails) {
+  TripleStore store;
+  EXPECT_FALSE(
+      ParseTurtle("@prefix ex: <http://x/> .\nex:a ex:p ex:b", &store).ok());
+}
+
+TEST(TurtleTest, BlankNodes) {
+  TripleStore store;
+  auto n = ParseTurtle("@prefix ex: <http://x/> .\n_:n1 ex:p _:n2 .", &store);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_TRUE(store.Contains(Term::Blank("n1"), Term::Iri("http://x/p"),
+                             Term::Blank("n2")));
+}
+
+}  // namespace
+}  // namespace hbold::rdf

@@ -1,0 +1,182 @@
+// Unit tests for src/schema: Schema Summary construction from indexes,
+// graph accessors, coverage statistics, serialization.
+
+#include <gtest/gtest.h>
+
+#include "extraction/indexes.h"
+#include "schema/schema_summary.h"
+
+namespace hbold::schema {
+namespace {
+
+using extraction::ClassInfo;
+using extraction::IndexSummary;
+using extraction::PropertyInfo;
+
+/// Builds indexes for a small schema:
+///   Person (100) --worksAt--> Org (10) --inCity--> City (5)
+///   Person --knows--> Person (self-ish arc between same class)
+///   Person has attribute name; Org has attribute name.
+IndexSummary MakeIndexes() {
+  IndexSummary s;
+  s.endpoint_url = "http://test/sparql";
+  s.num_instances = 115;
+  s.num_triples = 1000;
+
+  ClassInfo person;
+  person.iri = "http://x/onto#Person";
+  person.instance_count = 100;
+  PropertyInfo name{"http://x/onto#name", 100, false, {}};
+  PropertyInfo works{"http://x/onto#worksAt", 80, true,
+                     {{"http://x/onto#Org", 80}}};
+  PropertyInfo knows{"http://x/onto#knows", 50, true,
+                     {{"http://x/onto#Person", 50}}};
+  person.properties = {name, works, knows};
+
+  ClassInfo org;
+  org.iri = "http://x/onto#Org";
+  org.instance_count = 10;
+  PropertyInfo org_name{"http://x/onto#name", 10, false, {}};
+  PropertyInfo in_city{"http://x/onto#inCity", 10, true,
+                       {{"http://x/onto#City", 10}}};
+  PropertyInfo ghost{"http://x/onto#partnerOf", 3, true,
+                     {{"http://x/onto#Ghost", 3}}};  // range not instantiated
+  org.properties = {org_name, in_city, ghost};
+
+  ClassInfo city;
+  city.iri = "http://x/onto#City";
+  city.instance_count = 5;
+  city.properties = {};
+
+  s.classes = {person, org, city};
+  s.num_classes = 3;
+  return s;
+}
+
+TEST(SchemaSummaryTest, NodesFromClasses) {
+  SchemaSummary s = SchemaSummary::FromIndexes(MakeIndexes());
+  ASSERT_EQ(s.NodeCount(), 3u);
+  EXPECT_EQ(s.endpoint_url(), "http://test/sparql");
+  EXPECT_EQ(s.nodes()[0].iri, "http://x/onto#Person");
+  EXPECT_EQ(s.nodes()[0].label, "Person");
+  EXPECT_EQ(s.nodes()[0].instance_count, 100u);
+  EXPECT_EQ(s.total_instances(), 115u);
+}
+
+TEST(SchemaSummaryTest, ArcsFromObjectProperties) {
+  SchemaSummary s = SchemaSummary::FromIndexes(MakeIndexes());
+  // worksAt, knows (self-loop Person->Person), inCity. partnerOf dropped
+  // (range class not instantiated).
+  ASSERT_EQ(s.ArcCount(), 3u);
+  int person = s.FindNode("http://x/onto#Person");
+  int org = s.FindNode("http://x/onto#Org");
+  ASSERT_GE(person, 0);
+  ASSERT_GE(org, 0);
+  bool found_works = false, found_knows = false;
+  for (const PropertyArc& a : s.arcs()) {
+    if (a.iri == "http://x/onto#worksAt") {
+      found_works = true;
+      EXPECT_EQ(a.src, static_cast<size_t>(person));
+      EXPECT_EQ(a.dst, static_cast<size_t>(org));
+      EXPECT_EQ(a.count, 80u);
+    }
+    if (a.iri == "http://x/onto#knows") {
+      found_knows = true;
+      EXPECT_EQ(a.src, a.dst);  // self-loop
+    }
+  }
+  EXPECT_TRUE(found_works);
+  EXPECT_TRUE(found_knows);
+}
+
+TEST(SchemaSummaryTest, AttributesFromDatatypeProperties) {
+  SchemaSummary s = SchemaSummary::FromIndexes(MakeIndexes());
+  int person = s.FindNode("http://x/onto#Person");
+  ASSERT_GE(person, 0);
+  const ClassNode& node = s.nodes()[static_cast<size_t>(person)];
+  ASSERT_EQ(node.attributes.size(), 1u);
+  EXPECT_EQ(node.attributes[0].iri, "http://x/onto#name");
+  EXPECT_EQ(node.attributes[0].count, 100u);
+}
+
+TEST(SchemaSummaryTest, FindNodeMissing) {
+  SchemaSummary s = SchemaSummary::FromIndexes(MakeIndexes());
+  EXPECT_EQ(s.FindNode("http://nope"), -1);
+}
+
+TEST(SchemaSummaryTest, DegreeCountsBothEndsAndSelfLoopsTwice) {
+  SchemaSummary s = SchemaSummary::FromIndexes(MakeIndexes());
+  size_t person = static_cast<size_t>(s.FindNode("http://x/onto#Person"));
+  size_t org = static_cast<size_t>(s.FindNode("http://x/onto#Org"));
+  size_t city = static_cast<size_t>(s.FindNode("http://x/onto#City"));
+  // Person: worksAt out (1) + knows self-loop (2) = 3.
+  EXPECT_EQ(s.Degree(person), 3u);
+  // Org: worksAt in (1) + inCity out (1) = 2.
+  EXPECT_EQ(s.Degree(org), 2u);
+  EXPECT_EQ(s.Degree(city), 1u);
+}
+
+TEST(SchemaSummaryTest, NeighborsExcludeSelf) {
+  SchemaSummary s = SchemaSummary::FromIndexes(MakeIndexes());
+  size_t person = static_cast<size_t>(s.FindNode("http://x/onto#Person"));
+  auto nbrs = s.Neighbors(person);
+  ASSERT_EQ(nbrs.size(), 1u);  // only Org (self-loop excluded)
+  EXPECT_EQ(s.nodes()[nbrs[0]].label, "Org");
+}
+
+TEST(SchemaSummaryTest, IncidentArcs) {
+  SchemaSummary s = SchemaSummary::FromIndexes(MakeIndexes());
+  size_t org = static_cast<size_t>(s.FindNode("http://x/onto#Org"));
+  EXPECT_EQ(s.IncidentArcs(org).size(), 2u);  // worksAt in, inCity out
+}
+
+TEST(SchemaSummaryTest, CoveragePercent) {
+  SchemaSummary s = SchemaSummary::FromIndexes(MakeIndexes());
+  size_t person = static_cast<size_t>(s.FindNode("http://x/onto#Person"));
+  size_t org = static_cast<size_t>(s.FindNode("http://x/onto#Org"));
+  size_t city = static_cast<size_t>(s.FindNode("http://x/onto#City"));
+  EXPECT_DOUBLE_EQ(s.CoveragePercent({}), 0.0);
+  EXPECT_NEAR(s.CoveragePercent({person}), 100.0 * 100 / 115, 1e-9);
+  EXPECT_NEAR(s.CoveragePercent({person, org, city}), 100.0, 1e-9);
+  // Out-of-range indexes are ignored.
+  EXPECT_NEAR(s.CoveragePercent({person, 999}), 100.0 * 100 / 115, 1e-9);
+}
+
+TEST(SchemaSummaryTest, EmptySummary) {
+  SchemaSummary s;
+  EXPECT_EQ(s.NodeCount(), 0u);
+  EXPECT_DOUBLE_EQ(s.CoveragePercent({0, 1}), 0.0);
+}
+
+TEST(SchemaSummaryTest, JsonRoundTrip) {
+  SchemaSummary s = SchemaSummary::FromIndexes(MakeIndexes());
+  auto round = SchemaSummary::FromJson(s.ToJson());
+  ASSERT_TRUE(round.ok()) << round.status();
+  EXPECT_EQ(round->ToJson().Dump(), s.ToJson().Dump());
+  EXPECT_EQ(round->NodeCount(), s.NodeCount());
+  EXPECT_EQ(round->ArcCount(), s.ArcCount());
+  EXPECT_EQ(round->total_instances(), s.total_instances());
+}
+
+TEST(SchemaSummaryTest, FromJsonValidatesArcRange) {
+  Json j = Json::MakeObject();
+  j.Set("endpoint_url", "u");
+  j.Set("total_instances", 1);
+  j.Set("nodes", Json::MakeArray());
+  Json arcs = Json::MakeArray();
+  Json arc = Json::MakeObject();
+  arc.Set("src", 5);
+  arc.Set("dst", 0);
+  arc.Set("iri", "p");
+  arc.Set("count", 1);
+  arcs.Append(std::move(arc));
+  j.Set("arcs", std::move(arcs));
+  EXPECT_FALSE(SchemaSummary::FromJson(j).ok());
+}
+
+TEST(SchemaSummaryTest, FromJsonRejectsNonObject) {
+  EXPECT_FALSE(SchemaSummary::FromJson(Json("x")).ok());
+}
+
+}  // namespace
+}  // namespace hbold::schema

@@ -1,0 +1,338 @@
+// Property suite: the SPARQL executor's BGP join semantics are checked
+// against a brute-force oracle on randomized stores and randomized
+// two/three-pattern queries, across seeds. Also covers solution-modifier
+// edge cases that the example-driven tests miss.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "rdf/graph.h"
+#include "rdf/ntriples.h"
+#include "rdf/vocab.h"
+#include "sparql/executor.h"
+
+namespace hbold::sparql {
+namespace {
+
+using rdf::Term;
+
+/// A tiny universe so joins happen often.
+struct Universe {
+  rdf::TripleStore store;
+  std::vector<std::string> subjects;   // IRIs
+  std::vector<std::string> predicates;
+  std::vector<std::string> objects;
+};
+
+Universe MakeUniverse(uint64_t seed) {
+  Universe u;
+  Rng rng(seed);
+  for (int i = 0; i < 8; ++i) u.subjects.push_back("http://u/s" + std::to_string(i));
+  for (int i = 0; i < 4; ++i) u.predicates.push_back("http://u/p" + std::to_string(i));
+  // Objects overlap with subjects so chains exist.
+  u.objects = u.subjects;
+  u.objects.push_back("http://u/o_only");
+
+  size_t triples = 40 + rng.Uniform(60);
+  for (size_t t = 0; t < triples; ++t) {
+    u.store.Add(Term::Iri(rng.Choice(u.subjects)),
+                Term::Iri(rng.Choice(u.predicates)),
+                Term::Iri(rng.Choice(u.objects)));
+  }
+  return u;
+}
+
+/// One pattern slot: -1 = variable (index into var names), else constant
+/// index into the respective pool.
+struct OraclePattern {
+  int s, p, o;  // >= 0: constant pool index; < 0: -(var_id + 1)
+};
+
+/// Brute-force evaluation of a conjunction of patterns over all triples.
+std::set<std::vector<std::string>> OracleEval(
+    const Universe& u, const std::vector<OraclePattern>& patterns,
+    size_t num_vars) {
+  std::vector<rdf::Triple> all = u.store.MatchAll(rdf::TriplePattern{});
+  std::set<std::vector<std::string>> results;
+  // Depth-first over pattern assignments.
+  std::vector<std::string> binding(num_vars);
+  std::vector<bool> bound(num_vars, false);
+
+  std::function<void(size_t)> recurse = [&](size_t pi) {
+    if (pi == patterns.size()) {
+      std::vector<std::string> row(num_vars);
+      for (size_t v = 0; v < num_vars; ++v) row[v] = binding[v];
+      results.insert(row);
+      return;
+    }
+    const OraclePattern& pat = patterns[pi];
+    for (const rdf::Triple& t : all) {
+      std::string s = u.store.dict().Get(t.s).lexical();
+      std::string p = u.store.dict().Get(t.p).lexical();
+      std::string o = u.store.dict().Get(t.o).lexical();
+      auto try_slot = [&](int spec, const std::string& value,
+                          const std::vector<std::string>& pool,
+                          std::vector<size_t>* newly) {
+        if (spec >= 0) return pool[static_cast<size_t>(spec)] == value;
+        size_t var = static_cast<size_t>(-spec - 1);
+        if (bound[var]) return binding[var] == value;
+        bound[var] = true;
+        binding[var] = value;
+        newly->push_back(var);
+        return true;
+      };
+      std::vector<size_t> newly;
+      bool ok = try_slot(pat.s, s, u.subjects, &newly) &&
+                try_slot(pat.p, p, u.predicates, &newly) &&
+                try_slot(pat.o, o, u.objects, &newly);
+      if (ok) recurse(pi + 1);
+      for (size_t v : newly) bound[v] = false;
+    }
+  };
+  recurse(0);
+  return results;
+}
+
+/// Renders the oracle patterns as a SPARQL query over vars ?v0..?vN.
+std::string RenderQuery(const Universe& u,
+                        const std::vector<OraclePattern>& patterns,
+                        size_t num_vars) {
+  std::string q = "SELECT";
+  for (size_t v = 0; v < num_vars; ++v) q += " ?v" + std::to_string(v);
+  q += " WHERE {\n";
+  auto slot = [&](int spec, const std::vector<std::string>& pool) {
+    if (spec >= 0) return "<" + pool[static_cast<size_t>(spec)] + ">";
+    return "?v" + std::to_string(-spec - 1);
+  };
+  for (const OraclePattern& pat : patterns) {
+    q += "  " + slot(pat.s, u.subjects) + " " + slot(pat.p, u.predicates) +
+         " " + slot(pat.o, u.objects) + " .\n";
+  }
+  q += "}";
+  return q;
+}
+
+class SparqlOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SparqlOracleTest, ExecutorAgreesWithBruteForce) {
+  Universe u = MakeUniverse(GetParam());
+  Rng rng(GetParam() * 31 + 7);
+
+  for (int trial = 0; trial < 12; ++trial) {
+    // Random query: 1-3 patterns over up to 3 variables, every variable
+    // used at least once by construction (slots pick vars with p=0.5).
+    size_t num_vars = 1 + rng.Uniform(3);
+    size_t num_patterns = 1 + rng.Uniform(3);
+    std::vector<OraclePattern> patterns;
+    std::set<int> used_vars;
+    for (size_t i = 0; i < num_patterns; ++i) {
+      auto slot = [&](const std::vector<std::string>& pool) -> int {
+        if (rng.Chance(0.5)) {
+          int var = static_cast<int>(rng.Uniform(num_vars));
+          used_vars.insert(var);
+          return -(var + 1);
+        }
+        return static_cast<int>(rng.Uniform(pool.size()));
+      };
+      patterns.push_back(OraclePattern{slot(u.subjects), slot(u.predicates),
+                                       slot(u.objects)});
+    }
+    // Ensure all projected vars appear (rebind unused ones onto the first
+    // pattern's subject to keep the query well-formed).
+    for (size_t v = 0; v < num_vars; ++v) {
+      if (used_vars.count(static_cast<int>(v)) == 0) {
+        patterns[0].s = -(static_cast<int>(v) + 1);
+        used_vars.insert(static_cast<int>(v));
+      }
+    }
+
+    std::string query = RenderQuery(u, patterns, num_vars);
+    Executor executor(&u.store);
+    auto result = executor.Execute(query);
+    ASSERT_TRUE(result.ok()) << query << "\n" << result.status();
+
+    std::set<std::vector<std::string>> expected =
+        OracleEval(u, patterns, num_vars);
+    std::set<std::vector<std::string>> actual;
+    for (const auto& row : result->rows()) {
+      std::vector<std::string> r;
+      for (const auto& cell : row) {
+        r.push_back(cell.has_value() ? cell->lexical() : "");
+      }
+      actual.insert(r);
+    }
+    // The executor returns bags; compare as sets (oracle is set-based).
+    EXPECT_EQ(actual, expected) << query;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparqlOracleTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+// ------------------------------------------------- modifier edge cases
+
+TEST(SparqlEdgeTest, OffsetBeyondResultIsEmpty) {
+  Universe u = MakeUniverse(1);
+  Executor ex(&u.store);
+  auto r = ex.Execute("SELECT ?s WHERE { ?s ?p ?o . } OFFSET 100000");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 0u);
+}
+
+TEST(SparqlEdgeTest, LimitZeroIsEmpty) {
+  Universe u = MakeUniverse(2);
+  Executor ex(&u.store);
+  auto r = ex.Execute("SELECT ?s WHERE { ?s ?p ?o . } LIMIT 0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 0u);
+}
+
+TEST(SparqlEdgeTest, MultiKeyOrderByIsStable) {
+  rdf::TripleStore store;
+  store.Add(Term::Iri("http://x/a"), Term::Iri("http://x/k"),
+            Term::IntLiteral(2));
+  store.Add(Term::Iri("http://x/b"), Term::Iri("http://x/k"),
+            Term::IntLiteral(1));
+  store.Add(Term::Iri("http://x/c"), Term::Iri("http://x/k"),
+            Term::IntLiteral(1));
+  Executor ex(&store);
+  auto r = ex.Execute(
+      "SELECT ?s ?v WHERE { ?s <http://x/k> ?v . } ORDER BY ?v DESC(?s)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->num_rows(), 3u);
+  EXPECT_EQ(r->Cell(0, "s")->lexical(), "http://x/c");
+  EXPECT_EQ(r->Cell(1, "s")->lexical(), "http://x/b");
+  EXPECT_EQ(r->Cell(2, "s")->lexical(), "http://x/a");
+}
+
+TEST(SparqlEdgeTest, NestedOptionals) {
+  rdf::TripleStore store;
+  ASSERT_TRUE(rdf::ParseNTriples(
+                  "<http://x/a> <http://x/p> <http://x/b> .\n"
+                  "<http://x/b> <http://x/q> <http://x/c> .\n"
+                  "<http://x/d> <http://x/p> <http://x/e> .\n",
+                  &store)
+                  .ok());
+  Executor ex(&store);
+  auto r = ex.Execute(R"(
+SELECT ?a ?b ?c WHERE {
+  ?a <http://x/p> ?b .
+  OPTIONAL { ?b <http://x/q> ?c . }
+})");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->num_rows(), 2u);
+  size_t with_c = 0;
+  for (size_t i = 0; i < r->num_rows(); ++i) {
+    if (r->Cell(i, "c").has_value()) ++with_c;
+  }
+  EXPECT_EQ(with_c, 1u);
+}
+
+TEST(SparqlEdgeTest, UnionBranchesWithFilters) {
+  rdf::TripleStore store;
+  store.Add(Term::Iri("http://x/a"), Term::Iri("http://x/k"),
+            Term::IntLiteral(5));
+  store.Add(Term::Iri("http://x/b"), Term::Iri("http://x/k"),
+            Term::IntLiteral(50));
+  Executor ex(&store);
+  auto r = ex.Execute(R"(
+SELECT ?s WHERE {
+  { ?s <http://x/k> ?v . FILTER (?v < 10) . }
+  UNION
+  { ?s <http://x/k> ?v . FILTER (?v > 40) . }
+})");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->num_rows(), 2u);
+}
+
+TEST(SparqlEdgeTest, GroupByMultipleKeys) {
+  rdf::TripleStore store;
+  auto add = [&](const char* s, const char* cls, const char* city) {
+    store.Add(Term::Iri(s), Term::Iri(rdf::vocab::kRdfType), Term::Iri(cls));
+    store.Add(Term::Iri(s), Term::Iri("http://x/in"), Term::Iri(city));
+  };
+  add("http://x/1", "http://x/A", "http://x/rome");
+  add("http://x/2", "http://x/A", "http://x/rome");
+  add("http://x/3", "http://x/A", "http://x/milan");
+  add("http://x/4", "http://x/B", "http://x/rome");
+  Executor ex(&store);
+  auto r = ex.Execute(R"(
+SELECT ?c ?city (COUNT(?s) AS ?n) WHERE {
+  ?s a ?c . ?s <http://x/in> ?city .
+} GROUP BY ?c ?city ORDER BY DESC(?n))");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->num_rows(), 3u);
+  EXPECT_EQ(r->Cell(0, "n")->lexical(), "2");
+}
+
+// ------------------------------------------------- ASK form
+
+TEST(AskTest, TrueWhenPatternMatches) {
+  Universe u = MakeUniverse(4);
+  Executor ex(&u.store);
+  auto r = ex.Execute("ASK { ?s ?p ?o . }");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->AskResult(), true);
+}
+
+TEST(AskTest, FalseOnEmptyStoreOrNoMatch) {
+  rdf::TripleStore empty;
+  Executor ex(&empty);
+  auto r = ex.Execute("ASK { ?s ?p ?o . }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AskResult(), false);
+
+  Universe u = MakeUniverse(5);
+  Executor ex2(&u.store);
+  auto r2 = ex2.Execute("ASK { ?s <http://nope/p> ?o . }");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->AskResult(), false);
+}
+
+TEST(AskTest, SupportsFiltersAndPrefixes) {
+  rdf::TripleStore store;
+  store.Add(Term::Iri("http://x/a"), Term::Iri("http://x/k"),
+            Term::IntLiteral(7));
+  Executor ex(&store);
+  auto yes = ex.Execute(
+      "PREFIX ex: <http://x/> ASK { ?s ex:k ?v . FILTER (?v > 5) . }");
+  ASSERT_TRUE(yes.ok()) << yes.status();
+  EXPECT_EQ(yes->AskResult(), true);
+  auto no = ex.Execute(
+      "PREFIX ex: <http://x/> ASK { ?s ex:k ?v . FILTER (?v > 50) . }");
+  ASSERT_TRUE(no.ok());
+  EXPECT_EQ(no->AskResult(), false);
+}
+
+TEST(AskTest, RejectsTrailingModifiers) {
+  Universe u = MakeUniverse(6);
+  Executor ex(&u.store);
+  EXPECT_FALSE(ex.Execute("ASK { ?s ?p ?o . } LIMIT 3").ok());
+}
+
+TEST(AskTest, AskResultIsNulloptForSelectTables) {
+  Universe u = MakeUniverse(7);
+  Executor ex(&u.store);
+  auto r = ex.Execute("SELECT ?s WHERE { ?s ?p ?o . } LIMIT 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->AskResult().has_value());
+}
+
+TEST(SparqlEdgeTest, EmptyGroupPattern) {
+  Universe u = MakeUniverse(3);
+  Executor ex(&u.store);
+  // SELECT over an empty group: one empty solution.
+  auto r = ex.Execute("SELECT (COUNT(*) AS ?n) WHERE { }");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->ScalarInt("n"), 1);
+}
+
+}  // namespace
+}  // namespace hbold::sparql

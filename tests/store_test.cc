@@ -1,0 +1,200 @@
+// Unit tests for src/store: collection filtering, unique indexes, updates,
+// persistence round-trips.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/json.h"
+#include "store/collection.h"
+#include "store/database.h"
+
+namespace hbold::store {
+namespace {
+
+Json Obj(const std::string& text) {
+  auto r = Json::Parse(text);
+  EXPECT_TRUE(r.ok()) << text << " " << r.status();
+  return r.ok() ? *r : Json::MakeObject();
+}
+
+class CollectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(c_.Insert(Obj(R"({"name":"a","n":1,"tags":["x"]})")).ok());
+    ASSERT_TRUE(c_.Insert(Obj(R"({"name":"b","n":2})")).ok());
+    ASSERT_TRUE(c_.Insert(Obj(R"({"name":"c","n":3,"meta":{"k":9}})")).ok());
+  }
+  Collection c_{"test"};
+};
+
+TEST_F(CollectionTest, InsertAssignsSequentialIds) {
+  EXPECT_EQ(c_.size(), 3u);
+  auto doc = c_.FindOne(Obj(R"({"name":"b"})"));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->GetInt("_id"), 2);
+}
+
+TEST_F(CollectionTest, InsertRejectsNonObject) {
+  EXPECT_FALSE(c_.Insert(Json(5)).ok());
+}
+
+TEST_F(CollectionTest, FindByEquality) {
+  EXPECT_EQ(c_.Find(Obj(R"({"name":"a"})")).size(), 1u);
+  EXPECT_EQ(c_.Find(Obj(R"({})")).size(), 3u);
+  EXPECT_EQ(c_.Find(Obj(R"({"name":"zzz"})")).size(), 0u);
+}
+
+TEST_F(CollectionTest, FindByComparisonOperators) {
+  EXPECT_EQ(c_.Find(Obj(R"({"n":{"$gt":1}})")).size(), 2u);
+  EXPECT_EQ(c_.Find(Obj(R"({"n":{"$gte":1}})")).size(), 3u);
+  EXPECT_EQ(c_.Find(Obj(R"({"n":{"$lt":3}})")).size(), 2u);
+  EXPECT_EQ(c_.Find(Obj(R"({"n":{"$lte":1}})")).size(), 1u);
+  EXPECT_EQ(c_.Find(Obj(R"({"n":{"$ne":2}})")).size(), 2u);
+  EXPECT_EQ(c_.Find(Obj(R"({"n":{"$gt":1,"$lt":3}})")).size(), 1u);
+}
+
+TEST_F(CollectionTest, FindByInAndExists) {
+  EXPECT_EQ(c_.Find(Obj(R"({"name":{"$in":["a","c"]}})")).size(), 2u);
+  EXPECT_EQ(c_.Find(Obj(R"({"meta":{"$exists":true}})")).size(), 1u);
+  EXPECT_EQ(c_.Find(Obj(R"({"meta":{"$exists":false}})")).size(), 2u);
+}
+
+TEST_F(CollectionTest, DottedPathsDescend) {
+  EXPECT_EQ(c_.Find(Obj(R"({"meta.k":9})")).size(), 1u);
+  EXPECT_EQ(c_.Find(Obj(R"({"meta.k":{"$gt":5}})")).size(), 1u);
+  EXPECT_EQ(c_.Find(Obj(R"({"meta.missing":1})")).size(), 0u);
+}
+
+TEST_F(CollectionTest, MultipleKeysAreAnded) {
+  EXPECT_EQ(c_.Find(Obj(R"({"name":"a","n":1})")).size(), 1u);
+  EXPECT_EQ(c_.Find(Obj(R"({"name":"a","n":2})")).size(), 0u);
+}
+
+TEST_F(CollectionTest, FindByIdAndCount) {
+  EXPECT_TRUE(c_.FindById(1).has_value());
+  EXPECT_FALSE(c_.FindById(99).has_value());
+  EXPECT_EQ(c_.CountMatching(Obj(R"({"n":{"$gte":2}})")), 2u);
+}
+
+TEST_F(CollectionTest, UpdateMergesFields) {
+  auto n = c_.Update(Obj(R"({"name":"a"})"), Obj(R"({"n":10,"fresh":true})"));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+  auto doc = c_.FindOne(Obj(R"({"name":"a"})"));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->GetInt("n"), 10);
+  EXPECT_TRUE(doc->GetBool("fresh"));
+  EXPECT_EQ(doc->GetInt("_id"), 1);  // _id preserved
+}
+
+TEST_F(CollectionTest, UpdateManyReturnsCount) {
+  auto n = c_.Update(Obj(R"({"n":{"$gt":0}})"), Obj(R"({"seen":1})"));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3u);
+}
+
+TEST_F(CollectionTest, RemoveByFilter) {
+  EXPECT_EQ(c_.Remove(Obj(R"({"n":{"$lt":3}})")), 2u);
+  EXPECT_EQ(c_.size(), 1u);
+  EXPECT_EQ(c_.Remove(Obj(R"({})")), 1u);
+  EXPECT_EQ(c_.size(), 0u);
+}
+
+TEST_F(CollectionTest, UniqueIndexBlocksDuplicates) {
+  ASSERT_TRUE(c_.CreateUniqueIndex("name").ok());
+  auto r = c_.Insert(Obj(R"({"name":"a"})"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+  // Missing field is allowed.
+  EXPECT_TRUE(c_.Insert(Obj(R"({"other":1})")).ok());
+}
+
+TEST_F(CollectionTest, UniqueIndexBlocksUpdateCollisions) {
+  ASSERT_TRUE(c_.CreateUniqueIndex("name").ok());
+  auto r = c_.Update(Obj(R"({"name":"b"})"), Obj(R"({"name":"a"})"));
+  EXPECT_FALSE(r.ok());
+  // Atomicity: b unchanged.
+  EXPECT_TRUE(c_.FindOne(Obj(R"({"name":"b"})")).has_value());
+}
+
+TEST_F(CollectionTest, UniqueIndexRejectsExistingDuplicates) {
+  ASSERT_TRUE(c_.Insert(Obj(R"({"name":"a"})")).ok());  // duplicate of row 1
+  EXPECT_FALSE(c_.CreateUniqueIndex("name").ok());
+}
+
+TEST_F(CollectionTest, JsonlRoundTrip) {
+  std::string dump = c_.DumpJsonl();
+  Collection other("copy");
+  ASSERT_TRUE(other.LoadJsonl(dump).ok());
+  EXPECT_EQ(other.size(), 3u);
+  EXPECT_EQ(other.DumpJsonl(), dump);
+  // next_id resumes after the max loaded id.
+  auto id = other.Insert(Obj(R"({"name":"d"})"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 4);
+}
+
+TEST_F(CollectionTest, LoadJsonlRejectsMissingId) {
+  Collection other("bad");
+  EXPECT_FALSE(other.LoadJsonl("{\"name\":\"x\"}\n").ok());
+  EXPECT_FALSE(other.LoadJsonl("not json\n").ok());
+}
+
+TEST(CollectionMatchTest, StaticMatcher) {
+  Json doc = Obj(R"({"a":1,"s":"hello"})");
+  EXPECT_TRUE(Collection::Matches(doc, Obj(R"({"a":1})")));
+  EXPECT_FALSE(Collection::Matches(doc, Obj(R"({"a":2})")));
+  EXPECT_TRUE(Collection::Matches(doc, Obj(R"({"s":{"$gte":"hello"}})")));
+  EXPECT_FALSE(Collection::Matches(doc, Obj(R"({"a":{"$bogus":1}})")));
+}
+
+// ---------------------------------------------------------------- Database
+
+TEST(DatabaseTest, GetCollectionCreatesOnce) {
+  Database db;
+  Collection* a = db.GetCollection("x");
+  Collection* b = db.GetCollection("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(db.CollectionNames(), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(db.FindCollection("missing"), nullptr);
+}
+
+TEST(DatabaseTest, DropCollection) {
+  Database db;
+  db.GetCollection("x");
+  EXPECT_TRUE(db.DropCollection("x"));
+  EXPECT_FALSE(db.DropCollection("x"));
+}
+
+TEST(DatabaseTest, SaveAndLoadDirectory) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "hbold_store_test";
+  fs::remove_all(dir);
+
+  Database db;
+  Collection* summaries = db.GetCollection("summaries");
+  ASSERT_TRUE(summaries->Insert(Obj(R"({"endpoint":"http://a","classes":3})"))
+                  .ok());
+  ASSERT_TRUE(summaries->Insert(Obj(R"({"endpoint":"http://b","classes":7})"))
+                  .ok());
+  db.GetCollection("clusters");
+  ASSERT_TRUE(db.SaveToDirectory(dir.string()).ok());
+
+  Database loaded;
+  ASSERT_TRUE(loaded.LoadFromDirectory(dir.string()).ok());
+  const Collection* got = loaded.FindCollection("summaries");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->size(), 2u);
+  EXPECT_EQ(got->FindOne(Obj(R"({"endpoint":"http://b"})"))->GetInt("classes"),
+            7);
+  fs::remove_all(dir);
+}
+
+TEST(DatabaseTest, LoadMissingDirectoryFails) {
+  Database db;
+  EXPECT_FALSE(db.LoadFromDirectory("/nonexistent/hbold").ok());
+}
+
+}  // namespace
+}  // namespace hbold::store
