@@ -7,14 +7,18 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "store/collection.h"
 
 namespace {
 
-hbold::store::Collection BuildCollection(size_t docs, bool indexed) {
-  hbold::store::Collection c("cluster_schemas");
+std::unique_ptr<hbold::store::Collection> BuildCollection(size_t docs,
+                                                          bool indexed) {
+  auto collection =
+      std::make_unique<hbold::store::Collection>("cluster_schemas");
+  hbold::store::Collection& c = *collection;
   if (indexed) c.CreateIndex("endpoint_url");
   for (size_t i = 0; i < docs; ++i) {
     hbold::Json doc = hbold::Json::MakeObject();
@@ -31,7 +35,7 @@ hbold::store::Collection BuildCollection(size_t docs, bool indexed) {
     doc.Set("clusters", std::move(clusters));
     if (!c.Insert(std::move(doc)).ok()) break;
   }
-  return c;
+  return collection;
 }
 
 void PrintTable() {
@@ -49,13 +53,13 @@ void PrintTable() {
     constexpr int kReps = 300;
     hbold::Stopwatch sw;
     for (int r = 0; r < kReps; ++r) {
-      auto doc = plain.FindOne(filter);
+      auto doc = plain->FindOne(filter);
       benchmark::DoNotOptimize(doc);
     }
     double scan_us = sw.ElapsedMillis() * 1000 / kReps;
     sw.Reset();
     for (int r = 0; r < kReps; ++r) {
-      auto doc = indexed.FindOne(filter);
+      auto doc = indexed->FindOne(filter);
       benchmark::DoNotOptimize(doc);
     }
     double index_us = sw.ElapsedMillis() * 1000 / kReps;
@@ -75,7 +79,7 @@ void BM_FindOneScan(benchmark::State& state) {
              "http://ld" + std::to_string(state.range(0) - 1) +
                  ".example.org/sparql");
   for (auto _ : state) {
-    benchmark::DoNotOptimize(c.FindOne(filter));
+    benchmark::DoNotOptimize(c->FindOne(filter));
   }
 }
 BENCHMARK(BM_FindOneScan)->Arg(130)->Arg(1000);
@@ -87,7 +91,7 @@ void BM_FindOneIndexed(benchmark::State& state) {
              "http://ld" + std::to_string(state.range(0) - 1) +
                  ".example.org/sparql");
   for (auto _ : state) {
-    benchmark::DoNotOptimize(c.FindOne(filter));
+    benchmark::DoNotOptimize(c->FindOne(filter));
   }
 }
 BENCHMARK(BM_FindOneIndexed)->Arg(130)->Arg(1000);

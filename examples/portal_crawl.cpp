@@ -3,9 +3,10 @@
 // deduplicated into the registry, and a few days of the §3.1 refresh
 // cycle run over the result.
 //
-//   ./build/examples/portal_crawl
+//   ./build/portal_crawl [parallelism]
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -23,10 +24,12 @@ struct Portal {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   hbold::SimClock clock;
   hbold::store::Database db;
-  hbold::Server server(&db, &clock);
+  hbold::ServerOptions options;
+  if (argc > 1) options.parallelism = std::atoi(argv[1]);
+  hbold::Server server(&db, &clock, options);
 
   // Three portals, each listing a few SPARQL endpoints among many plain
   // file datasets.
@@ -94,13 +97,16 @@ int main() {
     eps.push_back(std::move(ep));
   }
 
-  // Run the daily refresh cycle for a week.
+  // Run the daily refresh cycle for a week (fanning out over
+  // options.parallelism workers when > 1).
   for (int day = 0; day < 7; ++day) {
     hbold::DailyReport report = server.RunDailyUpdate();
-    std::printf("day %lld: due=%zu ok=%zu failed=%zu (indexed total: %zu)\n",
-                static_cast<long long>(report.day), report.due,
-                report.succeeded, report.failed,
-                server.registry().IndexedCount());
+    std::printf(
+        "day %lld: due=%zu ok=%zu failed=%zu workers=%d "
+        "latency sum=%.0fms makespan=%.0fms (indexed total: %zu)\n",
+        static_cast<long long>(report.day), report.due, report.succeeded,
+        report.failed, report.parallelism, report.sum_latency_ms,
+        report.makespan_ms, server.registry().IndexedCount());
     clock.AdvanceDays(1);
   }
 

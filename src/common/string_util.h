@@ -38,6 +38,34 @@ std::string ReplaceAll(std::string_view s, std::string_view from,
 /// Escapes a string for embedding in XML/SVG text or attribute content.
 std::string XmlEscape(std::string_view s);
 
+/// Matches `text` against a regex subset without ever constructing a
+/// std::regex (which allocates and compiles an NFA per call — far too
+/// expensive for the per-row SPARQL FILTER path). Supported syntax:
+///   ^        anchor at start        $      anchor at end
+///   .        any single character   [a-z]  character class ([^...] negates)
+///   * + ?    quantifiers on the preceding atom
+///   a|b      alternation (top-level; groups are not supported)
+///   \c       literal character c (escapes the metacharacters above)
+/// Every other character matches itself. Without a leading '^' an
+/// alternative may match anywhere in `text` (regex_search semantics).
+/// `ignore_case` compares ASCII case-insensitively (the REGEX "i" flag).
+///
+/// Callers handing through arbitrary user patterns must gate on
+/// LitePatternSupported first: patterns using features outside the subset
+/// (groups, braces, backreferences, ...) would otherwise be matched with
+/// the metacharacters taken literally.
+bool LitePatternMatch(std::string_view text, std::string_view pattern,
+                      bool ignore_case = false);
+
+/// True when `pattern` stays within the LitePatternMatch subset AND would
+/// mean the same thing to ECMAScript: no unescaped '(' ')' '{' '}', no
+/// shorthand class / backreference escapes (\d \w \s \1 ...), no
+/// quantifier with nothing to repeat ("+39", "a**"), anchors only at
+/// alternative boundaries, every '[' class closed, no trailing
+/// backslash. Callers should treat unsupported patterns as errors rather
+/// than silently matching them literally.
+bool LitePatternSupported(std::string_view pattern);
+
 }  // namespace hbold
 
 #endif  // HBOLD_COMMON_STRING_UTIL_H_

@@ -1,0 +1,93 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace hbold {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  num_workers = std::max<size_t>(1, num_workers);
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(ThreadPool* pool, size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || pool->size() <= 1) {
+    // Same contract as the pooled branch: every iteration runs even when
+    // an earlier one throws; the first exception propagates at the end.
+    std::exception_ptr first_error;
+    for (size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    futures.push_back(pool->Submit([&fn, i] { fn(i); }));
+  }
+  std::exception_ptr first_error;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+WorkerLatencyLedger::WorkerLatencyLedger(size_t num_workers)
+    : busy_until_ms_(std::max<size_t>(1, num_workers), 0.0) {}
+
+size_t WorkerLatencyLedger::Assign(double latency_ms) {
+  size_t best = 0;
+  for (size_t i = 1; i < busy_until_ms_.size(); ++i) {
+    if (busy_until_ms_[i] < busy_until_ms_[best]) best = i;
+  }
+  busy_until_ms_[best] += latency_ms;
+  return best;
+}
+
+double WorkerLatencyLedger::TotalMs() const {
+  double total = 0;
+  for (double ms : busy_until_ms_) total += ms;
+  return total;
+}
+
+double WorkerLatencyLedger::MakespanMs() const {
+  return *std::max_element(busy_until_ms_.begin(), busy_until_ms_.end());
+}
+
+}  // namespace hbold

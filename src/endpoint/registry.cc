@@ -1,5 +1,7 @@
 #include "endpoint/registry.h"
 
+#include <mutex>
+
 namespace hbold::endpoint {
 
 const char* EndpointSourceName(EndpointSource source) {
@@ -48,18 +50,25 @@ EndpointRecord EndpointRecord::FromJson(const Json& j) {
   return r;
 }
 
-bool EndpointRegistry::Add(EndpointRecord record) {
+bool EndpointRegistry::AddLocked(EndpointRecord record) {
   if (by_url_.count(record.url) > 0) return false;
   order_.push_back(record.url);
   by_url_.emplace(record.url, std::move(record));
   return true;
 }
 
+bool EndpointRegistry::Add(EndpointRecord record) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return AddLocked(std::move(record));
+}
+
 bool EndpointRegistry::Contains(const std::string& url) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return by_url_.count(url) > 0;
 }
 
 size_t EndpointRegistry::IndexedCount() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   size_t n = 0;
   for (const auto& [url, r] : by_url_) {
     if (r.indexed) ++n;
@@ -68,16 +77,13 @@ size_t EndpointRegistry::IndexedCount() const {
 }
 
 const EndpointRecord* EndpointRegistry::Find(const std::string& url) const {
-  auto it = by_url_.find(url);
-  return it == by_url_.end() ? nullptr : &it->second;
-}
-
-EndpointRecord* EndpointRegistry::FindMutable(const std::string& url) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = by_url_.find(url);
   return it == by_url_.end() ? nullptr : &it->second;
 }
 
 std::vector<const EndpointRecord*> EndpointRegistry::All() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<const EndpointRecord*> out;
   out.reserve(order_.size());
   for (const std::string& url : order_) {
@@ -86,9 +92,31 @@ std::vector<const EndpointRecord*> EndpointRegistry::All() const {
   return out;
 }
 
+std::vector<EndpointRecord> EndpointRegistry::Snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<EndpointRecord> out;
+  out.reserve(order_.size());
+  for (const std::string& url : order_) {
+    out.push_back(by_url_.at(url));
+  }
+  return out;
+}
+
+bool EndpointRegistry::UpdateRecord(
+    const std::string& url, const std::function<void(EndpointRecord&)>& fn) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = by_url_.find(url);
+  if (it == by_url_.end()) return false;
+  fn(it->second);
+  return true;
+}
+
 Json EndpointRegistry::ToJson() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   Json arr = Json::MakeArray();
-  for (const EndpointRecord* r : All()) arr.Append(r->ToJson());
+  for (const std::string& url : order_) {
+    arr.Append(by_url_.at(url).ToJson());
+  }
   return arr;
 }
 
@@ -96,6 +124,7 @@ Status EndpointRegistry::LoadJson(const Json& j) {
   if (!j.is_array()) {
     return Status::InvalidArgument("registry JSON must be an array");
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   by_url_.clear();
   order_.clear();
   for (const Json& item : j.as_array()) {
@@ -103,7 +132,7 @@ Status EndpointRegistry::LoadJson(const Json& j) {
     if (r.url.empty()) {
       return Status::InvalidArgument("registry record missing url");
     }
-    Add(std::move(r));
+    AddLocked(std::move(r));
   }
   return Status::OK();
 }

@@ -2,8 +2,10 @@
 #define HBOLD_ENDPOINT_REGISTRY_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -46,6 +48,15 @@ struct EndpointRecord {
 
 /// The H-BOLD endpoint list. URLs are unique; re-adding an existing URL is
 /// a no-op that reports the duplicate (the crawler counts those).
+///
+/// Thread safety: all methods lock an internal `std::shared_mutex`. The
+/// parallel daily cycle reads via Snapshot() (immutable copies, safe to
+/// iterate while workers mutate the registry) and writes via
+/// UpdateRecord() (serialized per-record mutation). Find/All hand out
+/// const pointers into the map — those stay valid (std::map nodes are
+/// stable) but are only safe to dereference while no other thread is
+/// writing the same record; concurrent pipelines must use
+/// Snapshot/UpdateRecord instead.
 class EndpointRegistry {
  public:
   EndpointRegistry() = default;
@@ -55,21 +66,38 @@ class EndpointRegistry {
   bool Add(EndpointRecord record);
 
   bool Contains(const std::string& url) const;
-  size_t size() const { return order_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return order_.size();
+  }
 
   /// Number of endpoints with indexed == true.
   size_t IndexedCount() const;
 
   const EndpointRecord* Find(const std::string& url) const;
-  EndpointRecord* FindMutable(const std::string& url);
 
   /// Records in insertion order.
   std::vector<const EndpointRecord*> All() const;
+
+  /// Immutable point-in-time copy of every record, in insertion order.
+  /// This is what the scheduler consumes: workers updating bookkeeping
+  /// mid-cycle cannot perturb the due list it was computed from.
+  std::vector<EndpointRecord> Snapshot() const;
+
+  /// Applies `fn` to the record for `url` under the registry's exclusive
+  /// lock — the single serialization point for bookkeeping writes from
+  /// concurrent pipelines. Returns false when the URL is unknown.
+  bool UpdateRecord(const std::string& url,
+                    const std::function<void(EndpointRecord&)>& fn);
 
   hbold::Json ToJson() const;
   Status LoadJson(const hbold::Json& j);
 
  private:
+  // Requires mu_ held (any mode). Shared implementation of Add/LoadJson.
+  bool AddLocked(EndpointRecord record);
+
+  mutable std::shared_mutex mu_;
   std::map<std::string, EndpointRecord> by_url_;
   std::vector<std::string> order_;
 };

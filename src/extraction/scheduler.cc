@@ -20,6 +20,16 @@ std::vector<std::string> RefreshScheduler::DueToday(
   return due;
 }
 
+std::vector<std::string> RefreshScheduler::DueToday(
+    const std::vector<endpoint::EndpointRecord>& snapshot,
+    int64_t today) const {
+  std::vector<std::string> due;
+  for (const endpoint::EndpointRecord& r : snapshot) {
+    if (IsDue(r, today)) due.push_back(r.url);
+  }
+  return due;
+}
+
 void RefreshScheduler::RecordAttempt(endpoint::EndpointRecord* record,
                                      int64_t today, bool success) {
   record->last_attempt_day = today;

@@ -31,6 +31,13 @@ class RefreshScheduler {
   std::vector<std::string> DueToday(const endpoint::EndpointRegistry& registry,
                                     int64_t today) const;
 
+  /// Same policy over an immutable registry snapshot (insertion order) —
+  /// the form the parallel daily cycle uses so the due list is fixed
+  /// before any worker starts mutating bookkeeping.
+  std::vector<std::string> DueToday(
+      const std::vector<endpoint::EndpointRecord>& snapshot,
+      int64_t today) const;
+
   /// Updates a record's bookkeeping after an extraction attempt.
   static void RecordAttempt(endpoint::EndpointRecord* record, int64_t today,
                             bool success);

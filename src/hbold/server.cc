@@ -1,17 +1,35 @@
 #include "hbold/server.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <optional>
 
 #include "cluster/cluster_schema.h"
 #include "cluster/louvain.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "schema/schema_summary.h"
 
 namespace hbold {
 
+namespace {
+ServerOptions WithRefreshAge(int64_t refresh_age_days) {
+  ServerOptions options;
+  options.refresh_age_days = refresh_age_days;
+  return options;
+}
+}  // namespace
+
 Server::Server(store::Database* db, SimClock* clock, int64_t refresh_age_days)
-    : db_(db), clock_(clock), scheduler_(refresh_age_days) {}
+    : Server(db, clock, WithRefreshAge(refresh_age_days)) {}
+
+Server::Server(store::Database* db, SimClock* clock,
+               const ServerOptions& options)
+    : db_(db),
+      clock_(clock),
+      options_(options),
+      scheduler_(options.refresh_age_days) {}
 
 void Server::AttachEndpoint(const std::string& url,
                             endpoint::SparqlEndpoint* ep) {
@@ -23,17 +41,30 @@ bool Server::RegisterEndpoint(endpoint::EndpointRecord record) {
 }
 
 Result<PipelineReport> Server::ProcessEndpoint(const std::string& url) {
+  return ProcessEndpointImpl(url, nullptr);
+}
+
+Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
+                                                   double* latency_ms) {
   PipelineReport report;
   report.url = url;
   const int64_t today = clock_->NowDay();
 
-  endpoint::EndpointRecord* record = registry_.FindMutable(url);
+  // Bookkeeping writes go through the registry's serialized update path so
+  // concurrent pipelines never race on a shared record.
+  auto record_attempt = [&](bool success) {
+    registry_.UpdateRecord(url, [&](endpoint::EndpointRecord& r) {
+      extraction::RefreshScheduler::RecordAttempt(&r, today, success);
+    });
+  };
   auto fail = [&](Status status) -> Result<PipelineReport> {
-    if (record != nullptr) {
-      extraction::RefreshScheduler::RecordAttempt(record, today, false);
+    if (latency_ms != nullptr) {
+      *latency_ms = report.extraction.total_latency_ms;
     }
+    record_attempt(false);
     return status;
   };
+  if (latency_ms != nullptr) *latency_ms = 0;
 
   auto net = network_.find(url);
   if (net == network_.end()) {
@@ -45,6 +76,7 @@ Result<PipelineReport> Server::ProcessEndpoint(const std::string& url) {
   if (!indexes.ok()) return fail(indexes.status());
   indexes->extracted_day = today;
   report.extraction_ms = report.extraction.total_latency_ms;
+  if (latency_ms != nullptr) *latency_ms = report.extraction_ms;
 
   // Stage 2: Schema Summary.
   Stopwatch sw;
@@ -73,9 +105,7 @@ Result<PipelineReport> Server::ProcessEndpoint(const std::string& url) {
       if (stored.has_value() &&
           stored->GetString("content_hash") == content_hash) {
         report.reused_cluster_schema = true;
-        if (record != nullptr) {
-          extraction::RefreshScheduler::RecordAttempt(record, today, true);
-        }
+        record_attempt(true);
         return report;
       }
     }
@@ -107,18 +137,18 @@ Result<PipelineReport> Server::ProcessEndpoint(const std::string& url) {
     Json doc = std::move(summary_doc);
     doc.Set("extracted_day", today);
     doc.Set("content_hash", content_hash);
-    HBOLD_RETURN_NOT_OK(summaries->Insert(std::move(doc)).status());
+    Status persisted = summaries->Insert(std::move(doc)).status();
+    if (!persisted.ok()) return fail(std::move(persisted));
   }
   {
     Json doc = clusters.ToJson();
     doc.Set("extracted_day", today);
-    HBOLD_RETURN_NOT_OK(cluster_docs->Insert(std::move(doc)).status());
+    Status persisted = cluster_docs->Insert(std::move(doc)).status();
+    if (!persisted.ok()) return fail(std::move(persisted));
   }
   report.persist_ms = sw.ElapsedMillis();
 
-  if (record != nullptr) {
-    extraction::RefreshScheduler::RecordAttempt(record, today, true);
-  }
+  record_attempt(true);
   HBOLD_LOG(kDebug) << "processed " << url << " classes=" << report.classes
                     << " clusters=" << report.clusters << " strategy="
                     << report.extraction.strategy_used;
@@ -126,22 +156,54 @@ Result<PipelineReport> Server::ProcessEndpoint(const std::string& url) {
 }
 
 DailyReport Server::RunDailyUpdate() {
+  return RunDailyCycle(options_.parallelism);
+}
+
+DailyReport Server::RunDailyCycle(int parallelism) {
   DailyReport daily;
   daily.day = clock_->NowDay();
-  std::vector<std::string> due = scheduler_.DueToday(registry_, daily.day);
+  daily.parallelism = std::max(1, parallelism);
+
+  // Fix the due list from an immutable snapshot before any worker starts
+  // mutating bookkeeping; `due` is in registry (insertion) order.
+  std::vector<std::string> due =
+      scheduler_.DueToday(registry_.Snapshot(), daily.day);
   daily.due = due.size();
-  for (const std::string& url : due) {
-    auto report = ProcessEndpoint(url);
-    if (report.ok()) {
+
+  Stopwatch wall;
+  std::vector<std::optional<Result<PipelineReport>>> slots(due.size());
+  std::vector<double> latencies(due.size(), 0.0);
+  std::optional<ThreadPool> pool;
+  if (daily.parallelism > 1 && due.size() > 1) {
+    pool.emplace(static_cast<size_t>(daily.parallelism));
+  }
+  ThreadPool::ParallelFor(pool ? &*pool : nullptr, due.size(), [&](size_t i) {
+    slots[i] = ProcessEndpointImpl(due[i], &latencies[i]);
+  });
+  daily.wall_ms = wall.ElapsedMillis();
+
+  // Merge in due-list order — the report is independent of worker
+  // completion order. The latency ledger replays deterministic list
+  // scheduling over the simulated extraction latencies — failed attempts
+  // included: a timed-out extraction still spent its queries' latency —
+  // giving the cycle's simulated duration (makespan) next to its cost
+  // (sum).
+  WorkerLatencyLedger ledger(static_cast<size_t>(daily.parallelism));
+  for (size_t i = 0; i < slots.size(); ++i) {
+    Result<PipelineReport>& result = *slots[i];
+    ledger.Assign(latencies[i]);
+    if (result.ok()) {
       ++daily.succeeded;
-      if (report->reused_cluster_schema) ++daily.reused;
-      daily.reports.push_back(std::move(*report));
+      if (result->reused_cluster_schema) ++daily.reused;
+      daily.reports.push_back(std::move(*result));
     } else {
       ++daily.failed;
-      HBOLD_LOG(kDebug) << "daily update failed for " << url << ": "
-                        << report.status().ToString();
+      HBOLD_LOG(kDebug) << "daily update failed for " << due[i] << ": "
+                        << result.status().ToString();
     }
   }
+  daily.sum_latency_ms = ledger.TotalMs();
+  daily.makespan_ms = ledger.MakespanMs();
   return daily;
 }
 

@@ -47,7 +47,29 @@ struct DailyReport {
   /// Successful runs whose Schema Summary was unchanged (clustering
   /// skipped per §3.2).
   size_t reused = 0;
+  /// Worker count the cycle ran with (1 = sequential).
+  int parallelism = 1;
+  /// Real wall-clock of the whole cycle.
+  double wall_ms = 0;
+  /// Sum of all pipelines' simulated extraction latency, including the
+  /// latency failed attempts accrued before giving up — the *cost*
+  /// figure, identical regardless of parallelism.
+  double sum_latency_ms = 0;
+  /// Deterministic list-scheduling makespan of the simulated latencies
+  /// over `parallelism` workers — the *duration* figure a SimClock should
+  /// be advanced by. Equals sum_latency_ms when parallelism == 1.
+  double makespan_ms = 0;
+  /// Reports in registry (due-list) order, independent of the order in
+  /// which workers actually finished.
   std::vector<PipelineReport> reports;
+};
+
+/// Server construction knobs (ExecOptions-style).
+struct ServerOptions {
+  /// §3.1 refresh age: re-extract after N days (7 in the paper).
+  int64_t refresh_age_days = 7;
+  /// Worker threads for the daily cycle; <= 1 runs sequentially inline.
+  int parallelism = 1;
 };
 
 /// H-BOLD's server layer: owns the endpoint registry and the document
@@ -62,6 +84,9 @@ class Server {
   /// `db` and `clock` must outlive the server.
   Server(store::Database* db, SimClock* clock,
          int64_t refresh_age_days = 7);
+  Server(store::Database* db, SimClock* clock, const ServerOptions& options);
+
+  const ServerOptions& options() const { return options_; }
 
   endpoint::EndpointRegistry& registry() { return registry_; }
   const endpoint::EndpointRegistry& registry() const { return registry_; }
@@ -76,10 +101,24 @@ class Server {
   /// Runs the full pipeline for one endpoint and persists the results.
   /// Updates the registry bookkeeping. Fails (and records the failure) when
   /// the endpoint is unreachable or extraction fails.
+  ///
+  /// Re-entrant: safe to call concurrently for *distinct* URLs — the
+  /// store serializes per-collection writes, the registry serializes
+  /// bookkeeping, and the pipeline itself holds no server-level mutable
+  /// state. (Two concurrent calls for the same URL would race on that
+  /// endpoint's stored documents.)
   Result<PipelineReport> ProcessEndpoint(const std::string& url);
 
-  /// One §3.1 daily cycle: extract everything the scheduler says is due.
+  /// One §3.1 daily cycle: extract everything the scheduler says is due,
+  /// using ServerOptions::parallelism workers.
   DailyReport RunDailyUpdate();
+
+  /// The same cycle with an explicit worker count. The due list is a
+  /// registry snapshot taken up front; endpoint pipelines fan out over a
+  /// thread pool and their reports are merged back in registry order, so
+  /// the DailyReport (endpoint order, counts, reused flags) is identical
+  /// to the sequential run on the same portal state.
+  DailyReport RunDailyCycle(int parallelism);
 
   /// Persists the registry into the store (collection kRegistryCollection).
   Status PersistRegistry();
@@ -87,11 +126,21 @@ class Server {
   Status LoadRegistry();
 
  private:
+  /// ProcessEndpoint with cost feedback: when `latency_ms` is non-null it
+  /// receives the simulated endpoint latency the attempt accrued, on
+  /// success *and* on failure (a timed-out extraction still spent its
+  /// queries' latency) — what the daily cycle's ledger charges.
+  Result<PipelineReport> ProcessEndpointImpl(const std::string& url,
+                                             double* latency_ms);
+
   store::Database* db_;
   SimClock* clock_;
+  ServerOptions options_;
   extraction::RefreshScheduler scheduler_;
   extraction::IndexExtractor extractor_;
   endpoint::EndpointRegistry registry_;
+  /// Read-only during a cycle: AttachEndpoint must happen before
+  /// RunDailyCycle, never concurrently with it.
   std::map<std::string, endpoint::SparqlEndpoint*> network_;
 };
 

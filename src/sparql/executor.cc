@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdlib>
 #include <map>
-#include <regex>
 #include <set>
 #include <unordered_map>
 
@@ -282,21 +281,23 @@ class GroupEvaluator {
             pattern.kind != EvalValue::Kind::kTerm) {
           return EvalValue::Error();
         }
-        auto flags = std::regex::ECMAScript;
-        if (e.args.size() > 2) {
-          EvalValue f = EvalExpr(*e.args[2], row);
-          if (f.kind == EvalValue::Kind::kTerm &&
-              f.term.lexical().find('i') != std::string::npos) {
-            flags |= std::regex::icase;
-          }
-        }
-        try {
-          std::regex re(pattern.term.lexical(), flags);
-          return EvalValue::Bool(
-              std::regex_search(text.term.lexical(), re));
-        } catch (const std::regex_error&) {
+        // LitePatternMatch instead of std::regex: FILTER runs once per
+        // candidate row, and compiling a std::regex NFA per evaluation
+        // dominated query time. Patterns outside the supported subset
+        // (groups, braces, ...) evaluate to an error — the row is
+        // filtered out, as with a malformed regex before — rather than
+        // silently matching metacharacters literally.
+        if (!LitePatternSupported(pattern.term.lexical())) {
           return EvalValue::Error();
         }
+        bool icase = false;
+        if (e.args.size() > 2) {
+          EvalValue f = EvalExpr(*e.args[2], row);
+          icase = f.kind == EvalValue::Kind::kTerm &&
+                  f.term.lexical().find('i') != std::string::npos;
+        }
+        return EvalValue::Bool(LitePatternMatch(
+            text.term.lexical(), pattern.term.lexical(), icase));
       }
     }
     return EvalValue::Error();

@@ -1,5 +1,7 @@
 #include "store/collection.h"
 
+#include <mutex>
+
 #include "common/string_util.h"
 
 namespace hbold::store {
@@ -143,6 +145,7 @@ const std::set<DocId>* Collection::IndexCandidates(
 }
 
 Result<DocId> Collection::Insert(Document doc) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (!doc.is_object()) {
     return Status::InvalidArgument("documents must be JSON objects");
   }
@@ -155,6 +158,7 @@ Result<DocId> Collection::Insert(Document doc) {
 }
 
 std::vector<Document> Collection::Find(const Document& filter) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<Document> out;
   const std::set<DocId>* candidates = IndexCandidates(filter);
   if (candidates != nullptr) {
@@ -173,6 +177,7 @@ std::vector<Document> Collection::Find(const Document& filter) const {
 }
 
 std::optional<Document> Collection::FindOne(const Document& filter) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const std::set<DocId>* candidates = IndexCandidates(filter);
   if (candidates != nullptr) {
     for (DocId id : *candidates) {
@@ -188,12 +193,22 @@ std::optional<Document> Collection::FindOne(const Document& filter) const {
 }
 
 std::optional<Document> Collection::FindById(DocId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = docs_.find(id);
   if (it == docs_.end()) return std::nullopt;
   return it->second;
 }
 
+std::vector<Document> Collection::Snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<Document> out;
+  out.reserve(docs_.size());
+  for (const auto& [id, doc] : docs_) out.push_back(doc);
+  return out;
+}
+
 size_t Collection::CountMatching(const Document& filter) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   size_t n = 0;
   for (const auto& [id, doc] : docs_) {
     if (Matches(doc, filter)) ++n;
@@ -203,6 +218,7 @@ size_t Collection::CountMatching(const Document& filter) const {
 
 Result<size_t> Collection::Update(const Document& filter,
                                   const Document& update) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (!update.is_object()) {
     return Status::InvalidArgument("update must be a JSON object");
   }
@@ -232,6 +248,7 @@ Result<size_t> Collection::Update(const Document& filter,
 }
 
 size_t Collection::Remove(const Document& filter) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   size_t removed = 0;
   for (auto it = docs_.begin(); it != docs_.end();) {
     if (Matches(it->second, filter)) {
@@ -246,6 +263,7 @@ size_t Collection::Remove(const Document& filter) {
 }
 
 Status Collection::CreateUniqueIndex(const std::string& field_path) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   // Validate no existing duplicates.
   std::vector<const Json*> seen;
   for (const auto& [id, doc] : docs_) {
@@ -265,6 +283,7 @@ Status Collection::CreateUniqueIndex(const std::string& field_path) {
 }
 
 void Collection::CreateIndex(const std::string& field_path) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (field_indexes_.count(field_path) > 0) return;
   auto& buckets = field_indexes_[field_path];
   for (const auto& [id, doc] : docs_) {
@@ -274,10 +293,12 @@ void Collection::CreateIndex(const std::string& field_path) {
 }
 
 bool Collection::HasIndex(const std::string& field_path) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return field_indexes_.count(field_path) > 0;
 }
 
 std::string Collection::DumpJsonl() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::string out;
   for (const auto& [id, doc] : docs_) {
     out += doc.Dump();
@@ -287,6 +308,7 @@ std::string Collection::DumpJsonl() const {
 }
 
 Status Collection::LoadJsonl(const std::string& text) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   std::map<DocId, Document> loaded;
   DocId max_id = 0;
   for (const std::string& line : Split(text, '\n')) {

@@ -5,6 +5,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -23,12 +24,22 @@ namespace hbold::store {
 ///   {"k": {"$exists": true}}      — presence
 /// Multiple keys are AND-ed. Dotted paths ("a.b") descend into nested
 /// objects.
+///
+/// Thread safety: every public method locks a per-collection
+/// `std::shared_mutex` — reads (Find/FindOne/Count/Snapshot/Dump) take it
+/// shared, mutations take it exclusive. Concurrent pipelines writing to
+/// the same collection serialize per document operation; pipelines on
+/// different collections never contend. For read-heavy paths take a
+/// Snapshot() once and iterate it lock-free.
 class Collection {
  public:
   explicit Collection(std::string name) : name_(std::move(name)) {}
 
   const std::string& name() const { return name_; }
-  size_t size() const { return docs_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return docs_.size();
+  }
 
   /// Inserts a document (object), assigning `_id`. Returns the id.
   /// Fails with AlreadyExists when a unique index would be violated.
@@ -44,6 +55,11 @@ class Collection {
   std::optional<Document> FindById(DocId id) const;
 
   size_t CountMatching(const Document& filter) const;
+
+  /// Copies every document (in `_id` order) under one shared lock.
+  /// Iterating the returned vector is lock-free: it is an immutable
+  /// point-in-time view, unaffected by later writers.
+  std::vector<Document> Snapshot() const;
 
   /// Replaces the fields of every matching document with those in `update`
   /// (shallow merge; `_id` is preserved). Returns the number updated.
@@ -79,6 +95,8 @@ class Collection {
   Status LoadJsonl(const std::string& text);
 
  private:
+  // The private helpers below assume mu_ is already held by the public
+  // caller; they never lock themselves.
   Status CheckUnique(const Document& doc, std::optional<DocId> skip_id) const;
   void IndexDoc(DocId id, const Document& doc);
   void DeindexDoc(DocId id, const Document& doc);
@@ -86,6 +104,7 @@ class Collection {
   /// returns the candidate id set, or nullptr when no index applies.
   const std::set<DocId>* IndexCandidates(const Document& filter) const;
 
+  mutable std::shared_mutex mu_;
   std::string name_;
   DocId next_id_ = 1;
   std::map<DocId, Document> docs_;

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 namespace hbold::store {
@@ -9,7 +10,13 @@ namespace hbold::store {
 namespace fs = std::filesystem;
 
 Collection* Database::GetCollection(const std::string& name) {
-  auto it = collections_.find(name);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = collections_.find(name);
+    if (it != collections_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = collections_.find(name);  // re-check: lost the creation race?
   if (it == collections_.end()) {
     it = collections_.emplace(name, std::make_unique<Collection>(name)).first;
   }
@@ -17,11 +24,13 @@ Collection* Database::GetCollection(const std::string& name) {
 }
 
 const Collection* Database::FindCollection(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = collections_.find(name);
   return it == collections_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> Database::CollectionNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(collections_.size());
   for (const auto& [name, c] : collections_) out.push_back(name);
@@ -29,6 +38,7 @@ std::vector<std::string> Database::CollectionNames() const {
 }
 
 bool Database::DropCollection(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   return collections_.erase(name) > 0;
 }
 
@@ -39,15 +49,33 @@ Status Database::SaveToDirectory(const std::string& dir) const {
     return Status::IOError("cannot create directory '" + dir +
                            "': " + ec.message());
   }
+  std::shared_lock<std::shared_mutex> lock(mu_);
   for (const auto& [name, collection] : collections_) {
     fs::path path = fs::path(dir) / (name + ".jsonl");
-    std::ofstream out(path);
-    if (!out) {
-      return Status::IOError("cannot open '" + path.string() +
-                             "' for writing");
+    fs::path tmp = fs::path(dir) / (name + ".jsonl.tmp");
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out) {
+        return Status::IOError("cannot open '" + tmp.string() +
+                               "' for writing");
+      }
+      out << collection->DumpJsonl();
+      out.flush();
+      if (!out) {
+        out.close();
+        fs::remove(tmp, ec);
+        return Status::IOError("write failed for '" + tmp.string() + "'");
+      }
     }
-    out << collection->DumpJsonl();
-    if (!out) return Status::IOError("write failed for '" + path.string() + "'");
+    // Atomic publish: readers (and a crash between here and the next
+    // collection) see either the old complete file or the new one.
+    fs::rename(tmp, path, ec);
+    if (ec) {
+      std::string rename_error = ec.message();
+      fs::remove(tmp, ec);  // best-effort cleanup; error irrelevant
+      return Status::IOError("cannot rename '" + tmp.string() + "' to '" +
+                             path.string() + "': " + rename_error);
+    }
   }
   return Status::OK();
 }

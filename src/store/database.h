@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,12 @@ namespace hbold::store {
 /// A named set of collections with optional directory persistence — the
 /// library's embedded stand-in for the MongoDB instance H-BOLD uses to
 /// cache Schema Summaries and Cluster Schemas (§2.1, §3.2).
+///
+/// Thread safety: the collection map is guarded by a `std::shared_mutex`;
+/// Collection pointers handed out remain valid and internally
+/// thread-safe for the life of the database (or until DropCollection).
+/// Concurrent GetCollection calls for the same name return the same
+/// instance.
 class Database {
  public:
   Database() = default;
@@ -33,12 +40,16 @@ class Database {
   bool DropCollection(const std::string& name);
 
   /// Writes every collection to `<dir>/<name>.jsonl` (creating `dir`).
+  /// Each file is written to `<name>.jsonl.tmp` first and renamed into
+  /// place, so a crash mid-save leaves the previous file intact instead
+  /// of a truncated one.
   Status SaveToDirectory(const std::string& dir) const;
 
   /// Loads every `*.jsonl` file in `dir` as a collection.
   Status LoadFromDirectory(const std::string& dir);
 
  private:
+  mutable std::shared_mutex mu_;
   std::map<std::string, std::unique_ptr<Collection>> collections_;
 };
 

@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <future>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/json.h"
@@ -13,6 +17,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace hbold {
 namespace {
@@ -351,6 +356,189 @@ TEST(LoggingTest, ThresholdFilters) {
   HBOLD_LOG(kDebug) << "suppressed";
   HBOLD_LOG(kError) << "emitted";
   Logger::set_threshold(prev);
+}
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, SubmitReturnsFutureResult) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  auto f = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, RunsAllTasksAcrossWorkers) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  ThreadPool::ParallelFor(&pool, hits.size(),
+                          [&](size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForNullPoolRunsInline) {
+  std::vector<size_t> order;
+  ThreadPool::ParallelFor(nullptr, 5, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+  }  // destructor must run all 50 before joining
+  EXPECT_EQ(count.load(), 50);
+}
+
+// ------------------------------------------------------ WorkerLatencyLedger
+
+TEST(WorkerLatencyLedgerTest, SingleWorkerMakespanIsSum) {
+  WorkerLatencyLedger ledger(1);
+  ledger.Assign(10);
+  ledger.Assign(20);
+  ledger.Assign(30);
+  EXPECT_DOUBLE_EQ(ledger.TotalMs(), 60);
+  EXPECT_DOUBLE_EQ(ledger.MakespanMs(), 60);
+}
+
+TEST(WorkerLatencyLedgerTest, ListSchedulingPicksLeastLoaded) {
+  WorkerLatencyLedger ledger(2);
+  EXPECT_EQ(ledger.Assign(10), 0u);  // both idle -> lowest id
+  EXPECT_EQ(ledger.Assign(4), 1u);   // worker 1 idle
+  EXPECT_EQ(ledger.Assign(5), 1u);   // 4 < 10
+  EXPECT_EQ(ledger.Assign(1), 1u);   // 9 < 10
+  EXPECT_EQ(ledger.Assign(1), 0u);   // 10 == 10 -> lowest id
+  EXPECT_DOUBLE_EQ(ledger.TotalMs(), 21);
+  EXPECT_DOUBLE_EQ(ledger.MakespanMs(), 11);
+}
+
+TEST(WorkerLatencyLedgerTest, DeterministicAcrossReplays) {
+  auto replay = [] {
+    WorkerLatencyLedger ledger(4);
+    for (int i = 0; i < 100; ++i) ledger.Assign((i * 37) % 11 + 1);
+    return ledger.MakespanMs();
+  };
+  EXPECT_DOUBLE_EQ(replay(), replay());
+}
+
+// ------------------------------------------------------- LitePatternMatch
+
+TEST(LitePatternMatchTest, UnanchoredSubstring) {
+  EXPECT_TRUE(LitePatternMatch("http://x.org/sparql", "sparql"));
+  EXPECT_FALSE(LitePatternMatch("http://x.org/download", "sparql"));
+  EXPECT_TRUE(LitePatternMatch("abc", ""));
+}
+
+TEST(LitePatternMatchTest, Anchors) {
+  EXPECT_TRUE(LitePatternMatch("alice", "^ali"));
+  EXPECT_FALSE(LitePatternMatch("malice", "^ali"));
+  EXPECT_TRUE(LitePatternMatch("query.rq", "rq$"));
+  EXPECT_FALSE(LitePatternMatch("rq.query", "rq$"));
+  EXPECT_TRUE(LitePatternMatch("exact", "^exact$"));
+  EXPECT_FALSE(LitePatternMatch("inexact", "^exact$"));
+}
+
+TEST(LitePatternMatchTest, DotAndStar) {
+  EXPECT_TRUE(LitePatternMatch("cat", "c.t"));
+  EXPECT_FALSE(LitePatternMatch("ct", "c.t"));
+  EXPECT_TRUE(LitePatternMatch("coooool", "co*l"));
+  EXPECT_TRUE(LitePatternMatch("cl", "co*l"));
+  EXPECT_TRUE(LitePatternMatch("http://a/b", "^http.*b$"));
+  EXPECT_FALSE(LitePatternMatch("https://a/c", "^http.*b$"));
+}
+
+TEST(LitePatternMatchTest, EscapesMetacharacters) {
+  EXPECT_TRUE(LitePatternMatch("x.org", "x\\.org"));
+  EXPECT_FALSE(LitePatternMatch("xyorg", "x\\.org"));
+  EXPECT_TRUE(LitePatternMatch("a*b", "a\\*b"));
+  EXPECT_TRUE(LitePatternMatch("cost$", "cost\\$"));
+}
+
+TEST(LitePatternMatchTest, CaseInsensitiveFlag) {
+  EXPECT_TRUE(LitePatternMatch("SPARQL endpoint", "sparql", true));
+  EXPECT_FALSE(LitePatternMatch("SPARQL endpoint", "sparql", false));
+  EXPECT_TRUE(LitePatternMatch("Alice", "^ali", true));
+}
+
+TEST(LitePatternMatchTest, PlusAndQuestionQuantifiers) {
+  EXPECT_TRUE(LitePatternMatch("cool", "co+l"));
+  EXPECT_FALSE(LitePatternMatch("cl", "co+l"));
+  EXPECT_TRUE(LitePatternMatch("color", "colou?r"));
+  EXPECT_TRUE(LitePatternMatch("colour", "colou?r"));
+  EXPECT_FALSE(LitePatternMatch("colouur", "^colou?r$"));
+}
+
+TEST(LitePatternMatchTest, Alternation) {
+  EXPECT_TRUE(LitePatternMatch("http://a/sparql", "sparql|query"));
+  EXPECT_TRUE(LitePatternMatch("http://a/query", "sparql|query"));
+  EXPECT_FALSE(LitePatternMatch("http://a/download", "sparql|query"));
+  // Anchors bind per alternative, as in (^ab)|(cd$).
+  EXPECT_TRUE(LitePatternMatch("abx", "^ab|cd$"));
+  EXPECT_TRUE(LitePatternMatch("xcd", "^ab|cd$"));
+  EXPECT_FALSE(LitePatternMatch("xabcdx", "^ab|cd$"));
+  EXPECT_TRUE(LitePatternMatch("a|b", "a\\|b"));  // escaped: literal pipe
+}
+
+TEST(LitePatternMatchTest, CharacterClasses) {
+  EXPECT_TRUE(LitePatternMatch("cat", "c[au]t"));
+  EXPECT_TRUE(LitePatternMatch("cut", "c[au]t"));
+  EXPECT_FALSE(LitePatternMatch("cot", "c[au]t"));
+  EXPECT_TRUE(LitePatternMatch("x7y", "x[0-9]y"));
+  EXPECT_FALSE(LitePatternMatch("xay", "x[0-9]y"));
+  EXPECT_TRUE(LitePatternMatch("xay", "x[^0-9]y"));
+  EXPECT_TRUE(LitePatternMatch("id42", "^id[0-9]+$"));
+  EXPECT_FALSE(LitePatternMatch("id", "^id[0-9]+$"));
+  EXPECT_TRUE(LitePatternMatch("Cat", "c[a-z]t", /*ignore_case=*/true));
+}
+
+TEST(LitePatternSupportedTest, DetectsUnsupportedSyntax) {
+  EXPECT_TRUE(LitePatternSupported("sparql"));
+  EXPECT_TRUE(LitePatternSupported("^a[0-9]+|b.*c$"));
+  EXPECT_TRUE(LitePatternSupported("a\\(b\\)"));  // escaped parens are fine
+  EXPECT_TRUE(LitePatternSupported("cost\\$"));   // escaped anchor is fine
+  EXPECT_FALSE(LitePatternSupported("(ab)+"));
+  EXPECT_FALSE(LitePatternSupported("a{2,3}"));
+  EXPECT_FALSE(LitePatternSupported("[abc"));  // unclosed class
+  EXPECT_FALSE(LitePatternSupported("oops\\"));  // trailing backslash
+  // Shorthand classes / backreferences would match literally — reject.
+  EXPECT_FALSE(LitePatternSupported("\\d+"));
+  EXPECT_FALSE(LitePatternSupported("\\w*x"));
+  EXPECT_FALSE(LitePatternSupported("a\\1"));
+  // Quantifier with nothing to repeat (ECMAScript errors).
+  EXPECT_FALSE(LitePatternSupported("+39"));
+  EXPECT_FALSE(LitePatternSupported("a**"));
+  EXPECT_FALSE(LitePatternSupported("ab|*c"));
+  EXPECT_FALSE(LitePatternSupported("^*a"));
+  // Mid-pattern anchors are ECMAScript assertions, not literals.
+  EXPECT_FALSE(LitePatternSupported("a^b"));
+  EXPECT_FALSE(LitePatternSupported("a$b"));
+  EXPECT_TRUE(LitePatternSupported("^ab|cd$"));  // per-alternative anchors
 }
 
 }  // namespace

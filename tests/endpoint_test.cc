@@ -216,10 +216,11 @@ TEST(RegistryTest, FindAndMutate) {
   EndpointRecord r;
   r.url = "http://a";
   reg.Add(r);
-  EndpointRecord* mut = reg.FindMutable("http://a");
-  ASSERT_NE(mut, nullptr);
-  mut->indexed = true;
-  mut->last_success_day = 4;
+  EXPECT_TRUE(reg.UpdateRecord("http://a", [](EndpointRecord& r) {
+    r.indexed = true;
+    r.last_success_day = 4;
+  }));
+  EXPECT_FALSE(reg.UpdateRecord("http://missing", [](EndpointRecord&) {}));
   const EndpointRecord* found = reg.Find("http://a");
   ASSERT_NE(found, nullptr);
   EXPECT_TRUE(found->indexed);

@@ -301,6 +301,58 @@ TEST(SchedulerTest, DueTodayScansRegistry) {
   auto due = sched.DueToday(reg, 10);
   EXPECT_EQ(due, (std::vector<std::string>{"http://stale", "http://failed",
                                            "http://never"}));
+
+  // The snapshot overload (used by the parallel daily cycle) must agree
+  // with the registry overload, in the same (insertion) order.
+  EXPECT_EQ(sched.DueToday(reg.Snapshot(), 10), due);
+}
+
+TEST(SchedulerTest, ExactlyRefreshAgeOldIsDue) {
+  RefreshScheduler sched(7);
+  EndpointRecord r;
+  RefreshScheduler::RecordAttempt(&r, 100, /*success=*/true);
+  EXPECT_FALSE(sched.IsDue(r, 106));  // 6 days: one short
+  EXPECT_TRUE(sched.IsDue(r, 107));   // exactly refresh_age_days old
+  EXPECT_TRUE(sched.IsDue(r, 108));
+}
+
+TEST(SchedulerTest, CustomRefreshAgeBoundary) {
+  RefreshScheduler daily(1);
+  EndpointRecord r;
+  RefreshScheduler::RecordAttempt(&r, 5, /*success=*/true);
+  EXPECT_FALSE(daily.IsDue(r, 5));
+  EXPECT_TRUE(daily.IsDue(r, 6));  // age 1: due every next day
+
+  RefreshScheduler monthly(30);
+  EndpointRecord m;
+  RefreshScheduler::RecordAttempt(&m, 0, /*success=*/true);
+  EXPECT_FALSE(monthly.IsDue(m, 29));
+  EXPECT_TRUE(monthly.IsDue(m, 30));
+}
+
+TEST(SchedulerTest, FailedAttemptRetriesEveryDayUntilSuccess) {
+  RefreshScheduler sched(7);
+  EndpointRecord r;
+  RefreshScheduler::RecordAttempt(&r, 0, /*success=*/false);
+  for (int64_t day = 1; day <= 5; ++day) {
+    EXPECT_TRUE(sched.IsDue(r, day)) << "day " << day;
+    RefreshScheduler::RecordAttempt(&r, day, /*success=*/false);
+  }
+  RefreshScheduler::RecordAttempt(&r, 6, /*success=*/true);
+  EXPECT_FALSE(sched.IsDue(r, 7));   // fresh again
+  EXPECT_TRUE(sched.IsDue(r, 13));   // next weekly refresh
+}
+
+TEST(SchedulerTest, AttemptedButNeverSucceededIsDue) {
+  RefreshScheduler sched(7);
+  EndpointRecord r;
+  // A record whose only attempt "succeeded" per last_attempt_failed but
+  // never set last_success_day (e.g. hand-migrated registry data) must be
+  // treated as stale, not fresh.
+  r.last_attempt_day = 3;
+  r.last_attempt_failed = false;
+  r.last_success_day = -1;
+  EXPECT_TRUE(sched.IsDue(r, 4));
 }
 
 // End-to-end §3.1 simulation: a flaky endpoint over 30 days.
@@ -321,7 +373,9 @@ TEST_F(ExtractionTest, ThirtyDayRefreshSimulation) {
     clock_ = SimClock(day * SimClock::kMillisPerDay);
     for (const std::string& url : sched.DueToday(reg, day)) {
       auto s = extractor.Extract(&ep, nullptr);
-      RefreshScheduler::RecordAttempt(reg.FindMutable(url), day, s.ok());
+      reg.UpdateRecord(url, [&](EndpointRecord& r) {
+        RefreshScheduler::RecordAttempt(&r, day, s.ok());
+      });
       attempt_days.push_back(day);
     }
   }

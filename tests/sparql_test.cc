@@ -235,6 +235,24 @@ SELECT ?p WHERE { ?p foaf:name ?n . FILTER regex(?n, "^ali", "i") . })");
   EXPECT_EQ(t.num_rows(), 1u);
 }
 
+TEST_F(SparqlTest, FilterRegexAlternationAndQuantifiers) {
+  ResultTable t = Run(std::string(kPrefixes) + R"(
+SELECT ?p WHERE { ?p foaf:name ?n . FILTER regex(?n, "^ali|^bob", "i") . })");
+  EXPECT_EQ(t.num_rows(), 2u);  // Alice and Bob
+  ResultTable q = Run(std::string(kPrefixes) + R"(
+SELECT ?p WHERE { ?p foaf:name ?n . FILTER regex(?n, "^[B-C].*[bl]$") . })");
+  EXPECT_EQ(q.num_rows(), 2u);  // Bob, Carol (not Alice)
+}
+
+TEST_F(SparqlTest, FilterRegexUnsupportedPatternFiltersRow) {
+  // Patterns outside the lite-matcher subset evaluate to an error, which
+  // FILTER treats as false — same observable behavior as a malformed
+  // regex before, never a silent literal match.
+  ResultTable t = Run(std::string(kPrefixes) + R"(
+SELECT ?p WHERE { ?p foaf:name ?n . FILTER regex(?n, "(ali)+") . })");
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
 TEST_F(SparqlTest, FilterStrAndContains) {
   ResultTable t = Run(std::string(kPrefixes) + R"(
 SELECT ?c WHERE { ?c ex:website ?u . FILTER CONTAINS(STR(?u), "example.org") . })");

@@ -3,7 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <fstream>
+#include <set>
+#include <thread>
 
 #include "common/json.h"
 #include "store/collection.h"
@@ -194,6 +198,137 @@ TEST(DatabaseTest, SaveAndLoadDirectory) {
 TEST(DatabaseTest, LoadMissingDirectoryFails) {
   Database db;
   EXPECT_FALSE(db.LoadFromDirectory("/nonexistent/hbold").ok());
+}
+
+TEST(DatabaseTest, SaveLeavesNoTempFiles) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "hbold_store_tmp_test";
+  fs::remove_all(dir);
+
+  Database db;
+  ASSERT_TRUE(db.GetCollection("summaries")
+                  ->Insert(Obj(R"({"endpoint":"http://a"})"))
+                  .ok());
+  ASSERT_TRUE(db.SaveToDirectory(dir.string()).ok());
+  // Saving again over existing files must atomically replace them.
+  ASSERT_TRUE(db.SaveToDirectory(dir.string()).ok());
+
+  size_t jsonl = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().extension(), ".tmp")
+        << "temp file left behind: " << entry.path();
+    if (entry.path().extension() == ".jsonl") ++jsonl;
+  }
+  EXPECT_EQ(jsonl, 1u);
+
+  // A stale .tmp from a crashed save must not be loaded as a collection.
+  std::ofstream(dir / "summaries.jsonl.tmp") << "garbage\n";
+  Database loaded;
+  ASSERT_TRUE(loaded.LoadFromDirectory(dir.string()).ok());
+  EXPECT_EQ(loaded.CollectionNames(), (std::vector<std::string>{"summaries"}));
+  fs::remove_all(dir);
+}
+
+// ------------------------------------------------------------- Concurrency
+
+TEST(CollectionSnapshotTest, SnapshotIsImmutableView) {
+  Collection c("snap");
+  ASSERT_TRUE(c.Insert(Obj(R"({"k":1})")).ok());
+  ASSERT_TRUE(c.Insert(Obj(R"({"k":2})")).ok());
+  std::vector<Document> snapshot = c.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].GetInt("k"), 1);
+  c.Remove(Obj(R"({"k":1})"));
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(snapshot.size(), 2u);  // unaffected by the removal
+}
+
+TEST(ConcurrencyTest, ParallelWritersToDistinctCollections) {
+  Database db;
+  constexpr int kWriters = 8;
+  constexpr int kDocsPerWriter = 200;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&db, w] {
+      Collection* c = db.GetCollection("c" + std::to_string(w));
+      for (int i = 0; i < kDocsPerWriter; ++i) {
+        Json doc = Json::MakeObject();
+        doc.Set("writer", w);
+        doc.Set("seq", i);
+        ASSERT_TRUE(c->Insert(std::move(doc)).ok());
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(db.CollectionNames().size(), static_cast<size_t>(kWriters));
+  for (int w = 0; w < kWriters; ++w) {
+    const Collection* c = db.FindCollection("c" + std::to_string(w));
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->size(), static_cast<size_t>(kDocsPerWriter));
+  }
+}
+
+TEST(ConcurrencyTest, ParallelWritersToSameCollection) {
+  Database db;
+  Collection* c = db.GetCollection("shared");
+  constexpr int kWriters = 4;
+  constexpr int kDocsPerWriter = 250;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([c, w] {
+      for (int i = 0; i < kDocsPerWriter; ++i) {
+        Json doc = Json::MakeObject();
+        doc.Set("writer", w);
+        ASSERT_TRUE(c->Insert(std::move(doc)).ok());
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(c->size(), static_cast<size_t>(kWriters * kDocsPerWriter));
+  // Every document got a distinct id.
+  std::set<int64_t> ids;
+  for (const Document& doc : c->Snapshot()) ids.insert(doc.GetInt("_id"));
+  EXPECT_EQ(ids.size(), static_cast<size_t>(kWriters * kDocsPerWriter));
+}
+
+TEST(ConcurrencyTest, ReadersDuringWrites) {
+  Database db;
+  Collection* c = db.GetCollection("mixed");
+  c->CreateIndex("k");
+  std::atomic<bool> stop{false};
+  std::atomic<int> read_errors{0};
+
+  std::thread writer([c, &stop] {
+    for (int i = 0; i < 500; ++i) {
+      Json doc = Json::MakeObject();
+      doc.Set("k", i % 10);
+      doc.Set("seq", i);
+      ASSERT_TRUE(c->Insert(std::move(doc)).ok());
+    }
+    stop = true;
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([c, &stop, &read_errors] {
+      Json filter = Json::MakeObject();
+      filter.Set("k", 3);
+      while (!stop) {
+        // Every doc an indexed read returns must actually match.
+        for (const Document& doc : c->Find(filter)) {
+          if (doc.GetInt("k") != 3) ++read_errors;
+        }
+        c->Snapshot();
+        c->CountMatching(filter);
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(read_errors.load(), 0);
+  EXPECT_EQ(c->size(), 500u);
+  Json filter = Json::MakeObject();
+  filter.Set("k", 3);
+  EXPECT_EQ(c->CountMatching(filter), 50u);
 }
 
 }  // namespace
