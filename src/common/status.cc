@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Timeout";
     case StatusCode::kUnsupported:
       return "Unsupported";
+    case StatusCode::kCancelled:
+      return "Cancelled";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -20,6 +20,7 @@ enum class StatusCode {
   kUnavailable,   // endpoint offline / transient failure
   kTimeout,       // endpoint exceeded its deadline
   kUnsupported,   // endpoint dialect rejects the query feature
+  kCancelled,     // work abandoned because a sibling batch job failed
   kInternal,
 };
 
@@ -68,6 +69,9 @@ class Status {
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -81,6 +85,7 @@ class Status {
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
   bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -5,6 +5,7 @@
 namespace hbold::endpoint {
 
 Result<QueryOutcome> LocalEndpoint::Query(const std::string& query_text) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++queries_served_;
   Stopwatch sw;
   last_stats_ = sparql::ExecStats{};

@@ -1,6 +1,7 @@
 #ifndef HBOLD_ENDPOINT_LOCAL_ENDPOINT_H_
 #define HBOLD_ENDPOINT_LOCAL_ENDPOINT_H_
 
+#include <mutex>
 #include <string>
 
 #include "endpoint/endpoint.h"
@@ -11,6 +12,13 @@ namespace hbold::endpoint {
 
 /// An endpoint backed directly by an in-process TripleStore. Latency is the
 /// measured wall-clock execution time; no availability or dialect modeling.
+///
+/// Thread safety: Query() serializes on an internal mutex, so a QueryBatch
+/// may fan concurrent queries at one endpoint (the executor itself is
+/// stateless, but the served counter and last_stats() are not). Reading
+/// last_stats() is only meaningful from the thread that just ran Query()
+/// while no other query is in flight — SimulatedRemoteEndpoint holds its
+/// own lock across both calls for exactly that reason.
 class LocalEndpoint : public SparqlEndpoint {
  public:
   /// `store` must outlive the endpoint.
@@ -23,7 +31,10 @@ class LocalEndpoint : public SparqlEndpoint {
 
   const std::string& url() const override { return url_; }
   const std::string& name() const override { return name_; }
-  size_t queries_served() const override { return queries_served_; }
+  size_t queries_served() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queries_served_;
+  }
 
   const rdf::TripleStore* store() const { return store_; }
 
@@ -36,6 +47,7 @@ class LocalEndpoint : public SparqlEndpoint {
   std::string name_;
   const rdf::TripleStore* store_;
   sparql::Executor executor_;
+  mutable std::mutex mu_;
   sparql::ExecStats last_stats_;
   size_t queries_served_ = 0;
 };

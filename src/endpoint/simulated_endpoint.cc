@@ -31,6 +31,7 @@ SimulatedRemoteEndpoint::SimulatedRemoteEndpoint(
 
 Result<QueryOutcome> SimulatedRemoteEndpoint::Query(
     const std::string& query_text) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++queries_served_;
   if (!availability_.IsUp(clock_->NowDay())) {
     return Status::Unavailable("endpoint " + url() + " is down on day " +

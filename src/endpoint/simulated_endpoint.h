@@ -2,6 +2,7 @@
 #define HBOLD_ENDPOINT_SIMULATED_ENDPOINT_H_
 
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -81,6 +82,13 @@ struct LatencyModel {
 /// availability calendar, a latency model, and a dialect with feature gaps.
 /// The wall clock is a SimClock owned by the caller, so a whole fleet of
 /// endpoints shares one simulated timeline.
+///
+/// Thread safety: Query() serializes on an internal mutex (it must read
+/// the inner LocalEndpoint's per-query stats atomically with the query),
+/// so concurrent batched queries against one endpoint are safe. Real
+/// wall-clock concurrency at a single simulated endpoint is therefore
+/// nil by design — the latency the simulation charges is computed, not
+/// slept, and the batch layer models the overlap deterministically.
 class SimulatedRemoteEndpoint : public SparqlEndpoint {
  public:
   /// `store` and `clock` must outlive the endpoint.
@@ -94,7 +102,10 @@ class SimulatedRemoteEndpoint : public SparqlEndpoint {
 
   const std::string& url() const override { return local_.url(); }
   const std::string& name() const override { return local_.name(); }
-  size_t queries_served() const override { return queries_served_; }
+  size_t queries_served() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queries_served_;
+  }
 
   const Dialect& dialect() const { return dialect_; }
   const AvailabilityModel& availability() const { return availability_; }
@@ -109,6 +120,7 @@ class SimulatedRemoteEndpoint : public SparqlEndpoint {
   Dialect dialect_;
   AvailabilityModel availability_;
   LatencyModel latency_;
+  mutable std::mutex mu_;
   size_t queries_served_ = 0;
 };
 

@@ -15,12 +15,13 @@ IndexExtractor::IndexExtractor(
     : strategies_(std::move(strategies)) {}
 
 Result<IndexSummary> IndexExtractor::Extract(endpoint::SparqlEndpoint* ep,
+                                             const ExtractionContext& context,
                                              ExtractionReport* report) const {
   ExtractionReport local;
   ExtractionReport* r = report != nullptr ? report : &local;
   Status last_error = Status::Internal("no extraction strategies configured");
   for (const auto& strategy : strategies_) {
-    Result<IndexSummary> result = strategy->Extract(ep, r);
+    Result<IndexSummary> result = strategy->Extract(ep, context, r);
     if (result.ok()) return result;
     last_error = result.status();
     if (last_error.IsUnsupported() || last_error.IsTimeout()) {

@@ -27,9 +27,18 @@ class IndexExtractor {
       std::vector<std::unique_ptr<ExtractionStrategy>> strategies);
 
   /// Extracts the indexes; fills `report` (strategy used, fallbacks,
-  /// query count, simulated latency).
+  /// query count, simulated latency). `context` carries the shared worker
+  /// pool and the per-endpoint batch width; every strategy in the chain
+  /// fans its independent query sets out through it.
   Result<IndexSummary> Extract(endpoint::SparqlEndpoint* ep,
+                               const ExtractionContext& context,
                                ExtractionReport* report) const;
+
+  /// Sequential convenience overload (the pre-batching call shape).
+  Result<IndexSummary> Extract(endpoint::SparqlEndpoint* ep,
+                               ExtractionReport* report) const {
+    return Extract(ep, ExtractionContext{}, report);
+  }
 
  private:
   std::vector<std::unique_ptr<ExtractionStrategy>> strategies_;

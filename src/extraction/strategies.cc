@@ -4,17 +4,23 @@
 #include <map>
 #include <set>
 
+#include "common/thread_pool.h"
+#include "endpoint/query_batch.h"
 #include "rdf/vocab.h"
 
 namespace hbold::extraction {
 
 namespace {
 
+using endpoint::QueryBatch;
+using endpoint::QueryBatchOptions;
 using endpoint::QueryOutcome;
 using endpoint::SparqlEndpoint;
 using sparql::ResultTable;
 
-/// Issues one query, accumulating report cost.
+/// Issues one query sequentially, accumulating report cost. A sequential
+/// query contributes its full latency to the intra-pipeline makespan —
+/// nothing overlaps it.
 Result<QueryOutcome> Run(SparqlEndpoint* ep, const std::string& q,
                          ExtractionReport* report) {
   auto outcome = ep->Query(q);
@@ -22,6 +28,7 @@ Result<QueryOutcome> Run(SparqlEndpoint* ep, const std::string& q,
     ++report->queries_issued;
     if (outcome.ok()) {
       report->total_latency_ms += outcome->latency_ms;
+      report->intra_makespan_ms += outcome->latency_ms;
       report->rows_transferred += outcome->table.num_rows();
     }
   }
@@ -37,6 +44,64 @@ Result<int64_t> RunCount(SparqlEndpoint* ep, const std::string& q,
     return Status::Internal("count query returned no scalar: " + q);
   }
   return *n;
+}
+
+/// The COUNT cell of an already-fetched batch outcome.
+Result<int64_t> ScalarOf(const QueryOutcome& outcome) {
+  std::optional<int64_t> n = outcome.table.ScalarInt("n");
+  if (!n.has_value()) {
+    return Status::Internal("count query returned no scalar");
+  }
+  return *n;
+}
+
+/// Runs `queries` against `ep` as one fan-out batch (with a null pool —
+/// i.e. strictly on this thread — when the context disables batching)
+/// and charges `report` per the deterministic-accounting contract in
+/// strategies.h: outcomes are charged in submission order up to and
+/// including the first failure OR first truncated outcome (both abort
+/// the batch — every RunBatch caller treats truncation as Unsupported,
+/// so later queries would be wasted endpoint work). Returned outcomes
+/// are in submission order; callers must treat the first non-ok or
+/// truncated entry as the abort point and ignore everything after it.
+/// The batch contributes its width-scheduled makespan (not its latency
+/// sum) to intra_makespan_ms.
+std::vector<Result<QueryOutcome>> RunBatch(SparqlEndpoint* ep,
+                                           const std::vector<std::string>& qs,
+                                           const ExtractionContext& ctx,
+                                           ExtractionReport* report) {
+  std::vector<Result<QueryOutcome>> outcomes;
+  if (qs.empty()) return outcomes;
+  // One implementation for both modes: QueryBatch with a null pool is
+  // exactly the sequential walk (caller-only claim loop), so the abort
+  // rule cannot drift between batching on and off.
+  const bool batched = ctx.batching_enabled() && qs.size() > 1;
+  QueryBatchOptions options;
+  options.pool = batched ? ctx.pool : nullptr;
+  options.per_endpoint_limit = batched ? ctx.batch_width : 1;
+  options.abort_on_truncation = true;
+  outcomes = QueryBatch::RunOnOne(ep, qs, options);
+  if (report != nullptr) {
+    if (batched) ++report->batches_issued;
+    // With batching off, intra makespan accrues query by query — the
+    // exact addition sequence total_latency_ms sees — so the two stay
+    // bit-identical, not merely close.
+    WorkerLatencyLedger ledger(ctx.batch_width);
+    for (const Result<QueryOutcome>& outcome : outcomes) {
+      ++report->queries_issued;
+      if (!outcome.ok()) break;  // failure charged as issued, no latency
+      report->total_latency_ms += outcome->latency_ms;
+      report->rows_transferred += outcome->table.num_rows();
+      if (batched) {
+        ledger.Assign(outcome->latency_ms);
+      } else {
+        report->intra_makespan_ms += outcome->latency_ms;
+      }
+      if (outcome->truncated) break;  // abort point: charged, then stop
+    }
+    if (batched) report->intra_makespan_ms += ledger.MakespanMs();
+  }
+  return outcomes;
 }
 
 std::string IriRef(const std::string& iri) { return "<" + iri + ">"; }
@@ -67,7 +132,8 @@ void Canonicalize(IndexSummary* s) {
 // ------------------------------------------------------------------------
 
 Result<IndexSummary> DirectAggregationStrategy::Extract(
-    SparqlEndpoint* ep, ExtractionReport* report) const {
+    SparqlEndpoint* ep, const ExtractionContext& context,
+    ExtractionReport* report) const {
   IndexSummary s;
   s.endpoint_url = ep->url();
 
@@ -103,14 +169,28 @@ Result<IndexSummary> DirectAggregationStrategy::Extract(
     s.classes.push_back(std::move(info));
   }
 
-  // Per class: property usage counts, then object-property ranges.
-  for (ClassInfo& cls : s.classes) {
-    HBOLD_ASSIGN_OR_RETURN(
-        QueryOutcome props,
-        Run(ep,
-            "SELECT ?p (COUNT(?o) AS ?n) WHERE { ?s a " + IriRef(cls.iri) +
-                " . ?s ?p ?o . } GROUP BY ?p",
-            report));
+  // Per class: property usage counts and object-property ranges. The 2C
+  // queries are independent given the class list, so they fan out as one
+  // batch; outcomes are processed in submission order (props_i, ranges_i
+  // per class) so truncation and failures surface deterministically.
+  std::vector<std::string> class_queries;
+  class_queries.reserve(s.classes.size() * 2);
+  for (const ClassInfo& cls : s.classes) {
+    class_queries.push_back(
+        "SELECT ?p (COUNT(?o) AS ?n) WHERE { ?s a " + IriRef(cls.iri) +
+        " . ?s ?p ?o . } GROUP BY ?p");
+    class_queries.push_back(
+        "SELECT ?p ?rc (COUNT(?o) AS ?n) WHERE { ?s a " + IriRef(cls.iri) +
+        " . ?s ?p ?o . ?o a ?rc . } GROUP BY ?p ?rc");
+  }
+  std::vector<Result<QueryOutcome>> outcomes =
+      RunBatch(ep, class_queries, context, report);
+
+  for (size_t ci = 0; ci < s.classes.size(); ++ci) {
+    ClassInfo& cls = s.classes[ci];
+    Result<QueryOutcome>& props_result = outcomes[ci * 2];
+    if (!props_result.ok()) return props_result.status();
+    QueryOutcome& props = *props_result;
     if (props.truncated) {
       return Status::Unsupported("property list truncated");
     }
@@ -126,12 +206,9 @@ Result<IndexSummary> DirectAggregationStrategy::Extract(
       cls.properties.push_back(std::move(info));
     }
     // Range histogram for properties whose objects are typed resources.
-    HBOLD_ASSIGN_OR_RETURN(
-        QueryOutcome ranges,
-        Run(ep,
-            "SELECT ?p ?rc (COUNT(?o) AS ?n) WHERE { ?s a " + IriRef(cls.iri) +
-                " . ?s ?p ?o . ?o a ?rc . } GROUP BY ?p ?rc",
-            report));
+    Result<QueryOutcome>& ranges_result = outcomes[ci * 2 + 1];
+    if (!ranges_result.ok()) return ranges_result.status();
+    QueryOutcome& ranges = *ranges_result;
     if (ranges.truncated) {
       return Status::Unsupported("range list truncated");
     }
@@ -162,7 +239,8 @@ Result<IndexSummary> DirectAggregationStrategy::Extract(
 // ------------------------------------------------------------------------
 
 Result<IndexSummary> PerClassCountStrategy::Extract(
-    SparqlEndpoint* ep, ExtractionReport* report) const {
+    SparqlEndpoint* ep, const ExtractionContext& context,
+    ExtractionReport* report) const {
   IndexSummary s;
   s.endpoint_url = ep->url();
 
@@ -183,64 +261,102 @@ Result<IndexSummary> PerClassCountStrategy::Extract(
   if (classes.truncated) {
     return Status::Unsupported("class enumeration truncated");
   }
-
   for (size_t i = 0; i < classes.table.num_rows(); ++i) {
     auto c = classes.table.Cell(i, "c");
     if (!c.has_value()) continue;
     ClassInfo cls;
     cls.iri = c->lexical();
-    HBOLD_ASSIGN_OR_RETURN(
-        int64_t count,
-        RunCount(ep,
-                 "SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s a " +
-                     IriRef(cls.iri) + " . }",
-                 report));
+    s.classes.push_back(std::move(cls));
+  }
+
+  // Wave 1 — per class: instance count + property enumeration. Both
+  // depend only on the class list, so the 2C queries are one batch.
+  std::vector<std::string> wave1;
+  wave1.reserve(s.classes.size() * 2);
+  for (const ClassInfo& cls : s.classes) {
+    wave1.push_back("SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s a " +
+                    IriRef(cls.iri) + " . }");
+    wave1.push_back("SELECT DISTINCT ?p WHERE { ?s a " + IriRef(cls.iri) +
+                    " . ?s ?p ?o . }");
+  }
+  std::vector<Result<QueryOutcome>> wave1_out =
+      RunBatch(ep, wave1, context, report);
+  for (size_t ci = 0; ci < s.classes.size(); ++ci) {
+    ClassInfo& cls = s.classes[ci];
+    Result<QueryOutcome>& count_result = wave1_out[ci * 2];
+    if (!count_result.ok()) return count_result.status();
+    HBOLD_ASSIGN_OR_RETURN(int64_t count, ScalarOf(*count_result));
     cls.instance_count = static_cast<size_t>(count);
 
-    HBOLD_ASSIGN_OR_RETURN(
-        QueryOutcome props,
-        Run(ep,
-            "SELECT DISTINCT ?p WHERE { ?s a " + IriRef(cls.iri) +
-                " . ?s ?p ?o . }",
-            report));
-    if (props.truncated) {
+    Result<QueryOutcome>& props_result = wave1_out[ci * 2 + 1];
+    if (!props_result.ok()) return props_result.status();
+    if (props_result->truncated) {
       return Status::Unsupported("property enumeration truncated");
     }
-    for (size_t pi = 0; pi < props.table.num_rows(); ++pi) {
-      auto p = props.table.Cell(pi, "p");
+    for (size_t pi = 0; pi < props_result->table.num_rows(); ++pi) {
+      auto p = props_result->table.Cell(pi, "p");
       if (!p.has_value() || p->lexical() == rdf::vocab::kRdfType) continue;
       PropertyInfo info;
       info.iri = p->lexical();
-      HBOLD_ASSIGN_OR_RETURN(
-          int64_t usage,
-          RunCount(ep,
-                   "SELECT (COUNT(?o) AS ?n) WHERE { ?s a " + IriRef(cls.iri) +
-                       " . ?s " + IriRef(info.iri) + " ?o . }",
-                   report));
-      info.count = static_cast<size_t>(usage);
-
-      HBOLD_ASSIGN_OR_RETURN(
-          QueryOutcome ranges,
-          Run(ep,
-              "SELECT DISTINCT ?rc WHERE { ?s a " + IriRef(cls.iri) + " . ?s " +
-                  IriRef(info.iri) + " ?o . ?o a ?rc . }",
-              report));
-      for (size_t ri = 0; ri < ranges.table.num_rows(); ++ri) {
-        auto rc = ranges.table.Cell(ri, "rc");
-        if (!rc.has_value()) continue;
-        HBOLD_ASSIGN_OR_RETURN(
-            int64_t rn,
-            RunCount(ep,
-                     "SELECT (COUNT(?o) AS ?n) WHERE { ?s a " +
-                         IriRef(cls.iri) + " . ?s " + IriRef(info.iri) +
-                         " ?o . ?o a " + IriRef(rc->lexical()) + " . }",
-                     report));
-        info.is_object_property = true;
-        info.range_classes[rc->lexical()] = static_cast<size_t>(rn);
-      }
       cls.properties.push_back(std::move(info));
     }
-    s.classes.push_back(std::move(cls));
+  }
+
+  // Wave 2 — per (class, property): usage count + object-range
+  // enumeration.
+  std::vector<std::string> wave2;
+  std::vector<std::pair<size_t, size_t>> wave2_at;  // (class, property)
+  for (size_t ci = 0; ci < s.classes.size(); ++ci) {
+    const ClassInfo& cls = s.classes[ci];
+    for (size_t pi = 0; pi < cls.properties.size(); ++pi) {
+      const std::string& prop = cls.properties[pi].iri;
+      wave2.push_back("SELECT (COUNT(?o) AS ?n) WHERE { ?s a " +
+                      IriRef(cls.iri) + " . ?s " + IriRef(prop) + " ?o . }");
+      wave2.push_back("SELECT DISTINCT ?rc WHERE { ?s a " + IriRef(cls.iri) +
+                      " . ?s " + IriRef(prop) + " ?o . ?o a ?rc . }");
+      wave2_at.emplace_back(ci, pi);
+    }
+  }
+  std::vector<Result<QueryOutcome>> wave2_out =
+      RunBatch(ep, wave2, context, report);
+
+  // Wave 3 — per (class, property, range class): range usage count.
+  std::vector<std::string> wave3;
+  std::vector<std::pair<std::pair<size_t, size_t>, std::string>> wave3_at;
+  for (size_t wi = 0; wi < wave2_at.size(); ++wi) {
+    auto [ci, pi] = wave2_at[wi];
+    PropertyInfo& info = s.classes[ci].properties[pi];
+
+    Result<QueryOutcome>& usage_result = wave2_out[wi * 2];
+    if (!usage_result.ok()) return usage_result.status();
+    HBOLD_ASSIGN_OR_RETURN(int64_t usage, ScalarOf(*usage_result));
+    info.count = static_cast<size_t>(usage);
+
+    Result<QueryOutcome>& ranges_result = wave2_out[wi * 2 + 1];
+    if (!ranges_result.ok()) return ranges_result.status();
+    if (ranges_result->truncated) {
+      return Status::Unsupported("range enumeration truncated");
+    }
+    for (size_t ri = 0; ri < ranges_result->table.num_rows(); ++ri) {
+      auto rc = ranges_result->table.Cell(ri, "rc");
+      if (!rc.has_value()) continue;
+      wave3.push_back("SELECT (COUNT(?o) AS ?n) WHERE { ?s a " +
+                      IriRef(s.classes[ci].iri) + " . ?s " +
+                      IriRef(info.iri) + " ?o . ?o a " +
+                      IriRef(rc->lexical()) + " . }");
+      wave3_at.emplace_back(std::make_pair(ci, pi), rc->lexical());
+    }
+  }
+  std::vector<Result<QueryOutcome>> wave3_out =
+      RunBatch(ep, wave3, context, report);
+  for (size_t wi = 0; wi < wave3_at.size(); ++wi) {
+    auto& [at, range_class] = wave3_at[wi];
+    Result<QueryOutcome>& rn_result = wave3_out[wi];
+    if (!rn_result.ok()) return rn_result.status();
+    HBOLD_ASSIGN_OR_RETURN(int64_t rn, ScalarOf(*rn_result));
+    PropertyInfo& info = s.classes[at.first].properties[at.second];
+    info.is_object_property = true;
+    info.range_classes[range_class] = static_cast<size_t>(rn);
   }
 
   Canonicalize(&s);
@@ -252,38 +368,120 @@ Result<IndexSummary> PerClassCountStrategy::Extract(
 // Strategy 3: paginated scan, all counting client-side.
 // ------------------------------------------------------------------------
 
+namespace {
+
+/// Pages through `base_query LIMIT page_size OFFSET <o>`, handing every
+/// page's table to `page_fn`. With batching on, up to batch_width page
+/// requests fly speculatively; the logical page stream (and everything
+/// charged to `report`) is identical to the sequential walk — speculative
+/// pages past the terminal page are discarded uncharged, and a truncated
+/// page (row-capped endpoint, offsets no longer predictable) drops the
+/// scan back to sequential paging for good.
+template <typename PageFn>
+Status ScanPages(SparqlEndpoint* ep, const std::string& base_query,
+                 size_t page_size, const ExtractionContext& ctx,
+                 ExtractionReport* report, PageFn page_fn) {
+  auto page_query = [&](size_t offset) {
+    return base_query + " LIMIT " + std::to_string(page_size) + " OFFSET " +
+           std::to_string(offset);
+  };
+
+  size_t offset = 0;
+  bool sequential = !ctx.batching_enabled();
+  while (true) {
+    if (sequential) {
+      HBOLD_ASSIGN_OR_RETURN(QueryOutcome page,
+                             Run(ep, page_query(offset), report));
+      page_fn(page.table);
+      // A row-capped endpoint may return fewer rows than LIMIT asked
+      // for; advance by what actually arrived and keep paging.
+      if (page.truncated) {
+        offset += page.table.num_rows();
+        continue;
+      }
+      if (page.table.num_rows() < page_size) return Status::OK();
+      offset += page_size;
+      continue;
+    }
+
+    // Speculative wave: batch_width pages at the offsets the sequential
+    // walk would visit if every page comes back full.
+    std::vector<std::string> wave;
+    wave.reserve(ctx.batch_width);
+    for (size_t k = 0; k < ctx.batch_width; ++k) {
+      wave.push_back(page_query(offset + k * page_size));
+    }
+    QueryBatchOptions options;
+    options.pool = ctx.pool;
+    options.per_endpoint_limit = ctx.batch_width;
+    // A truncated page ends the wave's usefulness (offsets past it are
+    // wrong); stop launching speculative pages once one comes back so.
+    options.abort_on_truncation = true;
+    std::vector<Result<QueryOutcome>> pages =
+        QueryBatch::RunOnOne(ep, wave, options);
+    if (report != nullptr) ++report->batches_issued;
+
+    // Consume in order; charge only the pages the sequential walk would
+    // have issued. The wave overlapped, so it adds the max (not the sum)
+    // of the used pages' latencies to the intra-pipeline makespan.
+    double wave_makespan_ms = 0;
+    auto charge = [&](const QueryOutcome& page) {
+      if (report == nullptr) return;
+      ++report->queries_issued;
+      report->total_latency_ms += page.latency_ms;
+      report->rows_transferred += page.table.num_rows();
+      wave_makespan_ms = std::max(wave_makespan_ms, page.latency_ms);
+    };
+    auto wave_done = [&] {
+      if (report != nullptr) report->intra_makespan_ms += wave_makespan_ms;
+    };
+    for (size_t k = 0; k < pages.size(); ++k) {
+      Result<QueryOutcome>& page_result = pages[k];
+      if (!page_result.ok()) {
+        // The sequential walk reached (and was charged for) this page.
+        if (report != nullptr) ++report->queries_issued;
+        wave_done();
+        return page_result.status();
+      }
+      QueryOutcome& page = *page_result;
+      charge(page);
+      page_fn(page.table);
+      if (page.truncated) {
+        offset += k * page_size + page.table.num_rows();
+        sequential = true;  // offsets no longer predictable
+        break;
+      }
+      if (page.table.num_rows() < page_size) {
+        wave_done();
+        return Status::OK();  // terminal page; rest of wave discarded
+      }
+    }
+    wave_done();
+    if (!sequential) offset += ctx.batch_width * page_size;
+  }
+}
+
+}  // namespace
+
 Result<IndexSummary> PaginatedScanStrategy::Extract(
-    SparqlEndpoint* ep, ExtractionReport* report) const {
+    SparqlEndpoint* ep, const ExtractionContext& context,
+    ExtractionReport* report) const {
   IndexSummary s;
   s.endpoint_url = ep->url();
 
   // Pass 1: page through typed subjects to build the instance->classes map.
   std::map<std::string, std::set<std::string>> types_of;  // subject -> classes
-  size_t offset = 0;
-  while (true) {
-    HBOLD_ASSIGN_OR_RETURN(
-        QueryOutcome page,
-        Run(ep,
-            "SELECT ?s ?c WHERE { ?s a ?c . } LIMIT " +
-                std::to_string(page_size_) + " OFFSET " +
-                std::to_string(offset),
-            report));
-    for (size_t i = 0; i < page.table.num_rows(); ++i) {
-      auto subj = page.table.Cell(i, "s");
-      auto cls = page.table.Cell(i, "c");
-      if (subj.has_value() && cls.has_value()) {
-        types_of[subj->ToNTriples()].insert(cls->lexical());
-      }
-    }
-    // A row-capped endpoint may return fewer rows than LIMIT asked for;
-    // advance by what actually arrived and keep paging.
-    if (page.truncated) {
-      offset += page.table.num_rows();
-      continue;
-    }
-    if (page.table.num_rows() < page_size_) break;
-    offset += page_size_;
-  }
+  HBOLD_RETURN_NOT_OK(ScanPages(
+      ep, "SELECT ?s ?c WHERE { ?s a ?c . }", page_size_, context, report,
+      [&](const ResultTable& table) {
+        for (size_t i = 0; i < table.num_rows(); ++i) {
+          auto subj = table.Cell(i, "s");
+          auto cls = table.Cell(i, "c");
+          if (subj.has_value() && cls.has_value()) {
+            types_of[subj->ToNTriples()].insert(cls->lexical());
+          }
+        }
+      }));
 
   s.num_instances = types_of.size();
   std::map<std::string, ClassInfo> classes;
@@ -298,45 +496,35 @@ Result<IndexSummary> PaginatedScanStrategy::Extract(
   // Pass 2: page through all triples; attribute properties to the classes
   // of their subject, detect object properties via the type map.
   std::map<std::string, std::map<std::string, PropertyInfo>> props_by_class;
-  offset = 0;
   size_t total_triples = 0;
-  while (true) {
-    HBOLD_ASSIGN_OR_RETURN(
-        QueryOutcome page,
-        Run(ep,
-            "SELECT ?s ?p ?o WHERE { ?s ?p ?o . } LIMIT " +
-                std::to_string(page_size_) + " OFFSET " +
-                std::to_string(offset),
-            report));
-    total_triples += page.table.num_rows();
-    for (size_t i = 0; i < page.table.num_rows(); ++i) {
-      auto subj = page.table.Cell(i, "s");
-      auto pred = page.table.Cell(i, "p");
-      auto obj = page.table.Cell(i, "o");
-      if (!subj.has_value() || !pred.has_value() || !obj.has_value()) continue;
-      if (pred->lexical() == rdf::vocab::kRdfType) continue;
-      auto it = types_of.find(subj->ToNTriples());
-      if (it == types_of.end()) continue;  // untyped subject
-      auto obj_types = types_of.find(obj->ToNTriples());
-      for (const std::string& cls : it->second) {
-        PropertyInfo& info = props_by_class[cls][pred->lexical()];
-        info.iri = pred->lexical();
-        ++info.count;
-        if (obj_types != types_of.end()) {
-          info.is_object_property = true;
-          for (const std::string& range : obj_types->second) {
-            ++info.range_classes[range];
+  HBOLD_RETURN_NOT_OK(ScanPages(
+      ep, "SELECT ?s ?p ?o WHERE { ?s ?p ?o . }", page_size_, context, report,
+      [&](const ResultTable& table) {
+        total_triples += table.num_rows();
+        for (size_t i = 0; i < table.num_rows(); ++i) {
+          auto subj = table.Cell(i, "s");
+          auto pred = table.Cell(i, "p");
+          auto obj = table.Cell(i, "o");
+          if (!subj.has_value() || !pred.has_value() || !obj.has_value()) {
+            continue;
+          }
+          if (pred->lexical() == rdf::vocab::kRdfType) continue;
+          auto it = types_of.find(subj->ToNTriples());
+          if (it == types_of.end()) continue;  // untyped subject
+          auto obj_types = types_of.find(obj->ToNTriples());
+          for (const std::string& cls : it->second) {
+            PropertyInfo& info = props_by_class[cls][pred->lexical()];
+            info.iri = pred->lexical();
+            ++info.count;
+            if (obj_types != types_of.end()) {
+              info.is_object_property = true;
+              for (const std::string& range : obj_types->second) {
+                ++info.range_classes[range];
+              }
+            }
           }
         }
-      }
-    }
-    if (page.truncated) {
-      offset += page.table.num_rows();
-      continue;
-    }
-    if (page.table.num_rows() < page_size_) break;
-    offset += page_size_;
-  }
+      }));
 
   s.num_triples = total_triples;
   for (auto& [iri, info] : classes) {

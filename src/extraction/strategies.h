@@ -8,9 +8,40 @@
 #include "endpoint/endpoint.h"
 #include "extraction/indexes.h"
 
+namespace hbold {
+class ThreadPool;
+}  // namespace hbold
+
 namespace hbold::extraction {
 
+/// How a strategy is allowed to talk to its endpoint: the shared worker
+/// pool the whole daily cycle runs on, plus the endpoint "politeness" cap.
+/// Default-constructed context means strictly sequential queries — the
+/// pre-batching behavior.
+struct ExtractionContext {
+  /// Pool shared with the inter-pipeline fan-out; null runs batch jobs on
+  /// the calling thread. Strategies submit batch work through
+  /// endpoint::QueryBatch, whose caller-participates design makes nested
+  /// submission from a pool worker deadlock-free.
+  ThreadPool* pool = nullptr;
+  /// Max concurrent queries against the endpoint (and the width used for
+  /// the deterministic intra-pipeline makespan model). <= 1 disables
+  /// batching.
+  size_t batch_width = 1;
+
+  bool batching_enabled() const { return batch_width > 1; }
+};
+
 /// Cost accounting for one extraction run (per strategy attempt or total).
+///
+/// Deterministic-accounting contract: every figure below depends only on
+/// the endpoint's content/dialect and the configured batch width — never
+/// on the pool size, thread scheduling, or whether batch jobs physically
+/// overlapped. Batched strategies charge the *logical* sequential query
+/// stream in submission order; when a batch aborts mid-way, outcomes up
+/// to and including the first failure (in submission order) are charged
+/// and later jobs are not, which is exactly what a sequential run would
+/// have issued.
 struct ExtractionReport {
   std::string strategy_used;
   size_t queries_issued = 0;
@@ -19,6 +50,15 @@ struct ExtractionReport {
   /// transfer little; the paginated scan transfers the whole dataset).
   size_t rows_transferred = 0;
   double total_latency_ms = 0;
+  /// Simulated *duration* of the extraction when batched queries overlap:
+  /// sequential queries contribute their full latency, every batch its
+  /// list-scheduled makespan over `batch_width` lanes. Equals
+  /// total_latency_ms when batching is off; the cost figure
+  /// total_latency_ms is unchanged by batching.
+  double intra_makespan_ms = 0;
+  /// Query batches fanned out through the shared pool (0 when batching is
+  /// off or the strategy had nothing to batch).
+  size_t batches_issued = 0;
   /// Names of strategies that were tried and rejected before the one that
   /// succeeded (Unsupported/Timeout fallbacks).
   std::vector<std::string> fallbacks;
@@ -31,11 +71,19 @@ class ExtractionStrategy {
   virtual ~ExtractionStrategy() = default;
   virtual const char* name() const = 0;
 
-  /// Runs the full index extraction against `ep`. Returns Unsupported when
-  /// the endpoint's dialect cannot answer this strategy's query shapes
+  /// Runs the full index extraction against `ep`, fanning independent
+  /// query sets out per `context`. Returns Unsupported when the
+  /// endpoint's dialect cannot answer this strategy's query shapes
   /// (callers then fall back to the next strategy).
   virtual Result<IndexSummary> Extract(endpoint::SparqlEndpoint* ep,
+                                       const ExtractionContext& context,
                                        ExtractionReport* report) const = 0;
+
+  /// Sequential convenience overload (the pre-batching call shape).
+  Result<IndexSummary> Extract(endpoint::SparqlEndpoint* ep,
+                               ExtractionReport* report) const {
+    return Extract(ep, ExtractionContext{}, report);
+  }
 };
 
 /// Strategy 1 — aggregation pushed to the endpoint: COUNT + GROUP BY do the
@@ -43,8 +91,10 @@ class ExtractionStrategy {
 /// endpoint (Virtuoso-class).
 class DirectAggregationStrategy : public ExtractionStrategy {
  public:
+  using ExtractionStrategy::Extract;
   const char* name() const override { return "direct-aggregation"; }
   Result<IndexSummary> Extract(endpoint::SparqlEndpoint* ep,
+                               const ExtractionContext& context,
                                ExtractionReport* report) const override;
 };
 
@@ -53,8 +103,10 @@ class DirectAggregationStrategy : public ExtractionStrategy {
 /// queries; works on endpoints whose aggregation support is partial.
 class PerClassCountStrategy : public ExtractionStrategy {
  public:
+  using ExtractionStrategy::Extract;
   const char* name() const override { return "per-class-count"; }
   Result<IndexSummary> Extract(endpoint::SparqlEndpoint* ep,
+                               const ExtractionContext& context,
                                ExtractionReport* report) const override;
 };
 
@@ -63,10 +115,12 @@ class PerClassCountStrategy : public ExtractionStrategy {
 /// the only strategy that tolerates hard result-row caps.
 class PaginatedScanStrategy : public ExtractionStrategy {
  public:
+  using ExtractionStrategy::Extract;
   explicit PaginatedScanStrategy(size_t page_size = 10000)
       : page_size_(page_size) {}
   const char* name() const override { return "paginated-scan"; }
   Result<IndexSummary> Extract(endpoint::SparqlEndpoint* ep,
+                               const ExtractionContext& context,
                                ExtractionReport* report) const override;
 
  private:

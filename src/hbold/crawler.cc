@@ -19,14 +19,11 @@ WHERE {
 })";
 }
 
-Result<PortalCrawlResult> PortalCrawler::Crawl(
-    const std::string& portal_name, endpoint::SparqlEndpoint* portal,
-    int64_t today) {
+PortalCrawlResult PortalCrawler::Merge(const std::string& portal_name,
+                                       const endpoint::QueryOutcome& outcome,
+                                       int64_t today) {
   PortalCrawlResult result;
   result.portal_name = portal_name;
-
-  HBOLD_ASSIGN_OR_RETURN(endpoint::QueryOutcome outcome,
-                         portal->Query(Listing1Query()));
   result.datasets_matched = outcome.table.num_rows();
 
   // Distinct URLs with their dataset titles (first title wins).
@@ -51,6 +48,44 @@ Result<PortalCrawlResult> PortalCrawler::Crawl(
   }
   result.distinct_urls = urls.size();
   return result;
+}
+
+Result<PortalCrawlResult> PortalCrawler::Crawl(
+    const std::string& portal_name, endpoint::SparqlEndpoint* portal,
+    int64_t today) {
+  HBOLD_ASSIGN_OR_RETURN(endpoint::QueryOutcome outcome,
+                         portal->Query(Listing1Query()));
+  return Merge(portal_name, outcome, today);
+}
+
+std::vector<Result<PortalCrawlResult>> PortalCrawler::CrawlAll(
+    const std::vector<PortalTarget>& portals, int64_t today,
+    const endpoint::QueryBatchOptions& options) {
+  std::vector<endpoint::QueryJob> jobs;
+  jobs.reserve(portals.size());
+  for (const PortalTarget& portal : portals) {
+    jobs.push_back(endpoint::QueryJob{portal.endpoint, Listing1Query()});
+  }
+  // Portals are independent errands: one dead portal must not abandon
+  // the others' crawls.
+  endpoint::QueryBatchOptions crawl_options = options;
+  crawl_options.abort_on_failure = false;
+  std::vector<Result<endpoint::QueryOutcome>> outcomes =
+      endpoint::QueryBatch::Run(jobs, crawl_options);
+
+  // Merge strictly in portal order, on this thread, after every probe
+  // finished — the registry sees the same insertion sequence a
+  // sequential crawl would produce.
+  std::vector<Result<PortalCrawlResult>> results;
+  results.reserve(portals.size());
+  for (size_t i = 0; i < portals.size(); ++i) {
+    if (!outcomes[i].ok()) {
+      results.push_back(outcomes[i].status());
+      continue;
+    }
+    results.push_back(Merge(portals[i].name, *outcomes[i], today));
+  }
+  return results;
 }
 
 }  // namespace hbold

@@ -6,9 +6,17 @@
 
 #include "common/result.h"
 #include "endpoint/endpoint.h"
+#include "endpoint/query_batch.h"
 #include "endpoint/registry.h"
 
 namespace hbold {
+
+/// One portal to crawl: a display name plus the portal's own SPARQL
+/// endpoint (the thing Listing 1 runs against).
+struct PortalTarget {
+  std::string name;
+  endpoint::SparqlEndpoint* endpoint = nullptr;
+};
 
 /// The DCAT discovery query of the paper's Listing 1, verbatim in shape:
 /// datasets with a distribution whose accessURL matches /sparql/.
@@ -37,7 +45,24 @@ class PortalCrawler {
                                   endpoint::SparqlEndpoint* portal,
                                   int64_t today);
 
+  /// Crawls every portal, fanning the Listing 1 probes out through
+  /// `options` (the daily cycle's shared pool + politeness cap). Registry
+  /// mutation happens only after all probes return, in portal order then
+  /// row order, so the registry ends up bit-identical to sequential
+  /// per-portal crawls no matter how the probes interleaved. Results are
+  /// in portal order; a failed portal carries its error and registers
+  /// nothing.
+  std::vector<Result<PortalCrawlResult>> CrawlAll(
+      const std::vector<PortalTarget>& portals, int64_t today,
+      const endpoint::QueryBatchOptions& options);
+
  private:
+  /// Merges one portal's already-fetched Listing 1 outcome into the
+  /// registry (the sequential tail shared by Crawl and CrawlAll).
+  PortalCrawlResult Merge(const std::string& portal_name,
+                          const endpoint::QueryOutcome& outcome,
+                          int64_t today);
+
   endpoint::EndpointRegistry* registry_;
 };
 

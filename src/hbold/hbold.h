@@ -11,6 +11,7 @@
 #include "cluster/louvain.h"            // IWYU pragma: export
 #include "cluster/modularity.h"         // IWYU pragma: export
 #include "endpoint/local_endpoint.h"    // IWYU pragma: export
+#include "endpoint/query_batch.h"       // IWYU pragma: export
 #include "endpoint/registry.h"          // IWYU pragma: export
 #include "endpoint/simulated_endpoint.h"  // IWYU pragma: export
 #include "extraction/extractor.h"       // IWYU pragma: export

@@ -21,23 +21,24 @@ std::string MetadataRepositoryCrawler::DiscoveryQuery(
          "}";
 }
 
-Result<MetadataCrawlResult> MetadataRepositoryCrawler::Crawl(
-    const std::string& repository_name, endpoint::SparqlEndpoint* repository,
-    double min_availability, int64_t today) {
+namespace {
+
+/// The unfiltered census query (total entries, for the listed/filtered
+/// funnel).
+std::string CensusQuery() {
+  return "PREFIX sq: <http://sparqles.example.org/ns#>\n"
+         "SELECT (COUNT(DISTINCT ?ep) AS ?n) WHERE { ?ep a sq:Endpoint . }";
+}
+
+}  // namespace
+
+MetadataCrawlResult MetadataRepositoryCrawler::Merge(
+    const std::string& repository_name, const endpoint::QueryOutcome& census,
+    const endpoint::QueryOutcome& filtered, int64_t today) {
   MetadataCrawlResult result;
   result.repository_name = repository_name;
-
-  // Total entries (unfiltered), for the listed/filtered funnel.
-  HBOLD_ASSIGN_OR_RETURN(
-      endpoint::QueryOutcome all,
-      repository->Query(
-          "PREFIX sq: <http://sparqles.example.org/ns#>\n"
-          "SELECT (COUNT(DISTINCT ?ep) AS ?n) WHERE { ?ep a sq:Endpoint . }"));
   result.endpoints_listed =
-      static_cast<size_t>(all.table.ScalarInt("n").value_or(0));
-
-  HBOLD_ASSIGN_OR_RETURN(endpoint::QueryOutcome filtered,
-                         repository->Query(DiscoveryQuery(min_availability)));
+      static_cast<size_t>(census.table.ScalarInt("n").value_or(0));
 
   std::set<std::string> urls;
   for (size_t i = 0; i < filtered.table.num_rows(); ++i) {
@@ -59,6 +60,54 @@ Result<MetadataCrawlResult> MetadataRepositoryCrawler::Crawl(
   }
   result.above_threshold = urls.size();
   return result;
+}
+
+Result<MetadataCrawlResult> MetadataRepositoryCrawler::Crawl(
+    const std::string& repository_name, endpoint::SparqlEndpoint* repository,
+    double min_availability, int64_t today) {
+  HBOLD_ASSIGN_OR_RETURN(endpoint::QueryOutcome all,
+                         repository->Query(CensusQuery()));
+  HBOLD_ASSIGN_OR_RETURN(endpoint::QueryOutcome filtered,
+                         repository->Query(DiscoveryQuery(min_availability)));
+  return Merge(repository_name, all, filtered, today);
+}
+
+std::vector<Result<MetadataCrawlResult>> MetadataRepositoryCrawler::CrawlAll(
+    const std::vector<MetadataRepositoryTarget>& repositories,
+    double min_availability, int64_t today,
+    const endpoint::QueryBatchOptions& options) {
+  // Two jobs per repository, all repositories in one batch: the fan-out
+  // overlaps across repositories while the politeness cap still bounds
+  // what any single repository sees in flight.
+  std::vector<endpoint::QueryJob> jobs;
+  jobs.reserve(repositories.size() * 2);
+  for (const MetadataRepositoryTarget& repo : repositories) {
+    jobs.push_back(endpoint::QueryJob{repo.endpoint, CensusQuery()});
+    jobs.push_back(
+        endpoint::QueryJob{repo.endpoint, DiscoveryQuery(min_availability)});
+  }
+  endpoint::QueryBatchOptions crawl_options = options;
+  crawl_options.abort_on_failure = false;  // repositories are independent
+  std::vector<Result<endpoint::QueryOutcome>> outcomes =
+      endpoint::QueryBatch::Run(jobs, crawl_options);
+
+  std::vector<Result<MetadataCrawlResult>> results;
+  results.reserve(repositories.size());
+  for (size_t i = 0; i < repositories.size(); ++i) {
+    Result<endpoint::QueryOutcome>& census = outcomes[i * 2];
+    Result<endpoint::QueryOutcome>& filtered = outcomes[i * 2 + 1];
+    if (!census.ok()) {
+      results.push_back(census.status());
+      continue;
+    }
+    if (!filtered.ok()) {
+      results.push_back(filtered.status());
+      continue;
+    }
+    results.push_back(
+        Merge(repositories[i].name, *census, *filtered, today));
+  }
+  return results;
 }
 
 }  // namespace hbold

@@ -2,12 +2,20 @@
 #define HBOLD_HBOLD_METADATA_CRAWLER_H_
 
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "endpoint/endpoint.h"
+#include "endpoint/query_batch.h"
 #include "endpoint/registry.h"
 
 namespace hbold {
+
+/// One metadata repository to crawl.
+struct MetadataRepositoryTarget {
+  std::string name;
+  endpoint::SparqlEndpoint* endpoint = nullptr;
+};
 
 // The repository vocabulary lives in rdf/vocab.h (kSqEndpointClass, kSqUrl,
 // kSqAvailability). The paper cites sparqles.ai.wu.ac.at for availability
@@ -42,7 +50,24 @@ class MetadataRepositoryCrawler {
                                     endpoint::SparqlEndpoint* repository,
                                     double min_availability, int64_t today);
 
+  /// Crawls every repository, fanning both per-repository queries (the
+  /// unfiltered census and the availability-filtered discovery) across
+  /// all repositories through one batch on the shared pool. Registry
+  /// mutation happens after the batch, in repository order — same
+  /// determinism contract as PortalCrawler::CrawlAll.
+  std::vector<Result<MetadataCrawlResult>> CrawlAll(
+      const std::vector<MetadataRepositoryTarget>& repositories,
+      double min_availability, int64_t today,
+      const endpoint::QueryBatchOptions& options);
+
  private:
+  /// Merges one repository's fetched (census, discovery) outcomes into
+  /// the registry.
+  MetadataCrawlResult Merge(const std::string& repository_name,
+                            const endpoint::QueryOutcome& census,
+                            const endpoint::QueryOutcome& filtered,
+                            int64_t today);
+
   endpoint::EndpointRegistry* registry_;
 };
 

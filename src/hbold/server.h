@@ -15,6 +15,8 @@
 
 namespace hbold {
 
+class ThreadPool;
+
 /// Store collection names used by the server layer.
 inline constexpr const char* kSummariesCollection = "schema_summaries";
 inline constexpr const char* kClustersCollection = "cluster_schemas";
@@ -58,7 +60,17 @@ struct DailyReport {
   /// Deterministic list-scheduling makespan of the simulated latencies
   /// over `parallelism` workers — the *duration* figure a SimClock should
   /// be advanced by. Equals sum_latency_ms when parallelism == 1.
+  ///
+  /// Charged from each pipeline's *sequential* latency total, so the
+  /// figure is bit-identical whether intra-pipeline batching is on or
+  /// off — batching shows up in batched_makespan_ms instead.
   double makespan_ms = 0;
+  /// Same list-scheduling makespan, but each pipeline's duration is its
+  /// intra-pipeline makespan (queries inside one extraction overlapping
+  /// up to ServerOptions::query_batch_width). Equals makespan_ms when
+  /// batching is off; the gap between the two is what intra-pipeline
+  /// fan-out buys.
+  double batched_makespan_ms = 0;
   /// Reports in registry (due-list) order, independent of the order in
   /// which workers actually finished.
   std::vector<PipelineReport> reports;
@@ -70,6 +82,13 @@ struct ServerOptions {
   int64_t refresh_age_days = 7;
   /// Worker threads for the daily cycle; <= 1 runs sequentially inline.
   int parallelism = 1;
+  /// Intra-pipeline fan-out: max concurrent queries one extraction may
+  /// have in flight against its endpoint (the politeness cap batched
+  /// strategies honor). <= 1 keeps every pipeline's queries sequential.
+  /// Batch work runs on the *same* pool as the pipelines themselves —
+  /// one pool serves both layers, so total threads never exceed
+  /// `parallelism` no matter how wide the batches are.
+  int query_batch_width = 1;
 };
 
 /// H-BOLD's server layer: owns the endpoint registry and the document
@@ -126,12 +145,20 @@ class Server {
   Status LoadRegistry();
 
  private:
-  /// ProcessEndpoint with cost feedback: when `latency_ms` is non-null it
-  /// receives the simulated endpoint latency the attempt accrued, on
-  /// success *and* on failure (a timed-out extraction still spent its
-  /// queries' latency) — what the daily cycle's ledger charges.
+  /// Simulated cost one pipeline attempt accrued, on success *and* on
+  /// failure (a timed-out extraction still spent its queries' latency) —
+  /// what the daily cycle's ledgers charge.
+  struct PipelineCost {
+    double latency_ms = 0;   // sequential sum of query latencies
+    double intra_ms = 0;     // duration with intra-pipeline batching
+  };
+
+  /// ProcessEndpoint with cost feedback (`cost` may be null) and the
+  /// shared pool intra-pipeline batches fan out over (null runs batch
+  /// jobs inline on this thread).
   Result<PipelineReport> ProcessEndpointImpl(const std::string& url,
-                                             double* latency_ms);
+                                             ThreadPool* pool,
+                                             PipelineCost* cost);
 
   store::Database* db_;
   SimClock* clock_;

@@ -1,0 +1,241 @@
+// Property test pitting string_util::LitePatternMatch against std::regex
+// (ECMAScript) on ~1000 randomly generated patterns drawn from the
+// supported subset — anchors, '.', character classes, '*' '+' '?',
+// top-level alternation, escapes — plus a generator for out-of-subset
+// patterns that must be *rejected* by LitePatternSupported (and evaluate
+// to an error on the SPARQL FILTER path) rather than matched wrongly.
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "endpoint/local_endpoint.h"
+#include "rdf/graph.h"
+
+namespace hbold {
+namespace {
+
+/// Characters LitePatternMatch treats as metacharacters; everything the
+/// generator escapes comes from this set, so the escapes are valid
+/// ECMAScript too.
+constexpr char kMeta[] = {'.', '*', '+', '?', '[', ']',
+                          '|', '\\', '^', '$', '(', ')'};
+
+/// Random-pattern generator over the supported subset. Every emitted
+/// pattern is simultaneously a valid ECMAScript regex with the same
+/// meaning, so std::regex is a usable oracle.
+class PatternGen {
+ public:
+  explicit PatternGen(uint64_t seed) : rng_(seed) {}
+
+  std::string Literal() {
+    static const char kAlphabet[] = "abcxyz019 _-:/";
+    return std::string(1, kAlphabet[rng_.Uniform(sizeof(kAlphabet) - 1)]);
+  }
+
+  std::string EscapedMeta() {
+    char c = kMeta[rng_.Uniform(sizeof(kMeta))];
+    return std::string("\\") + c;
+  }
+
+  std::string CharClass() {
+    std::string body;
+    if (rng_.Chance(0.3)) body += '^';
+    size_t items = 1 + rng_.Uniform(3);
+    for (size_t i = 0; i < items; ++i) {
+      switch (rng_.Uniform(3)) {
+        case 0:
+          body += "a-z";
+          break;
+        case 1:
+          body += "0-9";
+          break;
+        default:
+          body += Literal();
+          // '-' or ':' adjacent to a range could parse differently in
+          // the two engines; keep class members unambiguous.
+          if (body.back() == '-') body.back() = 'q';
+          break;
+      }
+    }
+    return "[" + body + "]";
+  }
+
+  std::string Atom() {
+    switch (rng_.Uniform(4)) {
+      case 0:
+        return ".";
+      case 1:
+        return CharClass();
+      case 2:
+        return EscapedMeta();
+      default:
+        return Literal();
+    }
+  }
+
+  /// One '|'-free alternative: optional '^', atoms with optional
+  /// quantifiers, optional '$'.
+  std::string Alternative() {
+    std::string out;
+    if (rng_.Chance(0.3)) out += '^';
+    size_t atoms = 1 + rng_.Uniform(5);
+    for (size_t i = 0; i < atoms; ++i) {
+      out += Atom();
+      if (rng_.Chance(0.3)) {
+        static const char kQuant[] = {'*', '+', '?'};
+        out += kQuant[rng_.Uniform(3)];
+      }
+    }
+    if (rng_.Chance(0.3)) out += '$';
+    return out;
+  }
+
+  std::string Pattern() {
+    std::string out = Alternative();
+    while (rng_.Chance(0.25)) {
+      out += '|';
+      out += Alternative();
+    }
+    return out;
+  }
+
+  /// Random text, occasionally seeded with pattern fragments so matches
+  /// actually happen (pure random text nearly always misses).
+  std::string Text(const std::string& pattern) {
+    std::string out;
+    size_t len = rng_.Uniform(12);
+    for (size_t i = 0; i < len; ++i) {
+      if (rng_.Chance(0.35) && !pattern.empty()) {
+        // Splice a literal run of the pattern (metacharacters stripped).
+        size_t start = rng_.Uniform(pattern.size());
+        size_t take = 1 + rng_.Uniform(4);
+        for (size_t j = start; j < pattern.size() && take > 0; ++j) {
+          char c = pattern[j];
+          bool meta = false;
+          for (char m : kMeta) meta = meta || c == m;
+          if (!meta) {
+            out += c;
+            --take;
+          }
+        }
+      } else {
+        out += Literal();
+      }
+    }
+    return out;
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+TEST(LitePatternPropertyTest, AgreesWithStdRegexOnSupportedSubset) {
+  PatternGen gen(20260731);
+  size_t patterns_checked = 0;
+  size_t comparisons = 0;
+  size_t matches_seen = 0;
+  while (patterns_checked < 1000) {
+    std::string pattern = gen.Pattern();
+    // The generator stays inside the subset by construction; the gate
+    // must agree, otherwise the gate is too strict for its own subset.
+    ASSERT_TRUE(LitePatternSupported(pattern)) << pattern;
+    ++patterns_checked;
+
+    const bool icase = gen.rng().Chance(0.25);
+    auto flags = std::regex::ECMAScript;
+    if (icase) flags |= std::regex::icase;
+    std::regex oracle;
+    try {
+      oracle = std::regex(pattern, flags);
+    } catch (const std::regex_error&) {
+      FAIL() << "supported pattern rejected by std::regex: " << pattern;
+    }
+
+    for (int t = 0; t < 8; ++t) {
+      std::string text = gen.Text(pattern);
+      bool expected = std::regex_search(text, oracle);
+      bool got = LitePatternMatch(text, pattern, icase);
+      EXPECT_EQ(got, expected)
+          << "pattern=\"" << pattern << "\" text=\"" << text
+          << "\" icase=" << icase;
+      ++comparisons;
+      if (expected) ++matches_seen;
+    }
+  }
+  // The harness must have exercised both outcomes, or the oracle check
+  // proves nothing.
+  EXPECT_GT(matches_seen, comparisons / 20);
+  EXPECT_LT(matches_seen, comparisons);
+}
+
+TEST(LitePatternPropertyTest, OutOfSubsetPatternsAreRejectedNotMisread) {
+  PatternGen gen(77);
+  // Wrap supported cores with constructs outside the subset; every one
+  // must be rejected by the gate (the FILTER path then errors out the
+  // row instead of matching '(' or '{' literally).
+  for (int i = 0; i < 200; ++i) {
+    std::string core = gen.Pattern();
+    std::string bad;
+    switch (i % 8) {
+      case 0:
+        bad = "(" + core + ")";
+        break;
+      case 1:
+        bad = core + "{2,3}";
+        break;
+      case 2:
+        bad = "\\d" + core;
+        break;
+      case 3:
+        bad = core + "\\w";
+        break;
+      case 4:
+        bad = "a" + std::string("**") + core;
+        break;
+      case 5:
+        bad = "+" + core;
+        break;
+      case 6:
+        bad = core + "a^b";
+        break;
+      default:
+        bad = core + "\\";
+        break;
+    }
+    EXPECT_FALSE(LitePatternSupported(bad)) << bad;
+  }
+}
+
+TEST(LitePatternPropertyTest, UnsupportedFilterPatternErrorsRowsOut) {
+  // End-to-end: on the SPARQL FILTER path an out-of-subset regex must
+  // evaluate to an error (filtering the row out), never to a literal
+  // interpretation of the metacharacters.
+  rdf::TripleStore store;
+  auto iri = [](const std::string& s) { return rdf::Term::Iri(s); };
+  store.Add(iri("http://x/d1"), iri("http://www.w3.org/ns/dcat#accessURL"),
+            iri("http://x/sparql"));
+  endpoint::LocalEndpoint ep("http://x/sparql", "x", &store);
+
+  const std::string select =
+      "SELECT ?u WHERE { ?d <http://www.w3.org/ns/dcat#accessURL> ?u . "
+      "FILTER ( regex(?u, \"";
+  auto supported = ep.Query(select + "sparql\") ) . }");
+  ASSERT_TRUE(supported.ok()) << supported.status();
+  EXPECT_EQ(supported->table.num_rows(), 1u);
+
+  // "(sparql)" matches in ECMAScript; taken literally it never would.
+  // The gate forces the error path: zero rows, not a wrong answer.
+  auto grouped = ep.Query(select + "(sparql)\") ) . }");
+  ASSERT_TRUE(grouped.ok()) << grouped.status();
+  EXPECT_EQ(grouped->table.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace hbold
