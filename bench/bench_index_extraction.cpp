@@ -10,14 +10,17 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "common/json.h"
 #include "extraction/extractor.h"
 #include "workload/ld_generator.h"
 
 namespace {
 
+using hbold::Json;
 using hbold::endpoint::Dialect;
 
 struct DialectSpec {
@@ -50,6 +53,7 @@ void PrintGrid() {
       "E8: index extraction pattern strategies across endpoint dialects");
   std::printf("%-24s %8s %-20s %9s %10s %12s %10s\n", "dialect", "classes",
               "strategy used", "queries", "rows", "endpoint ms", "fallbacks");
+  Json grid = Json::MakeArray();
   for (const DialectSpec& spec : DialectGrid()) {
     for (size_t classes : {10, 30, 60}) {
       auto store = MakeStore(classes, classes * 31);
@@ -58,17 +62,34 @@ void PrintGrid() {
           "http://grid/sparql", "grid", store.get(), &clock, spec.dialect);
       hbold::extraction::ExtractionReport report;
       auto summary = hbold::extraction::IndexExtractor().Extract(&ep, &report);
+      Json entry = Json::MakeObject();
+      entry.Set("dialect", spec.name);
+      entry.Set("classes", static_cast<int64_t>(classes));
       if (!summary.ok()) {
         std::printf("%-24s %8zu %-20s %9s %10s %12s %10s\n", spec.name,
                     classes, "FAILED", "-", "-", "-", "-");
+        entry.Set("failed", true);
+        grid.Append(std::move(entry));
         continue;
       }
       std::printf("%-24s %8zu %-20s %9zu %10zu %12.1f %10zu\n", spec.name,
                   classes, report.strategy_used.c_str(),
                   report.queries_issued, report.rows_transferred,
                   report.total_latency_ms, report.fallbacks.size());
+      entry.Set("strategy", report.strategy_used);
+      entry.Set("queries", static_cast<int64_t>(report.queries_issued));
+      entry.Set("rows", static_cast<int64_t>(report.rows_transferred));
+      entry.Set("endpoint_ms", report.total_latency_ms);
+      entry.Set("intra_makespan_ms", report.intra_makespan_ms);
+      entry.Set("fallbacks", static_cast<int64_t>(report.fallbacks.size()));
+      grid.Append(std::move(entry));
     }
   }
+  Json out = Json::MakeObject();
+  out.Set("extraction_grid", std::move(grid));
+  std::ofstream file("BENCH_index_extraction.json");
+  file << out.Dump(2) << "\n";
+  std::printf("wrote BENCH_index_extraction.json\n");
   std::printf(
       "\nshape check: the fallback chain always lands on a strategy the\n"
       "endpoint can answer, and all strategies extract identical summaries\n"

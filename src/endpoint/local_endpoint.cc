@@ -5,12 +5,22 @@
 namespace hbold::endpoint {
 
 Result<QueryOutcome> LocalEndpoint::Query(const std::string& query_text) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++queries_served_;
+  sparql::ExecStats stats;
+  Result<QueryOutcome> outcome = QueryWithStats(query_text, &stats);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    last_stats_ = stats;
+  }
+  return outcome;
+}
+
+Result<QueryOutcome> LocalEndpoint::QueryWithStats(
+    const std::string& query_text, sparql::ExecStats* stats) {
+  *stats = sparql::ExecStats{};  // per-query stats, never accumulated
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
   Stopwatch sw;
-  last_stats_ = sparql::ExecStats{};
   HBOLD_ASSIGN_OR_RETURN(sparql::ResultTable table,
-                         executor_.Execute(query_text, &last_stats_));
+                         executor_.Execute(query_text, stats));
   QueryOutcome outcome;
   outcome.table = std::move(table);
   outcome.latency_ms = sw.ElapsedMillis();

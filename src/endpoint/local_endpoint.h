@@ -1,6 +1,7 @@
 #ifndef HBOLD_ENDPOINT_LOCAL_ENDPOINT_H_
 #define HBOLD_ENDPOINT_LOCAL_ENDPOINT_H_
 
+#include <atomic>
 #include <mutex>
 #include <string>
 
@@ -13,43 +14,58 @@ namespace hbold::endpoint {
 /// An endpoint backed directly by an in-process TripleStore. Latency is the
 /// measured wall-clock execution time; no availability or dialect modeling.
 ///
-/// Thread safety: Query() serializes on an internal mutex, so a QueryBatch
-/// may fan concurrent queries at one endpoint (the executor itself is
-/// stateless, but the served counter and last_stats() are not). Reading
-/// last_stats() is only meaningful from the thread that just ran Query()
-/// while no other query is in flight — SimulatedRemoteEndpoint holds its
-/// own lock across both calls for exactly that reason.
+/// Thread safety — the truly concurrent read path: the constructor eagerly
+/// finalizes the store's indexes (so the mutable lazy rebuild can never run
+/// inside a query), the executor is stateless, and the served counter is
+/// atomic, so any number of Query()/QueryWithStats() calls may run fully in
+/// parallel — a width-4 QueryBatch against one local store gets real
+/// wall-clock overlap, not serialized turns on a big lock. Callers that add
+/// triples to the store after construction must not overlap those writes
+/// with queries (same contract as TripleStore itself).
 class LocalEndpoint : public SparqlEndpoint {
  public:
   /// `store` must outlive the endpoint.
   LocalEndpoint(std::string url, std::string name,
                 const rdf::TripleStore* store)
       : url_(std::move(url)), name_(std::move(name)), store_(store),
-        executor_(store) {}
+        executor_(store) {
+    store_->FinalizeIndex();
+  }
 
   Result<QueryOutcome> Query(const std::string& query_text) override;
+
+  /// Like Query(), but writes the execution stats to caller-owned storage
+  /// instead of the shared last_stats() slot — the race-free form for
+  /// concurrent callers that need per-query stats (the simulated-endpoint
+  /// latency model uses this).
+  Result<QueryOutcome> QueryWithStats(const std::string& query_text,
+                                      sparql::ExecStats* stats);
 
   const std::string& url() const override { return url_; }
   const std::string& name() const override { return name_; }
   size_t queries_served() const override {
-    std::lock_guard<std::mutex> lock(mu_);
-    return queries_served_;
+    return queries_served_.load(std::memory_order_relaxed);
   }
 
   const rdf::TripleStore* store() const { return store_; }
 
-  /// Execution stats of the most recent query (for the latency model of
-  /// SimulatedRemoteEndpoint).
-  const sparql::ExecStats& last_stats() const { return last_stats_; }
+  /// Execution stats of the most recent completed query. Only meaningful
+  /// when no other query is in flight; concurrent callers should use
+  /// QueryWithStats() instead. Returns a copy (the slot is guarded by a
+  /// small mutex, not the query path).
+  sparql::ExecStats last_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return last_stats_;
+  }
 
  private:
   std::string url_;
   std::string name_;
   const rdf::TripleStore* store_;
   sparql::Executor executor_;
-  mutable std::mutex mu_;
+  mutable std::mutex stats_mu_;  // guards last_stats_ only, never the query
   sparql::ExecStats last_stats_;
-  size_t queries_served_ = 0;
+  std::atomic<size_t> queries_served_{0};
 };
 
 }  // namespace hbold::endpoint

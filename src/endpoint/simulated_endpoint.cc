@@ -31,8 +31,7 @@ SimulatedRemoteEndpoint::SimulatedRemoteEndpoint(
 
 Result<QueryOutcome> SimulatedRemoteEndpoint::Query(
     const std::string& query_text) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++queries_served_;
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
   if (!availability_.IsUp(clock_->NowDay())) {
     return Status::Unavailable("endpoint " + url() + " is down on day " +
                                std::to_string(clock_->NowDay()));
@@ -50,8 +49,11 @@ Result<QueryOutcome> SimulatedRemoteEndpoint::Query(
                                " does not implement GROUP BY");
   }
 
-  HBOLD_ASSIGN_OR_RETURN(QueryOutcome outcome, local_.Query(query_text));
-  const sparql::ExecStats& stats = local_.last_stats();
+  // Per-query stats live on this stack frame, so concurrent queries never
+  // contend on (or corrupt) a shared last-stats slot.
+  sparql::ExecStats stats;
+  HBOLD_ASSIGN_OR_RETURN(QueryOutcome outcome,
+                         local_.QueryWithStats(query_text, &stats));
 
   if (dialect_.work_budget_bindings > 0 &&
       stats.intermediate_bindings > dialect_.work_budget_bindings) {

@@ -1,8 +1,8 @@
 #ifndef HBOLD_ENDPOINT_SIMULATED_ENDPOINT_H_
 #define HBOLD_ENDPOINT_SIMULATED_ENDPOINT_H_
 
+#include <atomic>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 
@@ -83,12 +83,13 @@ struct LatencyModel {
 /// The wall clock is a SimClock owned by the caller, so a whole fleet of
 /// endpoints shares one simulated timeline.
 ///
-/// Thread safety: Query() serializes on an internal mutex (it must read
-/// the inner LocalEndpoint's per-query stats atomically with the query),
-/// so concurrent batched queries against one endpoint are safe. Real
-/// wall-clock concurrency at a single simulated endpoint is therefore
-/// nil by design — the latency the simulation charges is computed, not
-/// slept, and the batch layer models the overlap deterministically.
+/// Thread safety: Query() runs fully concurrently — the dialect gate and
+/// availability check are read-only, per-query execution stats live on the
+/// caller's stack (the inner LocalEndpoint's QueryWithStats form), and the
+/// served counter is atomic. The latency the simulation *charges* is still
+/// computed from the deterministic cost model, not slept, so concurrent
+/// batched queries stay bit-identical to sequential ones while the real
+/// CPU work overlaps.
 class SimulatedRemoteEndpoint : public SparqlEndpoint {
  public:
   /// `store` and `clock` must outlive the endpoint.
@@ -103,8 +104,7 @@ class SimulatedRemoteEndpoint : public SparqlEndpoint {
   const std::string& url() const override { return local_.url(); }
   const std::string& name() const override { return local_.name(); }
   size_t queries_served() const override {
-    std::lock_guard<std::mutex> lock(mu_);
-    return queries_served_;
+    return queries_served_.load(std::memory_order_relaxed);
   }
 
   const Dialect& dialect() const { return dialect_; }
@@ -120,8 +120,7 @@ class SimulatedRemoteEndpoint : public SparqlEndpoint {
   Dialect dialect_;
   AvailabilityModel availability_;
   LatencyModel latency_;
-  mutable std::mutex mu_;
-  size_t queries_served_ = 0;
+  std::atomic<size_t> queries_served_{0};
 };
 
 }  // namespace hbold::endpoint

@@ -23,7 +23,51 @@ void SortIndex(std::vector<Triple>* index, KeyFn key) {
             [&](const Triple& a, const Triple& b) { return key(a) < key(b); });
 }
 
+/// Counts the distinct values of `key` within index[b, e). Valid only when
+/// `key` is non-decreasing over the range (it is the next sort component
+/// after the bound prefix); finds each group's end with a binary-search
+/// jump, so runs in O(groups * log(range)).
+template <typename KeyFn>
+size_t CountGroups(const std::vector<Triple>& index, size_t b, size_t e,
+                   KeyFn key) {
+  size_t groups = 0;
+  size_t i = b;
+  while (i < e) {
+    ++groups;
+    TermId k = key(index[i]);
+    i = static_cast<size_t>(
+        std::upper_bound(index.begin() + static_cast<long>(i),
+                         index.begin() + static_cast<long>(e), k,
+                         [&](TermId v, const Triple& t) { return v < key(t); }) -
+        index.begin());
+  }
+  return groups;
+}
+
 }  // namespace
+
+TripleStore::TripleStore(TripleStore&& other) noexcept
+    : dict_(std::move(other.dict_)),
+      spo_(std::move(other.spo_)),
+      pos_(std::move(other.pos_)),
+      osp_(std::move(other.osp_)),
+      staged_(std::move(other.staged_)),
+      pred_stats_(std::move(other.pred_stats_)),
+      dirty_(other.dirty_.load(std::memory_order_relaxed)) {}
+
+TripleStore& TripleStore::operator=(TripleStore&& other) noexcept {
+  if (this != &other) {
+    dict_ = std::move(other.dict_);
+    spo_ = std::move(other.spo_);
+    pos_ = std::move(other.pos_);
+    osp_ = std::move(other.osp_);
+    staged_ = std::move(other.staged_);
+    pred_stats_ = std::move(other.pred_stats_);
+    dirty_.store(other.dirty_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  }
+  return *this;
+}
 
 void TripleStore::Add(const Term& s, const Term& p, const Term& o) {
   AddIds(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
@@ -31,11 +75,21 @@ void TripleStore::Add(const Term& s, const Term& p, const Term& o) {
 
 void TripleStore::AddIds(TermId s, TermId p, TermId o) {
   staged_.push_back(Triple{s, p, o});
-  dirty_ = true;
+  dirty_.store(true, std::memory_order_release);
 }
 
 void TripleStore::EnsureIndexed() const {
-  if (!dirty_) return;
+  // Double-checked locking: readers that observe !dirty_ (acquire) see the
+  // fully built indexes (released by the builder); the first reader after a
+  // write rebuilds under the mutex while concurrent readers wait.
+  if (!dirty_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (!dirty_.load(std::memory_order_relaxed)) return;
+  RebuildLocked();
+  dirty_.store(false, std::memory_order_release);
+}
+
+void TripleStore::RebuildLocked() const {
   spo_.insert(spo_.end(), staged_.begin(), staged_.end());
   staged_.clear();
   SortIndex(&spo_, KeySpo);
@@ -44,7 +98,22 @@ void TripleStore::EnsureIndexed() const {
   SortIndex(&pos_, KeyPos);
   osp_ = spo_;
   SortIndex(&osp_, KeyOsp);
-  dirty_ = false;
+
+  // Per-predicate cardinality statistics in two linear passes: POS yields
+  // triple counts and (p, o) boundaries, SPO yields (s, p) boundaries.
+  pred_stats_.clear();
+  for (size_t i = 0; i < pos_.size(); ++i) {
+    PredicateStats& st = pred_stats_[pos_[i].p];
+    ++st.triples;
+    if (i == 0 || pos_[i - 1].p != pos_[i].p || pos_[i - 1].o != pos_[i].o) {
+      ++st.distinct_objects;
+    }
+  }
+  for (size_t i = 0; i < spo_.size(); ++i) {
+    if (i == 0 || spo_[i - 1].s != spo_[i].s || spo_[i - 1].p != spo_[i].p) {
+      ++pred_stats_[spo_[i].p].distinct_subjects;
+    }
+  }
 }
 
 size_t TripleStore::size() const {
@@ -107,40 +176,50 @@ std::pair<size_t, size_t> TripleStore::EqualRange(
           static_cast<size_t>(end - index.begin())};
 }
 
-void TripleStore::Match(const TriplePattern& pattern,
-                        const std::function<bool(const Triple&)>& fn) const {
-  EnsureIndexed();
+bool TripleStore::PlanRange(const TriplePattern& pattern,
+                            const std::vector<Triple>** index, Order* order,
+                            TermId* k1, TermId* k2, bool* residual) const {
   const bool bs = pattern.s != kInvalidTermId;
   const bool bp = pattern.p != kInvalidTermId;
   const bool bo = pattern.o != kInvalidTermId;
+  if (bs) {
+    *index = &spo_;
+    *order = Order::kSpo;
+    *k1 = pattern.s;
+    *k2 = bp ? pattern.p : kInvalidTermId;
+    // (s, ?, o) needs a residual filter on o; (s, p, o) on o as well.
+    *residual = bo;
+    return true;
+  }
+  if (bp) {
+    *index = &pos_;
+    *order = Order::kPos;
+    *k1 = pattern.p;
+    *k2 = bo ? pattern.o : kInvalidTermId;
+    *residual = false;
+    return true;
+  }
+  if (bo) {
+    *index = &osp_;
+    *order = Order::kOsp;
+    *k1 = pattern.o;
+    *k2 = kInvalidTermId;
+    *residual = false;
+    return true;
+  }
+  return false;  // full scan
+}
 
+void TripleStore::Match(const TriplePattern& pattern,
+                        const std::function<bool(const Triple&)>& fn) const {
+  EnsureIndexed();
   const std::vector<Triple>* index = &spo_;
   Order order = Order::kSpo;
   TermId k1 = kInvalidTermId;
   TermId k2 = kInvalidTermId;
-  bool full_scan = false;
+  bool residual = false;
 
-  if (bs) {
-    index = &spo_;
-    order = Order::kSpo;
-    k1 = pattern.s;
-    k2 = bp ? pattern.p : kInvalidTermId;
-    // (s, ?, o) needs a residual filter on o.
-  } else if (bp) {
-    index = &pos_;
-    order = Order::kPos;
-    k1 = pattern.p;
-    k2 = bo ? pattern.o : kInvalidTermId;
-  } else if (bo) {
-    index = &osp_;
-    order = Order::kOsp;
-    k1 = pattern.o;
-    k2 = kInvalidTermId;
-  } else {
-    full_scan = true;
-  }
-
-  if (full_scan) {
+  if (!PlanRange(pattern, &index, &order, &k1, &k2, &residual)) {
     for (const Triple& t : spo_) {
       if (!fn(t)) return;
     }
@@ -150,7 +229,9 @@ void TripleStore::Match(const TriplePattern& pattern,
   auto [begin, end] = EqualRange(*index, order, k1, k2);
   for (size_t i = begin; i < end; ++i) {
     const Triple& t = (*index)[i];
-    if (!pattern.Matches(t)) continue;  // residual position filter
+    // Residual position filter — only the (s, o)/(s, p, o) shapes need it;
+    // every other bound combination is exactly the prefix range.
+    if (residual && !pattern.Matches(t)) continue;
     if (!fn(t)) return;
   }
 }
@@ -165,12 +246,134 @@ std::vector<Triple> TripleStore::MatchAll(const TriplePattern& pattern) const {
 }
 
 size_t TripleStore::Count(const TriplePattern& pattern) const {
-  size_t n = 0;
-  Match(pattern, [&](const Triple&) {
-    ++n;
+  EnsureIndexed();
+  const bool bs = pattern.s != kInvalidTermId;
+  const bool bp = pattern.p != kInvalidTermId;
+  const bool bo = pattern.o != kInvalidTermId;
+  // Every bound combination is a contiguous prefix range of one index:
+  // unlike Match (which keeps its historical iteration orders), counting
+  // routes (s, o) through OSP and (s, p, o) through a binary search, so no
+  // combination ever needs a residual walk.
+  if (bs && bp && bo) {
+    Triple t{pattern.s, pattern.p, pattern.o};
+    return std::binary_search(spo_.begin(), spo_.end(), t) ? 1 : 0;
+  }
+  std::pair<size_t, size_t> r;
+  if (bs && bp) {
+    r = EqualRange(spo_, Order::kSpo, pattern.s, pattern.p);
+  } else if (bs && bo) {
+    r = EqualRange(osp_, Order::kOsp, pattern.o, pattern.s);
+  } else if (bs) {
+    r = EqualRange(spo_, Order::kSpo, pattern.s, kInvalidTermId);
+  } else if (bp && bo) {
+    r = EqualRange(pos_, Order::kPos, pattern.p, pattern.o);
+  } else if (bp) {
+    r = EqualRange(pos_, Order::kPos, pattern.p, kInvalidTermId);
+  } else if (bo) {
+    r = EqualRange(osp_, Order::kOsp, pattern.o, kInvalidTermId);
+  } else {
+    return spo_.size();
+  }
+  return r.second - r.first;
+}
+
+size_t TripleStore::CountDistinct(const TriplePattern& pattern,
+                                  TriplePos pos) const {
+  EnsureIndexed();
+  const bool bs = pattern.s != kInvalidTermId;
+  const bool bp = pattern.p != kInvalidTermId;
+  const bool bo = pattern.o != kInvalidTermId;
+
+  // A bound position has one value among the matches (if any).
+  if ((pos == TriplePos::kS && bs) || (pos == TriplePos::kP && bp) ||
+      (pos == TriplePos::kO && bo)) {
+    return Count(pattern) > 0 ? 1 : 0;
+  }
+
+  switch (pos) {
+    case TriplePos::kS:
+      if (bp && bo) {
+        // POS(p, o): s is the remaining sort key, distinct per triple.
+        return Count(pattern);
+      }
+      if (bp && !bo) {
+        auto it = pred_stats_.find(pattern.p);
+        return it == pred_stats_.end() ? 0 : it->second.distinct_subjects;
+      }
+      if (!bp && bo) {
+        // OSP(o): s is the next sort component.
+        auto [b, e] = EqualRange(osp_, Order::kOsp, pattern.o, kInvalidTermId);
+        return CountGroups(osp_, b, e, [](const Triple& t) { return t.s; });
+      }
+      return CountGroups(spo_, 0, spo_.size(),
+                         [](const Triple& t) { return t.s; });
+    case TriplePos::kP:
+      if (bs && bo) {
+        // OSP(o, s): p is the remaining sort key, distinct per triple.
+        return Count(pattern);
+      }
+      if (bs && !bo) {
+        auto [b, e] = EqualRange(spo_, Order::kSpo, pattern.s, kInvalidTermId);
+        return CountGroups(spo_, b, e, [](const Triple& t) { return t.p; });
+      }
+      if (!bs && !bo) {
+        return CountGroups(pos_, 0, pos_.size(),
+                           [](const Triple& t) { return t.p; });
+      }
+      break;  // (o) bound only: p not sorted in OSP(o) — fall through
+    case TriplePos::kO:
+      if (bs && bp) {
+        // SPO(s, p): o is the remaining sort key, distinct per triple.
+        return Count(pattern);
+      }
+      if (!bs && bp) {
+        auto it = pred_stats_.find(pattern.p);
+        return it == pred_stats_.end() ? 0 : it->second.distinct_objects;
+      }
+      if (bs && !bp) {
+        break;  // o not sorted within SPO(s) — fall through
+      }
+      return CountGroups(osp_, 0, osp_.size(),
+                         [](const Triple& t) { return t.o; });
+  }
+
+  // Fallback: collect the position's ids over the matched range. Still no
+  // binding-row materialization, just a flat id vector.
+  std::vector<TermId> ids;
+  Match(pattern, [&](const Triple& t) {
+    ids.push_back(pos == TriplePos::kS ? t.s
+                                       : (pos == TriplePos::kP ? t.p : t.o));
     return true;
   });
-  return n;
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids.size();
+}
+
+std::vector<std::pair<TermId, size_t>> TripleStore::GroupedCountByObject(
+    TermId p) const {
+  EnsureIndexed();
+  std::vector<std::pair<TermId, size_t>> out;
+  auto [b, e] = EqualRange(pos_, Order::kPos, p, kInvalidTermId);
+  size_t i = b;
+  while (i < e) {
+    TermId o = pos_[i].o;
+    size_t next = static_cast<size_t>(
+        std::upper_bound(
+            pos_.begin() + static_cast<long>(i),
+            pos_.begin() + static_cast<long>(e), o,
+            [](TermId v, const Triple& t) { return v < t.o; }) -
+        pos_.begin());
+    out.emplace_back(o, next - i);
+    i = next;
+  }
+  return out;
+}
+
+PredicateStats TripleStore::StatsForPredicate(TermId p) const {
+  EnsureIndexed();
+  auto it = pred_stats_.find(p);
+  return it == pred_stats_.end() ? PredicateStats{} : it->second;
 }
 
 std::vector<TermId> TripleStore::DistinctObjects(TermId p) const {

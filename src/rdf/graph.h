@@ -1,15 +1,31 @@
 #ifndef HBOLD_RDF_GRAPH_H_
 #define HBOLD_RDF_GRAPH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "rdf/dictionary.h"
 #include "rdf/triple.h"
 
 namespace hbold::rdf {
+
+/// Cardinality statistics for one predicate, computed while the indexes are
+/// (re)built. The executor's join planner uses these for selectivity
+/// estimates (count / distinct_subjects is the average subject fan-out).
+struct PredicateStats {
+  size_t triples = 0;
+  size_t distinct_subjects = 0;
+  size_t distinct_objects = 0;
+};
+
+/// Position selector for CountDistinct.
+enum class TriplePos { kS, kP, kO };
 
 /// In-memory RDF graph: a term dictionary plus three sorted triple indexes
 /// (SPO, POS, OSP) so that any triple pattern with at least one bound
@@ -18,14 +34,21 @@ namespace hbold::rdf {
 /// Writes append to a staging buffer; indexes are (re)built lazily on first
 /// read after a write (sort + dedup), which makes bulk loading linearithmic
 /// instead of per-insert logarithmic.
+///
+/// Thread safety: writes (Add/AddIds) require external synchronization and
+/// must not overlap reads. Concurrent *reads* are safe: the lazy rebuild is
+/// guarded by double-checked locking (atomic dirty flag + mutex), so the
+/// first reader after a write performs the rebuild while the others wait.
+/// Endpoints that serve queries concurrently call FinalizeIndex() up front
+/// so no query ever pays (or blocks on) the rebuild.
 class TripleStore {
  public:
   TripleStore() = default;
 
   TripleStore(const TripleStore&) = delete;
   TripleStore& operator=(const TripleStore&) = delete;
-  TripleStore(TripleStore&&) = default;
-  TripleStore& operator=(TripleStore&&) = default;
+  TripleStore(TripleStore&& other) noexcept;
+  TripleStore& operator=(TripleStore&& other) noexcept;
 
   Dictionary& dict() { return dict_; }
   const Dictionary& dict() const { return dict_; }
@@ -35,6 +58,11 @@ class TripleStore {
   void Add(const Term& s, const Term& p, const Term& o);
   /// Adds a triple of already-interned ids.
   void AddIds(TermId s, TermId p, TermId o);
+
+  /// Eagerly (re)builds the indexes if any writes are staged. Call once
+  /// before serving concurrent readers so the mutable lazy rebuild cannot
+  /// run inside a query.
+  void FinalizeIndex() const { EnsureIndexed(); }
 
   /// Number of distinct triples.
   size_t size() const;
@@ -51,8 +79,29 @@ class TripleStore {
   /// Collects matches into a vector (convenience over Match).
   std::vector<Triple> MatchAll(const TriplePattern& pattern) const;
 
-  /// Number of triples matching `pattern`.
+  /// Number of triples matching `pattern`. Every bound-position combination
+  /// maps onto a contiguous prefix range of one of the three indexes (or a
+  /// binary search for a fully bound triple), so this is O(log n) index
+  /// range arithmetic — no callback walk, ever.
   size_t Count(const TriplePattern& pattern) const;
+
+  /// Number of distinct ids occupying `pos` among the triples matching
+  /// `pattern`. Resolved with index arithmetic / boundary jumps where the
+  /// chosen index sorts `pos` inside the matched range (the count-query
+  /// family always lands there); falls back to a collect+sort over the
+  /// range otherwise. Never materializes binding rows.
+  size_t CountDistinct(const TriplePattern& pattern, TriplePos pos) const;
+
+  /// Grouped-count primitive: for a fixed predicate, walks the POS
+  /// sub-range boundaries and returns one (object, count) pair per distinct
+  /// object, in ascending object-id order — per-class instance counts for
+  /// `?s a ?c` in one pass, without materializing rows. Objects are found
+  /// by binary-search boundary jumps, so the cost is O(groups * log n).
+  std::vector<std::pair<TermId, size_t>> GroupedCountByObject(TermId p) const;
+
+  /// Statistics for `p` (zeros when the predicate is absent). Valid after
+  /// FinalizeIndex() or any read; recomputed on index rebuild.
+  PredicateStats StatsForPredicate(TermId p) const;
 
   /// All distinct objects of (s=*, p, o=?) — e.g. the class list via
   /// p = rdf:type.
@@ -64,18 +113,26 @@ class TripleStore {
   enum class Order { kSpo, kPos, kOsp };
 
   void EnsureIndexed() const;
+  void RebuildLocked() const;
   // Returns the [begin, end) range of `index` whose first `bound` key
   // components equal those of `key` under `order`.
   static std::pair<size_t, size_t> EqualRange(const std::vector<Triple>& index,
                                               Order order, TermId k1,
                                               TermId k2);
+  // Picks the index/order/keys for `pattern` the way Match does. Returns
+  // false for the full-scan case. `residual` is set when the range still
+  // needs a per-triple pattern check.
+  bool PlanRange(const TriplePattern& pattern, const std::vector<Triple>** index,
+                 Order* order, TermId* k1, TermId* k2, bool* residual) const;
 
   Dictionary dict_;
   mutable std::vector<Triple> spo_;
   mutable std::vector<Triple> pos_;
   mutable std::vector<Triple> osp_;
   mutable std::vector<Triple> staged_;
-  mutable bool dirty_ = false;
+  mutable std::unordered_map<TermId, PredicateStats> pred_stats_;
+  mutable std::atomic<bool> dirty_{false};
+  mutable std::mutex index_mu_;
 };
 
 }  // namespace hbold::rdf

@@ -1,10 +1,14 @@
 #include "sparql/executor.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdlib>
-#include <map>
+#include <limits>
+#include <numeric>
+#include <optional>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/string_util.h"
 #include "sparql/parser.h"
@@ -16,6 +20,9 @@ namespace {
 using rdf::kInvalidTermId;
 using rdf::Term;
 using rdf::TermId;
+using rdf::TriplePos;
+
+constexpr size_t kNoCap = std::numeric_limits<size_t>::max();
 
 /// Maps variable names to dense row slots.
 class VarRegistry {
@@ -42,6 +49,19 @@ class VarRegistry {
 
 using RowIds = std::vector<TermId>;  // slot -> bound term id (0 = unbound)
 
+/// FNV-1a over a TermId vector; key type for the hash-based GROUP BY and
+/// DISTINCT machinery (replaces the former ToNTriples-string keys).
+struct IdVecHash {
+  size_t operator()(const std::vector<TermId>& v) const {
+    size_t h = 1469598103934665603ull;
+    for (TermId id : v) {
+      h ^= static_cast<size_t>(id);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
 void CollectVars(const GroupGraphPattern& g, VarRegistry* vars);
 
 void CollectExprVars(const Expr& e, VarRegistry* vars) {
@@ -49,6 +69,13 @@ void CollectExprVars(const Expr& e, VarRegistry* vars) {
     vars->Intern(e.var);
   }
   for (const auto& a : e.args) CollectExprVars(*a, vars);
+}
+
+void CollectExprVarNames(const Expr& e, std::set<std::string>* names) {
+  if (e.kind == Expr::Kind::kVar || e.kind == Expr::Kind::kBound) {
+    names->insert(e.var);
+  }
+  for (const auto& a : e.args) CollectExprVarNames(*a, names);
 }
 
 void CollectVars(const GroupGraphPattern& g, VarRegistry* vars) {
@@ -92,6 +119,40 @@ bool TryParseNumber(const Term& t, double* out) {
   if (!t.is_literal()) return false;
   const std::string& lex = t.lexical();
   if (lex.empty()) return false;
+  // strtod also accepts "inf"/"nan", hex floats and leading whitespace;
+  // none of those are numeric literals in SPARQL, and letting them through
+  // silently reorders ORDER BY results. Accept only plain decimal forms:
+  // [+-]? digits [. digits] [eE [+-] digits].
+  size_t i = 0;
+  if (lex[i] == '+' || lex[i] == '-') ++i;
+  size_t digits = 0;
+  auto is_digit = [&](size_t k) {
+    return k < lex.size() &&
+           std::isdigit(static_cast<unsigned char>(lex[k])) != 0;
+  };
+  while (is_digit(i)) {
+    ++i;
+    ++digits;
+  }
+  if (i < lex.size() && lex[i] == '.') {
+    ++i;
+    while (is_digit(i)) {
+      ++i;
+      ++digits;
+    }
+  }
+  if (digits == 0) return false;
+  if (i < lex.size() && (lex[i] == 'e' || lex[i] == 'E')) {
+    ++i;
+    if (i < lex.size() && (lex[i] == '+' || lex[i] == '-')) ++i;
+    size_t exp_digits = 0;
+    while (is_digit(i)) {
+      ++i;
+      ++exp_digits;
+    }
+    if (exp_digits == 0) return false;
+  }
+  if (i != lex.size()) return false;
   char* end = nullptr;
   double v = std::strtod(lex.c_str(), &end);
   if (end != lex.c_str() + lex.size()) return false;
@@ -122,16 +183,130 @@ std::optional<bool> Ebv(const EvalValue& v) {
   return std::nullopt;
 }
 
+// ------------------------------------------------------------------ planner
+
+/// Constant slots of a pattern resolved to term ids. `missing` means some
+/// constant is absent from the dictionary, so the pattern can never match.
+struct PatternConsts {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+  bool missing = false;
+};
+
+PatternConsts ResolveConsts(const TriplePatternNode& t,
+                            const rdf::Dictionary& dict) {
+  PatternConsts c;
+  if (!t.s.is_var) {
+    c.s = dict.Lookup(t.s.term);
+    if (c.s == kInvalidTermId) c.missing = true;
+  }
+  if (!t.p.is_var) {
+    c.p = dict.Lookup(t.p.term);
+    if (c.p == kInvalidTermId) c.missing = true;
+  }
+  if (!t.o.is_var) {
+    c.o = dict.Lookup(t.o.term);
+    if (c.o == kInvalidTermId) c.missing = true;
+  }
+  return c;
+}
+
+/// Estimated number of rows one evaluation of `t` produces per input row,
+/// from index range counts plus per-predicate statistics: the range count
+/// over the constant slots, narrowed by the average fan-out for every
+/// already-bound variable slot (whose concrete value is unknown at planning
+/// time).
+double EstimateCardinality(const TriplePatternNode& t, const PatternConsts& c,
+                           const std::set<std::string>& bound,
+                           const rdf::TripleStore* store) {
+  if (c.missing) return 0.0;  // cannot match — costs nothing to discover
+  rdf::TriplePattern probe;
+  probe.s = t.s.is_var ? kInvalidTermId : c.s;
+  probe.p = t.p.is_var ? kInvalidTermId : c.p;
+  probe.o = t.o.is_var ? kInvalidTermId : c.o;
+  double est = static_cast<double>(store->Count(probe));
+  if (!t.p.is_var) {
+    rdf::PredicateStats stats = store->StatsForPredicate(c.p);
+    if (t.s.is_var && bound.count(t.s.var) > 0) {
+      est /= static_cast<double>(std::max<size_t>(1, stats.distinct_subjects));
+    }
+    if (t.o.is_var && bound.count(t.o.var) > 0) {
+      est /= static_cast<double>(std::max<size_t>(1, stats.distinct_objects));
+    }
+  }
+  return est;
+}
+
+/// Join order for one BGP: connectivity first (joining through a shared
+/// variable avoids cartesian products on triangle and chain patterns), then
+/// ascending cardinality estimate, ties broken by written position. The
+/// order depends only on the pattern list — not on row values — so the
+/// aggregate-pushdown fast path calls the same function to stay accounting-
+/// identical with the materializing path.
+std::vector<size_t> PlanOrder(const std::vector<TriplePatternNode>& triples,
+                              const ExecOptions& options,
+                              const rdf::TripleStore* store) {
+  std::vector<size_t> order(triples.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (!options.greedy_join_order || triples.size() < 2) return order;
+
+  std::vector<PatternConsts> consts;
+  consts.reserve(triples.size());
+  for (const auto& t : triples) consts.push_back(ResolveConsts(t, store->dict()));
+
+  std::set<std::string> bound;
+  std::vector<bool> used(triples.size(), false);
+  std::vector<size_t> out;
+  out.reserve(triples.size());
+  for (size_t step = 0; step < triples.size(); ++step) {
+    size_t best = triples.size();
+    bool best_connected = false;
+    double best_est = 0;
+    for (size_t i = 0; i < triples.size(); ++i) {
+      if (used[i]) continue;
+      const TriplePatternNode& t = triples[i];
+      bool connected = bound.empty() ||
+                       (t.s.is_var && bound.count(t.s.var) > 0) ||
+                       (t.p.is_var && bound.count(t.p.var) > 0) ||
+                       (t.o.is_var && bound.count(t.o.var) > 0);
+      double est = EstimateCardinality(t, consts[i], bound, store);
+      bool better = best == triples.size() ||
+                    (connected && !best_connected) ||
+                    (connected == best_connected && est < best_est);
+      if (better) {
+        best = i;
+        best_connected = connected;
+        best_est = est;
+      }
+    }
+    used[best] = true;
+    out.push_back(best);
+    const TriplePatternNode& t = triples[best];
+    if (t.s.is_var) bound.insert(t.s.var);
+    if (t.p.is_var) bound.insert(t.p.var);
+    if (t.o.is_var) bound.insert(t.o.var);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ slow path
+
 class GroupEvaluator {
  public:
   GroupEvaluator(const rdf::TripleStore* store, VarRegistry* vars,
                  ExecStats* stats, const ExecOptions& options)
       : store_(store), vars_(vars), stats_(stats), options_(options) {}
 
-  /// Joins `input` rows with the solutions of `group`.
+  /// Joins `input` rows with the solutions of `group`. `row_cap` stops the
+  /// BGP join loop early; the caller only passes a finite cap when no later
+  /// stage (filters here, modifiers outside) could change the first
+  /// `row_cap` rows.
   std::vector<RowIds> Eval(const GroupGraphPattern& group,
-                           std::vector<RowIds> input) {
-    std::vector<RowIds> rows = EvalTriples(group.triples, std::move(input));
+                           std::vector<RowIds> input, size_t row_cap = kNoCap) {
+    std::vector<bool> filter_done(group.filters.size(), false);
+    std::vector<RowIds> rows =
+        EvalTriples(group, std::move(input), row_cap, &filter_done);
     for (const auto& u : group.unions) {
       std::vector<RowIds> left = Eval(*u.left, rows);
       std::vector<RowIds> right = Eval(*u.right, rows);
@@ -150,14 +325,9 @@ class GroupEvaluator {
       }
       rows = std::move(joined);
     }
-    for (const auto& f : group.filters) {
-      std::vector<RowIds> kept;
-      kept.reserve(rows.size());
-      for (const RowIds& row : rows) {
-        std::optional<bool> v = Ebv(EvalExpr(*f, row));
-        if (v.has_value() && *v) kept.push_back(row);
-      }
-      rows = std::move(kept);
+    for (size_t fi = 0; fi < group.filters.size(); ++fi) {
+      if (filter_done[fi]) continue;
+      rows = FilterRows(*group.filters[fi], std::move(rows));
     }
     return rows;
   }
@@ -304,63 +474,81 @@ class GroupEvaluator {
   }
 
  private:
-  /// Greedy join ordering: repeatedly pick the pattern with the most bound
-  /// slots (constants + already-bound variables), tie-broken by smaller
-  /// index count estimate.
-  std::vector<RowIds> EvalTriples(const std::vector<TriplePatternNode>& triples,
-                                  std::vector<RowIds> input) {
+  /// Evaluates the BGP in PlanOrder's statistics-based order. A FILTER is
+  /// pushed into the loop as soon as every variable it mentions has been
+  /// bound by an evaluated pattern (pushed filters are marked in
+  /// `filter_done`); since later patterns, unions and optionals never
+  /// rebind a bound slot, early evaluation is equivalent to the end-of-
+  /// group evaluation and only prunes rows sooner.
+  std::vector<RowIds> EvalTriples(const GroupGraphPattern& group,
+                                  std::vector<RowIds> input, size_t row_cap,
+                                  std::vector<bool>* filter_done) {
+    const std::vector<TriplePatternNode>& triples = group.triples;
     if (triples.empty()) return input;
-    std::vector<const TriplePatternNode*> pending;
-    pending.reserve(triples.size());
-    for (const auto& t : triples) pending.push_back(&t);
+    // The plan and the filters' variable sets depend only on the group, not
+    // on row values — cache them so OPTIONAL groups (re-evaluated once per
+    // outer row) pay the planning probes once.
+    const GroupPlan& plan = PlanFor(group);
+    const std::vector<size_t>& order = plan.order;
+    const std::vector<std::set<std::string>>& filter_vars = plan.filter_vars;
 
     std::set<std::string> bound;  // variable names bound so far
-
     std::vector<RowIds> rows = std::move(input);
-    while (!pending.empty()) {
-      size_t best = 0;
-      if (options_.greedy_join_order) {
-        int best_score = -1;
-        for (size_t i = 0; i < pending.size(); ++i) {
-          int score = Boundness(*pending[i], bound);
-          if (score > best_score) {
-            best_score = score;
-            best = i;
+    for (size_t k = 0; k < order.size(); ++k) {
+      const TriplePatternNode& pat = triples[order[k]];
+      const bool last = k + 1 == order.size();
+      rows = ExtendRows(pat, std::move(rows), last ? row_cap : kNoCap);
+      if (pat.s.is_var) bound.insert(pat.s.var);
+      if (pat.p.is_var) bound.insert(pat.p.var);
+      if (pat.o.is_var) bound.insert(pat.o.var);
+      if (options_.filter_pushdown) {
+        for (size_t fi = 0; fi < group.filters.size(); ++fi) {
+          if ((*filter_done)[fi]) continue;
+          if (!std::includes(bound.begin(), bound.end(),
+                             filter_vars[fi].begin(), filter_vars[fi].end())) {
+            continue;
           }
+          rows = FilterRows(*group.filters[fi], std::move(rows));
+          (*filter_done)[fi] = true;
         }
       }
-      const TriplePatternNode* pat = pending[best];
-      pending.erase(pending.begin() + static_cast<long>(best));
-      rows = ExtendRows(*pat, std::move(rows));
-      if (pat->s.is_var) bound.insert(pat->s.var);
-      if (pat->p.is_var) bound.insert(pat->p.var);
-      if (pat->o.is_var) bound.insert(pat->o.var);
       if (rows.empty()) break;
     }
     return rows;
   }
 
-  static int Boundness(const TriplePatternNode& t,
-                       const std::set<std::string>& bound) {
-    auto slot = [&](const TermOrVar& tv) {
-      if (!tv.is_var) return 2;                  // constant: best
-      return bound.count(tv.var) ? 2 : 0;        // bound var as good as const
-    };
-    // Connectivity dominates: joining through a shared variable avoids the
-    // cartesian products that pure boundness ordering produces on triangle
-    // and chain patterns. Among equally-connected candidates, weight
-    // subject/object binding higher than predicate binding (predicates are
-    // usually low-selectivity).
-    bool connected = (t.s.is_var && bound.count(t.s.var) > 0) ||
-                     (t.p.is_var && bound.count(t.p.var) > 0) ||
-                     (t.o.is_var && bound.count(t.o.var) > 0);
-    int score = 3 * slot(t.s) + 2 * slot(t.p) + 3 * slot(t.o);
-    if (connected || bound.empty()) score += 1000;
-    return score;
+  /// Cached per-group planning artifacts (join order + filter var sets).
+  struct GroupPlan {
+    std::vector<size_t> order;
+    std::vector<std::set<std::string>> filter_vars;
+  };
+
+  const GroupPlan& PlanFor(const GroupGraphPattern& group) {
+    auto it = plans_.find(&group);
+    if (it != plans_.end()) return it->second;
+    GroupPlan plan;
+    plan.order = PlanOrder(group.triples, options_, store_);
+    if (options_.filter_pushdown) {
+      plan.filter_vars.resize(group.filters.size());
+      for (size_t fi = 0; fi < group.filters.size(); ++fi) {
+        CollectExprVarNames(*group.filters[fi], &plan.filter_vars[fi]);
+      }
+    }
+    return plans_.emplace(&group, std::move(plan)).first->second;
+  }
+
+  std::vector<RowIds> FilterRows(const Expr& f, std::vector<RowIds> rows) {
+    std::vector<RowIds> kept;
+    kept.reserve(rows.size());
+    for (const RowIds& row : rows) {
+      std::optional<bool> v = Ebv(EvalExpr(f, row));
+      if (v.has_value() && *v) kept.push_back(row);
+    }
+    return kept;
   }
 
   std::vector<RowIds> ExtendRows(const TriplePatternNode& pat,
-                                 std::vector<RowIds> rows) {
+                                 std::vector<RowIds> rows, size_t cap) {
     std::vector<RowIds> out;
     const rdf::Dictionary& dict = store_->dict();
 
@@ -385,6 +573,7 @@ class GroupEvaluator {
     int slot_o = pat.o.is_var ? vars_->Lookup(pat.o.var) : -1;
 
     for (const RowIds& row : rows) {
+      if (out.size() >= cap) break;
       rdf::TriplePattern q;
       q.s = pat.s.is_var ? row[static_cast<size_t>(slot_s)] : const_s;
       q.p = pat.p.is_var ? row[static_cast<size_t>(slot_p)] : const_p;
@@ -410,7 +599,7 @@ class GroupEvaluator {
           if (stats_ != nullptr) ++stats_->intermediate_bindings;
           out.push_back(std::move(next));
         }
-        return true;
+        return out.size() < cap;
       });
     }
     return out;
@@ -420,16 +609,557 @@ class GroupEvaluator {
   VarRegistry* vars_;
   ExecStats* stats_;
   ExecOptions options_;
+  std::unordered_map<const GroupGraphPattern*, GroupPlan> plans_;
 };
 
-/// Numeric-aware ordering for ORDER BY and deterministic output.
-bool TermLess(const std::optional<Term>& a, const std::optional<Term>& b) {
-  if (!a.has_value() || !b.has_value()) return b.has_value();
-  double da, db;
-  if (TryParseNumber(*a, &da) && TryParseNumber(*b, &db) && da != db) {
-    return da < db;
+// ------------------------------------------------------- result modifiers
+
+/// ORDER BY via decorate-sort-undecorate: numeric keys are parsed once per
+/// row instead of on every comparison. Ordering semantics: unbound cells
+/// first, numeric comparison when both keys parse as numbers and differ,
+/// lexical comparison otherwise.
+void ApplyOrderBy(const SelectQuery& q, ResultTable* table) {
+  if (q.order_by.empty()) return;
+  struct SortKey {
+    bool present = false;
+    bool numeric = false;
+    double num = 0;
+    const std::string* lex = nullptr;
+  };
+  std::vector<std::pair<int, bool>> cols;
+  for (const auto& [var, asc] : q.order_by) {
+    cols.emplace_back(table->ColumnIndex(var), asc);
   }
-  return a->lexical() < b->lexical();
+  const std::vector<ResultTable::Row>& rows = table->rows();
+  std::vector<std::vector<SortKey>> keys(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    keys[r].resize(cols.size());
+    for (size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k].first < 0) continue;
+      const std::optional<Term>& cell =
+          rows[r][static_cast<size_t>(cols[k].first)];
+      SortKey& key = keys[r][k];
+      if (!cell.has_value()) continue;
+      key.present = true;
+      key.lex = &cell->lexical();
+      key.numeric = TryParseNumber(*cell, &key.num);
+    }
+  }
+  // Strict weak ordering over mixed columns: unbound first, then numeric
+  // keys (by value, lexical tiebreak), then non-numeric keys lexically. A
+  // same-tier-only numeric comparison would form cycles like
+  // "2" < "10" < "1z" < "2" — undefined behavior under std::stable_sort.
+  auto key_less = [](const SortKey& a, const SortKey& b) {
+    if (!a.present || !b.present) return b.present;
+    if (a.numeric != b.numeric) return a.numeric;
+    if (a.numeric && a.num != b.num) return a.num < b.num;
+    return *a.lex < *b.lex;
+  };
+  std::vector<size_t> idx(rows.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t i, size_t j) {
+    for (size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k].first < 0) continue;
+      const SortKey& a = keys[i][k];
+      const SortKey& b = keys[j][k];
+      if (key_less(a, b)) return cols[k].second;
+      if (key_less(b, a)) return !cols[k].second;
+    }
+    return false;
+  });
+  ResultTable reordered(table->columns());
+  for (size_t i : idx) reordered.AddRow(rows[i]);
+  *table = std::move(reordered);
+}
+
+void ApplySlice(const SelectQuery& q, ResultTable* table) {
+  if (!q.offset.has_value() && !q.limit.has_value()) return;
+  size_t off = q.offset.value_or(0);
+  size_t lim = q.limit.value_or(table->num_rows());
+  ResultTable sliced(table->columns());
+  for (size_t i = off; i < table->num_rows() && i < off + lim; ++i) {
+    sliced.AddRow(table->rows()[i]);
+  }
+  *table = std::move(sliced);
+}
+
+/// DISTINCT over rows that may contain computed terms (aggregate output)
+/// not backed by the dictionary, so keyed by serialized cells.
+void ApplyTermDistinct(ResultTable* table) {
+  std::set<std::string> seen;
+  ResultTable deduped(table->columns());
+  for (const auto& row : table->rows()) {
+    std::string key;
+    for (const auto& cell : row) {
+      key += cell.has_value() ? cell->ToNTriples() : "~";
+      key += '\x1f';
+    }
+    if (seen.insert(std::move(key)).second) {
+      deduped.AddRow(row);
+    }
+  }
+  *table = std::move(deduped);
+}
+
+// -------------------------------------------- aggregate-pushdown fast path
+
+/// How one COUNT aggregate is computed by the fast path.
+enum class AggMode {
+  kCountRows,       // equals the group's row count (COUNT(*), COUNT of an
+                    // always-bound var, or DISTINCT of the sole non-key var)
+  kOne,             // COUNT(DISTINCT ?v) where ?v is a group key
+  kDistinctSet,     // COUNT(DISTINCT ?v): per-group id set filled in-walk
+  kDistinctGlobal,  // COUNT(DISTINCT ?v), no GROUP BY: CountDistinct()
+};
+
+/// Per-group accumulator for the walking branches.
+struct GroupAcc {
+  size_t count = 0;
+  std::vector<std::unordered_set<TermId>> sets;  // one per kDistinctSet agg
+};
+
+using GroupMap = std::unordered_map<std::vector<TermId>, GroupAcc, IdVecHash>;
+
+TermId IdAt(const rdf::Triple& t, TriplePos pos) {
+  return pos == TriplePos::kS ? t.s : (pos == TriplePos::kP ? t.p : t.o);
+}
+
+void Charge(ExecStats* stats, size_t bindings) {
+  if (stats == nullptr) return;
+  stats->intermediate_bindings += bindings;
+  stats->rows_avoided += bindings;
+}
+
+/// Recognizes the count-query family (COUNT / COUNT(DISTINCT) / grouped
+/// counts over a single pattern or an anchor join `?x <p> <o> . ?x ?p ?o`)
+/// and answers it with the store's index-arithmetic primitives. Returns
+/// nullopt when the query is outside the family — the caller then runs the
+/// materializing path. Result tables and charged intermediate_bindings are
+/// bit-identical with that path by construction.
+std::optional<ResultTable> TryAggregatePushdown(const SelectQuery& q,
+                                                const rdf::TripleStore* store,
+                                                const ExecOptions& options,
+                                                ExecStats* stats) {
+  const GroupGraphPattern& where = q.where;
+  if (q.form != QueryForm::kSelect || q.select_all) return std::nullopt;
+  if (q.aggregates.empty()) return std::nullopt;
+  if (!where.filters.empty() || !where.optionals.empty() ||
+      !where.unions.empty()) {
+    return std::nullopt;
+  }
+  const std::vector<TriplePatternNode>& triples = where.triples;
+  if (triples.empty() || triples.size() > 2) return std::nullopt;
+
+  // Map variables to (pattern, position). The only legal repeated variable
+  // is the shared subject of the two-pattern anchor join; any other repeat
+  // (e.g. `?x ?p ?x`) has consistency semantics the fast path skips.
+  struct VarPos {
+    size_t pattern;
+    TriplePos pos;
+  };
+  std::unordered_map<std::string, VarPos> var_at;
+  std::string shared_subject;
+  for (size_t pi = 0; pi < triples.size(); ++pi) {
+    const TriplePatternNode& t = triples[pi];
+    const TermOrVar* slots[3] = {&t.s, &t.p, &t.o};
+    const TriplePos poses[3] = {TriplePos::kS, TriplePos::kP, TriplePos::kO};
+    for (int k = 0; k < 3; ++k) {
+      if (!slots[k]->is_var) continue;
+      auto [it, fresh] = var_at.emplace(slots[k]->var, VarPos{pi, poses[k]});
+      if (fresh) continue;
+      const bool subject_share = triples.size() == 2 && pi == 1 &&
+                                 poses[k] == TriplePos::kS &&
+                                 it->second.pattern == 0 &&
+                                 it->second.pos == TriplePos::kS;
+      if (!subject_share) return std::nullopt;
+      shared_subject = slots[k]->var;
+    }
+  }
+  if (triples.size() == 2 && shared_subject.empty()) {
+    return std::nullopt;  // cartesian product of two patterns
+  }
+
+  // Key and projection checks: every GROUP BY var must be a pattern var and
+  // every projected plain var must be a group key (the materializing path
+  // projects the group's first row, which for key vars is the key itself).
+  for (const std::string& g : q.group_by) {
+    if (var_at.find(g) == var_at.end()) return std::nullopt;
+  }
+  for (const std::string& v : q.vars) {
+    if (std::find(q.group_by.begin(), q.group_by.end(), v) ==
+        q.group_by.end()) {
+      return std::nullopt;
+    }
+  }
+
+  // Variables not in the group key: group rows are distinct tuples over
+  // these, so a DISTINCT count of the *sole* non-key var equals the row
+  // count (pattern constants are fixed, triples are unique).
+  std::set<std::string> nonkey;
+  for (const auto& [name, at] : var_at) {
+    if (std::find(q.group_by.begin(), q.group_by.end(), name) ==
+        q.group_by.end()) {
+      nonkey.insert(name);
+    }
+  }
+
+  std::vector<AggMode> modes;
+  std::vector<size_t> set_index(q.aggregates.size(), 0);
+  size_t num_sets = 0;
+  for (size_t ai = 0; ai < q.aggregates.size(); ++ai) {
+    const Aggregate& a = q.aggregates[ai];
+    if (!a.var.has_value()) {
+      // COUNT(*): group rows are distinct binding tuples, so DISTINCT
+      // changes nothing.
+      modes.push_back(AggMode::kCountRows);
+      continue;
+    }
+    if (var_at.find(*a.var) == var_at.end()) return std::nullopt;
+    if (!a.distinct) {
+      // Pattern vars are bound in every row.
+      modes.push_back(AggMode::kCountRows);
+      continue;
+    }
+    const bool is_key = std::find(q.group_by.begin(), q.group_by.end(),
+                                  *a.var) != q.group_by.end();
+    if (is_key) {
+      modes.push_back(AggMode::kOne);
+    } else if (nonkey.size() == 1 && *nonkey.begin() == *a.var) {
+      modes.push_back(AggMode::kCountRows);
+    } else if (q.group_by.empty() && triples.size() == 1) {
+      modes.push_back(AggMode::kDistinctGlobal);
+    } else {
+      modes.push_back(AggMode::kDistinctSet);
+      set_index[ai] = num_sets++;
+    }
+  }
+
+  // The fast path must charge intermediate_bindings exactly the way the
+  // materializing path would, so it follows the shared planner's join
+  // order: either the anchor (`?x <p> <o>`) drives and the open pattern is
+  // range-scanned per subject, or — when the open pattern is the more
+  // selective side — it drives and the anchor becomes a binary-search 0/1
+  // membership probe per row.
+  std::vector<size_t> order = PlanOrder(triples, options, store);
+  const TriplePatternNode* first = &triples[order[0]];
+  const TriplePatternNode* second =
+      triples.size() == 2 ? &triples[order[1]] : nullptr;
+  auto is_anchor = [](const TriplePatternNode* t) {
+    return t->s.is_var && !t->p.is_var && !t->o.is_var;
+  };
+  if (second != nullptr && !is_anchor(first) && !is_anchor(second)) {
+    return std::nullopt;  // no selective anchor on either side
+  }
+
+  const rdf::Dictionary& dict = store->dict();
+  std::vector<std::string> columns = q.vars;
+  for (const Aggregate& a : q.aggregates) columns.push_back(a.as);
+  ResultTable table(columns);
+  if (stats != nullptr) ++stats->fast_path_hits;
+
+  // Builds one output row from a group key and its accumulator, matching
+  // the materializing path's projection (key vars from the key, counts as
+  // integer literals).
+  auto emit_row = [&](const std::vector<TermId>& key, const GroupAcc& acc) {
+    ResultTable::Row row;
+    for (const std::string& v : q.vars) {
+      size_t j = static_cast<size_t>(
+          std::find(q.group_by.begin(), q.group_by.end(), v) -
+          q.group_by.begin());
+      if (acc.count == 0 || key[j] == kInvalidTermId) {
+        row.push_back(std::nullopt);
+      } else {
+        row.push_back(dict.Get(key[j]));
+      }
+    }
+    for (size_t ai = 0; ai < q.aggregates.size(); ++ai) {
+      int64_t n = 0;
+      switch (modes[ai]) {
+        case AggMode::kCountRows:
+          n = static_cast<int64_t>(acc.count);
+          break;
+        case AggMode::kOne:
+          n = acc.count > 0 ? 1 : 0;
+          break;
+        case AggMode::kDistinctSet:
+          n = static_cast<int64_t>(acc.sets[set_index[ai]].size());
+          break;
+        case AggMode::kDistinctGlobal:
+          n = 0;  // filled by the caller branch below
+          break;
+      }
+      row.push_back(Term::IntLiteral(n));
+    }
+    table.AddRow(std::move(row));
+  };
+
+  // Emits the no-matches result: with no GROUP BY there is still one global
+  // group (all counts zero), otherwise the table stays empty.
+  auto emit_empty = [&]() {
+    if (!q.group_by.empty()) return;
+    GroupAcc acc;
+    acc.sets.resize(num_sets);
+    emit_row({}, acc);
+  };
+
+  // Emits accumulated groups in ascending key order — the exact order the
+  // materializing path's sorted group emission produces. Every walking
+  // branch funnels through here so the parity contract has one home.
+  auto emit_groups = [&](const GroupMap& groups) {
+    if (groups.empty()) {
+      emit_empty();
+      return;
+    }
+    std::vector<const std::pair<const std::vector<TermId>, GroupAcc>*> sorted;
+    sorted.reserve(groups.size());
+    for (const auto& entry : groups) sorted.push_back(&entry);
+    std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+      return a->first < b->first;
+    });
+    for (const auto* entry : sorted) emit_row(entry->first, entry->second);
+  };
+
+  // ---------------- single pattern ----------------
+  if (triples.size() == 1) {
+    PatternConsts consts = ResolveConsts(*first, dict);
+    rdf::TriplePattern probe;
+    probe.s = first->s.is_var ? kInvalidTermId : consts.s;
+    probe.p = first->p.is_var ? kInvalidTermId : consts.p;
+    probe.o = first->o.is_var ? kInvalidTermId : consts.o;
+    const size_t total = consts.missing ? 0 : store->Count(probe);
+    Charge(stats, total);
+
+    if (q.group_by.empty()) {
+      // Pure index arithmetic: no walk at all.
+      ResultTable::Row row;
+      for (size_t ai = 0; ai < q.aggregates.size(); ++ai) {
+        int64_t n = 0;
+        switch (modes[ai]) {
+          case AggMode::kCountRows:
+            n = static_cast<int64_t>(total);
+            break;
+          case AggMode::kDistinctGlobal: {
+            const std::string& v = *q.aggregates[ai].var;
+            n = consts.missing
+                    ? 0
+                    : static_cast<int64_t>(
+                          store->CountDistinct(probe, var_at[v].pos));
+            break;
+          }
+          case AggMode::kOne:
+          case AggMode::kDistinctSet:
+            n = 0;  // unreachable: no group key, no multi-var distinct here
+            break;
+        }
+        row.push_back(Term::IntLiteral(n));
+      }
+      table.AddRow(std::move(row));
+      return table;
+    }
+
+    if (total == 0) {
+      emit_empty();
+      return table;
+    }
+
+    // Grouped-count primitive: `?s <p> ?o GROUP BY ?o` walks the POS
+    // sub-range boundaries — one (object, count) pair per class, no
+    // per-triple work, already in ascending key order.
+    const bool boundary_shape =
+        first->s.is_var && !first->p.is_var && first->o.is_var &&
+        q.group_by.size() == 1 && q.group_by[0] == first->o.var &&
+        std::all_of(modes.begin(), modes.end(), [](AggMode m) {
+          return m == AggMode::kCountRows || m == AggMode::kOne;
+        });
+    if (boundary_shape) {
+      for (const auto& [o, n] : store->GroupedCountByObject(probe.p)) {
+        GroupAcc acc;
+        acc.count = n;
+        emit_row({o}, acc);
+      }
+      return table;
+    }
+
+    // Generic grouped walk: accumulate counters per TermId key, then sort
+    // keys to match the materializing path's map order. Still no binding
+    // rows — only counters and (when needed) id sets.
+    std::vector<TriplePos> key_pos;
+    for (const std::string& g : q.group_by) key_pos.push_back(var_at[g].pos);
+    GroupMap groups;
+    std::vector<TriplePos> set_pos(num_sets);
+    for (size_t ai = 0; ai < q.aggregates.size(); ++ai) {
+      if (modes[ai] == AggMode::kDistinctSet) {
+        set_pos[set_index[ai]] = var_at[*q.aggregates[ai].var].pos;
+      }
+    }
+    store->Match(probe, [&](const rdf::Triple& t) {
+      std::vector<TermId> key;
+      key.reserve(key_pos.size());
+      for (TriplePos kp : key_pos) key.push_back(IdAt(t, kp));
+      GroupAcc& acc = groups[std::move(key)];
+      if (acc.sets.size() != num_sets) acc.sets.resize(num_sets);
+      ++acc.count;
+      for (size_t si = 0; si < num_sets; ++si) {
+        acc.sets[si].insert(IdAt(t, set_pos[si]));
+      }
+      return true;
+    });
+    emit_groups(groups);
+    return table;
+  }
+
+  // --------------- anchor join: ?x <pa> <oa> . ?x ?p ?o ---------------
+  //
+  // Mirror case first: when the planner evaluates the *open* pattern
+  // before the anchor (the open side is more selective), walk the open
+  // pattern's range and turn the anchor into a binary-search membership
+  // probe per row. All keys and distinct vars live on the open pattern
+  // (the anchor only carries the shared subject), so one walk suffices.
+  if (!is_anchor(first)) {
+    PatternConsts cd = ResolveConsts(*first, dict);   // open driver
+    PatternConsts ca = ResolveConsts(*second, dict);  // anchor probe
+    rdf::TriplePattern driver;
+    driver.p = first->p.is_var ? kInvalidTermId : cd.p;
+    driver.o = first->o.is_var ? kInvalidTermId : cd.o;
+    const size_t count_d = cd.missing ? 0 : store->Count(driver);
+    Charge(stats, count_d);
+    if (count_d == 0 || ca.missing) {
+      emit_empty();
+      return table;
+    }
+    std::vector<TriplePos> key_pos;
+    for (const std::string& g : q.group_by) key_pos.push_back(var_at[g].pos);
+    std::vector<TriplePos> set_pos(num_sets);
+    for (size_t ai = 0; ai < q.aggregates.size(); ++ai) {
+      if (modes[ai] == AggMode::kDistinctSet) {
+        set_pos[set_index[ai]] = var_at[*q.aggregates[ai].var].pos;
+      }
+    }
+    GroupMap groups;
+    size_t ext = 0;
+    store->Match(driver, [&](const rdf::Triple& td) {
+      rdf::TriplePattern member;
+      member.s = td.s;
+      member.p = ca.p;
+      member.o = ca.o;
+      if (store->Count(member) == 0) return true;  // subject not anchored
+      ++ext;
+      std::vector<TermId> key;
+      key.reserve(key_pos.size());
+      for (TriplePos kp : key_pos) key.push_back(IdAt(td, kp));
+      GroupAcc& acc = groups[std::move(key)];
+      if (acc.sets.size() != num_sets) acc.sets.resize(num_sets);
+      ++acc.count;
+      for (size_t si = 0; si < num_sets; ++si) {
+        acc.sets[si].insert(IdAt(td, set_pos[si]));
+      }
+      return true;
+    });
+    Charge(stats, ext);
+    emit_groups(groups);
+    return table;
+  }
+
+  const TriplePatternNode* anchor = first;
+  const TriplePatternNode* other = second;
+  PatternConsts ca = ResolveConsts(*anchor, dict);
+  PatternConsts cb = ResolveConsts(*other, dict);
+  rdf::TriplePattern probe_a;
+  probe_a.p = ca.p;
+  probe_a.o = ca.o;
+  const size_t count_a = ca.missing ? 0 : store->Count(probe_a);
+  Charge(stats, count_a);
+  if (count_a == 0 || cb.missing) {
+    emit_empty();
+    return table;
+  }
+
+  const TermId pb = other->p.is_var ? kInvalidTermId : cb.p;
+  const TermId ob = other->o.is_var ? kInvalidTermId : cb.o;
+
+  // Arithmetic shortcut: a global count whose aggregates only need per-
+  // anchor match counts (plus "anchors with >= 1 match" for DISTINCT of
+  // the shared subject) is O(|anchor| log n) — one range count per anchor
+  // subject, no inner walk.
+  bool arithmetic = q.group_by.empty();
+  for (size_t ai = 0; ai < q.aggregates.size() && arithmetic; ++ai) {
+    if (modes[ai] == AggMode::kCountRows) continue;
+    if (modes[ai] == AggMode::kDistinctSet &&
+        *q.aggregates[ai].var == shared_subject) {
+      continue;
+    }
+    arithmetic = false;
+  }
+  if (arithmetic) {
+    size_t ext = 0;
+    size_t anchors_with_match = 0;
+    store->Match(probe_a, [&](const rdf::Triple& ta) {
+      rdf::TriplePattern pbq;
+      pbq.s = ta.s;
+      pbq.p = pb;
+      pbq.o = ob;
+      size_t n = store->Count(pbq);
+      ext += n;
+      if (n > 0) ++anchors_with_match;
+      return true;
+    });
+    Charge(stats, ext);
+    ResultTable::Row row;
+    for (size_t ai = 0; ai < q.aggregates.size(); ++ai) {
+      int64_t n = modes[ai] == AggMode::kCountRows
+                      ? static_cast<int64_t>(ext)
+                      : static_cast<int64_t>(anchors_with_match);
+      row.push_back(Term::IntLiteral(n));
+    }
+    table.AddRow(std::move(row));
+    return table;
+  }
+
+  // Grouped walk over the join: for each anchor subject, scan its SPO
+  // range (optionally keyed by a constant predicate) and bump per-group
+  // counters. No binding rows are materialized.
+  std::vector<TriplePos> key_pos;
+  std::vector<bool> key_is_subject;
+  for (const std::string& g : q.group_by) {
+    key_is_subject.push_back(g == shared_subject);
+    key_pos.push_back(var_at[g].pos);
+  }
+  size_t num_set_aggs = num_sets;
+  std::vector<TriplePos> set_pos(num_set_aggs);
+  std::vector<bool> set_is_subject(num_set_aggs, false);
+  for (size_t ai = 0; ai < q.aggregates.size(); ++ai) {
+    if (modes[ai] != AggMode::kDistinctSet) continue;
+    const std::string& v = *q.aggregates[ai].var;
+    set_is_subject[set_index[ai]] = v == shared_subject;
+    set_pos[set_index[ai]] = var_at[v].pos;
+  }
+  GroupMap groups;
+  size_t ext = 0;
+  store->Match(probe_a, [&](const rdf::Triple& ta) {
+    rdf::TriplePattern pbq;
+    pbq.s = ta.s;
+    pbq.p = pb;
+    pbq.o = ob;
+    store->Match(pbq, [&](const rdf::Triple& tb) {
+      ++ext;
+      std::vector<TermId> key;
+      key.reserve(key_pos.size());
+      for (size_t ki = 0; ki < key_pos.size(); ++ki) {
+        key.push_back(key_is_subject[ki] ? ta.s : IdAt(tb, key_pos[ki]));
+      }
+      GroupAcc& acc = groups[std::move(key)];
+      if (acc.sets.size() != num_set_aggs) acc.sets.resize(num_set_aggs);
+      ++acc.count;
+      for (size_t si = 0; si < num_set_aggs; ++si) {
+        acc.sets[si].insert(set_is_subject[si] ? ta.s : IdAt(tb, set_pos[si]));
+      }
+      return true;
+    });
+    return true;
+  });
+  Charge(stats, ext);
+  emit_groups(groups);
+  return table;
 }
 
 }  // namespace
@@ -442,6 +1172,21 @@ Result<ResultTable> Executor::Execute(std::string_view query_text,
 
 Result<ResultTable> Executor::Execute(const SelectQuery& q,
                                       ExecStats* stats) const {
+  // Count-query fast path: answered by index range arithmetic, then the
+  // ordinary solution modifiers. Falls through to the materializing path
+  // for everything outside the recognized family.
+  if (options_.aggregate_pushdown) {
+    std::optional<ResultTable> fast =
+        TryAggregatePushdown(q, store_, options_, stats);
+    if (fast.has_value()) {
+      if (q.distinct) ApplyTermDistinct(&*fast);
+      ApplyOrderBy(q, &*fast);
+      ApplySlice(q, &*fast);
+      if (stats != nullptr) stats->result_rows = fast->num_rows();
+      return *std::move(fast);
+    }
+  }
+
   VarRegistry vars;
   CollectVars(q.where, &vars);
   for (const std::string& v : q.vars) vars.Intern(v);
@@ -450,9 +1195,27 @@ Result<ResultTable> Executor::Execute(const SelectQuery& q,
     if (a.var.has_value()) vars.Intern(*a.var);
   }
 
+  const bool grouping = !q.group_by.empty() || !q.aggregates.empty();
+
+  // LIMIT pushdown: when nothing downstream (grouping, DISTINCT, ORDER BY,
+  // filters, optionals, unions) can change which rows survive, the join
+  // loop may stop at OFFSET+LIMIT rows. ASK stops at the first solution.
+  size_t row_cap = kNoCap;
+  if (options_.limit_pushdown && !grouping && !q.distinct &&
+      q.order_by.empty() && q.where.filters.empty() &&
+      q.where.optionals.empty() && q.where.unions.empty()) {
+    if (q.form == QueryForm::kAsk) {
+      row_cap = 1;
+    } else if (q.limit.has_value()) {
+      size_t off = q.offset.value_or(0);
+      size_t cap = off + *q.limit;
+      if (cap >= off) row_cap = cap;  // saturating add
+    }
+  }
+
   GroupEvaluator evaluator(store_, &vars, stats, options_);
-  std::vector<RowIds> rows =
-      evaluator.Eval(q.where, {RowIds(vars.size(), kInvalidTermId)});
+  std::vector<RowIds> rows = evaluator.Eval(
+      q.where, {RowIds(vars.size(), kInvalidTermId)}, row_cap);
 
   // ASK: one row, one boolean cell named "ask" (mirrors the SPARQL JSON
   // results `boolean` member; ResultTable::AskResult decodes it).
@@ -481,12 +1244,16 @@ Result<ResultTable> Executor::Execute(const SelectQuery& q,
   }
   ResultTable table(columns);
 
-  const bool grouping = !q.group_by.empty() || !q.aggregates.empty();
   if (grouping) {
     // Group rows by the GROUP BY key (empty key = single global group).
+    // Hash-accumulate on TermId vectors, then emit in sorted key order —
+    // identical output to the former ordered-map walk without per-row
+    // O(log groups) key-vector comparisons.
     std::vector<int> key_slots;
     for (const std::string& g : q.group_by) key_slots.push_back(vars.Lookup(g));
-    std::map<std::vector<TermId>, std::vector<const RowIds*>> groups;
+    std::unordered_map<std::vector<TermId>, std::vector<const RowIds*>,
+                       IdVecHash>
+        groups;
     for (const RowIds& row : rows) {
       std::vector<TermId> key;
       key.reserve(key_slots.size());
@@ -499,7 +1266,15 @@ Result<ResultTable> Executor::Execute(const SelectQuery& q,
     if (groups.empty() && q.group_by.empty()) {
       groups[{}] = {};
     }
-    for (const auto& [key, members] : groups) {
+    std::vector<
+        const std::pair<const std::vector<TermId>, std::vector<const RowIds*>>*>
+        ordered;
+    ordered.reserve(groups.size());
+    for (const auto& entry : groups) ordered.push_back(&entry);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+    for (const auto* entry : ordered) {
+      const std::vector<const RowIds*>& members = entry->second;
       ResultTable::Row out_row;
       for (const std::string& v : q.vars) {
         int slot = vars.Lookup(v);
@@ -513,7 +1288,7 @@ Result<ResultTable> Executor::Execute(const SelectQuery& q,
         int64_t count = 0;
         if (!a.var.has_value()) {
           if (a.distinct) {
-            std::set<RowIds> distinct_rows;
+            std::unordered_set<std::vector<TermId>, IdVecHash> distinct_rows;
             for (const RowIds* r : members) distinct_rows.insert(*r);
             count = static_cast<int64_t>(distinct_rows.size());
           } else {
@@ -522,7 +1297,7 @@ Result<ResultTable> Executor::Execute(const SelectQuery& q,
         } else {
           int slot = vars.Lookup(*a.var);
           if (a.distinct) {
-            std::set<TermId> seen;
+            std::unordered_set<TermId> seen;
             for (const RowIds* r : members) {
               TermId v = slot < 0 ? kInvalidTermId
                                   : (*r)[static_cast<size_t>(slot)];
@@ -542,10 +1317,24 @@ Result<ResultTable> Executor::Execute(const SelectQuery& q,
       }
       table.AddRow(std::move(out_row));
     }
+    // Aggregate rows contain computed terms, so DISTINCT falls back to the
+    // serialized-cell keying.
+    if (q.distinct) ApplyTermDistinct(&table);
   } else {
     std::vector<int> slots;
     for (const std::string& c : columns) slots.push_back(vars.Lookup(c));
+    // Non-aggregate DISTINCT dedups on the projected id tuple — equal ids
+    // iff equal terms, since the dictionary interns.
+    std::unordered_set<std::vector<TermId>, IdVecHash> seen;
     for (const RowIds& row : rows) {
+      if (q.distinct) {
+        std::vector<TermId> key;
+        key.reserve(slots.size());
+        for (int s : slots) {
+          key.push_back(s < 0 ? kInvalidTermId : row[static_cast<size_t>(s)]);
+        }
+        if (!seen.insert(std::move(key)).second) continue;
+      }
       ResultTable::Row out_row;
       out_row.reserve(slots.size());
       for (int s : slots) out_row.push_back(term_at(row, s));
@@ -553,56 +1342,8 @@ Result<ResultTable> Executor::Execute(const SelectQuery& q,
     }
   }
 
-  // DISTINCT.
-  if (q.distinct) {
-    std::set<std::string> seen;
-    ResultTable deduped(table.columns());
-    for (const auto& row : table.rows()) {
-      std::string key;
-      for (const auto& cell : row) {
-        key += cell.has_value() ? cell->ToNTriples() : "~";
-        key += '\x1f';
-      }
-      if (seen.insert(std::move(key)).second) {
-        deduped.AddRow(row);
-      }
-    }
-    table = std::move(deduped);
-  }
-
-  // ORDER BY.
-  if (!q.order_by.empty()) {
-    std::vector<std::pair<int, bool>> keys;
-    for (const auto& [var, asc] : q.order_by) {
-      keys.emplace_back(table.ColumnIndex(var), asc);
-    }
-    std::vector<ResultTable::Row> sorted = table.rows();
-    std::stable_sort(sorted.begin(), sorted.end(),
-                     [&](const ResultTable::Row& a, const ResultTable::Row& b) {
-                       for (const auto& [col, asc] : keys) {
-                         if (col < 0) continue;
-                         const auto& ca = a[static_cast<size_t>(col)];
-                         const auto& cb = b[static_cast<size_t>(col)];
-                         if (TermLess(ca, cb)) return asc;
-                         if (TermLess(cb, ca)) return !asc;
-                       }
-                       return false;
-                     });
-    ResultTable reordered(table.columns());
-    for (auto& r : sorted) reordered.AddRow(std::move(r));
-    table = std::move(reordered);
-  }
-
-  // OFFSET / LIMIT.
-  if (q.offset.has_value() || q.limit.has_value()) {
-    size_t off = q.offset.value_or(0);
-    size_t lim = q.limit.value_or(table.num_rows());
-    ResultTable sliced(table.columns());
-    for (size_t i = off; i < table.num_rows() && i < off + lim; ++i) {
-      sliced.AddRow(table.rows()[i]);
-    }
-    table = std::move(sliced);
-  }
+  ApplyOrderBy(q, &table);
+  ApplySlice(q, &table);
 
   if (stats != nullptr) stats->result_rows = table.num_rows();
   return table;

@@ -11,27 +11,50 @@
 namespace hbold::sparql {
 
 /// Statistics about one query execution, used by the endpoint latency model
-/// (cost proportional to scanned/produced bindings).
+/// (cost proportional to scanned/produced bindings) and by the differential
+/// fast-path tests.
+///
+/// `intermediate_bindings` is a *modeled* cost: the aggregate-pushdown fast
+/// path charges exactly the bindings the materializing path would have
+/// produced (computed by index range arithmetic), so simulated endpoint
+/// latencies and work-budget decisions are bit-identical whichever path ran.
 struct ExecStats {
   size_t intermediate_bindings = 0;  // rows produced across all BGP steps
   size_t result_rows = 0;
+  size_t fast_path_hits = 0;  // queries answered by aggregate pushdown
+  size_t rows_avoided = 0;    // binding rows never materialized by pushdown
 };
 
-/// Execution tuning knobs (exposed mainly for the join-order ablation
-/// benchmark; defaults match production behaviour).
+/// Execution tuning knobs (exposed for the ablation benchmarks and the
+/// differential test suite; defaults match production behaviour).
 struct ExecOptions {
-  /// Reorder triple patterns greedily by bound-position selectivity before
-  /// evaluation. Off = evaluate in the order the query wrote them.
+  /// Reorder triple patterns by estimated cardinality (per-predicate
+  /// statistics + index range counts) before evaluation. Off = evaluate in
+  /// the order the query wrote them.
   bool greedy_join_order = true;
+  /// Route COUNT / COUNT(DISTINCT) / grouped-count queries to the store's
+  /// index-arithmetic primitives instead of materializing binding rows.
+  bool aggregate_pushdown = true;
+  /// Apply a FILTER as soon as every variable it mentions is bound inside
+  /// the BGP join loop, instead of only after the whole group is joined.
+  bool filter_pushdown = true;
+  /// Stop the join loop once OFFSET+LIMIT rows exist, when no later
+  /// modifier (ORDER BY / DISTINCT / aggregation) could change the slice.
+  /// ASK queries stop at the first solution under the same flag.
+  bool limit_pushdown = true;
 };
 
 /// Evaluates SELECT queries against a TripleStore.
 ///
-/// Evaluation strategy: per group pattern, triple patterns are reordered
-/// greedily by estimated selectivity (bound positions count most), then
-/// evaluated left-to-right by index lookups that extend a binding table.
-/// FILTERs run once all triples of the group are joined; OPTIONALs are left
-/// joins; UNION concatenates the two sides' solutions.
+/// Evaluation strategy: a planner first tries the aggregate-pushdown fast
+/// path (single-pattern and anchor-join count-query shapes answered by
+/// index range arithmetic). Otherwise, per group pattern, triple patterns
+/// are reordered by estimated selectivity (connectivity first, then
+/// statistics-based cardinality estimates), then evaluated left-to-right by
+/// index lookups that extend a binding table; FILTERs run as soon as their
+/// variables are bound; OPTIONALs are left joins; UNION concatenates the
+/// two sides' solutions. Both paths produce bit-identical result tables and
+/// ExecStats::intermediate_bindings.
 class Executor {
  public:
   explicit Executor(const rdf::TripleStore* store, ExecOptions options = {})

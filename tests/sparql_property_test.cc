@@ -334,5 +334,237 @@ TEST(SparqlEdgeTest, EmptyGroupPattern) {
   EXPECT_EQ(r->ScalarInt("n"), 1);
 }
 
+// -------------------------------------------- store primitive properties
+
+TEST_P(SparqlOracleTest, StoreCountPrimitivesAgreeWithWalks) {
+  Universe u = MakeUniverse(GetParam() * 13 + 1);
+  Rng rng(GetParam() * 7 + 3);
+  const rdf::Dictionary& dict = u.store.dict();
+  auto iri_id = [&](const std::string& s) {
+    return dict.Lookup(rdf::Term::Iri(s));
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    rdf::TriplePattern pat;
+    if (rng.Chance(0.5)) pat.s = iri_id(rng.Choice(u.subjects));
+    if (rng.Chance(0.5)) pat.p = iri_id(rng.Choice(u.predicates));
+    if (rng.Chance(0.5)) pat.o = iri_id(rng.Choice(u.objects));
+    std::vector<rdf::Triple> matches = u.store.MatchAll(pat);
+    EXPECT_EQ(u.store.Count(pat), matches.size());
+    for (rdf::TriplePos pos :
+         {rdf::TriplePos::kS, rdf::TriplePos::kP, rdf::TriplePos::kO}) {
+      std::set<rdf::TermId> distinct;
+      for (const rdf::Triple& t : matches) {
+        distinct.insert(pos == rdf::TriplePos::kS
+                            ? t.s
+                            : (pos == rdf::TriplePos::kP ? t.p : t.o));
+      }
+      EXPECT_EQ(u.store.CountDistinct(pat, pos), distinct.size());
+    }
+  }
+  // Grouped-count primitive vs a brute-force histogram.
+  for (const std::string& p : u.predicates) {
+    rdf::TriplePattern pat;
+    pat.p = iri_id(p);
+    std::map<rdf::TermId, size_t> histogram;
+    for (const rdf::Triple& t : u.store.MatchAll(pat)) ++histogram[t.o];
+    std::vector<std::pair<rdf::TermId, size_t>> expected(histogram.begin(),
+                                                         histogram.end());
+    EXPECT_EQ(u.store.GroupedCountByObject(pat.p), expected);
+  }
+}
+
+// -------------------------------------------- fast-path differential suite
+
+ExecOptions PushdownOff() {
+  ExecOptions o;
+  o.aggregate_pushdown = false;
+  o.filter_pushdown = false;
+  o.limit_pushdown = false;
+  return o;
+}
+
+/// Bit-level table comparison: columns, row order, and full terms (kind,
+/// lexical, datatype, language) must agree.
+::testing::AssertionResult TablesIdentical(const ResultTable& a,
+                                           const ResultTable& b) {
+  if (a.columns() != b.columns()) {
+    return ::testing::AssertionFailure() << "column mismatch";
+  }
+  if (a.num_rows() != b.num_rows()) {
+    return ::testing::AssertionFailure()
+           << "row count " << a.num_rows() << " vs " << b.num_rows();
+  }
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      const auto& ca = a.rows()[r][c];
+      const auto& cb = b.rows()[r][c];
+      if (ca.has_value() != cb.has_value() ||
+          (ca.has_value() && *ca != *cb)) {
+        return ::testing::AssertionFailure()
+               << "cell (" << r << "," << c << ") differs: "
+               << (ca.has_value() ? ca->ToNTriples() : "~") << " vs "
+               << (cb.has_value() ? cb->ToNTriples() : "~");
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// The count-query family the extraction strategies issue, over the random
+/// universe's vocabulary.
+std::vector<std::string> CountCorpus(const Universe& u, Rng* rng) {
+  auto iri = [](const std::string& s) { return "<" + s + ">"; };
+  std::string p0 = iri(rng->Choice(u.predicates));
+  std::string p1 = iri(rng->Choice(u.predicates));
+  std::string s0 = iri(rng->Choice(u.subjects));
+  std::string o0 = iri(rng->Choice(u.objects));
+  return {
+      "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }",
+      "SELECT (COUNT(?o) AS ?n) WHERE { ?s " + p0 + " ?o . }",
+      "SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s " + p0 + " ?o . }",
+      "SELECT (COUNT(DISTINCT ?o) AS ?n) WHERE { ?s " + p0 + " ?o . }",
+      "SELECT (COUNT(DISTINCT ?p) AS ?n) WHERE { ?s ?p ?o . }",
+      "SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s " + p0 + " " + o0 + " . }",
+      "SELECT (COUNT(*) AS ?n) WHERE { " + s0 + " ?p ?o . }",
+      "SELECT ?o (COUNT(?s) AS ?n) WHERE { ?s " + p0 + " ?o . } GROUP BY ?o",
+      "SELECT ?o (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s " + p0 +
+          " ?o . } GROUP BY ?o ORDER BY DESC(?n)",
+      "SELECT ?p (COUNT(*) AS ?n) WHERE { ?s ?p ?o . } GROUP BY ?p",
+      "SELECT ?o (COUNT(?s) AS ?n) WHERE { ?s " + p0 +
+          " ?o . } GROUP BY ?o LIMIT 3",
+      // Anchor-join shapes (the per-class extraction queries).
+      "SELECT (COUNT(?o) AS ?n) WHERE { ?s " + p0 + " " + o0 + " . ?s " + p1 +
+          " ?o . }",
+      "SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s " + p0 + " " + o0 +
+          " . ?s ?p ?o . }",
+      "SELECT ?p (COUNT(?o) AS ?n) WHERE { ?s " + p0 + " " + o0 +
+          " . ?s ?p ?o . } GROUP BY ?p",
+      "SELECT ?p (COUNT(DISTINCT ?o) AS ?n) WHERE { ?s " + p0 + " " + o0 +
+          " . ?s ?p ?o . } GROUP BY ?p",
+      "SELECT ?p ?o (COUNT(?s) AS ?n) WHERE { ?s " + p0 + " " + o0 +
+          " . ?s ?p ?o . } GROUP BY ?p ?o",
+  };
+}
+
+/// General (non-count) queries exercising filter and limit pushdown.
+std::vector<std::string> GeneralCorpus(const Universe& u, Rng* rng) {
+  auto iri = [](const std::string& s) { return "<" + s + ">"; };
+  std::string p0 = iri(rng->Choice(u.predicates));
+  std::string p1 = iri(rng->Choice(u.predicates));
+  std::string o0 = iri(rng->Choice(u.objects));
+  return {
+      "SELECT ?s ?o WHERE { ?s " + p0 + " ?o . } LIMIT 5",
+      "SELECT ?s ?o WHERE { ?s " + p0 + " ?o . } OFFSET 3 LIMIT 4",
+      "SELECT ?s WHERE { ?s ?p ?o . FILTER CONTAINS(STR(?o), \"s1\") . }",
+      "SELECT ?a ?c WHERE { ?a " + p0 + " ?b . ?b " + p1 +
+          " ?c . FILTER CONTAINS(STR(?a), \"u/s\") . }",
+      "SELECT ?s WHERE { ?s " + p0 + " " + o0 +
+          " . OPTIONAL { ?s " + p1 + " ?v . } FILTER (BOUND(?v)) . }",
+      "SELECT DISTINCT ?o WHERE { ?s " + p0 + " ?o . } ORDER BY ?o",
+      "ASK { ?s " + p0 + " ?o . }",
+      "ASK { ?s " + p0 + " " + o0 + " . }",
+  };
+}
+
+class FastPathDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FastPathDifferentialTest, CountFamilyBitIdenticalAndCovered) {
+  Universe u = MakeUniverse(GetParam() * 101 + 17);
+  Rng rng(GetParam() * 11 + 5);
+  Executor fast(&u.store);              // defaults: pushdown on
+  Executor slow(&u.store, PushdownOff());
+  size_t hits = 0;
+  for (const std::string& q : CountCorpus(u, &rng)) {
+    ExecStats fs, ss;
+    auto rf = fast.Execute(q, &fs);
+    auto rs = slow.Execute(q, &ss);
+    ASSERT_TRUE(rf.ok()) << q << "\n" << rf.status();
+    ASSERT_TRUE(rs.ok()) << q << "\n" << rs.status();
+    EXPECT_TRUE(TablesIdentical(*rf, *rs)) << q;
+    // The fast path charges the bindings the materializing path produced,
+    // so simulated endpoint costs stay bit-identical whichever path ran.
+    EXPECT_EQ(fs.intermediate_bindings, ss.intermediate_bindings) << q;
+    EXPECT_EQ(fs.result_rows, ss.result_rows) << q;
+    EXPECT_EQ(ss.fast_path_hits, 0u) << q;
+    EXPECT_EQ(fs.rows_avoided, fs.fast_path_hits > 0 ? fs.intermediate_bindings
+                                                     : 0u)
+        << q;
+    hits += fs.fast_path_hits;
+  }
+  // The corpus is the count family: the fast path must actually cover it.
+  EXPECT_GT(hits, 10u);
+}
+
+TEST_P(FastPathDifferentialTest, GeneralQueriesUnchangedByPushdownFlags) {
+  Universe u = MakeUniverse(GetParam() * 71 + 29);
+  Rng rng(GetParam() * 13 + 9);
+  Executor fast(&u.store);
+  Executor slow(&u.store, PushdownOff());
+  for (const std::string& q : GeneralCorpus(u, &rng)) {
+    auto rf = fast.Execute(q);
+    auto rs = slow.Execute(q);
+    ASSERT_TRUE(rf.ok()) << q << "\n" << rf.status();
+    ASSERT_TRUE(rs.ok()) << q << "\n" << rs.status();
+    EXPECT_TRUE(TablesIdentical(*rf, *rs)) << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastPathDifferentialTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+TEST(FastPathStatsTest, HitsAndRowsAvoidedPopulated) {
+  Universe u = MakeUniverse(42);
+  Executor ex(&u.store);
+  ExecStats stats;
+  auto r = ex.Execute("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }", &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(stats.fast_path_hits, 1u);
+  EXPECT_EQ(stats.rows_avoided, u.store.size());
+  EXPECT_EQ(stats.intermediate_bindings, u.store.size());
+  EXPECT_EQ(r->ScalarInt("n"), static_cast<int64_t>(u.store.size()));
+}
+
+// ------------------------------------------------- ORDER BY numeric keys
+
+TEST(OrderByTest, StrtodArtifactsDoNotReorder) {
+  // "inf"/"nan" parse under strtod but are not SPARQL numeric literals;
+  // they must sort lexically, after genuinely numeric keys compare
+  // numerically ("9" before "10").
+  rdf::TripleStore store;
+  const char* values[] = {"inf", "10", "nan", "9", "abc"};
+  for (const char* v : values) {
+    store.Add(Term::Iri(std::string("http://x/") + v),
+              Term::Iri("http://x/k"), Term::Literal(v));
+  }
+  Executor ex(&store);
+  auto r = ex.Execute("SELECT ?v WHERE { ?s <http://x/k> ?v . } ORDER BY ?v");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->num_rows(), 5u);
+  EXPECT_EQ(r->Cell(0, "v")->lexical(), "9");
+  EXPECT_EQ(r->Cell(1, "v")->lexical(), "10");
+  EXPECT_EQ(r->Cell(2, "v")->lexical(), "abc");
+  EXPECT_EQ(r->Cell(3, "v")->lexical(), "inf");
+  EXPECT_EQ(r->Cell(4, "v")->lexical(), "nan");
+}
+
+TEST(OrderByTest, MixedNumericColumnIsAStrictWeakOrder) {
+  // "2" < "10" numerically, "10" < "1z" lexically, "1z" < "2" lexically —
+  // a same-tier-only comparator cycles (UB under std::stable_sort). The
+  // tiered order puts numerics first: 2, 10, then 1z.
+  rdf::TripleStore store;
+  int i = 0;
+  for (const char* v : {"10", "1z", "2"}) {
+    store.Add(Term::Iri("http://x/r" + std::to_string(i++)),
+              Term::Iri("http://x/k"), Term::Literal(v));
+  }
+  Executor ex(&store);
+  auto r = ex.Execute("SELECT ?v WHERE { ?s <http://x/k> ?v . } ORDER BY ?v");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->num_rows(), 3u);
+  EXPECT_EQ(r->Cell(0, "v")->lexical(), "2");
+  EXPECT_EQ(r->Cell(1, "v")->lexical(), "10");
+  EXPECT_EQ(r->Cell(2, "v")->lexical(), "1z");
+}
+
 }  // namespace
 }  // namespace hbold::sparql
