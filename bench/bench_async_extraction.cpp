@@ -14,11 +14,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/json.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "extraction/strategies.h"
@@ -145,5 +147,26 @@ int main(int argc, char** argv) {
       all_match ? "reproduce" : "DIVERGE FROM", speedup_at_4,
       speedup_ok ? "PASS" : "FAIL",
       cycle_makespan, cycle_batched_makespan);
+
+  // Machine-readable report for the CI bench-regression harness. Every
+  // figure here is *simulated* (deterministic per seed), so baseline
+  // comparisons are immune to runner noise.
+  hbold::Json json = hbold::Json::MakeObject();
+  json.Set("num_classes", static_cast<int64_t>(num_classes));
+  json.Set("queries_issued",
+           static_cast<int64_t>(sequential_report.queries_issued));
+  json.Set("sim_cost_ms", sequential_report.total_latency_ms);
+  json.Set("intra_speedup_at_4", speedup_at_4);
+  json.Set("cycle_makespan_ms", cycle_makespan);
+  json.Set("cycle_batched_makespan_ms", cycle_batched_makespan);
+  hbold::Json gates = hbold::Json::MakeObject();
+  gates.Set("sequential_equality", all_match);
+  gates.Set("intra_speedup_2x", speedup_ok);
+  json.Set("gates", std::move(gates));
+  std::ofstream out("BENCH_async_extraction.json");
+  out << json.Dump(2) << "\n";
+  out.close();
+  std::printf("wrote BENCH_async_extraction.json\n");
+
   return all_match && speedup_ok ? 0 : 1;
 }

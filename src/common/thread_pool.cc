@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 
 namespace hbold {
@@ -36,9 +37,59 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+namespace {
+
+/// Shared state of one ParallelFor call. Heap-allocated and shared with the
+/// helper tasks submitted into the pool: helpers that only get scheduled
+/// after the caller has already returned (every index claimed by faster
+/// lanes) must find the state — and the callable — still alive.
+struct ParallelForState {
+  ParallelForState(size_t n, std::function<void(size_t)> fn)
+      : n(n), fn(std::move(fn)) {}
+
+  const size_t n;
+  const std::function<void(size_t)> fn;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t first_error_index = SIZE_MAX;  // guarded by mu
+  std::exception_ptr first_error;       // guarded by mu
+
+  /// Claims indices until none are left. Never blocks — a lane with
+  /// nothing to claim exits.
+  void RunLane() {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        // Lowest index wins, matching the inline branch — which error
+        // surfaces must not depend on how lanes raced.
+        std::lock_guard<std::mutex> lock(mu);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+      // The mutex is touched only by the final iteration (and on errors):
+      // the completion count itself is atomic, so lanes running cheap
+      // iterations don't serialize on a lock.
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
 void ThreadPool::ParallelFor(ThreadPool* pool, size_t n,
                              const std::function<void(size_t)>& fn) {
-  if (pool == nullptr || pool->size() <= 1) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() <= 1 || n == 1) {
     // Same contract as the pooled branch: every iteration runs even when
     // an earlier one throws; the first exception propagates at the end.
     std::exception_ptr first_error;
@@ -52,20 +103,23 @@ void ThreadPool::ParallelFor(ThreadPool* pool, size_t n,
     if (first_error) std::rethrow_exception(first_error);
     return;
   }
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    futures.push_back(pool->Submit([&fn, i] { fn(i); }));
+  // Caller-participates fan-out: iterations are claimed from a shared
+  // atomic cursor by up to pool->size() helper lanes AND by the calling
+  // thread itself. The caller always makes progress on its own loop, so
+  // nested ParallelFor calls from inside pool workers can never deadlock
+  // even when every pool thread is blocked in an outer ParallelFor —
+  // the same claim-loop design QueryBatch uses for nested submission.
+  auto state = std::make_shared<ParallelForState>(n, fn);
+  const size_t helpers = std::min(pool->size(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Submit([state] { state->RunLane(); });
   }
-  std::exception_ptr first_error;
-  for (std::future<void>& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  state->RunLane();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 WorkerLatencyLedger::WorkerLatencyLedger(size_t num_workers)

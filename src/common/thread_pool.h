@@ -48,10 +48,17 @@ class ThreadPool {
   }
 
   /// Runs fn(0) .. fn(n-1) across the pool and blocks until all complete.
-  /// With `pool == nullptr` (or a 1-worker pool and n small) the calls run
+  /// With `pool == nullptr` (or a 1-worker pool, or n <= 1) the calls run
   /// inline on the caller's thread — the degenerate sequential mode used
   /// when `parallelism <= 1`. Exceptions from any iteration propagate
   /// (first one wins) after all iterations finish.
+  ///
+  /// Nesting-safe: iterations are claimed from a shared cursor by helper
+  /// tasks AND by the calling thread, so a pool worker that calls
+  /// ParallelFor on its own pool drives its iterations itself even when
+  /// every other worker is blocked the same way. This is what lets the
+  /// fleet layer run per-shard daily cycles as tasks on one shared pool
+  /// while each cycle fans its endpoint pipelines out over that same pool.
   static void ParallelFor(ThreadPool* pool, size_t n,
                           const std::function<void(size_t)>& fn);
 

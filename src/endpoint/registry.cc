@@ -30,6 +30,7 @@ Json EndpointRecord::ToJson() const {
   j.Set("name", name);
   j.Set("source", EndpointSourceName(source));
   j.Set("added_day", added_day);
+  j.Set("first_eligible_day", first_eligible_day);
   j.Set("last_attempt_day", last_attempt_day);
   j.Set("last_success_day", last_success_day);
   j.Set("last_attempt_failed", last_attempt_failed);
@@ -43,6 +44,9 @@ EndpointRecord EndpointRecord::FromJson(const Json& j) {
   r.name = j.GetString("name");
   r.source = SourceFromName(j.GetString("source"));
   r.added_day = j.GetInt("added_day");
+  // Absent in registries persisted before the field existed: -1 keeps the
+  // old behavior (eligible immediately).
+  r.first_eligible_day = j.GetInt("first_eligible_day", -1);
   r.last_attempt_day = j.GetInt("last_attempt_day", -1);
   r.last_success_day = j.GetInt("last_success_day", -1);
   r.last_attempt_failed = j.GetBool("last_attempt_failed");

@@ -31,6 +31,13 @@ struct EndpointRecord {
   std::string name;
   EndpointSource source = EndpointSource::kSeedList;
   int64_t added_day = 0;
+  /// First day the refresh scheduler may pick this endpoint up; -1 means
+  /// "immediately". Endpoints that enter the registry *mid-cycle* (portal
+  /// crawl, metadata crawl, fleet churn) set this to `added_day + 1` so
+  /// the snapshot and live due-list paths agree deterministically: the
+  /// newcomer is extracted on the next simulated day, never racily within
+  /// the day it appeared.
+  int64_t first_eligible_day = -1;
 
   /// Day of the most recent extraction attempt; -1 = never attempted.
   int64_t last_attempt_day = -1;

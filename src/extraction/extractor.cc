@@ -29,6 +29,9 @@ Result<IndexSummary> IndexExtractor::Extract(endpoint::SparqlEndpoint* ep,
                         << ep->url() << " fell back: "
                         << last_error.ToString();
       r->fallbacks.push_back(strategy->name());
+      // Timeouts are the endpoint refusing the *work*, not the shape —
+      // count them separately as throttling pressure.
+      if (last_error.IsTimeout()) ++r->throttle_events;
       continue;  // try the next, cheaper-assumption strategy
     }
     return last_error;  // Unavailable / parse / internal: abort

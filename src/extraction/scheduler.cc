@@ -4,6 +4,12 @@ namespace hbold::extraction {
 
 bool RefreshScheduler::IsDue(const endpoint::EndpointRecord& record,
                              int64_t today) const {
+  // Endpoints registered mid-cycle carry an eligibility horizon: they are
+  // invisible to the scheduler until that day, which makes the snapshot
+  // and live paths agree no matter when during a cycle the record landed.
+  if (record.first_eligible_day >= 0 && today < record.first_eligible_day) {
+    return false;
+  }
   if (record.last_attempt_day < 0) return true;  // never attempted
   if (record.last_attempt_day >= today) return false;  // already ran today
   if (record.last_attempt_failed) return true;         // daily retry
@@ -13,11 +19,12 @@ bool RefreshScheduler::IsDue(const endpoint::EndpointRecord& record,
 
 std::vector<std::string> RefreshScheduler::DueToday(
     const endpoint::EndpointRegistry& registry, int64_t today) const {
-  std::vector<std::string> due;
-  for (const endpoint::EndpointRecord* r : registry.All()) {
-    if (IsDue(*r, today)) due.push_back(r->url);
-  }
-  return due;
+  // Delegate to the snapshot form so both overloads evaluate one
+  // point-in-time view of the registry. Before this, the live path read
+  // records one by one under a shared lock while writers could interleave
+  // — two calls in the same cycle could disagree about a record added
+  // mid-iteration.
+  return DueToday(registry.Snapshot(), today);
 }
 
 std::vector<std::string> RefreshScheduler::DueToday(

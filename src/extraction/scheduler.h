@@ -13,6 +13,8 @@ namespace hbold::extraction {
 ///
 /// Linked Data changes weekly/monthly at most, but endpoints flap daily, so
 /// H-BOLD runs the extraction job every day and decides per endpoint:
+///   - first_eligible_day in the future -> skip (mid-cycle newcomers wait
+///     for the next simulated day, deterministically)
 ///   - never attempted            -> extract today
 ///   - last attempt failed        -> retry daily until it succeeds
 ///   - last success >= N days ago -> refresh (N = 7 in the paper)

@@ -62,6 +62,12 @@ struct ExtractionReport {
   /// Names of strategies that were tried and rejected before the one that
   /// succeeded (Unsupported/Timeout fallbacks).
   std::vector<std::string> fallbacks;
+  /// Strategy attempts the endpoint pushed back on with Timeout (work
+  /// budget blown) — the throttling signal an adaptive batch-width policy
+  /// reacts to. Deterministic per endpoint content/dialect: whether a
+  /// strategy times out depends on query results, never on wall clock or
+  /// batch width.
+  size_t throttle_events = 0;
 };
 
 /// One "pattern strategy" [1]: a way of phrasing the index-extraction

@@ -43,6 +43,10 @@ PortalCrawlResult PortalCrawler::Merge(const std::string& portal_name,
     record.name = title.has_value() ? title->lexical() : u;
     record.source = endpoint::EndpointSource::kPortalCrawl;
     record.added_day = today;
+    // Crawls run while the daily cycle may already be in flight; a record
+    // landing mid-cycle becomes schedulable on the *next* day so the
+    // snapshot and live due-list paths can never disagree about it.
+    record.first_eligible_day = today + 1;
     registry_->Add(std::move(record));
     ++result.newly_added;
   }

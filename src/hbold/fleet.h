@@ -1,0 +1,284 @@
+#ifndef HBOLD_HBOLD_FLEET_H_
+#define HBOLD_HBOLD_FLEET_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/json.h"
+#include "common/thread_pool.h"
+#include "endpoint/endpoint.h"
+#include "endpoint/registry.h"
+#include "hbold/server.h"
+#include "store/database.h"
+
+namespace hbold {
+
+// ---------------------------------------------------------------- churn
+
+/// Knobs for the seeded churn process (endpoints appearing and dying
+/// mid-simulation — the §3.1 reality a single-day cycle cannot express).
+struct ChurnOptions {
+  /// Per live endpoint, per day: probability its portal goes dark for
+  /// good. Deaths are decided by a stable hash of (seed, url, day), so
+  /// the death calendar is identical no matter how the registry is
+  /// sharded or which threads ran the cycle.
+  double death_probability = 0.0;
+  uint64_t seed = 0;
+};
+
+/// One endpoint joining the fleet mid-simulation.
+struct ChurnArrival {
+  int64_t day = 0;
+  endpoint::EndpointRecord record;
+  /// Live endpoint to attach; null registers the record without a route
+  /// (the §3.4 case of a submitted URL that never answers).
+  endpoint::SparqlEndpoint* endpoint = nullptr;
+};
+
+/// Deterministic churn schedule: explicit arrivals plus seeded deaths.
+/// Every decision is a pure function of (options, schedule, day), so a
+/// simulation replays bit-identically for the same seed regardless of
+/// shard count, parallelism, or batching.
+class ChurnModel {
+ public:
+  ChurnModel() = default;
+  explicit ChurnModel(const ChurnOptions& options) : options_(options) {}
+
+  const ChurnOptions& options() const { return options_; }
+
+  /// Queues `record` (and its live endpoint, may be null) to join on
+  /// `day`. Arrivals are applied in (day, scheduling order).
+  void ScheduleArrival(int64_t day, endpoint::EndpointRecord record,
+                       endpoint::SparqlEndpoint* ep);
+
+  /// Seeded helper: a stable arrival day in [first_day, first_day + span)
+  /// for `url` — lets callers scatter a latent pool over a simulation
+  /// window without hand-picking days.
+  int64_t ArrivalDayFor(const std::string& url, int64_t first_day,
+                        int64_t span) const;
+
+  /// True when the seeded coin says `url`'s portal dies on `day`.
+  bool DiesOn(const std::string& url, int64_t day) const;
+
+  /// Pops every scheduled arrival with day <= `day`, in schedule order.
+  std::vector<ChurnArrival> TakeArrivalsThrough(int64_t day);
+
+  size_t pending_arrivals() const { return arrivals_.size(); }
+
+ private:
+  ChurnOptions options_;
+  /// Sorted by day, ties in insertion order (stable).
+  std::vector<ChurnArrival> arrivals_;
+};
+
+// ------------------------------------------------------- adaptive width
+
+/// Policy knobs for per-endpoint intra-pipeline batch width adaptation.
+struct AdaptiveWidthOptions {
+  bool enabled = false;
+  int min_width = 1;
+  int max_width = 8;
+  /// Consecutive clean days (success, no throttle events) before a
+  /// narrowed endpoint's width steps back up by one.
+  int recovery_days = 2;
+};
+
+/// Per-endpoint batch-width state carried across simulated days: an
+/// endpoint that throttles (Timeout fallbacks) or fails gets its width
+/// halved; after `recovery_days` clean days the width creeps back up.
+/// Decisions are a pure function of the observed per-endpoint outcome
+/// stream, which is itself shard- and batching-invariant, so adaptation
+/// never perturbs the fleet's deterministic report content (width only
+/// moves duration figures, per the QueryBatch accounting contract).
+class AdaptiveWidthController {
+ public:
+  AdaptiveWidthController(const AdaptiveWidthOptions& options,
+                          int initial_width);
+
+  /// Current width for `url` (initial width until first observation).
+  int WidthFor(const std::string& url) const;
+
+  /// Feeds one day's outcome for `url`; returns the width to use next.
+  int Observe(const std::string& url, bool attempt_failed,
+              size_t throttle_events);
+
+ private:
+  struct State {
+    int width = 1;
+    int clean_streak = 0;
+  };
+
+  AdaptiveWidthOptions options_;
+  int initial_width_;
+  std::map<std::string, State> state_;
+};
+
+// ----------------------------------------------------------------- fleet
+
+/// Fleet construction knobs.
+struct FleetOptions {
+  /// Registry shards = server instances. Endpoints map to shards by
+  /// stable URL hash, so the assignment survives restarts and re-runs.
+  int num_shards = 1;
+  /// Per-shard server options (refresh age, per-cycle parallelism,
+  /// intra-pipeline batch width).
+  ServerOptions server;
+  /// Workers in the one pool shared by every layer: shard cycles fan out
+  /// over it, each cycle's pipelines fan out over it, and each pipeline's
+  /// query batches fan out over it (claim loops keep the nesting
+  /// deadlock-free). 0 sizes it to num_shards * server.parallelism;
+  /// 1 runs the whole simulation inline on the caller's thread — the
+  /// sequential baseline the determinism contract is anchored to.
+  size_t fleet_workers = 0;
+  ChurnOptions churn;
+  AdaptiveWidthOptions adaptive_width;
+};
+
+/// One simulated day of the whole fleet, merged across shards.
+struct FleetDayReport {
+  int64_t day = 0;
+  size_t due = 0;
+  size_t succeeded = 0;
+  size_t failed = 0;
+  size_t reused = 0;
+  /// Endpoints churned in / gone dark at the start of this day.
+  size_t arrivals = 0;
+  size_t deaths = 0;
+  /// Canonical cost figure: per-attempt charged latencies folded in
+  /// global registration order — bit-identical across shard counts,
+  /// parallelism, and batching (per-shard ledger sums are NOT used here,
+  /// their float addition order would depend on the deployment).
+  double sum_latency_ms = 0;
+  /// Simulated duration of the day: max over shards of the per-shard
+  /// batched makespan — what the fleet clock advances by. A deployment
+  /// figure: it legitimately shrinks as shards/parallelism grow.
+  double fleet_makespan_ms = 0;
+  /// Real wall-clock of the day's cycles.
+  double wall_ms = 0;
+  /// True when fleet_makespan_ms pushed the clock past the next day
+  /// boundary — the fleet cannot keep up with daily cycles, and the
+  /// shard-count invariance of *day numbering* no longer holds.
+  bool overran_day = false;
+  /// Pipeline reports and per-due-entry outcomes merged in global
+  /// registration order (identical to a 1-shard run's order).
+  std::vector<PipelineReport> reports;
+  std::vector<DueOutcome> outcomes;
+  /// The raw per-shard reports, index = shard id (deployment
+  /// introspection; not part of the canonical content). Their pipeline
+  /// `reports` vectors are emptied — the merged `reports` list above is
+  /// the one copy; counters, outcomes, and makespans remain per shard.
+  std::vector<DailyReport> shard_reports;
+};
+
+/// Outcome of a multi-day fleet simulation.
+struct FleetReport {
+  int num_shards = 1;
+  int parallelism = 1;
+  int query_batch_width = 1;
+  bool adaptive_width = false;
+  std::vector<FleetDayReport> days;
+
+  /// Everything, deployment figures included.
+  Json ToJson() const;
+
+  /// Canonical serialization of the deployment-invariant content: day
+  /// numbers, due/succeeded/failed/reused/churn counts, per-attempt
+  /// outcomes and charged costs, per-endpoint extraction work, and the
+  /// canonical cost sums. Two simulations of the same seeded world are
+  /// the same history iff these strings are byte-identical — the
+  /// differential anchor for {1,2,4} shards x {1,4} parallelism x
+  /// batching on/off.
+  std::string CanonicalDump() const;
+
+  /// FNV-1a fingerprint of CanonicalDump(), as 16 hex chars.
+  std::string Fingerprint() const;
+};
+
+/// The multi-server layer: shards the endpoint registry across N Server
+/// instances by stable URL hash and drives them through multi-day
+/// simulations on one shared pool, advancing the fleet-wide SimClock by
+/// each day's makespan.
+///
+/// Determinism contract: for the same seeded world (endpoints, churn
+/// schedule, availability), FleetReport::CanonicalDump() and the merged
+/// persisted store contents are byte-identical for ANY (num_shards,
+/// fleet_workers, parallelism, query_batch_width, adaptive on/off) —
+/// differential-tested in tests/fleet_test.cc and gated in
+/// bench_fleet_simulation. Holds as long as no day overruns (see
+/// FleetDayReport::overran_day).
+class Fleet {
+ public:
+  /// `clock` must outlive the fleet and must be the same clock the
+  /// simulated endpoints were built against, so the whole world shares
+  /// one timeline.
+  Fleet(SimClock* clock, const FleetOptions& options);
+
+  size_t num_shards() const { return shards_.size(); }
+  const FleetOptions& options() const { return options_; }
+  SimClock* clock() { return clock_; }
+
+  /// Stable shard assignment: Fnv64(url) % num_shards.
+  size_t ShardOf(const std::string& url) const;
+
+  Server& shard(size_t i) { return *shards_[i]; }
+  const Server& shard(size_t i) const { return *shards_[i]; }
+  store::Database& shard_db(size_t i) { return *dbs_[i]; }
+  const store::Database& shard_db(size_t i) const { return *dbs_[i]; }
+
+  ChurnModel& churn() { return churn_; }
+
+  /// Registers a record into its shard. Returns false on duplicate URL.
+  bool RegisterEndpoint(endpoint::EndpointRecord record);
+
+  /// Routes a live endpoint to its shard (does not register it).
+  void AttachEndpoint(const std::string& url, endpoint::SparqlEndpoint* ep);
+
+  /// Drops the route (record stays; attempts fail and retry daily).
+  void DetachEndpoint(const std::string& url);
+
+  /// Every registered URL, in global registration order — the merge
+  /// order of FleetDayReport and the order a 1-shard registry would
+  /// hold them in.
+  const std::vector<std::string>& registration_order() const {
+    return registration_order_;
+  }
+
+  /// One simulated day: apply churn, push adaptive widths, run every
+  /// shard's cycle on the shared pool, merge reports in global
+  /// registration order, observe outcomes, and advance the clock by the
+  /// fleet makespan (then to the next day boundary).
+  FleetDayReport RunDay();
+
+  /// Runs `days` consecutive daily cycles.
+  FleetReport RunSimulation(int64_t days);
+
+ private:
+  void ApplyChurn(int64_t day, FleetDayReport* day_report);
+  void PushAdaptiveWidths();
+  void ObserveOutcomes(const FleetDayReport& day_report);
+  void MergeShardReports(std::vector<DailyReport> shard_reports,
+                         FleetDayReport* day_report) const;
+  void AdvanceClock(int64_t day, FleetDayReport* day_report);
+
+  SimClock* clock_;
+  FleetOptions options_;
+  std::vector<std::unique_ptr<store::Database>> dbs_;
+  std::vector<std::unique_ptr<Server>> shards_;
+  /// The one pool all layers share; absent when fleet_workers <= 1
+  /// (fully inline simulation).
+  std::optional<ThreadPool> pool_;
+  ChurnModel churn_;
+  AdaptiveWidthController widths_;
+  std::vector<std::string> registration_order_;
+  /// Live routes, for the death lottery (url-sorted: deterministic).
+  std::map<std::string, endpoint::SparqlEndpoint*> attached_;
+};
+
+}  // namespace hbold
+
+#endif  // HBOLD_HBOLD_FLEET_H_

@@ -18,6 +18,7 @@
 #include "extraction/scheduler.h"       // IWYU pragma: export
 #include "hbold/crawler.h"              // IWYU pragma: export
 #include "hbold/effectiveness.h"        // IWYU pragma: export
+#include "hbold/fleet.h"                // IWYU pragma: export
 #include "hbold/manual_insert.h"        // IWYU pragma: export
 #include "hbold/metadata_crawler.h"     // IWYU pragma: export
 #include "hbold/presentation.h"         // IWYU pragma: export

@@ -55,6 +55,9 @@ MetadataCrawlResult MetadataRepositoryCrawler::Merge(
     record.name = u;
     record.source = endpoint::EndpointSource::kPortalCrawl;
     record.added_day = today;
+    // Mid-cycle discovery: schedulable from the next day (see
+    // PortalCrawler::Merge for the rationale).
+    record.first_eligible_day = today + 1;
     registry_->Add(std::move(record));
     ++result.newly_added;
   }

@@ -36,6 +36,23 @@ void Server::AttachEndpoint(const std::string& url,
   network_[url] = ep;
 }
 
+void Server::DetachEndpoint(const std::string& url) { network_.erase(url); }
+
+void Server::SetQueryBatchWidthOverride(const std::string& url, int width) {
+  if (width <= 0) {
+    width_overrides_.erase(url);
+  } else {
+    width_overrides_[url] = width;
+  }
+}
+
+int Server::QueryBatchWidthFor(const std::string& url) const {
+  auto it = width_overrides_.find(url);
+  int width = it != width_overrides_.end() ? it->second
+                                           : options_.query_batch_width;
+  return std::max(1, width);
+}
+
 bool Server::RegisterEndpoint(endpoint::EndpointRecord record) {
   return registry_.Add(std::move(record));
 }
@@ -81,8 +98,7 @@ Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
   // cycle's own, so intra-pipeline fan-out never spawns extra threads.
   extraction::ExtractionContext context;
   context.pool = pool;
-  context.batch_width =
-      static_cast<size_t>(std::max(1, options_.query_batch_width));
+  context.batch_width = static_cast<size_t>(QueryBatchWidthFor(url));
   auto indexes = extractor_.Extract(net->second, context, &report.extraction);
   if (!indexes.ok()) return fail(indexes.status());
   indexes->extracted_day = today;
@@ -171,6 +187,30 @@ DailyReport Server::RunDailyUpdate() {
 }
 
 DailyReport Server::RunDailyCycle(int parallelism) {
+  // One pool serves both layers: pipelines fan out over it AND each
+  // pipeline's query batches are submitted back into it (the
+  // caller-participates claim loops of ParallelFor and QueryBatch make
+  // that nesting deadlock-free). The pool is sized to `parallelism` and
+  // never grown for batching, so total threads honor the ServerOptions
+  // contract; at parallelism 1 batch jobs simply run inline on the
+  // cycle's own thread — the simulated overlap figures are computed from
+  // the batch width either way, so reports do not depend on the pool's
+  // existence.
+  if (parallelism <= 1) return RunDailyCycleOn(nullptr, 1);
+  // No pool when there is at most one pipeline to run — spawning and
+  // joining workers for zero overlap would be pure overhead on the quiet
+  // days of a multi-day simulation. (The due list is recomputed inside
+  // RunDailyCycleOn from the same registry state; DueToday is read-only,
+  // so the two computations agree.)
+  if (scheduler_.DueToday(registry_.Snapshot(), clock_->NowDay()).size() <=
+      1) {
+    return RunDailyCycleOn(nullptr, parallelism);
+  }
+  ThreadPool pool(static_cast<size_t>(parallelism));
+  return RunDailyCycleOn(&pool, parallelism);
+}
+
+DailyReport Server::RunDailyCycleOn(ThreadPool* pool, int parallelism) {
   DailyReport daily;
   daily.day = clock_->NowDay();
   daily.parallelism = std::max(1, parallelism);
@@ -184,19 +224,7 @@ DailyReport Server::RunDailyCycle(int parallelism) {
   Stopwatch wall;
   std::vector<std::optional<Result<PipelineReport>>> slots(due.size());
   std::vector<PipelineCost> costs(due.size());
-  // One pool serves both layers: pipelines fan out over it AND each
-  // pipeline's query batches are submitted back into it (QueryBatch's
-  // caller-participates design makes that nesting deadlock-free). The
-  // pool is sized to `parallelism` and never grown for batching, so
-  // total threads honor the ServerOptions contract; at parallelism 1
-  // batch jobs simply run inline on the cycle's own thread — the
-  // simulated overlap figures are computed from the batch width either
-  // way, so reports do not depend on the pool's existence.
-  std::optional<ThreadPool> pool;
-  if (daily.parallelism > 1 && due.size() > 1) {
-    pool.emplace(static_cast<size_t>(daily.parallelism));
-  }
-  ThreadPool* pool_ptr = pool ? &*pool : nullptr;
+  ThreadPool* pool_ptr = daily.parallelism > 1 ? pool : nullptr;
   ThreadPool::ParallelFor(pool_ptr, due.size(), [&](size_t i) {
     slots[i] = ProcessEndpointImpl(due[i], pool_ptr, &costs[i]);
   });
@@ -212,10 +240,14 @@ DailyReport Server::RunDailyCycle(int parallelism) {
   // queries overlap inside pipelines too.
   WorkerLatencyLedger ledger(static_cast<size_t>(daily.parallelism));
   WorkerLatencyLedger batched_ledger(static_cast<size_t>(daily.parallelism));
+  daily.outcomes.reserve(slots.size());
   for (size_t i = 0; i < slots.size(); ++i) {
     Result<PipelineReport>& result = *slots[i];
     ledger.Assign(costs[i].latency_ms);
     batched_ledger.Assign(costs[i].intra_ms);
+    daily.outcomes.push_back(DueOutcome{due[i], result.ok(),
+                                        costs[i].latency_ms,
+                                        costs[i].intra_ms});
     if (result.ok()) {
       ++daily.succeeded;
       if (result->reused_cluster_schema) ++daily.reused;

@@ -40,6 +40,23 @@ struct PipelineReport {
   bool reused_cluster_schema = false;
 };
 
+/// Per due-list entry accounting for one daily cycle, in due (registry)
+/// order — failures included, which the aggregate `reports` list is not.
+/// This is what lets a fleet recompute cost sums in a canonical global
+/// order, bit-identically regardless of how endpoints were sharded, and
+/// lets per-endpoint policies (adaptive batch width, churn detection) see
+/// which URLs failed.
+struct DueOutcome {
+  std::string url;
+  bool succeeded = false;
+  /// Sequential sum of the attempt's simulated query latencies — the cost
+  /// charged to the cycle ledger (nonzero even for failed attempts that
+  /// spent queries before giving up).
+  double charged_latency_ms = 0;
+  /// The same attempt's intra-pipeline (batched) duration.
+  double charged_intra_ms = 0;
+};
+
 /// Outcome of one daily update cycle (§3.1).
 struct DailyReport {
   int64_t day = 0;
@@ -74,6 +91,9 @@ struct DailyReport {
   /// Reports in registry (due-list) order, independent of the order in
   /// which workers actually finished.
   std::vector<PipelineReport> reports;
+  /// One entry per due-list URL (success or failure), in due order, with
+  /// the exact costs the ledgers were charged.
+  std::vector<DueOutcome> outcomes;
 };
 
 /// Server construction knobs (ExecOptions-style).
@@ -114,6 +134,23 @@ class Server {
   /// Attaches a live endpoint for `url` (does not register it).
   void AttachEndpoint(const std::string& url, endpoint::SparqlEndpoint* ep);
 
+  /// Removes the route to `url` (the registry record stays — subsequent
+  /// attempts fail Unavailable and retry daily per §3.1). Like
+  /// AttachEndpoint, only between cycles, never concurrently with one.
+  void DetachEndpoint(const std::string& url);
+
+  /// Overrides the intra-pipeline batch width for one endpoint (clamped
+  /// to >= 1); 0 clears back to ServerOptions::query_batch_width. The
+  /// fleet's adaptive-width policy drives this between cycles from
+  /// observed per-endpoint throttling. Deterministic-accounting contract:
+  /// width only moves duration figures (intra/batched makespans), never
+  /// the work or cost figures, so overrides cannot perturb report
+  /// bit-identity. Only between cycles, never concurrently with one.
+  void SetQueryBatchWidthOverride(const std::string& url, int width);
+
+  /// The batch width ProcessEndpoint will use for `url` right now.
+  int QueryBatchWidthFor(const std::string& url) const;
+
   /// Registers an endpoint record; returns false on duplicate URL.
   bool RegisterEndpoint(endpoint::EndpointRecord record);
 
@@ -138,6 +175,15 @@ class Server {
   /// the DailyReport (endpoint order, counts, reused flags) is identical
   /// to the sequential run on the same portal state.
   DailyReport RunDailyCycle(int parallelism);
+
+  /// The same cycle on a caller-owned pool — the form the fleet layer
+  /// uses so every shard's cycle shares ONE pool (ParallelFor's claim
+  /// loop keeps the nesting deadlock-free). `pool` may be larger or
+  /// smaller than `parallelism`; all deterministic figures (makespans,
+  /// merge order) are computed from `parallelism` alone, so the report is
+  /// bit-identical whatever pool actually ran it. `pool == nullptr` runs
+  /// inline.
+  DailyReport RunDailyCycleOn(ThreadPool* pool, int parallelism);
 
   /// Persists the registry into the store (collection kRegistryCollection).
   Status PersistRegistry();
@@ -169,6 +215,10 @@ class Server {
   /// Read-only during a cycle: AttachEndpoint must happen before
   /// RunDailyCycle, never concurrently with it.
   std::map<std::string, endpoint::SparqlEndpoint*> network_;
+  /// Per-endpoint batch-width overrides (adaptive policy). Read-only
+  /// during a cycle, mutated only between cycles — same discipline as
+  /// network_.
+  std::map<std::string, int> width_overrides_;
 };
 
 }  // namespace hbold

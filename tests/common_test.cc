@@ -405,6 +405,37 @@ TEST(ThreadPoolTest, ParallelForNullPoolRunsInline) {
   EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
 }
 
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(ThreadPool::ParallelFor(&pool, 16,
+                                       [&](size_t i) {
+                                         ++ran;
+                                         if (i % 3 == 0) {
+                                           throw std::runtime_error("boom");
+                                         }
+                                       }),
+               std::runtime_error);
+  // Every iteration still ran — an exception does not abandon the rest.
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, NestedParallelForOnSharedPoolDoesNotDeadlock) {
+  // The fleet pattern: outer loop = shard cycles, inner loop = endpoint
+  // pipelines, both on ONE pool that is smaller than the outer fan-out.
+  // The caller-participates claim loop must drive this to completion even
+  // though every pool worker can be blocked inside an outer iteration.
+  ThreadPool pool(2);
+  constexpr size_t kOuter = 4;
+  constexpr size_t kInner = 8;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  ThreadPool::ParallelFor(&pool, kOuter, [&](size_t o) {
+    ThreadPool::ParallelFor(&pool, kInner,
+                            [&](size_t i) { ++hits[o * kInner + i]; });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPoolTest, DestructorDrainsQueue) {
   std::atomic<int> count{0};
   {

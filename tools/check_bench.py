@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""CI bench-regression harness.
+
+Compares freshly emitted BENCH_*.json reports against the committed
+baselines in bench/baselines/ and fails (exit 1) when a gated metric
+regresses by more than the tolerance (default 20%).
+
+Metric directions:
+  higher  - bigger is better; fail when new < old * (1 - tol)
+  lower   - smaller is better; fail when new > old * (1 + tol)
+  stable  - deterministic figure; fail when it drifts more than tol
+            either way (catches silent workload changes, not just
+            slowdowns)
+  bool    - must be true in the current report
+  exact   - string/value equality with the baseline (canonical
+            fingerprints: any divergence is a correctness regression or
+            an intentional change that must re-bless the baseline)
+
+Metrics carrying a `when` path are skipped unless that path is truthy in
+BOTH reports — used for wall-clock gates that benches themselves only
+enforce on >= 4-core machines.
+
+Usage:
+  tools/check_bench.py                 # compare all gated reports in cwd
+  tools/check_bench.py --update        # re-bless baselines from cwd
+  tools/check_bench.py --current-dir build
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+
+def lookup(doc, path):
+    """Dotted-path lookup; returns None when any step is missing."""
+    node = doc
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def grid_total(field):
+    """Sum a field over the extraction grid's successful entries."""
+
+    def extract(doc):
+        grid = doc.get("extraction_grid")
+        if not isinstance(grid, list):
+            return None
+        return sum(e.get(field, 0) for e in grid if not e.get("failed"))
+
+    extract.label = "extraction_grid.sum(%s)" % field
+    return extract
+
+
+class Metric:
+    def __init__(self, path, direction, tolerance=0.20, when=None):
+        self.path = path  # dotted path or callable(doc) -> value
+        self.direction = direction
+        self.tolerance = tolerance
+        self.when = when
+
+    @property
+    def label(self):
+        if callable(self.path):
+            return getattr(self.path, "label", self.path.__name__)
+        return self.path
+
+    def value(self, doc):
+        if callable(self.path):
+            return self.path(doc)
+        return lookup(doc, self.path)
+
+    def check(self, baseline, current):
+        """Returns (ok, detail)."""
+        if self.when is not None:
+            if not lookup(baseline, self.when) or not lookup(current, self.when):
+                return True, "skipped (%s not enforced)" % self.when
+        old, new = self.value(baseline), self.value(current)
+        if new is None:
+            return False, "missing from current report"
+        if self.direction == "bool":
+            return bool(new), "%r" % new
+        if old is None:
+            return False, "missing from baseline (re-bless with --update)"
+        if self.direction == "exact":
+            ok = new == old
+            return ok, "%r vs baseline %r" % (new, old)
+        old, new = float(old), float(new)
+        detail = "%.4g vs baseline %.4g (tol %d%%)" % (
+            new, old, round(self.tolerance * 100))
+        if old == 0:
+            return new == 0, detail
+        ratio = new / old
+        if self.direction == "higher":
+            return ratio >= 1 - self.tolerance, detail
+        if self.direction == "lower":
+            return ratio <= 1 + self.tolerance, detail
+        if self.direction == "stable":
+            return 1 - self.tolerance <= ratio <= 1 + self.tolerance, detail
+        raise ValueError("unknown direction %r" % self.direction)
+
+
+# The gated surface: one entry per bench report wired into CI.
+GATED = {
+    "BENCH_query_fastpath.json": [
+        # The bench's own gates are the wall-clock authority (they know
+        # the machine's core count); a baseline ratio measured on one
+        # machine must not become a hard wall-clock gate on another.
+        Metric("gates.count_speedup_5x", "bool"),
+        Metric("gates.bit_identity", "bool"),
+        Metric("gates.batched_wallclock_2x", "bool"),
+        Metric("batched_local.speedup", "higher",
+               when="batched_local.gate_enforced"),
+    ],
+    "BENCH_index_extraction.json": [
+        # The grid is a fixed simulated workload: query counts and
+        # simulated latency are deterministic, so drift means the
+        # extraction strategies changed behavior.
+        Metric(grid_total("queries"), "stable"),
+        Metric(grid_total("endpoint_ms"), "lower"),
+    ],
+    "BENCH_async_extraction.json": [
+        Metric("intra_speedup_at_4", "higher"),
+        Metric("sim_cost_ms", "lower"),
+        Metric("gates.sequential_equality", "bool"),
+        Metric("gates.intra_speedup_2x", "bool"),
+    ],
+    "BENCH_fleet_simulation.json": [
+        Metric("gates.shard_count_invariance", "bool"),
+        Metric("fingerprint", "exact"),
+        Metric("sim_total_makespan_ms", "lower"),
+        Metric("total_failed", "stable"),
+        Metric("speedup", "higher", when="gate_enforced"),
+    ],
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--current-dir", default=".")
+    parser.add_argument("--update", action="store_true",
+                        help="copy current reports over the baselines")
+    parser.add_argument("reports", nargs="*",
+                        help="subset of report filenames to check")
+    args = parser.parse_args()
+
+    names = args.reports or sorted(GATED)
+    unknown = [n for n in names if n not in GATED]
+    if unknown:
+        print("unknown report(s): %s" % ", ".join(unknown), file=sys.stderr)
+        return 2
+
+    if args.update:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for name in names:
+            src = os.path.join(args.current_dir, name)
+            if not os.path.exists(src):
+                print("cannot bless %s: not found in %s" %
+                      (name, args.current_dir), file=sys.stderr)
+                return 2
+            shutil.copyfile(src, os.path.join(args.baseline_dir, name))
+            print("blessed %s" % name)
+        return 0
+
+    failures = 0
+    for name in names:
+        current_path = os.path.join(args.current_dir, name)
+        baseline_path = os.path.join(args.baseline_dir, name)
+        print("== %s" % name)
+        if not os.path.exists(current_path):
+            print("  FAIL: report not emitted (expected %s)" % current_path)
+            failures += 1
+            continue
+        if not os.path.exists(baseline_path):
+            print("  FAIL: no committed baseline (%s); run "
+                  "tools/check_bench.py --update and commit" % baseline_path)
+            failures += 1
+            continue
+        with open(current_path) as f:
+            current = json.load(f)
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        for metric in GATED[name]:
+            ok, detail = metric.check(baseline, current)
+            print("  %-4s %-40s %s" % ("ok" if ok else "FAIL",
+                                       metric.label, detail))
+            if not ok:
+                failures += 1
+
+    if failures:
+        print("\n%d gated metric(s) regressed beyond tolerance" % failures)
+        return 1
+    print("\nall gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
