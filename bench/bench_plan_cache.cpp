@@ -1,0 +1,241 @@
+// Plan-cache bench + gate: the cross-query plan cache against the
+// repeated-query corpus an H-BOLD server actually generates — the same
+// profiling family re-issued cycle after cycle against an unchanged
+// endpoint. Planner-bound shapes (multi-pattern anchored stars/chains,
+// 3-pattern range-class queries on small classes, count family) are where
+// planning dominates execution, which is precisely the daily-refresh
+// steady state the cache targets.
+//
+// Emits machine-readable BENCH_plan_cache.json and exits nonzero when a
+// gate fails:
+//   - repeated-corpus speedup >= 2x (cache on vs off, identical queries)
+//   - every result table bit-identical cache on vs off
+//   - steady state (rounds >= 2) serves hits only
+//
+//   ./build/bench_plan_cache [num_triples] [rounds]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/json.h"
+#include "common/random.h"
+#include "rdf/graph.h"
+#include "sparql/executor.h"
+#include "sparql/planner.h"
+
+namespace {
+
+using hbold::Json;
+using hbold::Stopwatch;
+using hbold::rdf::Term;
+using hbold::rdf::TripleStore;
+using hbold::sparql::ExecOptions;
+using hbold::sparql::ExecStats;
+using hbold::sparql::Executor;
+using hbold::sparql::PlanCache;
+using hbold::sparql::PlanCacheStats;
+using hbold::sparql::ResultTable;
+
+constexpr size_t kClasses = 40;
+constexpr size_t kPredicates = 24;
+
+TripleStore MakeStore(size_t target_triples, uint64_t seed) {
+  TripleStore store;
+  hbold::Rng rng(seed);
+  const size_t subjects = std::max<size_t>(1, target_triples / 5);
+  auto subject = [](size_t i) {
+    return Term::Iri("http://bench/s" + std::to_string(i));
+  };
+  for (size_t i = 0; i < subjects; ++i) {
+    store.Add(subject(i),
+              Term::Iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+              Term::Iri("http://bench/class/C" +
+                        std::to_string(rng.Zipf(kClasses, 1.0))));
+    size_t links = 3 + rng.Uniform(3);
+    for (size_t k = 0; k < links; ++k) {
+      store.Add(subject(i),
+                Term::Iri("http://bench/p" +
+                          std::to_string(rng.Uniform(kPredicates))),
+                subject(rng.Uniform(subjects)));
+    }
+  }
+  store.FinalizeIndex();
+  return store;
+}
+
+/// The repeated profiling corpus: what a server re-issues every refresh
+/// cycle. Deliberately planner-bound — selective anchors, many patterns —
+/// plus the star/range and count families for realism.
+std::vector<std::string> RepeatedCorpus(size_t subjects) {
+  std::vector<std::string> corpus;
+  auto p = [](size_t i) {
+    return "<http://bench/p" + std::to_string(i % kPredicates) + ">";
+  };
+  auto cls = [](size_t i) {
+    return "<http://bench/class/C" + std::to_string(i % kClasses) + ">";
+  };
+  auto subj = [&](size_t i) {
+    return "<http://bench/s" + std::to_string(i % subjects) + ">";
+  };
+
+  // Subject-profile stars: 8 patterns anchored on one subject. Execution
+  // is a handful of index probes; parsing is linear and planning is
+  // O(k^2) estimate probes — exactly what the prepared/plan tiers skip.
+  for (size_t i = 0; i < 14; ++i) {
+    std::string q = "SELECT ?v0 ?v1 ?v2 ?v3 ?v4 ?v5 ?v6 ?v7 WHERE {\n";
+    for (int k = 0; k < 8; ++k) {
+      q += "  " + subj(i * 997 + 13) + " " + p(i + static_cast<size_t>(k)) +
+           " ?v" + std::to_string(k) + " .\n";
+    }
+    q += "}";
+    corpus.push_back(q);
+  }
+  // Anchored chains: join planning across 5 patterns, selective heads.
+  for (size_t i = 0; i < 10; ++i) {
+    corpus.push_back("SELECT ?c WHERE {\n  " + subj(i * 577 + 7) + " " + p(i) +
+                     " ?a .\n  ?a " + p(i + 3) + " ?b .\n  ?b " + p(i + 7) +
+                     " ?c .\n  ?c " + p(i + 11) + " ?d .\n  ?d " + p(i + 13) +
+                     " ?e .\n}");
+  }
+  // Count family (pure index arithmetic; cache still skips parse+plan).
+  for (size_t i = 0; i < 6; ++i) {
+    corpus.push_back("SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s a " +
+                     cls(20 + i) + " . }");
+  }
+  // One execution-bound grouped count for realism: the cache cannot help
+  // it (the boundary-jump walk dominates), it keeps the gate honest.
+  corpus.push_back(
+      "SELECT ?c (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s a ?c . } GROUP BY ?c");
+  return corpus;
+}
+
+bool TablesIdentical(const ResultTable& a, const ResultTable& b) {
+  if (a.columns() != b.columns() || a.num_rows() != b.num_rows()) return false;
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      const auto& ca = a.rows()[r][c];
+      const auto& cb = b.rows()[r][c];
+      if (ca.has_value() != cb.has_value()) return false;
+      if (ca.has_value() && *ca != *cb) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t target =
+      argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 50000;
+  const int rounds = argc > 2 ? std::atoi(argv[2]) : 40;
+  TripleStore store = MakeStore(target, 7);
+  const size_t subjects = std::max<size_t>(1, target / 5);
+  std::vector<std::string> corpus = RepeatedCorpus(subjects);
+  std::printf("=== plan-cache bench: %zu triples, %zu queries x %d rounds ===\n",
+              store.size(), corpus.size(), rounds);
+
+  Executor uncached(&store);
+  PlanCache cache;
+  Executor cached(&store, ExecOptions{}, &cache);
+
+  // Bit-identity first (also warms nothing: each side runs once).
+  bool identical = true;
+  for (const std::string& q : corpus) {
+    auto ru = uncached.Execute(q);
+    ExecStats cs;
+    auto rc = cached.Execute(q, &cs);
+    if (!ru.ok() || !rc.ok() || !TablesIdentical(*ru, *rc)) {
+      std::fprintf(stderr, "MISMATCH: %s\n", q.c_str());
+      identical = false;
+    }
+  }
+  // The check above also served as the cache's warm-up round; clear the
+  // timing slate by measuring fresh executors below (cache kept warm on
+  // purpose for the cached side: the corpus is *repeated*, that is the
+  // steady state being measured — the uncached side has no state at all).
+
+  const int kReps = 3;  // best-of, for noisy shared runners
+  double uncached_ms = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Stopwatch sw;
+    for (int r = 0; r < rounds; ++r) {
+      for (const std::string& q : corpus) {
+        auto res = uncached.Execute(q);
+        if (!res.ok()) return 1;
+      }
+    }
+    double ms = sw.ElapsedMillis();
+    if (rep == 0 || ms < uncached_ms) uncached_ms = ms;
+  }
+
+  PlanCacheStats before = cache.stats();
+  double cached_ms = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Stopwatch sw;
+    for (int r = 0; r < rounds; ++r) {
+      for (const std::string& q : corpus) {
+        auto res = cached.Execute(q);
+        if (!res.ok()) return 1;
+      }
+    }
+    double ms = sw.ElapsedMillis();
+    if (rep == 0 || ms < cached_ms) cached_ms = ms;
+  }
+  PlanCacheStats after = cache.stats();
+  const uint64_t steady_misses = after.misses - before.misses;
+  const uint64_t steady_hits = after.hits - before.hits;
+  const double speedup = cached_ms > 0 ? uncached_ms / cached_ms : 0;
+
+  std::printf(
+      "repeated corpus: %.1f ms uncached vs %.1f ms cached => %.2fx "
+      "(steady state: %llu hits, %llu misses)\n",
+      uncached_ms, cached_ms, speedup,
+      static_cast<unsigned long long>(steady_hits),
+      static_cast<unsigned long long>(steady_misses));
+
+  const bool pass_speedup = speedup >= 2.0;
+  const bool pass_steady = steady_misses == 0;
+
+  Json report = Json::MakeObject();
+  report.Set("triples", static_cast<int64_t>(store.size()));
+  report.Set("corpus_queries", static_cast<int64_t>(corpus.size()));
+  report.Set("rounds", static_cast<int64_t>(rounds));
+  report.Set("uncached_ms", uncached_ms);
+  report.Set("cached_ms", cached_ms);
+  report.Set("speedup", speedup);
+  report.Set("steady_hits", static_cast<int64_t>(steady_hits));
+  report.Set("steady_misses", static_cast<int64_t>(steady_misses));
+  report.Set("cache_entries", static_cast<int64_t>(after.entries));
+  Json gates = Json::MakeObject();
+  gates.Set("plan_cache_speedup_2x", pass_speedup);
+  gates.Set("bit_identity", identical);
+  gates.Set("steady_state_all_hits", pass_steady);
+  report.Set("gates", std::move(gates));
+
+  std::ofstream out("BENCH_plan_cache.json");
+  out << report.Dump(2) << "\n";
+  out.close();
+  std::printf("wrote BENCH_plan_cache.json\n");
+
+  if (!identical) {
+    std::fprintf(stderr, "GATE FAILED: cached results not bit-identical\n");
+    return 1;
+  }
+  if (!pass_steady) {
+    std::fprintf(stderr, "GATE FAILED: steady state saw %llu misses\n",
+                 static_cast<unsigned long long>(steady_misses));
+    return 1;
+  }
+  if (!pass_speedup) {
+    std::fprintf(stderr, "GATE FAILED: repeated-corpus speedup %.2fx < 2x\n",
+                 speedup);
+    return 1;
+  }
+  std::printf("all gates passed\n");
+  return 0;
+}

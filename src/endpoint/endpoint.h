@@ -1,6 +1,7 @@
 #ifndef HBOLD_ENDPOINT_ENDPOINT_H_
 #define HBOLD_ENDPOINT_ENDPOINT_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/result.h"
@@ -17,6 +18,36 @@ struct QueryOutcome {
   /// True when the endpoint's result-size cap truncated the table — the
   /// signal that makes paginated extraction strategies necessary.
   bool truncated = false;
+};
+
+/// Cumulative query-engine counters of one endpoint: plan-cache
+/// effectiveness and hash-join activity. Deployment figures only — they
+/// describe which machinery answered queries, never how much simulated
+/// work was charged, so they are reported next to wall-clock numbers and
+/// excluded from every canonical accounting contract (concurrent batches
+/// make the hit/miss split timing-dependent).
+struct QueryEngineStats {
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t plan_cache_invalidations = 0;
+  uint64_t hash_join_builds = 0;
+
+  QueryEngineStats& operator+=(const QueryEngineStats& o) {
+    plan_cache_hits += o.plan_cache_hits;
+    plan_cache_misses += o.plan_cache_misses;
+    plan_cache_invalidations += o.plan_cache_invalidations;
+    hash_join_builds += o.hash_join_builds;
+    return *this;
+  }
+  QueryEngineStats operator-(const QueryEngineStats& o) const {
+    QueryEngineStats d;
+    d.plan_cache_hits = plan_cache_hits - o.plan_cache_hits;
+    d.plan_cache_misses = plan_cache_misses - o.plan_cache_misses;
+    d.plan_cache_invalidations =
+        plan_cache_invalidations - o.plan_cache_invalidations;
+    d.hash_join_builds = hash_join_builds - o.hash_join_builds;
+    return d;
+  }
 };
 
 /// A SPARQL endpoint as H-BOLD sees it: an opaque URL that answers SPARQL
@@ -41,6 +72,11 @@ class SparqlEndpoint {
 
   /// Total number of Query() calls (for strategy cost accounting).
   virtual size_t queries_served() const = 0;
+
+  /// Cumulative query-engine counters (zeros for implementations without a
+  /// plan cache / local executor). Safe to call concurrently with queries;
+  /// the server layer reads it between cycles for DailyReport deltas.
+  virtual QueryEngineStats engine_stats() const { return {}; }
 };
 
 /// Liveness probe: runs the idiomatic `ASK { ?s ?p ?o . }`. Returns true

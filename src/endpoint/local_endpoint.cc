@@ -21,6 +21,10 @@ Result<QueryOutcome> LocalEndpoint::QueryWithStats(
   Stopwatch sw;
   HBOLD_ASSIGN_OR_RETURN(sparql::ResultTable table,
                          executor_.Execute(query_text, stats));
+  if (stats->hash_join_builds > 0) {
+    hash_join_builds_.fetch_add(stats->hash_join_builds,
+                                std::memory_order_relaxed);
+  }
   QueryOutcome outcome;
   outcome.table = std::move(table);
   outcome.latency_ms = sw.ElapsedMillis();

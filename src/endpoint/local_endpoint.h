@@ -24,11 +24,16 @@ namespace hbold::endpoint {
 /// with queries (same contract as TripleStore itself).
 class LocalEndpoint : public SparqlEndpoint {
  public:
-  /// `store` must outlive the endpoint.
+  /// `store` must outlive the endpoint. Every endpoint owns one
+  /// cross-query plan cache (keyed on the normalized WHERE tree and the
+  /// store's rebuild generation); `enable_plan_cache = false` opts out for
+  /// differential benchmarks. The cache only memoizes planning — results
+  /// and charged accounting are bit-identical either way.
   LocalEndpoint(std::string url, std::string name,
-                const rdf::TripleStore* store)
+                const rdf::TripleStore* store, bool enable_plan_cache = true)
       : url_(std::move(url)), name_(std::move(name)), store_(store),
-        executor_(store) {
+        executor_(store, sparql::ExecOptions{},
+                  enable_plan_cache ? &plan_cache_ : nullptr) {
     store_->FinalizeIndex();
   }
 
@@ -49,6 +54,20 @@ class LocalEndpoint : public SparqlEndpoint {
 
   const rdf::TripleStore* store() const { return store_; }
 
+  /// Plan-cache effectiveness + hash-join activity, cumulative. Reads
+  /// atomics / takes the cache's shared lock only — never the query path.
+  QueryEngineStats engine_stats() const override {
+    sparql::PlanCacheStats cache = plan_cache_.stats();
+    QueryEngineStats s;
+    s.plan_cache_hits = cache.hits;
+    s.plan_cache_misses = cache.misses;
+    s.plan_cache_invalidations = cache.invalidations;
+    s.hash_join_builds = hash_join_builds_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  const sparql::PlanCache& plan_cache() const { return plan_cache_; }
+
   /// Execution stats of the most recent completed query. Only meaningful
   /// when no other query is in flight; concurrent callers should use
   /// QueryWithStats() instead. Returns a copy (the slot is guarded by a
@@ -62,7 +81,10 @@ class LocalEndpoint : public SparqlEndpoint {
   std::string url_;
   std::string name_;
   const rdf::TripleStore* store_;
+  /// Declared before executor_: the executor captures its address.
+  sparql::PlanCache plan_cache_;
   sparql::Executor executor_;
+  std::atomic<uint64_t> hash_join_builds_{0};
   mutable std::mutex stats_mu_;  // guards last_stats_ only, never the query
   sparql::ExecStats last_stats_;
   std::atomic<size_t> queries_served_{0};

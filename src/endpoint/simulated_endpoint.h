@@ -107,6 +107,11 @@ class SimulatedRemoteEndpoint : public SparqlEndpoint {
     return queries_served_.load(std::memory_order_relaxed);
   }
 
+  /// The inner local executor's plan-cache / hash-join counters.
+  QueryEngineStats engine_stats() const override {
+    return local_.engine_stats();
+  }
+
   const Dialect& dialect() const { return dialect_; }
   const AvailabilityModel& availability() const { return availability_; }
   const LatencyModel& latency_model() const { return latency_; }

@@ -264,6 +264,11 @@ void Fleet::MergeShardReports(std::vector<DailyReport> shard_reports,
   for (DailyReport& shard : shard_reports) {
     day_report->fleet_makespan_ms =
         std::max(day_report->fleet_makespan_ms, shard.batched_makespan_ms);
+    // Per-shard plan-cache / hash-join deployment counters, summed for
+    // the fleet view (never part of the canonical dump).
+    day_report->plan_cache_hits += shard.plan_cache_hits;
+    day_report->plan_cache_misses += shard.plan_cache_misses;
+    day_report->hash_join_builds += shard.hash_join_builds;
     // The pipeline reports were moved into the merged list above; drop
     // the gutted shells rather than publish moved-from objects. The
     // per-shard view keeps its counters, outcomes, and makespans.
@@ -415,6 +420,9 @@ Json FleetReport::ToJson() const {
     d.Set("fleet_makespan_ms", day.fleet_makespan_ms);
     d.Set("wall_ms", day.wall_ms);
     d.Set("overran_day", day.overran_day);
+    d.Set("plan_cache_hits", static_cast<int64_t>(day.plan_cache_hits));
+    d.Set("plan_cache_misses", static_cast<int64_t>(day.plan_cache_misses));
+    d.Set("hash_join_builds", static_cast<int64_t>(day.hash_join_builds));
     Json shards = Json::MakeArray();
     for (const DailyReport& s : day.shard_reports) {
       Json sj = Json::MakeObject();

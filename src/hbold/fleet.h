@@ -160,6 +160,12 @@ struct FleetDayReport {
   double fleet_makespan_ms = 0;
   /// Real wall-clock of the day's cycles.
   double wall_ms = 0;
+  /// Query-engine deployment counters summed over shards (each shard's
+  /// per-endpoint plan caches): like wall_ms these describe how the day
+  /// was computed, not what it computed, and stay out of CanonicalDump().
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t hash_join_builds = 0;
   /// True when fleet_makespan_ms pushed the clock past the next day
   /// boundary — the fleet cannot keep up with daily cycles, and the
   /// shard-count invariance of *day numbering* no longer holds.

@@ -210,10 +210,19 @@ DailyReport Server::RunDailyCycle(int parallelism) {
   return RunDailyCycleOn(&pool, parallelism);
 }
 
+endpoint::QueryEngineStats Server::SumEngineStats() const {
+  endpoint::QueryEngineStats total;
+  for (const auto& [url, ep] : network_) {
+    if (ep != nullptr) total += ep->engine_stats();
+  }
+  return total;
+}
+
 DailyReport Server::RunDailyCycleOn(ThreadPool* pool, int parallelism) {
   DailyReport daily;
   daily.day = clock_->NowDay();
   daily.parallelism = std::max(1, parallelism);
+  const endpoint::QueryEngineStats engine_before = SumEngineStats();
 
   // Fix the due list from an immutable snapshot before any worker starts
   // mutating bookkeeping; `due` is in registry (insertion) order.
@@ -261,6 +270,13 @@ DailyReport Server::RunDailyCycleOn(ThreadPool* pool, int parallelism) {
   daily.sum_latency_ms = ledger.TotalMs();
   daily.makespan_ms = ledger.MakespanMs();
   daily.batched_makespan_ms = batched_ledger.MakespanMs();
+  // Engine counters are cumulative per endpoint; the cycle's share is the
+  // delta. No queries are in flight here (all workers joined above).
+  const endpoint::QueryEngineStats engine_delta =
+      SumEngineStats() - engine_before;
+  daily.plan_cache_hits = engine_delta.plan_cache_hits;
+  daily.plan_cache_misses = engine_delta.plan_cache_misses;
+  daily.hash_join_builds = engine_delta.hash_join_builds;
   return daily;
 }
 

@@ -88,6 +88,14 @@ struct DailyReport {
   /// batching is off; the gap between the two is what intra-pipeline
   /// fan-out buys.
   double batched_makespan_ms = 0;
+  /// Query-engine deployment counters: the cycle's delta of the attached
+  /// endpoints' plan-cache and hash-join activity (summed in URL order).
+  /// Deployment figures like wall_ms — a concurrent batch can turn one
+  /// would-be hit into a second miss, so these are reported next to the
+  /// wall clock and excluded from the canonical (bit-identical) content.
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t hash_join_builds = 0;
   /// Reports in registry (due-list) order, independent of the order in
   /// which workers actually finished.
   std::vector<PipelineReport> reports;
@@ -205,6 +213,10 @@ class Server {
   Result<PipelineReport> ProcessEndpointImpl(const std::string& url,
                                              ThreadPool* pool,
                                              PipelineCost* cost);
+
+  /// Sum of the attached endpoints' cumulative engine counters, in URL
+  /// (map) order. Taken before/after a cycle for the DailyReport delta.
+  endpoint::QueryEngineStats SumEngineStats() const;
 
   store::Database* db_;
   SimClock* clock_;

@@ -53,7 +53,9 @@ TripleStore::TripleStore(TripleStore&& other) noexcept
       osp_(std::move(other.osp_)),
       staged_(std::move(other.staged_)),
       pred_stats_(std::move(other.pred_stats_)),
-      dirty_(other.dirty_.load(std::memory_order_relaxed)) {}
+      dirty_(other.dirty_.load(std::memory_order_relaxed)),
+      generation_(other.generation_.load(std::memory_order_relaxed)),
+      stats_sampling_threshold_(other.stats_sampling_threshold_) {}
 
 TripleStore& TripleStore::operator=(TripleStore&& other) noexcept {
   if (this != &other) {
@@ -65,6 +67,9 @@ TripleStore& TripleStore::operator=(TripleStore&& other) noexcept {
     pred_stats_ = std::move(other.pred_stats_);
     dirty_.store(other.dirty_.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
+    generation_.store(other.generation_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    stats_sampling_threshold_ = other.stats_sampling_threshold_;
   }
   return *this;
 }
@@ -90,6 +95,8 @@ void TripleStore::EnsureIndexed() const {
 }
 
 void TripleStore::RebuildLocked() const {
+  const size_t indexed_before = spo_.size();
+  const size_t batch = staged_.size();
   spo_.insert(spo_.end(), staged_.begin(), staged_.end());
   staged_.clear();
   SortIndex(&spo_, KeySpo);
@@ -99,6 +106,23 @@ void TripleStore::RebuildLocked() const {
   osp_ = spo_;
   SortIndex(&osp_, KeyOsp);
 
+  // Statistics refresh policy: a small incremental batch appended to an
+  // already-large index refreshes by deterministic sampling (O(P * log n))
+  // instead of the exact two-pass recompute (O(n)); everything else —
+  // bulk loads, small stores — recomputes exactly. Either way the stats
+  // are *refreshed*: incremental loads never leave a frozen snapshot
+  // driving join orders.
+  const bool sampled = indexed_before >= stats_sampling_threshold_ &&
+                       batch * 8 <= indexed_before;
+  if (sampled) {
+    RefreshStatsSampledLocked();
+  } else {
+    RefreshStatsExactLocked();
+  }
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+void TripleStore::RefreshStatsExactLocked() const {
   // Per-predicate cardinality statistics in two linear passes: POS yields
   // triple counts and (p, o) boundaries, SPO yields (s, p) boundaries.
   pred_stats_.clear();
@@ -113,6 +137,82 @@ void TripleStore::RebuildLocked() const {
     if (i == 0 || spo_[i - 1].s != spo_[i].s || spo_[i - 1].p != spo_[i].p) {
       ++pred_stats_[spo_[i].p].distinct_subjects;
     }
+  }
+}
+
+void TripleStore::RefreshStatsSampledLocked() const {
+  // Caps chosen so a refresh costs O(P * kCap * log n) regardless of index
+  // size. Everything here is a pure function of the sorted index content,
+  // so two stores with identical triples produce identical (sampled)
+  // stats — the planner property the deterministic-accounting contracts
+  // rely on.
+  constexpr size_t kJumpCap = 64;    // max o-group boundary jumps
+  constexpr size_t kSampleCap = 64;  // stride samples for subject counts
+  pred_stats_.clear();
+  size_t i = 0;
+  while (i < pos_.size()) {
+    const TermId p = pos_[i].p;
+    const size_t begin = i;
+    i = static_cast<size_t>(
+        std::upper_bound(pos_.begin() + static_cast<long>(i), pos_.end(), p,
+                         [](TermId v, const Triple& t) { return v < t.p; }) -
+        pos_.begin());
+    const size_t end = i;
+    const size_t range = end - begin;
+    PredicateStats st;
+    st.triples = range;  // exact: the range itself
+    bool objects_exact = true;
+    bool subjects_exact = true;
+
+    // distinct_objects: boundary jumps over the (p)-range's o groups,
+    // capped; exact when the predicate has few object classes (the common
+    // rdf:type case), extrapolated from covered prefix fraction otherwise.
+    size_t groups = 0;
+    size_t j = begin;
+    while (j < end && groups < kJumpCap) {
+      ++groups;
+      const TermId o = pos_[j].o;
+      j = static_cast<size_t>(
+          std::upper_bound(pos_.begin() + static_cast<long>(j),
+                           pos_.begin() + static_cast<long>(end), o,
+                           [](TermId v, const Triple& t) { return v < t.o; }) -
+          pos_.begin());
+    }
+    if (j >= end) {
+      st.distinct_objects = groups;  // walked every boundary: exact figure
+    } else {
+      const size_t covered = j - begin;
+      st.distinct_objects = std::min(
+          range, std::max<size_t>(groups, groups * range / covered));
+      objects_exact = false;
+    }
+
+    // distinct_subjects: subjects are not sorted within a POS range, so
+    // stride-sample positions and scale the deduped sample count by the
+    // sampling fraction (clamped to [1, range]).
+    if (range <= kSampleCap) {
+      std::vector<TermId> subjects;
+      subjects.reserve(range);
+      for (size_t k = begin; k < end; ++k) subjects.push_back(pos_[k].s);
+      std::sort(subjects.begin(), subjects.end());
+      subjects.erase(std::unique(subjects.begin(), subjects.end()),
+                     subjects.end());
+      st.distinct_subjects = subjects.size();
+    } else {
+      std::vector<TermId> sample;
+      sample.reserve(kSampleCap);
+      const size_t stride = range / kSampleCap;
+      for (size_t k = 0; k < kSampleCap; ++k) {
+        sample.push_back(pos_[begin + k * stride].s);
+      }
+      std::sort(sample.begin(), sample.end());
+      sample.erase(std::unique(sample.begin(), sample.end()), sample.end());
+      st.distinct_subjects =
+          std::min(range, std::max<size_t>(1, sample.size() * stride));
+      subjects_exact = false;
+    }
+    st.exact = objects_exact && subjects_exact;
+    pred_stats_[p] = st;
   }
 }
 
@@ -236,6 +336,49 @@ void TripleStore::Match(const TriplePattern& pattern,
   }
 }
 
+TripleSpan TripleStore::Span(const TriplePattern& pattern) const {
+  EnsureIndexed();
+  const bool bs = pattern.s != kInvalidTermId;
+  const bool bp = pattern.p != kInvalidTermId;
+  const bool bo = pattern.o != kInvalidTermId;
+  // Unlike Match/PlanRange, every bound combination routes to the index
+  // whose prefix range is exactly the match set — no residual shapes.
+  if (bs && bp && bo) {
+    Triple t{pattern.s, pattern.p, pattern.o};
+    auto it = std::lower_bound(spo_.begin(), spo_.end(), t);
+    const bool hit = it != spo_.end() && *it == t;
+    return TripleSpan{spo_.data() + (it - spo_.begin()), hit ? 1u : 0u};
+  }
+  const std::vector<Triple>* index = &spo_;
+  Order order = Order::kSpo;
+  TermId k1 = kInvalidTermId;
+  TermId k2 = kInvalidTermId;
+  if (bs && bp) {
+    k1 = pattern.s;
+    k2 = pattern.p;
+  } else if (bs && bo) {
+    index = &osp_;
+    order = Order::kOsp;
+    k1 = pattern.o;
+    k2 = pattern.s;
+  } else if (bs) {
+    k1 = pattern.s;
+  } else if (bp) {
+    index = &pos_;
+    order = Order::kPos;
+    k1 = pattern.p;
+    k2 = bo ? pattern.o : kInvalidTermId;
+  } else if (bo) {
+    index = &osp_;
+    order = Order::kOsp;
+    k1 = pattern.o;
+  } else {
+    return TripleSpan{spo_.data(), spo_.size()};
+  }
+  auto [b, e] = EqualRange(*index, order, k1, k2);
+  return TripleSpan{index->data() + b, e - b};
+}
+
 std::vector<Triple> TripleStore::MatchAll(const TriplePattern& pattern) const {
   std::vector<Triple> out;
   Match(pattern, [&](const Triple& t) {
@@ -298,7 +441,11 @@ size_t TripleStore::CountDistinct(const TriplePattern& pattern,
       }
       if (bp && !bo) {
         auto it = pred_stats_.find(pattern.p);
-        return it == pred_stats_.end() ? 0 : it->second.distinct_subjects;
+        if (it == pred_stats_.end()) return 0;
+        // Sampled stats are planner estimates, never query answers — fall
+        // through to the exact collect+sort below when inexact.
+        if (it->second.exact) return it->second.distinct_subjects;
+        break;
       }
       if (!bp && bo) {
         // OSP(o): s is the next sort component.
@@ -328,7 +475,12 @@ size_t TripleStore::CountDistinct(const TriplePattern& pattern,
       }
       if (!bs && bp) {
         auto it = pred_stats_.find(pattern.p);
-        return it == pred_stats_.end() ? 0 : it->second.distinct_objects;
+        if (it == pred_stats_.end()) return 0;
+        if (it->second.exact) return it->second.distinct_objects;
+        // Inexact (sampled) stats: o is the next sort component of the
+        // POS range, so the boundary-jump count stays exact and cheap.
+        auto [b, e] = EqualRange(pos_, Order::kPos, pattern.p, kInvalidTermId);
+        return CountGroups(pos_, b, e, [](const Triple& t) { return t.o; });
       }
       if (bs && !bp) {
         break;  // o not sorted within SPO(s) — fall through

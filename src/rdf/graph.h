@@ -18,14 +18,36 @@ namespace hbold::rdf {
 /// Cardinality statistics for one predicate, computed while the indexes are
 /// (re)built. The executor's join planner uses these for selectivity
 /// estimates (count / distinct_subjects is the average subject fan-out).
+///
+/// `exact` is false when the stats were produced by the sampled refresh (a
+/// small incremental batch appended to a large index — see
+/// SetStatsSamplingThreshold). Sampled stats are deterministic for a given
+/// store content and good enough for join ordering, but CountDistinct must
+/// not serve them as query answers and falls back to index walks instead.
 struct PredicateStats {
   size_t triples = 0;
   size_t distinct_subjects = 0;
   size_t distinct_objects = 0;
+  bool exact = true;
 };
 
 /// Position selector for CountDistinct.
 enum class TriplePos { kS, kP, kO };
+
+/// A contiguous slice of one internal sorted index — the zero-overhead
+/// sub-range scan primitive. Unlike Match there is no per-triple callback
+/// and no residual filtering: every triple in [begin, end) matches the
+/// pattern the span was built for. Iteration order is the owning index's
+/// sort order (see TripleStore::Span). Invalidated by the next write +
+/// rebuild, like any other read.
+struct TripleSpan {
+  const Triple* data = nullptr;
+  size_t size = 0;
+
+  const Triple* begin() const { return data; }
+  const Triple* end() const { return data + size; }
+  bool empty() const { return size == 0; }
+};
 
 /// In-memory RDF graph: a term dictionary plus three sorted triple indexes
 /// (SPO, POS, OSP) so that any triple pattern with at least one bound
@@ -64,6 +86,17 @@ class TripleStore {
   /// run inside a query.
   void FinalizeIndex() const { EnsureIndexed(); }
 
+  /// Monotonic rebuild generation: incremented every time the indexes are
+  /// (re)built from staged writes. Cached artifacts derived from the store
+  /// (plan caches, statistics snapshots) key on this to invalidate after
+  /// incremental loads. Triggers the rebuild itself if writes are staged,
+  /// so the returned generation always describes the indexes a subsequent
+  /// read would see.
+  uint64_t generation() const {
+    EnsureIndexed();
+    return generation_.load(std::memory_order_acquire);
+  }
+
   /// Number of distinct triples.
   size_t size() const;
   bool empty() const { return size() == 0; }
@@ -75,6 +108,19 @@ class TripleStore {
   /// The callback returns false to stop early.
   void Match(const TriplePattern& pattern,
              const std::function<bool(const Triple&)>& fn) const;
+
+  /// Sub-range scan primitive: the contiguous sorted index slice holding
+  /// exactly the triples matching `pattern`, in O(log n), with no callback
+  /// and no residual filtering. Every bound-position combination maps to a
+  /// prefix range of one index (the (s, o) shape routes through OSP, the
+  /// fully bound shape through a binary search), so this never fails.
+  /// Iteration order by bound combination:
+  ///   (), (s), (s,p), (s,p,o)  -> SPO order
+  ///   (p), (p,o)               -> POS order
+  ///   (o), (s,o)               -> OSP order
+  /// The star/range pushdown and the hash-join build side iterate these
+  /// spans directly instead of materializing binding rows.
+  TripleSpan Span(const TriplePattern& pattern) const;
 
   /// Collects matches into a vector (convenience over Match).
   std::vector<Triple> MatchAll(const TriplePattern& pattern) const;
@@ -100,8 +146,24 @@ class TripleStore {
   std::vector<std::pair<TermId, size_t>> GroupedCountByObject(TermId p) const;
 
   /// Statistics for `p` (zeros when the predicate is absent). Valid after
-  /// FinalizeIndex() or any read; recomputed on index rebuild.
+  /// FinalizeIndex() or any read; refreshed on every index rebuild —
+  /// incremental loads after FinalizeIndex() trigger a rebuild on the next
+  /// read, so stats (and the join orders derived from them) never serve a
+  /// stale snapshot. Large indexes absorbing a small batch refresh via
+  /// deterministic sampling (PredicateStats::exact == false) instead of
+  /// the full two-pass recompute.
   PredicateStats StatsForPredicate(TermId p) const;
+
+  /// Minimum indexed size at which a small incremental batch (< 1/8 of the
+  /// index) refreshes statistics by sampling instead of the exact two-pass
+  /// recompute. Defaults to kDefaultStatsSamplingThreshold; tests lower it
+  /// to exercise the sampled path on small stores. Call before serving
+  /// readers (same write-side discipline as Add).
+  void SetStatsSamplingThreshold(size_t min_indexed_size) {
+    stats_sampling_threshold_ = min_indexed_size;
+  }
+
+  static constexpr size_t kDefaultStatsSamplingThreshold = size_t{1} << 18;
 
   /// All distinct objects of (s=*, p, o=?) — e.g. the class list via
   /// p = rdf:type.
@@ -114,6 +176,13 @@ class TripleStore {
 
   void EnsureIndexed() const;
   void RebuildLocked() const;
+  /// Exact per-predicate statistics: two linear passes (POS + SPO).
+  void RefreshStatsExactLocked() const;
+  /// Sampled refresh for incremental batches on large indexes: per
+  /// predicate, exact triple counts from range arithmetic plus capped
+  /// boundary-jump / stride-sample estimates for the distinct counts.
+  /// Deterministic for a given store content.
+  void RefreshStatsSampledLocked() const;
   // Returns the [begin, end) range of `index` whose first `bound` key
   // components equal those of `key` under `order`.
   static std::pair<size_t, size_t> EqualRange(const std::vector<Triple>& index,
@@ -132,6 +201,8 @@ class TripleStore {
   mutable std::vector<Triple> staged_;
   mutable std::unordered_map<TermId, PredicateStats> pred_stats_;
   mutable std::atomic<bool> dirty_{false};
+  mutable std::atomic<uint64_t> generation_{0};
+  size_t stats_sampling_threshold_ = kDefaultStatsSamplingThreshold;
   mutable std::mutex index_mu_;
 };
 

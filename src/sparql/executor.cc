@@ -4,14 +4,18 @@
 #include <cctype>
 #include <cstdlib>
 #include <limits>
+#include <map>
+#include <memory>
 #include <numeric>
 #include <optional>
 #include <set>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/string_util.h"
 #include "sparql/parser.h"
+#include "sparql/planner.h"
 
 namespace hbold::sparql {
 
@@ -183,120 +187,33 @@ std::optional<bool> Ebv(const EvalValue& v) {
   return std::nullopt;
 }
 
-// ------------------------------------------------------------------ planner
-
-/// Constant slots of a pattern resolved to term ids. `missing` means some
-/// constant is absent from the dictionary, so the pattern can never match.
-struct PatternConsts {
-  TermId s = kInvalidTermId;
-  TermId p = kInvalidTermId;
-  TermId o = kInvalidTermId;
-  bool missing = false;
-};
-
-PatternConsts ResolveConsts(const TriplePatternNode& t,
-                            const rdf::Dictionary& dict) {
-  PatternConsts c;
-  if (!t.s.is_var) {
-    c.s = dict.Lookup(t.s.term);
-    if (c.s == kInvalidTermId) c.missing = true;
-  }
-  if (!t.p.is_var) {
-    c.p = dict.Lookup(t.p.term);
-    if (c.p == kInvalidTermId) c.missing = true;
-  }
-  if (!t.o.is_var) {
-    c.o = dict.Lookup(t.o.term);
-    if (c.o == kInvalidTermId) c.missing = true;
-  }
-  return c;
-}
-
-/// Estimated number of rows one evaluation of `t` produces per input row,
-/// from index range counts plus per-predicate statistics: the range count
-/// over the constant slots, narrowed by the average fan-out for every
-/// already-bound variable slot (whose concrete value is unknown at planning
-/// time).
-double EstimateCardinality(const TriplePatternNode& t, const PatternConsts& c,
-                           const std::set<std::string>& bound,
-                           const rdf::TripleStore* store) {
-  if (c.missing) return 0.0;  // cannot match — costs nothing to discover
-  rdf::TriplePattern probe;
-  probe.s = t.s.is_var ? kInvalidTermId : c.s;
-  probe.p = t.p.is_var ? kInvalidTermId : c.p;
-  probe.o = t.o.is_var ? kInvalidTermId : c.o;
-  double est = static_cast<double>(store->Count(probe));
-  if (!t.p.is_var) {
-    rdf::PredicateStats stats = store->StatsForPredicate(c.p);
-    if (t.s.is_var && bound.count(t.s.var) > 0) {
-      est /= static_cast<double>(std::max<size_t>(1, stats.distinct_subjects));
-    }
-    if (t.o.is_var && bound.count(t.o.var) > 0) {
-      est /= static_cast<double>(std::max<size_t>(1, stats.distinct_objects));
-    }
-  }
-  return est;
-}
-
-/// Join order for one BGP: connectivity first (joining through a shared
-/// variable avoids cartesian products on triangle and chain patterns), then
-/// ascending cardinality estimate, ties broken by written position. The
-/// order depends only on the pattern list — not on row values — so the
-/// aggregate-pushdown fast path calls the same function to stay accounting-
-/// identical with the materializing path.
-std::vector<size_t> PlanOrder(const std::vector<TriplePatternNode>& triples,
-                              const ExecOptions& options,
-                              const rdf::TripleStore* store) {
-  std::vector<size_t> order(triples.size());
-  std::iota(order.begin(), order.end(), 0);
-  if (!options.greedy_join_order || triples.size() < 2) return order;
-
-  std::vector<PatternConsts> consts;
-  consts.reserve(triples.size());
-  for (const auto& t : triples) consts.push_back(ResolveConsts(t, store->dict()));
-
-  std::set<std::string> bound;
-  std::vector<bool> used(triples.size(), false);
-  std::vector<size_t> out;
-  out.reserve(triples.size());
-  for (size_t step = 0; step < triples.size(); ++step) {
-    size_t best = triples.size();
-    bool best_connected = false;
-    double best_est = 0;
-    for (size_t i = 0; i < triples.size(); ++i) {
-      if (used[i]) continue;
-      const TriplePatternNode& t = triples[i];
-      bool connected = bound.empty() ||
-                       (t.s.is_var && bound.count(t.s.var) > 0) ||
-                       (t.p.is_var && bound.count(t.p.var) > 0) ||
-                       (t.o.is_var && bound.count(t.o.var) > 0);
-      double est = EstimateCardinality(t, consts[i], bound, store);
-      bool better = best == triples.size() ||
-                    (connected && !best_connected) ||
-                    (connected == best_connected && est < best_est);
-      if (better) {
-        best = i;
-        best_connected = connected;
-        best_est = est;
-      }
-    }
-    used[best] = true;
-    out.push_back(best);
-    const TriplePatternNode& t = triples[best];
-    if (t.s.is_var) bound.insert(t.s.var);
-    if (t.p.is_var) bound.insert(t.p.var);
-    if (t.o.is_var) bound.insert(t.o.var);
-  }
-  return out;
-}
-
 // ------------------------------------------------------------ slow path
+
+/// Group pattern -> its slot in a QueryPlan, in ForEachGroup order. Built
+/// once per execution so nested groups find their (possibly cached) plans.
+using GroupPlanMap =
+    std::unordered_map<const GroupGraphPattern*, const GroupPlan*>;
+
+GroupPlanMap BuildGroupPlanMap(const SelectQuery& q, const QueryPlan& plan) {
+  GroupPlanMap map;
+  size_t idx = 0;
+  ForEachGroup(q.where, [&](const GroupGraphPattern& g) {
+    if (idx < plan.groups.size()) map.emplace(&g, &plan.groups[idx]);
+    ++idx;
+  });
+  return map;
+}
 
 class GroupEvaluator {
  public:
   GroupEvaluator(const rdf::TripleStore* store, VarRegistry* vars,
-                 ExecStats* stats, const ExecOptions& options)
-      : store_(store), vars_(vars), stats_(stats), options_(options) {}
+                 ExecStats* stats, const ExecOptions& options,
+                 const GroupPlanMap* plan_map)
+      : store_(store),
+        vars_(vars),
+        stats_(stats),
+        options_(options),
+        plan_map_(plan_map) {}
 
   /// Joins `input` rows with the solutions of `group`. `row_cap` stops the
   /// BGP join loop early; the caller only passes a finite cap when no later
@@ -487,9 +404,10 @@ class GroupEvaluator {
     if (triples.empty()) return input;
     // The plan and the filters' variable sets depend only on the group, not
     // on row values — cache them so OPTIONAL groups (re-evaluated once per
-    // outer row) pay the planning probes once.
-    const GroupPlan& plan = PlanFor(group);
-    const std::vector<size_t>& order = plan.order;
+    // outer row) pay the planning probes once. Top-level plans typically
+    // arrive precomputed (and possibly plan-cache-served) via plan_map_.
+    const ExecGroupPlan& plan = PlanFor(group);
+    const std::vector<size_t>& order = plan.plan->order;
     const std::vector<std::set<std::string>>& filter_vars = plan.filter_vars;
 
     std::set<std::string> bound;  // variable names bound so far
@@ -497,7 +415,12 @@ class GroupEvaluator {
     for (size_t k = 0; k < order.size(); ++k) {
       const TriplePatternNode& pat = triples[order[k]];
       const bool last = k + 1 == order.size();
-      rows = ExtendRows(pat, std::move(rows), last ? row_cap : kNoCap);
+      const size_t cap = last ? row_cap : kNoCap;
+      if (plan.plan->ops[k] == JoinOp::kHashJoin) {
+        rows = HashExtendRows(pat, std::move(rows), cap);
+      } else {
+        rows = ExtendRows(pat, std::move(rows), cap);
+      }
       if (pat.s.is_var) bound.insert(pat.s.var);
       if (pat.p.is_var) bound.insert(pat.p.var);
       if (pat.o.is_var) bound.insert(pat.o.var);
@@ -517,24 +440,42 @@ class GroupEvaluator {
     return rows;
   }
 
-  /// Cached per-group planning artifacts (join order + filter var sets).
-  struct GroupPlan {
-    std::vector<size_t> order;
+  /// Cached per-group planning artifacts: the physical plan (shared from
+  /// plan_map_ when present, else computed and owned here) plus the filter
+  /// variable sets (always execution-local: they are variable *names*, so
+  /// a cross-query cached plan — valid for any alpha-renaming — cannot
+  /// carry them).
+  struct ExecGroupPlan {
+    const GroupPlan* plan = nullptr;
+    GroupPlan owned;
     std::vector<std::set<std::string>> filter_vars;
   };
 
-  const GroupPlan& PlanFor(const GroupGraphPattern& group) {
+  const ExecGroupPlan& PlanFor(const GroupGraphPattern& group) {
     auto it = plans_.find(&group);
     if (it != plans_.end()) return it->second;
-    GroupPlan plan;
-    plan.order = PlanOrder(group.triples, options_, store_);
+    ExecGroupPlan plan;
+    const GroupPlan* shared = nullptr;
+    if (plan_map_ != nullptr) {
+      auto pit = plan_map_->find(&group);
+      if (pit != plan_map_->end()) shared = pit->second;
+    }
+    const bool use_shared =
+        shared != nullptr && shared->order.size() == group.triples.size();
+    if (use_shared) {
+      plan.plan = shared;
+    } else {
+      plan.owned = PlanGroup(group, options_, store_);
+    }
     if (options_.filter_pushdown) {
       plan.filter_vars.resize(group.filters.size());
       for (size_t fi = 0; fi < group.filters.size(); ++fi) {
         CollectExprVarNames(*group.filters[fi], &plan.filter_vars[fi]);
       }
     }
-    return plans_.emplace(&group, std::move(plan)).first->second;
+    ExecGroupPlan& stored = plans_.emplace(&group, std::move(plan)).first->second;
+    if (!use_shared) stored.plan = &stored.owned;
+    return stored;
   }
 
   std::vector<RowIds> FilterRows(const Expr& f, std::vector<RowIds> rows) {
@@ -605,11 +546,145 @@ class GroupEvaluator {
     return out;
   }
 
+  /// Order-preserving hash join: builds a hash table over the contiguous
+  /// index slice matching the pattern's constants, grouped by the join key
+  /// (the pattern's row-bound variable slots) with each bucket sorted to
+  /// the exact iteration order the nested index-loop's Match would have
+  /// used, then probes with the input rows in order. Output rows, their
+  /// order, and the charged intermediate_bindings are therefore
+  /// bit-identical to ExtendRows — the operator choice is purely physical.
+  ///
+  /// Falls back to ExtendRows when the step is not actually hash-shaped at
+  /// runtime: repeated variables in the pattern, no bound join variable,
+  /// or rows with heterogeneous boundness (OPTIONAL/UNION residue).
+  std::vector<RowIds> HashExtendRows(const TriplePatternNode& pat,
+                                     std::vector<RowIds> rows, size_t cap) {
+    if (rows.empty()) return rows;
+    const rdf::Dictionary& dict = store_->dict();
+    const int slot_s = pat.s.is_var ? vars_->Lookup(pat.s.var) : -1;
+    const int slot_p = pat.p.is_var ? vars_->Lookup(pat.p.var) : -1;
+    const int slot_o = pat.o.is_var ? vars_->Lookup(pat.o.var) : -1;
+    if ((slot_s >= 0 && (slot_s == slot_p || slot_s == slot_o)) ||
+        (slot_p >= 0 && slot_p == slot_o)) {
+      return ExtendRows(pat, std::move(rows), cap);
+    }
+    auto bound_at = [](const RowIds& row, int slot) {
+      return slot >= 0 && row[static_cast<size_t>(slot)] != kInvalidTermId;
+    };
+    const bool key_s = bound_at(rows[0], slot_s);
+    const bool key_p = bound_at(rows[0], slot_p);
+    const bool key_o = bound_at(rows[0], slot_o);
+    if (!key_s && !key_p && !key_o) {
+      return ExtendRows(pat, std::move(rows), cap);
+    }
+    for (const RowIds& row : rows) {
+      if (bound_at(row, slot_s) != key_s || bound_at(row, slot_p) != key_p ||
+          bound_at(row, slot_o) != key_o) {
+        return ExtendRows(pat, std::move(rows), cap);
+      }
+    }
+
+    PatternConsts consts = ResolveConsts(pat, dict);
+    if (consts.missing) return {};
+
+    // The build depends only on the pattern's constants and the key-slot
+    // mask — not on row values — so it is cached per (pattern, mask) for
+    // the whole execution. OPTIONAL groups re-evaluate once per outer
+    // row; without this, every outer row would re-copy and re-sort the
+    // whole constant-matched span.
+    const int mask = (key_s ? 1 : 0) | (key_p ? 2 : 0) | (key_o ? 4 : 0);
+    auto build_key = std::make_pair(&pat, mask);
+    auto bit = hash_builds_.find(build_key);
+    if (bit == hash_builds_.end()) {
+      HashBuild fresh;
+      // Probe-side boundness (constants + key variables) decides which
+      // index the nested loop would have walked; bucket order must
+      // replicate its iteration order.
+      const bool bs = !pat.s.is_var || key_s;
+      const bool bp = !pat.p.is_var || key_p;
+      auto probe_tuple = [&](const rdf::Triple& t) {
+        if (bs) return std::tuple<TermId, TermId, TermId>(t.s, t.p, t.o);
+        if (bp) return std::tuple<TermId, TermId, TermId>(t.p, t.o, t.s);
+        return std::tuple<TermId, TermId, TermId>(t.o, t.s, t.p);
+      };
+      auto key_of = [&](const rdf::Triple& t) {
+        return std::tuple<TermId, TermId, TermId>(
+            key_s ? t.s : kInvalidTermId, key_p ? t.p : kInvalidTermId,
+            key_o ? t.o : kInvalidTermId);
+      };
+      // Build side: the contiguous slice matching the constants alone.
+      rdf::TriplePattern build_pat;
+      build_pat.s = consts.s;
+      build_pat.p = consts.p;
+      build_pat.o = consts.o;
+      rdf::TripleSpan span = store_->Span(build_pat);
+      fresh.triples.assign(span.begin(), span.end());
+      std::sort(fresh.triples.begin(), fresh.triples.end(),
+                [&](const rdf::Triple& a, const rdf::Triple& b) {
+                  auto ka = key_of(a);
+                  auto kb = key_of(b);
+                  if (ka != kb) return ka < kb;
+                  return probe_tuple(a) < probe_tuple(b);
+                });
+      fresh.buckets.reserve(fresh.triples.size());
+      size_t i = 0;
+      while (i < fresh.triples.size()) {
+        auto k = key_of(fresh.triples[i]);
+        size_t j = i + 1;
+        while (j < fresh.triples.size() && key_of(fresh.triples[j]) == k) ++j;
+        fresh.buckets.emplace(
+            std::vector<TermId>{std::get<0>(k), std::get<1>(k),
+                                std::get<2>(k)},
+            std::make_pair(i, j));
+        i = j;
+      }
+      if (stats_ != nullptr) ++stats_->hash_join_builds;
+      bit = hash_builds_.emplace(build_key, std::move(fresh)).first;
+    }
+    const std::vector<rdf::Triple>& build = bit->second.triples;
+    const auto& buckets = bit->second.buckets;
+
+    std::vector<RowIds> out;
+    std::vector<TermId> probe_key(3);
+    for (const RowIds& row : rows) {
+      if (out.size() >= cap) break;
+      probe_key[0] = key_s ? row[static_cast<size_t>(slot_s)] : kInvalidTermId;
+      probe_key[1] = key_p ? row[static_cast<size_t>(slot_p)] : kInvalidTermId;
+      probe_key[2] = key_o ? row[static_cast<size_t>(slot_o)] : kInvalidTermId;
+      auto it = buckets.find(probe_key);
+      if (it == buckets.end()) continue;
+      for (size_t b = it->second.first;
+           b < it->second.second && out.size() < cap; ++b) {
+        const rdf::Triple& t = build[b];
+        RowIds next = row;
+        if (slot_s >= 0 && !key_s) next[static_cast<size_t>(slot_s)] = t.s;
+        if (slot_p >= 0 && !key_p) next[static_cast<size_t>(slot_p)] = t.p;
+        if (slot_o >= 0 && !key_o) next[static_cast<size_t>(slot_o)] = t.o;
+        if (stats_ != nullptr) ++stats_->intermediate_bindings;
+        out.push_back(std::move(next));
+      }
+    }
+    return out;
+  }
+
+  /// One hash-join build: the constant-matched span, key-grouped and
+  /// bucket-sorted to the probe order, plus key -> [begin, end) buckets.
+  struct HashBuild {
+    std::vector<rdf::Triple> triples;
+    std::unordered_map<std::vector<TermId>, std::pair<size_t, size_t>,
+                       IdVecHash>
+        buckets;
+  };
+
   const rdf::TripleStore* store_;
   VarRegistry* vars_;
   ExecStats* stats_;
   ExecOptions options_;
-  std::unordered_map<const GroupGraphPattern*, GroupPlan> plans_;
+  const GroupPlanMap* plan_map_;
+  std::unordered_map<const GroupGraphPattern*, ExecGroupPlan> plans_;
+  /// Hash-join builds cached per (pattern, key mask) for this execution —
+  /// OPTIONAL re-evaluations (once per outer row) reuse one build.
+  std::map<std::pair<const TriplePatternNode*, int>, HashBuild> hash_builds_;
 };
 
 // ------------------------------------------------------- result modifiers
@@ -736,10 +811,9 @@ void Charge(ExecStats* stats, size_t bindings) {
 /// nullopt when the query is outside the family — the caller then runs the
 /// materializing path. Result tables and charged intermediate_bindings are
 /// bit-identical with that path by construction.
-std::optional<ResultTable> TryAggregatePushdown(const SelectQuery& q,
-                                                const rdf::TripleStore* store,
-                                                const ExecOptions& options,
-                                                ExecStats* stats) {
+std::optional<ResultTable> TryAggregatePushdown(
+    const SelectQuery& q, const rdf::TripleStore* store,
+    const std::vector<size_t>& plan_order, ExecStats* stats) {
   const GroupGraphPattern& where = q.where;
   if (q.form != QueryForm::kSelect || q.select_all) return std::nullopt;
   if (q.aggregates.empty()) return std::nullopt;
@@ -840,7 +914,7 @@ std::optional<ResultTable> TryAggregatePushdown(const SelectQuery& q,
   // range-scanned per subject, or — when the open pattern is the more
   // selective side — it drives and the anchor becomes a binary-search 0/1
   // membership probe per row.
-  std::vector<size_t> order = PlanOrder(triples, options, store);
+  const std::vector<size_t>& order = plan_order;
   const TriplePatternNode* first = &triples[order[0]];
   const TriplePatternNode* second =
       triples.size() == 2 ? &triples[order[1]] : nullptr;
@@ -1162,22 +1236,358 @@ std::optional<ResultTable> TryAggregatePushdown(const SelectQuery& q,
   return table;
 }
 
+// ---------------------------------------------- star/range pushdown
+
+/// Recognizes the 3-pattern star/range shape the extraction profiler
+/// issues — `?s <pa> <oa> . ?s ?p ?o . ?o <pc> ?rc` (the `?p ?rc`
+/// range-class query; the open pattern's predicate may also be constant)
+/// — and answers it by walking TripleStore sub-range spans: the anchor's
+/// POS range, each subject's SPO span, each object's type span. No
+/// binding rows are materialized. Charged intermediate_bindings equal the
+/// materializing path's by construction: the walk follows the shared plan
+/// order (anchor, open, chain) and bails out for any other order.
+std::optional<ResultTable> TryStarPushdown(const SelectQuery& q,
+                                           const rdf::TripleStore* store,
+                                           const std::vector<size_t>& plan_order,
+                                           ExecStats* stats) {
+  const GroupGraphPattern& where = q.where;
+  if (q.form != QueryForm::kSelect || q.select_all) return std::nullopt;
+  if (q.aggregates.empty()) return std::nullopt;
+  if (!where.filters.empty() || !where.optionals.empty() ||
+      !where.unions.empty()) {
+    return std::nullopt;
+  }
+  const std::vector<TriplePatternNode>& triples = where.triples;
+  if (triples.size() != 3) return std::nullopt;
+
+  auto is_anchor = [](const TriplePatternNode& t) {
+    return t.s.is_var && !t.p.is_var && !t.o.is_var;
+  };
+  auto is_open = [](const TriplePatternNode& t) {
+    return t.s.is_var && t.o.is_var;  // predicate var or constant
+  };
+  auto is_chain = [](const TriplePatternNode& t) {
+    return t.s.is_var && !t.p.is_var && t.o.is_var;
+  };
+  int ia = -1, ib = -1, ic = -1;
+  for (int a = 0; a < 3 && ia < 0; ++a) {
+    if (!is_anchor(triples[static_cast<size_t>(a)])) continue;
+    for (int b = 0; b < 3; ++b) {
+      if (b == a || !is_open(triples[static_cast<size_t>(b)])) continue;
+      if (triples[static_cast<size_t>(b)].s.var !=
+          triples[static_cast<size_t>(a)].s.var) {
+        continue;
+      }
+      const int c = 3 - a - b;
+      if (!is_chain(triples[static_cast<size_t>(c)])) continue;
+      if (triples[static_cast<size_t>(c)].s.var !=
+          triples[static_cast<size_t>(b)].o.var) {
+        continue;
+      }
+      ia = a;
+      ib = b;
+      ic = c;
+      break;
+    }
+  }
+  if (ia < 0) return std::nullopt;
+  const TriplePatternNode& A = triples[static_cast<size_t>(ia)];
+  const TriplePatternNode& B = triples[static_cast<size_t>(ib)];
+  const TriplePatternNode& C = triples[static_cast<size_t>(ic)];
+
+  // All variable names distinct: s, (p), o, rc. Repeats have consistency
+  // semantics this walk does not model.
+  const std::string& vs = A.s.var;
+  const std::string& vo = B.o.var;
+  const std::string& vrc = C.o.var;
+  std::set<std::string> names{vs, vo, vrc};
+  if (names.size() != 3) return std::nullopt;
+  std::string vp;
+  if (B.p.is_var) {
+    vp = B.p.var;
+    if (!names.insert(vp).second) return std::nullopt;
+  }
+
+  // The walk charges anchor -> open -> chain; any other planned order
+  // charges differently, so only this one is eligible.
+  if (plan_order.size() != 3 || plan_order[0] != static_cast<size_t>(ia) ||
+      plan_order[1] != static_cast<size_t>(ib) ||
+      plan_order[2] != static_cast<size_t>(ic)) {
+    return std::nullopt;
+  }
+
+  // Where each variable's value lives in one emitted join row.
+  enum class Src { kS, kP, kO, kRC };
+  auto src_of = [&](const std::string& name) -> std::optional<Src> {
+    if (name == vs) return Src::kS;
+    if (!vp.empty() && name == vp) return Src::kP;
+    if (name == vo) return Src::kO;
+    if (name == vrc) return Src::kRC;
+    return std::nullopt;
+  };
+
+  // Key and projection checks, as in the 2-pattern fast path.
+  for (const std::string& g : q.group_by) {
+    if (!src_of(g).has_value()) return std::nullopt;
+  }
+  for (const std::string& v : q.vars) {
+    if (std::find(q.group_by.begin(), q.group_by.end(), v) ==
+        q.group_by.end()) {
+      return std::nullopt;
+    }
+  }
+  std::set<std::string> nonkey;
+  for (const std::string& n : names) {
+    if (std::find(q.group_by.begin(), q.group_by.end(), n) ==
+        q.group_by.end()) {
+      nonkey.insert(n);
+    }
+  }
+
+  std::vector<AggMode> modes;
+  std::vector<size_t> set_index(q.aggregates.size(), 0);
+  size_t num_sets = 0;
+  for (size_t ai = 0; ai < q.aggregates.size(); ++ai) {
+    const Aggregate& a = q.aggregates[ai];
+    if (!a.var.has_value()) {
+      modes.push_back(AggMode::kCountRows);
+      continue;
+    }
+    if (!src_of(*a.var).has_value()) return std::nullopt;
+    if (!a.distinct) {
+      modes.push_back(AggMode::kCountRows);
+      continue;
+    }
+    const bool is_key = std::find(q.group_by.begin(), q.group_by.end(),
+                                  *a.var) != q.group_by.end();
+    if (is_key) {
+      modes.push_back(AggMode::kOne);
+    } else if (nonkey.size() == 1 && *nonkey.begin() == *a.var) {
+      // Join rows are distinct (s, p, o, rc) tuples, so with every other
+      // variable in the key the sole non-key var is distinct per row.
+      modes.push_back(AggMode::kCountRows);
+    } else {
+      modes.push_back(AggMode::kDistinctSet);
+      set_index[ai] = num_sets++;
+    }
+  }
+
+  const rdf::Dictionary& dict = store->dict();
+  PatternConsts ca = ResolveConsts(A, dict);
+  PatternConsts cb = ResolveConsts(B, dict);
+  PatternConsts cc = ResolveConsts(C, dict);
+
+  std::vector<std::string> columns = q.vars;
+  for (const Aggregate& a : q.aggregates) columns.push_back(a.as);
+  ResultTable table(columns);
+  if (stats != nullptr) ++stats->fast_path_hits;
+
+  std::vector<Src> key_src;
+  for (const std::string& g : q.group_by) key_src.push_back(*src_of(g));
+  std::vector<Src> set_src(num_sets, Src::kS);
+  for (size_t ai = 0; ai < q.aggregates.size(); ++ai) {
+    if (modes[ai] == AggMode::kDistinctSet) {
+      set_src[set_index[ai]] = *src_of(*q.aggregates[ai].var);
+    }
+  }
+
+  auto emit_row = [&](const std::vector<TermId>& key, const GroupAcc& acc) {
+    ResultTable::Row row;
+    for (const std::string& v : q.vars) {
+      size_t j = static_cast<size_t>(
+          std::find(q.group_by.begin(), q.group_by.end(), v) -
+          q.group_by.begin());
+      if (acc.count == 0 || key[j] == kInvalidTermId) {
+        row.push_back(std::nullopt);
+      } else {
+        row.push_back(dict.Get(key[j]));
+      }
+    }
+    for (size_t ai = 0; ai < q.aggregates.size(); ++ai) {
+      int64_t n = 0;
+      switch (modes[ai]) {
+        case AggMode::kCountRows:
+          n = static_cast<int64_t>(acc.count);
+          break;
+        case AggMode::kOne:
+          n = acc.count > 0 ? 1 : 0;
+          break;
+        case AggMode::kDistinctSet:
+          n = static_cast<int64_t>(acc.sets[set_index[ai]].size());
+          break;
+        case AggMode::kDistinctGlobal:
+          n = 0;  // unreachable: the star walk never derives this mode
+          break;
+      }
+      row.push_back(Term::IntLiteral(n));
+    }
+    table.AddRow(std::move(row));
+  };
+  auto emit_empty = [&]() {
+    if (!q.group_by.empty()) return;
+    GroupAcc acc;
+    acc.sets.resize(num_sets);
+    emit_row({}, acc);
+  };
+  auto emit_groups = [&](const GroupMap& groups) {
+    if (groups.empty()) {
+      emit_empty();
+      return;
+    }
+    std::vector<const std::pair<const std::vector<TermId>, GroupAcc>*> sorted;
+    sorted.reserve(groups.size());
+    for (const auto& entry : groups) sorted.push_back(&entry);
+    std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+      return a->first < b->first;
+    });
+    for (const auto* entry : sorted) emit_row(entry->first, entry->second);
+  };
+
+  // The walk. Charging replays the materializing path's three steps: the
+  // anchor range, then per-subject open spans, then per-row type spans —
+  // with the same early exits (a missing constant or an empty step stops
+  // the charging exactly where the join loop would have emptied out).
+  GroupMap groups;
+  if (!ca.missing) {
+    rdf::TriplePattern pa;
+    pa.p = ca.p;
+    pa.o = ca.o;
+    rdf::TripleSpan span_a = store->Span(pa);
+    Charge(stats, span_a.size);
+    if (span_a.size > 0 && !cb.missing) {
+      size_t rows_b = 0;
+      for (const rdf::Triple& ta : span_a) {
+        rdf::TriplePattern pb;
+        pb.s = ta.s;
+        pb.p = B.p.is_var ? kInvalidTermId : cb.p;
+        rdf::TripleSpan span_b = store->Span(pb);
+        rows_b += span_b.size;
+        if (cc.missing) continue;
+        for (const rdf::Triple& tb : span_b) {
+          rdf::TriplePattern pc;
+          pc.s = tb.o;
+          pc.p = cc.p;
+          rdf::TripleSpan span_c = store->Span(pc);
+          Charge(stats, span_c.size);
+          for (const rdf::Triple& tc : span_c) {
+            auto value_of = [&](Src src) {
+              switch (src) {
+                case Src::kS:
+                  return ta.s;
+                case Src::kP:
+                  return tb.p;
+                case Src::kO:
+                  return tb.o;
+                case Src::kRC:
+                  return tc.o;
+              }
+              return kInvalidTermId;
+            };
+            std::vector<TermId> key;
+            key.reserve(key_src.size());
+            for (Src ks : key_src) key.push_back(value_of(ks));
+            GroupAcc& acc = groups[std::move(key)];
+            if (acc.sets.size() != num_sets) acc.sets.resize(num_sets);
+            ++acc.count;
+            for (size_t si = 0; si < num_sets; ++si) {
+              acc.sets[si].insert(value_of(set_src[si]));
+            }
+          }
+        }
+      }
+      Charge(stats, rows_b);
+    }
+  }
+  emit_groups(groups);
+  return table;
+}
+
+/// CI sanitizer runs export HBOLD_FORCE_HASH_JOIN=1 to drive every
+/// eligible join step through the hash operator across the whole test
+/// suite — results are bit-identical by construction, so only operator
+/// lifetime/memory bugs can surface.
+bool ForceHashJoinFromEnv() {
+  static const bool forced = std::getenv("HBOLD_FORCE_HASH_JOIN") != nullptr;
+  return forced;
+}
+
 }  // namespace
+
+Executor::Executor(const rdf::TripleStore* store, ExecOptions options,
+                   PlanCache* plan_cache)
+    : store_(store), options_(options), plan_cache_(plan_cache) {
+  if (ForceHashJoinFromEnv()) options_.hash_join = HashJoinMode::kForce;
+}
 
 Result<ResultTable> Executor::Execute(std::string_view query_text,
                                       ExecStats* stats) const {
+  if (plan_cache_ != nullptr) {
+    // Prepared-statement tier: a repeated text skips parse AND planning.
+    const uint64_t generation = store_->generation();
+    std::string text(query_text);
+    std::shared_ptr<const PreparedQuery> prepared =
+        plan_cache_->LookupPrepared(text, generation);
+    if (prepared != nullptr) {
+      if (stats != nullptr) ++stats->plan_cache_hits;
+      return ExecutePlanned(prepared->query, *prepared->plan, stats);
+    }
+    HBOLD_ASSIGN_OR_RETURN(SelectQuery q, ParseQuery(query_text));
+    std::shared_ptr<const QueryPlan> plan = AcquirePlan(q, stats);
+    auto insert = std::make_shared<PreparedQuery>();
+    insert->query = std::move(q);
+    insert->plan = plan;
+    plan_cache_->InsertPrepared(text, generation, insert);
+    return ExecutePlanned(insert->query, *plan, stats);
+  }
   HBOLD_ASSIGN_OR_RETURN(SelectQuery q, ParseQuery(query_text));
   return Execute(q, stats);
 }
 
+std::shared_ptr<const QueryPlan> Executor::AcquirePlan(const SelectQuery& q,
+                                                       ExecStats* stats) const {
+  // The physical plan: served by the cross-query cache (keyed on the
+  // normalized WHERE tree + the store's rebuild generation) or computed
+  // fresh. Cached and fresh plans are identical — planning is a
+  // deterministic function of (query shape, store content) and a rebuilt
+  // store changes its generation — so caching can never change results or
+  // charged accounting, only planning work.
+  if (plan_cache_ == nullptr) {
+    return std::make_shared<QueryPlan>(PlanQuery(q, options_, store_));
+  }
+  const std::string key = NormalizeWhereKey(q);
+  const uint64_t generation = store_->generation();
+  std::shared_ptr<const QueryPlan> plan = plan_cache_->Lookup(key, generation);
+  if (plan != nullptr) {
+    if (stats != nullptr) ++stats->plan_cache_hits;
+  } else {
+    plan = std::make_shared<QueryPlan>(PlanQuery(q, options_, store_));
+    plan_cache_->Insert(key, generation, plan);
+    if (stats != nullptr) ++stats->plan_cache_misses;
+  }
+  return plan;
+}
+
 Result<ResultTable> Executor::Execute(const SelectQuery& q,
                                       ExecStats* stats) const {
-  // Count-query fast path: answered by index range arithmetic, then the
-  // ordinary solution modifiers. Falls through to the materializing path
-  // for everything outside the recognized family.
+  std::shared_ptr<const QueryPlan> plan = AcquirePlan(q, stats);
+  return ExecutePlanned(q, *plan, stats);
+}
+
+Result<ResultTable> Executor::ExecutePlanned(const SelectQuery& q,
+                                             const QueryPlan& plan,
+                                             ExecStats* stats) const {
+  const std::vector<size_t>& top_order = plan.groups.front().order;
+
+  // Pushdown fast paths: the count-query family by index range arithmetic,
+  // then the 3-pattern star/range shape by sub-range span walks; ordinary
+  // solution modifiers run on top. Falls through to the materializing path
+  // for everything outside the recognized families.
   if (options_.aggregate_pushdown) {
     std::optional<ResultTable> fast =
-        TryAggregatePushdown(q, store_, options_, stats);
+        TryAggregatePushdown(q, store_, top_order, stats);
+    if (!fast.has_value() && options_.star_pushdown) {
+      fast = TryStarPushdown(q, store_, top_order, stats);
+    }
     if (fast.has_value()) {
       if (q.distinct) ApplyTermDistinct(&*fast);
       ApplyOrderBy(q, &*fast);
@@ -1213,7 +1623,8 @@ Result<ResultTable> Executor::Execute(const SelectQuery& q,
     }
   }
 
-  GroupEvaluator evaluator(store_, &vars, stats, options_);
+  GroupPlanMap plan_map = BuildGroupPlanMap(q, plan);
+  GroupEvaluator evaluator(store_, &vars, stats, options_, &plan_map);
   std::vector<RowIds> rows = evaluator.Eval(
       q.where, {RowIds(vars.size(), kInvalidTermId)}, row_cap);
 

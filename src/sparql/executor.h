@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "rdf/graph.h"
 #include "sparql/ast.h"
+#include "sparql/planner.h"
 #include "sparql/results.h"
 
 namespace hbold::sparql {
@@ -14,63 +15,75 @@ namespace hbold::sparql {
 /// (cost proportional to scanned/produced bindings) and by the differential
 /// fast-path tests.
 ///
-/// `intermediate_bindings` is a *modeled* cost: the aggregate-pushdown fast
-/// path charges exactly the bindings the materializing path would have
-/// produced (computed by index range arithmetic), so simulated endpoint
-/// latencies and work-budget decisions are bit-identical whichever path ran.
+/// `intermediate_bindings` is a *modeled* cost: the pushdown fast paths
+/// charge exactly the bindings the materializing path would have produced
+/// (computed by index range arithmetic), and the hash join emits exactly
+/// the rows the nested index-loop would have, so simulated endpoint
+/// latencies and work-budget decisions are bit-identical whichever
+/// physical plan ran.
+///
+/// The planner counters (`plan_cache_*`, `hash_join_builds`) are
+/// deployment figures: they describe which machinery answered the query,
+/// never how much simulated work it charged, and are excluded from every
+/// canonical accounting contract.
 struct ExecStats {
   size_t intermediate_bindings = 0;  // rows produced across all BGP steps
   size_t result_rows = 0;
-  size_t fast_path_hits = 0;  // queries answered by aggregate pushdown
+  size_t fast_path_hits = 0;  // queries answered by aggregate/star pushdown
   size_t rows_avoided = 0;    // binding rows never materialized by pushdown
-};
-
-/// Execution tuning knobs (exposed for the ablation benchmarks and the
-/// differential test suite; defaults match production behaviour).
-struct ExecOptions {
-  /// Reorder triple patterns by estimated cardinality (per-predicate
-  /// statistics + index range counts) before evaluation. Off = evaluate in
-  /// the order the query wrote them.
-  bool greedy_join_order = true;
-  /// Route COUNT / COUNT(DISTINCT) / grouped-count queries to the store's
-  /// index-arithmetic primitives instead of materializing binding rows.
-  bool aggregate_pushdown = true;
-  /// Apply a FILTER as soon as every variable it mentions is bound inside
-  /// the BGP join loop, instead of only after the whole group is joined.
-  bool filter_pushdown = true;
-  /// Stop the join loop once OFFSET+LIMIT rows exist, when no later
-  /// modifier (ORDER BY / DISTINCT / aggregation) could change the slice.
-  /// ASK queries stop at the first solution under the same flag.
-  bool limit_pushdown = true;
+  size_t plan_cache_hits = 0;    // plan served from the cross-query cache
+  size_t plan_cache_misses = 0;  // plan computed (and cached) this query
+  size_t hash_join_builds = 0;   // hash tables built by join steps
 };
 
 /// Evaluates SELECT queries against a TripleStore.
 ///
-/// Evaluation strategy: a planner first tries the aggregate-pushdown fast
-/// path (single-pattern and anchor-join count-query shapes answered by
-/// index range arithmetic). Otherwise, per group pattern, triple patterns
-/// are reordered by estimated selectivity (connectivity first, then
-/// statistics-based cardinality estimates), then evaluated left-to-right by
-/// index lookups that extend a binding table; FILTERs run as soon as their
-/// variables are bound; OPTIONALs are left joins; UNION concatenates the
-/// two sides' solutions. Both paths produce bit-identical result tables and
-/// ExecStats::intermediate_bindings.
+/// Evaluation strategy: the cost-based planner (sparql/planner.h) fixes a
+/// join order and a physical operator per step; a pushdown layer first
+/// tries to answer the count-query family and the 3-pattern star/range
+/// shape with index arithmetic / sub-range span walks. Otherwise triple
+/// patterns evaluate in planned order — nested index-loops or
+/// order-preserving hash joins — extending a binding table; FILTERs run as
+/// soon as their variables are bound; OPTIONALs are left joins; UNION
+/// concatenates the two sides' solutions. All physical paths produce
+/// bit-identical result tables and ExecStats::intermediate_bindings.
+///
+/// `plan_cache`, when non-null, memoizes physical plans across queries
+/// keyed on the normalized WHERE tree and the store's rebuild generation.
+/// The cache must be dedicated to (store, options) — LocalEndpoint owns
+/// one per endpoint. Cached and freshly planned executions are
+/// bit-identical by construction (plans are deterministic functions of the
+/// store content, and a rebuilt store changes its generation).
 class Executor {
  public:
-  explicit Executor(const rdf::TripleStore* store, ExecOptions options = {})
-      : store_(store), options_(options) {}
+  explicit Executor(const rdf::TripleStore* store, ExecOptions options = {},
+                    PlanCache* plan_cache = nullptr);
 
-  /// Parses and executes `query_text`.
+  /// Parses and executes `query_text`. With a plan cache attached, a
+  /// repeated text is served from the prepared-statement tier — no parse,
+  /// no planning; a new spelling of a cached WHERE tree still shares its
+  /// plan through the normalized tier.
   Result<ResultTable> Execute(std::string_view query_text,
                               ExecStats* stats = nullptr) const;
 
-  /// Executes an already-parsed query.
+  /// Executes an already-parsed query (normalized plan-cache tier only).
   Result<ResultTable> Execute(const SelectQuery& query,
                               ExecStats* stats = nullptr) const;
 
+  const ExecOptions& options() const { return options_; }
+
  private:
+  /// Cache lookup / planning for `q`; counts hit/miss into `stats`.
+  std::shared_ptr<const QueryPlan> AcquirePlan(const SelectQuery& q,
+                                               ExecStats* stats) const;
+  /// Runs `q` under a fixed physical plan.
+  Result<ResultTable> ExecutePlanned(const SelectQuery& q,
+                                     const QueryPlan& plan,
+                                     ExecStats* stats) const;
+
   const rdf::TripleStore* store_;
   ExecOptions options_;
+  PlanCache* plan_cache_;
 };
 
 }  // namespace hbold::sparql

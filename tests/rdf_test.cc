@@ -364,5 +364,76 @@ TEST(TurtleTest, BlankNodes) {
                              Term::Blank("n2")));
 }
 
+// ----------------------------------------------- sub-range span primitive
+
+TEST(TripleStoreSpanTest, SpanMatchesMatchAllForEveryBoundCombination) {
+  TripleStore store;
+  auto iri = [](const std::string& s) { return Term::Iri("http://x/" + s); };
+  for (int i = 0; i < 60; ++i) {
+    store.Add(iri("s" + std::to_string(i % 7)), iri("p" + std::to_string(i % 3)),
+              iri("o" + std::to_string(i % 5)));
+  }
+  store.FinalizeIndex();
+  const Dictionary& dict = store.dict();
+  auto id = [&](const std::string& s) { return dict.Lookup(iri(s)); };
+
+  std::vector<TriplePattern> patterns;
+  patterns.push_back({});  // full scan
+  for (int s = -1; s < 7; ++s) {
+    for (int p = -1; p < 3; ++p) {
+      for (int o = -1; o < 5; ++o) {
+        TriplePattern pat;
+        if (s >= 0) pat.s = id("s" + std::to_string(s));
+        if (p >= 0) pat.p = id("p" + std::to_string(p));
+        if (o >= 0) pat.o = id("o" + std::to_string(o));
+        patterns.push_back(pat);
+      }
+    }
+  }
+  for (const TriplePattern& pat : patterns) {
+    std::vector<Triple> expected = store.MatchAll(pat);
+    std::sort(expected.begin(), expected.end());
+    TripleSpan span = store.Span(pat);
+    // Every span triple matches; the span is exactly the match set; and
+    // it arrives sorted in its owning index's order (so within-span
+    // sortedness by *some* key is guaranteed — verify the set here).
+    std::vector<Triple> got(span.begin(), span.end());
+    for (const Triple& t : got) EXPECT_TRUE(pat.Matches(t));
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(span.size, store.Count(pat));
+  }
+}
+
+TEST(TripleStoreSpanTest, FullyBoundSpanIsMembership) {
+  TripleStore store;
+  store.Add(Term::Iri("http://x/a"), Term::Iri("http://x/p"),
+            Term::Iri("http://x/b"));
+  store.FinalizeIndex();
+  const Dictionary& dict = store.dict();
+  TriplePattern hit{dict.Lookup(Term::Iri("http://x/a")),
+                    dict.Lookup(Term::Iri("http://x/p")),
+                    dict.Lookup(Term::Iri("http://x/b"))};
+  EXPECT_EQ(store.Span(hit).size, 1u);
+  TriplePattern miss = hit;
+  miss.s = hit.o;  // (b, p, b) absent
+  EXPECT_EQ(store.Span(miss).size, 0u);
+}
+
+TEST(TripleStoreGenerationTest, BumpsOncePerRebuild) {
+  TripleStore store;
+  store.Add(Term::Iri("http://x/a"), Term::Iri("http://x/p"),
+            Term::Iri("http://x/b"));
+  const uint64_t g1 = store.generation();  // triggers first build
+  EXPECT_EQ(store.generation(), g1);       // reads do not bump
+  store.Add(Term::Iri("http://x/a"), Term::Iri("http://x/p"),
+            Term::Iri("http://x/c"));
+  store.Add(Term::Iri("http://x/a"), Term::Iri("http://x/p"),
+            Term::Iri("http://x/d"));
+  // Both staged writes fold into ONE rebuild on the next read.
+  const uint64_t g2 = store.generation();
+  EXPECT_EQ(g2, g1 + 1);
+}
+
 }  // namespace
 }  // namespace hbold::rdf

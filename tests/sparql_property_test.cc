@@ -524,6 +524,278 @@ TEST(FastPathStatsTest, HitsAndRowsAvoidedPopulated) {
   EXPECT_EQ(r->ScalarInt("n"), static_cast<int64_t>(u.store.size()));
 }
 
+// ---------------------------------------- star/range pushdown differential
+
+/// The 3-pattern star/range family (the `?p ?rc` range-class query and
+/// variants) over the random universe's vocabulary.
+std::vector<std::string> StarCorpus(const Universe& u, Rng* rng) {
+  auto iri = [](const std::string& s) { return "<" + s + ">"; };
+  std::string p0 = iri(rng->Choice(u.predicates));
+  std::string p1 = iri(rng->Choice(u.predicates));
+  std::string p2 = iri(rng->Choice(u.predicates));
+  std::string o0 = iri(rng->Choice(u.objects));
+  return {
+      // The paper's range query verbatim shape.
+      "SELECT ?p ?rc (COUNT(?o) AS ?n) WHERE { ?s " + p0 + " " + o0 +
+          " . ?s ?p ?o . ?o " + p1 + " ?rc . } GROUP BY ?p ?rc",
+      // Constant open predicate.
+      "SELECT ?rc (COUNT(?o) AS ?n) WHERE { ?s " + p0 + " " + o0 + " . ?s " +
+          p2 + " ?o . ?o " + p1 + " ?rc . } GROUP BY ?rc",
+      // Distinct aggregates over key and non-key vars.
+      "SELECT ?rc (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s " + p0 + " " + o0 +
+          " . ?s ?p ?o . ?o " + p1 + " ?rc . } GROUP BY ?rc",
+      "SELECT ?p (COUNT(DISTINCT ?rc) AS ?n) WHERE { ?s " + p0 + " " + o0 +
+          " . ?s ?p ?o . ?o " + p1 + " ?rc . } GROUP BY ?p",
+      // Global (no GROUP BY) count over the star.
+      "SELECT (COUNT(*) AS ?n) WHERE { ?s " + p0 + " " + o0 +
+          " . ?s ?p ?o . ?o " + p1 + " ?rc . }",
+      // Modifiers on top of the pushdown table.
+      "SELECT ?p ?rc (COUNT(?o) AS ?n) WHERE { ?s " + p0 + " " + o0 +
+          " . ?s ?p ?o . ?o " + p1 + " ?rc . } GROUP BY ?p ?rc "
+          "ORDER BY DESC(?n) LIMIT 4",
+      // Absent anchor constant: empty result, zero charging.
+      "SELECT ?p ?rc (COUNT(?o) AS ?n) WHERE { ?s " + p0 +
+          " <http://nope/o> . ?s ?p ?o . ?o " + p1 +
+          " ?rc . } GROUP BY ?p ?rc",
+  };
+}
+
+TEST_P(FastPathDifferentialTest, StarFamilyBitIdenticalAndCovered) {
+  Universe u = MakeUniverse(GetParam() * 37 + 11);
+  Rng rng(GetParam() * 17 + 3);
+  Executor fast(&u.store);  // defaults: star pushdown on
+  Executor slow(&u.store, PushdownOff());
+  size_t hits = 0;
+  for (const std::string& q : StarCorpus(u, &rng)) {
+    ExecStats fs, ss;
+    auto rf = fast.Execute(q, &fs);
+    auto rs = slow.Execute(q, &ss);
+    ASSERT_TRUE(rf.ok()) << q << "\n" << rf.status();
+    ASSERT_TRUE(rs.ok()) << q << "\n" << rs.status();
+    EXPECT_TRUE(TablesIdentical(*rf, *rs)) << q;
+    EXPECT_EQ(fs.intermediate_bindings, ss.intermediate_bindings) << q;
+    EXPECT_EQ(fs.result_rows, ss.result_rows) << q;
+    hits += fs.fast_path_hits;
+  }
+  // The planner prefers anchor-first orders on this universe for at least
+  // some seeds; the family must actually be covered somewhere.
+  if (GetParam() == 0) EXPECT_GT(hits, 0u);
+}
+
+// ----------------------------- planner/cache differential harness (~2k)
+
+/// One executor configuration of the {nested-loop, hash-join, pushdown}
+/// x {plan cache on/off} differential matrix. Filter/limit pushdown stay
+/// on in every cell so charged intermediate_bindings must agree across
+/// the whole matrix, not just result tables.
+struct PlannerConfig {
+  const char* name;
+  ExecOptions options;
+  bool cache;
+};
+
+std::vector<PlannerConfig> PlannerMatrix() {
+  ExecOptions nested;
+  nested.aggregate_pushdown = false;
+  nested.star_pushdown = false;
+  nested.hash_join = HashJoinMode::kOff;
+  ExecOptions hash;
+  hash.aggregate_pushdown = false;
+  hash.star_pushdown = false;
+  hash.hash_join = HashJoinMode::kForce;
+  ExecOptions pushdown;  // defaults: aggregate + star + cost-based hash
+  return {
+      {"nested", nested, false},   {"nested+cache", nested, true},
+      {"hash", hash, false},       {"hash+cache", hash, true},
+      {"pushdown", pushdown, false}, {"pushdown+cache", pushdown, true},
+  };
+}
+
+/// Seeded random query over the universe's vocabulary: BGPs of 1-4
+/// patterns, with optional FILTER / OPTIONAL / UNION / aggregates /
+/// modifiers, plus explicit star shapes. Everything stays inside the
+/// parser's subset.
+std::string RandomQuery(const Universe& u, Rng* rng) {
+  auto iri = [](const std::string& s) { return "<" + s + ">"; };
+  auto var = [](size_t v) { return "?v" + std::to_string(v); };
+
+  // Star shape, explicitly, some of the time.
+  if (rng->Chance(0.15)) {
+    std::string anchor_p = iri(rng->Choice(u.predicates));
+    std::string anchor_o = iri(rng->Choice(u.objects));
+    std::string chain_p = iri(rng->Choice(u.predicates));
+    std::string open_p =
+        rng->Chance(0.5) ? std::string("?p") : iri(rng->Choice(u.predicates));
+    std::string group = rng->Chance(0.5) ? "?rc" : "?rc ?o";
+    std::string agg = rng->Chance(0.5) ? "COUNT(?o)" : "COUNT(DISTINCT ?s)";
+    return "SELECT " + group + " (" + agg + " AS ?n) WHERE { ?s " + anchor_p +
+           " " + anchor_o + " . ?s " + open_p + " ?o . ?o " + chain_p +
+           " ?rc . } GROUP BY " + group;
+  }
+
+  const size_t num_vars = 1 + rng->Uniform(3);
+  const size_t num_patterns = 1 + rng->Uniform(4);
+  std::set<size_t> used;
+  std::string body;
+  for (size_t i = 0; i < num_patterns; ++i) {
+    auto slot = [&](const std::vector<std::string>& pool) -> std::string {
+      if (rng->Chance(0.5)) {
+        size_t v = rng->Uniform(num_vars);
+        used.insert(v);
+        return var(v);
+      }
+      return iri(rng->Choice(pool));
+    };
+    body += "  " + slot(u.subjects) + " " + slot(u.predicates) + " " +
+            slot(u.objects) + " .\n";
+  }
+  if (used.empty()) {
+    body = "  ?v0 " + iri(rng->Choice(u.predicates)) + " ?v1 .\n" + body;
+    used.insert(0);
+    used.insert(1);
+  }
+  std::vector<size_t> used_list(used.begin(), used.end());
+
+  if (rng->Chance(0.2)) {
+    body += "  OPTIONAL { " + var(rng->Choice(used_list)) + " " +
+            iri(rng->Choice(u.predicates)) + " ?ov . }\n";
+  }
+  if (rng->Chance(0.15)) {
+    std::string v = var(rng->Choice(used_list));
+    body += "  { " + v + " " + iri(rng->Choice(u.predicates)) +
+            " ?uv . } UNION { " + v + " " + iri(rng->Choice(u.predicates)) +
+            " ?uv . }\n";
+  }
+  if (rng->Chance(0.35)) {
+    std::string v = var(rng->Choice(used_list));
+    switch (rng->Uniform(4)) {
+      case 0:
+        body += "  FILTER CONTAINS(STR(" + v + "), \"s" +
+                std::to_string(rng->Uniform(8)) + "\") .\n";
+        break;
+      case 1:
+        body += "  FILTER (" + v + " != <" + rng->Choice(u.objects) + ">) .\n";
+        break;
+      case 2:
+        body += "  FILTER (BOUND(" + v + ")) .\n";
+        break;
+      default:
+        body += "  FILTER REGEX(STR(" + v + "), \"u/s\") .\n";
+        break;
+    }
+  }
+
+  std::string query;
+  if (rng->Chance(0.3)) {
+    // Aggregate form.
+    std::string key = var(rng->Choice(used_list));
+    std::string agg;
+    switch (rng->Uniform(3)) {
+      case 0:
+        agg = "COUNT(*)";
+        break;
+      case 1:
+        agg = "COUNT(" + var(rng->Choice(used_list)) + ")";
+        break;
+      default:
+        agg = "COUNT(DISTINCT " + var(rng->Choice(used_list)) + ")";
+        break;
+    }
+    query = "SELECT " + key + " (" + agg + " AS ?n) WHERE {\n" + body +
+            "} GROUP BY " + key;
+    if (rng->Chance(0.3)) query += " ORDER BY DESC(?n)";
+  } else {
+    std::string projection;
+    for (size_t v : used_list) projection += " " + var(v);
+    query = std::string("SELECT") + (rng->Chance(0.3) ? " DISTINCT" : "") +
+            projection + " WHERE {\n" + body + "}";
+    if (rng->Chance(0.3)) query += " ORDER BY " + var(used_list[0]);
+    if (rng->Chance(0.3)) {
+      query += " LIMIT " + std::to_string(1 + rng->Uniform(6));
+      if (rng->Chance(0.5)) {
+        query += " OFFSET " + std::to_string(rng->Uniform(4));
+      }
+    }
+  }
+  return query;
+}
+
+/// ~2k randomized queries (10 seeds x 200), each executed under every
+/// cell of the planner/cache matrix and compared bit-for-bit — tables AND
+/// charged intermediate_bindings — against the nested-loop reference. The
+/// cache-on cells run the corpus twice: the second pass must be all plan
+/// cache hits and still bit-identical.
+class PlannerDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlannerDifferentialTest, MatrixBitIdentical) {
+  const uint64_t seed = GetParam();
+  Universe u = MakeUniverse(seed * 271 + 13);
+  constexpr int kQueriesPerSeed = 200;
+
+  std::vector<std::string> corpus;
+  corpus.reserve(kQueriesPerSeed);
+  {
+    Rng rng(seed * 97 + 29);
+    for (int i = 0; i < kQueriesPerSeed; ++i) {
+      corpus.push_back(RandomQuery(u, &rng));
+    }
+  }
+
+  struct Baseline {
+    ResultTable table;
+    size_t bindings = 0;
+    size_t rows = 0;
+  };
+  std::vector<Baseline> reference(corpus.size());
+
+  size_t hash_builds = 0;
+  size_t fast_hits = 0;
+  for (const PlannerConfig& config : PlannerMatrix()) {
+    PlanCache cache;
+    Executor ex(&u.store, config.options,
+                config.cache ? &cache : nullptr);
+    const int passes = config.cache ? 2 : 1;
+    for (int pass = 0; pass < passes; ++pass) {
+      for (size_t qi = 0; qi < corpus.size(); ++qi) {
+        const std::string& query = corpus[qi];
+        auto repro = [&]() {
+          return "\nrepro: PlannerDifferentialTest seed=" +
+                 std::to_string(seed) + " query_index=" + std::to_string(qi) +
+                 " config=" + config.name + " pass=" + std::to_string(pass) +
+                 "\n" + query + "\n";
+        };
+        ExecStats stats;
+        auto result = ex.Execute(query, &stats);
+        ASSERT_TRUE(result.ok()) << result.status() << repro();
+        if (config.name == std::string("nested") ) {
+          reference[qi].table = *result;
+          reference[qi].bindings = stats.intermediate_bindings;
+          reference[qi].rows = stats.result_rows;
+          continue;
+        }
+        ASSERT_TRUE(TablesIdentical(*result, reference[qi].table)) << repro();
+        ASSERT_EQ(stats.intermediate_bindings, reference[qi].bindings)
+            << repro();
+        ASSERT_EQ(stats.result_rows, reference[qi].rows) << repro();
+        hash_builds += stats.hash_join_builds;
+        fast_hits += stats.fast_path_hits;
+      }
+    }
+    if (config.cache) {
+      PlanCacheStats cs = cache.stats();
+      // Second pass re-used every plan: misses happened only on pass 0.
+      EXPECT_LE(cs.misses, corpus.size()) << config.name;
+      EXPECT_GE(cs.hits, corpus.size()) << config.name;
+    }
+  }
+  // The matrix must actually exercise the new operators somewhere.
+  EXPECT_GT(hash_builds, 0u) << "hash-join configs never built a table";
+  EXPECT_GT(fast_hits, 0u) << "pushdown configs never hit a fast path";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerDifferentialTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
 // ------------------------------------------------- ORDER BY numeric keys
 
 TEST(OrderByTest, StrtodArtifactsDoNotReorder) {

@@ -106,6 +106,16 @@ class Metric:
 
 # The gated surface: one entry per bench report wired into CI.
 GATED = {
+    "BENCH_plan_cache.json": [
+        # The bench's own >=2x bool gate is the wall-clock authority (a
+        # 7x baseline ratio measured on one machine must not become a
+        # hard gate on another); bit identity and steady-state hit
+        # behavior are the deterministic correctness gates.
+        Metric("gates.plan_cache_speedup_2x", "bool"),
+        Metric("gates.bit_identity", "bool"),
+        Metric("gates.steady_state_all_hits", "bool"),
+        Metric("steady_misses", "stable"),
+    ],
     "BENCH_query_fastpath.json": [
         # The bench's own gates are the wall-clock authority (they know
         # the machine's core count); a baseline ratio measured on one
