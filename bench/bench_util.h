@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/hash.h"
 #include "common/random.h"
 #include "endpoint/simulated_endpoint.h"
 #include "hbold/server.h"
@@ -39,6 +40,15 @@ struct FleetOptions {
   double no_aggregates_fraction = 0.10;
   double row_capped_fraction = 0.10;
   uint64_t seed = 1234;
+  /// Per-endpoint mutation model (default: static data). The per-endpoint
+  /// seed is derived from this plus the endpoint index, so the fleet's
+  /// churn history is a pure function of the options.
+  endpoint::MutationModel mutation;
+  /// Fraction of endpoints whose data never changes even when `mutation`
+  /// enables churn — real LD fleets are mostly quiet. Selection is by
+  /// stable URL hash, so it is independent of fleet size and of the rng
+  /// stream the dialect mix consumes.
+  double quiet_fraction = 0.0;
 };
 
 /// Builds `options.size` endpoints with Zipf-distributed schema sizes and a
@@ -77,9 +87,18 @@ inline std::vector<FleetMember> BuildFleet(const FleetOptions& options,
                          options.row_capped_fraction) {
       dialect = endpoint::Dialect::RowCapped(5000);
     }
+    endpoint::MutationModel mutation = options.mutation;
+    if (mutation.daily_churn_fraction > 0) {
+      mutation.seed += i * 104729;
+      if (static_cast<double>(Fnv64(member.url) % 1000) <
+          options.quiet_fraction * 1000) {
+        mutation.daily_churn_fraction = 0;
+      }
+    }
     member.endpoint = std::make_unique<endpoint::SimulatedRemoteEndpoint>(
         member.url, "LD " + std::to_string(i), member.store.get(), clock,
-        dialect);
+        dialect, endpoint::AvailabilityModel{}, endpoint::LatencyModel{},
+        mutation);
     fleet.push_back(std::move(member));
   }
   return fleet;

@@ -1,6 +1,7 @@
 #ifndef HBOLD_COMMON_STRING_UTIL_H_
 #define HBOLD_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,6 +31,16 @@ bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
 /// if present, else the last path segment. "http://x.org/onto#Person" ->
 /// "Person"; "http://x.org/Person" -> "Person".
 std::string IriLocalName(std::string_view iri);
+
+/// Fixed-width lowercase hex of a 64-bit value ("%016llx") — the JSON-safe
+/// encoding for 64-bit figures (content hashes, store generations, class
+/// fingerprints): JSON numbers are doubles and silently lose precision
+/// past 2^53.
+std::string HexU64(uint64_t v);
+
+/// Inverse of HexU64. Returns false (leaving *out untouched) unless `s` is
+/// entirely 1-16 lowercase/uppercase hex digits.
+bool ParseHexU64(std::string_view s, uint64_t* out);
 
 /// Replaces every occurrence of `from` (non-empty) with `to`.
 std::string ReplaceAll(std::string_view s, std::string_view from,

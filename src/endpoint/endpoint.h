@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "sparql/results.h"
@@ -31,12 +32,17 @@ struct QueryEngineStats {
   uint64_t plan_cache_misses = 0;
   uint64_t plan_cache_invalidations = 0;
   uint64_t hash_join_builds = 0;
+  /// Current plan-cache capacity (entries). When capacity adapts to the
+  /// endpoint's corpus size this reports the chosen value; summing across
+  /// endpoints yields the fleet's total cache budget.
+  uint64_t plan_cache_capacity = 0;
 
   QueryEngineStats& operator+=(const QueryEngineStats& o) {
     plan_cache_hits += o.plan_cache_hits;
     plan_cache_misses += o.plan_cache_misses;
     plan_cache_invalidations += o.plan_cache_invalidations;
     hash_join_builds += o.hash_join_builds;
+    plan_cache_capacity += o.plan_cache_capacity;
     return *this;
   }
   QueryEngineStats operator-(const QueryEngineStats& o) const {
@@ -46,8 +52,30 @@ struct QueryEngineStats {
     d.plan_cache_invalidations =
         plan_cache_invalidations - o.plan_cache_invalidations;
     d.hash_join_builds = hash_join_builds - o.hash_join_builds;
+    d.plan_cache_capacity = plan_cache_capacity - o.plan_cache_capacity;
     return d;
   }
+};
+
+/// One entry of a change-detection probe: a class IRI plus an opaque
+/// version counter that changes whenever any triple describing an instance
+/// of that class changed. Versions are comparable only against earlier
+/// probes of the same endpoint.
+struct ClassFingerprint {
+  std::string class_iri;
+  uint64_t version = 0;
+};
+
+/// Result of the batched change-detection probe: the endpoint's current
+/// store generation plus one fingerprint per instantiated class, in
+/// ascending IRI order. A crawler diffs this against the fingerprints it
+/// persisted last cycle to decide which classes need re-extraction — the
+/// all-quiet case costs this one probe instead of a strategy chain.
+struct ChangeProbe {
+  uint64_t store_generation = 0;
+  std::vector<ClassFingerprint> classes;
+  /// Simulated latency charged for the probe round-trip.
+  double latency_ms = 0;
 };
 
 /// A SPARQL endpoint as H-BOLD sees it: an opaque URL that answers SPARQL
@@ -77,6 +105,21 @@ class SparqlEndpoint {
   /// plan cache / local executor). Safe to call concurrently with queries;
   /// the server layer reads it between cycles for DailyReport deltas.
   virtual QueryEngineStats engine_stats() const { return {}; }
+
+  /// Advances the endpoint's *data* to `day`: endpoints with a mutation
+  /// model apply their seeded per-day churn (triples added/retracted) for
+  /// every day up to and including `day`, exactly once per day regardless
+  /// of how often this is called. Static endpoints ignore it. Write-side
+  /// call: must not overlap Query()/ProbeChanges().
+  virtual void AdvanceDataDay(int64_t day) { (void)day; }
+
+  /// Batched change-detection probe (one round-trip). Default: the
+  /// endpoint cannot answer it (crawlers fall back to full extraction).
+  /// Unavailable propagates like any query so §3.1 retry applies.
+  virtual Result<ChangeProbe> ProbeChanges() {
+    return Status::Unsupported("endpoint " + url() +
+                               " does not support change probes");
+  }
 };
 
 /// Liveness probe: runs the idiomatic `ASK { ?s ?p ?o . }`. Returns true

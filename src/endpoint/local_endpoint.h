@@ -32,6 +32,11 @@ class LocalEndpoint : public SparqlEndpoint {
   LocalEndpoint(std::string url, std::string name,
                 const rdf::TripleStore* store, bool enable_plan_cache = true)
       : url_(std::move(url)), name_(std::move(name)), store_(store),
+        // Capacity adapted to the endpoint's corpus: sized from the store
+        // at construction, growing (bounded) if the observed query corpus
+        // outruns the guess.
+        plan_cache_(sparql::PlanCache::CapacityForStoreSize(store->size()),
+                    /*adaptive=*/true),
         executor_(store, sparql::ExecOptions{},
                   enable_plan_cache ? &plan_cache_ : nullptr) {
     store_->FinalizeIndex();
@@ -63,6 +68,7 @@ class LocalEndpoint : public SparqlEndpoint {
     s.plan_cache_misses = cache.misses;
     s.plan_cache_invalidations = cache.invalidations;
     s.hash_join_builds = hash_join_builds_.load(std::memory_order_relaxed);
+    s.plan_cache_capacity = cache.capacity;
     return s;
   }
 

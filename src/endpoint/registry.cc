@@ -1,6 +1,7 @@
 #include "endpoint/registry.h"
 
 #include <mutex>
+#include <set>
 
 namespace hbold::endpoint {
 
@@ -26,6 +27,9 @@ EndpointSource SourceFromName(const std::string& name) {
 
 Json EndpointRecord::ToJson() const {
   Json j = Json::MakeObject();
+  // Unknown (newer-build) fields first; known fields overwrite on key
+  // collision so this build's view always wins for keys it owns.
+  for (const auto& [key, value] : unknown_fields) j.Set(key, value);
   j.Set("url", url);
   j.Set("name", name);
   j.Set("source", EndpointSourceName(source));
@@ -35,6 +39,19 @@ Json EndpointRecord::ToJson() const {
   j.Set("last_success_day", last_success_day);
   j.Set("last_attempt_failed", last_attempt_failed);
   j.Set("indexed", indexed);
+  // Incremental-extraction bookkeeping is emitted only once set, so
+  // registries written with incremental mode off stay byte-identical to
+  // earlier builds.
+  if (!probed_generation.empty()) {
+    j.Set("probed_generation", probed_generation);
+  }
+  if (!class_fingerprints.empty()) {
+    Json fp = Json::MakeObject();
+    for (const auto& [iri, version] : class_fingerprints) {
+      fp.Set(iri, version);
+    }
+    j.Set("class_fingerprints", std::move(fp));
+  }
   return j;
 }
 
@@ -51,6 +68,26 @@ EndpointRecord EndpointRecord::FromJson(const Json& j) {
   r.last_success_day = j.GetInt("last_success_day", -1);
   r.last_attempt_failed = j.GetBool("last_attempt_failed");
   r.indexed = j.GetBool("indexed");
+  r.probed_generation = j.GetString("probed_generation");
+  const Json* fp = j.Find("class_fingerprints");
+  if (fp != nullptr && fp->is_object()) {
+    for (const auto& [iri, version] : fp->as_object()) {
+      if (version.is_string()) r.class_fingerprints[iri] = version.as_string();
+    }
+  }
+  // Preserve keys from newer builds verbatim (forward compatibility).
+  static const std::set<std::string> kKnownKeys = {
+      "url",          "name",
+      "source",       "added_day",
+      "first_eligible_day", "last_attempt_day",
+      "last_success_day",   "last_attempt_failed",
+      "indexed",      "probed_generation",
+      "class_fingerprints"};
+  if (j.is_object()) {
+    for (const auto& [key, value] : j.as_object()) {
+      if (kKnownKeys.count(key) == 0) r.unknown_fields[key] = value;
+    }
+  }
   return r;
 }
 
@@ -84,6 +121,14 @@ const EndpointRecord* EndpointRegistry::Find(const std::string& url) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = by_url_.find(url);
   return it == by_url_.end() ? nullptr : &it->second;
+}
+
+std::optional<EndpointRecord> EndpointRegistry::GetRecord(
+    const std::string& url) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = by_url_.find(url);
+  if (it == by_url_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::vector<const EndpointRecord*> EndpointRegistry::All() const {

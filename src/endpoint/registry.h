@@ -49,6 +49,20 @@ struct EndpointRecord {
   /// exposed" in the paper's wording).
   bool indexed = false;
 
+  /// Store generation observed by the last successful change probe, as
+  /// 16-digit hex (JSON numbers are doubles; 64-bit counters do not fit).
+  /// Empty = never probed / incremental extraction disabled.
+  std::string probed_generation;
+  /// Per-class version fingerprints from the last successful extraction:
+  /// class IRI -> hex version. Diffed against the next probe to pick the
+  /// dirty classes; empty when incremental extraction is disabled.
+  std::map<std::string, std::string> class_fingerprints;
+
+  /// Forward compatibility: JSON keys this build does not know (e.g.
+  /// fields added by a newer build) survive a load/save round-trip
+  /// verbatim instead of being silently dropped.
+  std::map<std::string, hbold::Json> unknown_fields;
+
   hbold::Json ToJson() const;
   static EndpointRecord FromJson(const hbold::Json& j);
 };
@@ -82,6 +96,10 @@ class EndpointRegistry {
   size_t IndexedCount() const;
 
   const EndpointRecord* Find(const std::string& url) const;
+
+  /// Copy of the record for `url` taken under the shared lock — the safe
+  /// read form for concurrent pipelines (Find's pointer is not).
+  std::optional<EndpointRecord> GetRecord(const std::string& url) const;
 
   /// Records in insertion order.
   std::vector<const EndpointRecord*> All() const;

@@ -1,8 +1,40 @@
 #include "endpoint/simulated_endpoint.h"
 
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/hash.h"
+#include "rdf/vocab.h"
 #include "sparql/parser.h"
 
 namespace hbold::endpoint {
+
+namespace {
+
+/// splitmix64 finalizer — the same mixing the availability model uses.
+uint64_t Mix64(uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h;
+}
+
+/// Deterministic hash of (seed, day, op, salt) — the mutation model's
+/// only randomness source.
+uint64_t MutHash(uint64_t seed, int64_t day, uint64_t op, uint64_t salt) {
+  uint64_t h = seed * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(day);
+  h = Mix64(h + op * 0xD1B54A32D192ED03ULL);
+  return Mix64(h + salt * 0x8CB92BA72F3D8DD7ULL);
+}
+
+double UnitInterval(uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
 
 bool AvailabilityModel::IsUp(int64_t day) const {
   if (forced_outage_days.count(day) > 0) return false;
@@ -20,14 +52,167 @@ bool AvailabilityModel::IsUp(int64_t day) const {
 }
 
 SimulatedRemoteEndpoint::SimulatedRemoteEndpoint(
-    std::string url, std::string name, const rdf::TripleStore* store,
+    std::string url, std::string name, rdf::TripleStore* store,
     const SimClock* clock, Dialect dialect, AvailabilityModel availability,
-    LatencyModel latency)
-    : local_(std::move(url), std::move(name), store),
+    LatencyModel latency, MutationModel mutation)
+    : store_(store),
+      local_(std::move(url), std::move(name), store),
       clock_(clock),
       dialect_(dialect),
       availability_(availability),
-      latency_(latency) {}
+      latency_(latency),
+      mutation_(mutation) {}
+
+void SimulatedRemoteEndpoint::AdvanceDataDay(int64_t day) {
+  for (int64_t d = last_mutation_day_ + 1; d <= day; ++d) {
+    ApplyMutationDay(d);
+  }
+  last_mutation_day_ = std::max(last_mutation_day_, day);
+}
+
+void SimulatedRemoteEndpoint::ApplyMutationDay(int64_t day) {
+  if (mutation_.daily_churn_fraction <= 0.0 || store_ == nullptr) return;
+  rdf::TripleStore& st = *store_;
+  const size_t total = st.size();
+  const size_t budget =
+      static_cast<size_t>(static_cast<double>(total) *
+                          mutation_.daily_churn_fraction);
+  if (budget == 0) return;
+
+  const rdf::TermId type_id =
+      st.dict().Lookup(rdf::Term::Iri(rdf::vocab::kRdfType));
+  if (type_id == rdf::kInvalidTermId) return;
+  const auto classes = st.GroupedCountByObject(type_id);
+  if (classes.empty()) return;
+
+  // Hot set: a fixed, seed-determined subset of classes absorbs all churn;
+  // everything else stays quiet forever. Guaranteed non-empty (the class
+  // with the smallest hash is always hot) so enabled churn always churns.
+  std::vector<rdf::TermId> hot;
+  rdf::TermId min_hash_class = classes.front().first;
+  uint64_t min_hash = ~uint64_t{0};
+  for (const auto& [cid, count] : classes) {
+    const uint64_t h =
+        Mix64(Fnv64(st.dict().Get(cid).lexical()) ^ mutation_.seed);
+    if (h < min_hash) {
+      min_hash = h;
+      min_hash_class = cid;
+    }
+    if (UnitInterval(h) < mutation_.hot_class_fraction) hot.push_back(cid);
+  }
+  if (hot.empty()) hot.push_back(min_hash_class);
+
+  // Plan phase: every pick reads the pre-day snapshot, so the op sequence
+  // is a pure function of (seed, day, store content) — no read depends on
+  // a same-day write.
+  struct PlannedAdd {
+    std::string subject_iri;
+    std::vector<std::pair<rdf::TermId, rdf::TermId>> po;  // (p, o) pairs
+  };
+  std::vector<rdf::Triple> removes;
+  std::vector<PlannedAdd> adds;
+  std::set<rdf::TermId> dirty_classes;
+
+  auto bump_classes_of = [&](rdf::TermId subject) {
+    rdf::TriplePattern pat;
+    pat.s = subject;
+    pat.p = type_id;
+    for (const rdf::Triple& t : st.Span(pat)) dirty_classes.insert(t.o);
+  };
+
+  size_t staged = 0;
+  for (uint64_t op = 0; staged < budget && op < budget * 4; ++op) {
+    const uint64_t h = MutHash(mutation_.seed, day, op, 0);
+    const rdf::TermId cls = hot[MutHash(mutation_.seed, day, op, 1) %
+                               hot.size()];
+    rdf::TriplePattern members;
+    members.p = type_id;
+    members.o = cls;
+    const rdf::TripleSpan span = st.Span(members);
+    if (span.empty()) continue;
+    const rdf::TermId inst =
+        span.data[MutHash(mutation_.seed, day, op, 2) % span.size].s;
+    rdf::TriplePattern of_inst;
+    of_inst.s = inst;
+    const rdf::TripleSpan inst_triples = st.Span(of_inst);
+    if (inst_triples.empty()) continue;
+
+    if (UnitInterval(h) < mutation_.add_fraction) {
+      // Add: a fresh instance of the hot class, cloned from `inst` as a
+      // template (type triple plus every non-type (p, o) of the template).
+      PlannedAdd add;
+      add.subject_iri = st.dict().Get(cls).lexical() + "/churn-d" +
+                        std::to_string(day) + "-k" + std::to_string(op);
+      add.po.emplace_back(type_id, cls);
+      for (const rdf::Triple& t : inst_triples) {
+        if (t.p == type_id) continue;
+        add.po.emplace_back(t.p, t.o);
+      }
+      staged += add.po.size();
+      adds.push_back(std::move(add));
+      dirty_classes.insert(cls);
+    } else {
+      // Retract one triple of the picked instance.
+      const rdf::Triple t =
+          inst_triples.data[MutHash(mutation_.seed, day, op, 3) %
+                            inst_triples.size];
+      removes.push_back(t);
+      staged += 1;
+      bump_classes_of(t.s);
+      if (t.p == type_id) {
+        // Losing a type edge changes the class itself and the property
+        // ranges of every class whose instances point at this one.
+        dirty_classes.insert(t.o);
+        rdf::TriplePattern incoming;
+        incoming.o = t.s;
+        for (const rdf::Triple& in : st.Span(incoming)) {
+          if (in.p == type_id) continue;
+          bump_classes_of(in.s);
+        }
+      }
+    }
+  }
+
+  // Apply phase: stage all writes, then rebuild exactly once so the store
+  // generation moves by one per churning day.
+  for (const rdf::Triple& t : removes) st.RemoveIds(t.s, t.p, t.o);
+  for (const PlannedAdd& add : adds) {
+    const rdf::TermId sid = st.dict().Intern(rdf::Term::Iri(add.subject_iri));
+    for (const auto& [p, o] : add.po) st.AddIds(sid, p, o);
+  }
+  if (removes.empty() && adds.empty()) return;
+  for (const rdf::TermId cid : dirty_classes) {
+    ++class_versions_[st.dict().Get(cid).lexical()];
+  }
+  st.FinalizeIndex();
+}
+
+Result<ChangeProbe> SimulatedRemoteEndpoint::ProbeChanges() {
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  if (!availability_.IsUp(clock_->NowDay())) {
+    return Status::Unavailable("endpoint " + url() + " is down on day " +
+                               std::to_string(clock_->NowDay()));
+  }
+  ChangeProbe probe;
+  probe.store_generation = store_->generation();
+  const rdf::TermId type_id =
+      store_->dict().Lookup(rdf::Term::Iri(rdf::vocab::kRdfType));
+  if (type_id != rdf::kInvalidTermId) {
+    for (const auto& [cid, count] : store_->GroupedCountByObject(type_id)) {
+      ClassFingerprint f;
+      f.class_iri = store_->dict().Get(cid).lexical();
+      auto it = class_versions_.find(f.class_iri);
+      f.version = it == class_versions_.end() ? 0 : it->second;
+      probe.classes.push_back(std::move(f));
+    }
+    std::sort(probe.classes.begin(), probe.classes.end(),
+              [](const ClassFingerprint& a, const ClassFingerprint& b) {
+                return a.class_iri < b.class_iri;
+              });
+  }
+  probe.latency_ms = latency_.Cost(0, probe.classes.size());
+  return probe;
+}
 
 Result<QueryOutcome> SimulatedRemoteEndpoint::Query(
     const std::string& query_text) {

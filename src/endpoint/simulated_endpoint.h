@@ -2,6 +2,8 @@
 #define HBOLD_ENDPOINT_SIMULATED_ENDPOINT_H_
 
 #include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -65,6 +67,24 @@ struct AvailabilityModel {
   bool IsUp(int64_t day) const;
 };
 
+/// Seeded per-day data churn: between simulated days the endpoint's store
+/// gains and loses triples, skewed across classes so most classes stay
+/// quiet — the data-granularity counterpart of the fleet's endpoint-level
+/// churn. All picks are pure functions of (seed, day, store content), so a
+/// given (seed, day) sequence produces bit-identical stores regardless of
+/// thread count or query batching.
+struct MutationModel {
+  /// Fraction of the store's triples churned per day; 0 disables mutation.
+  double daily_churn_fraction = 0.0;
+  /// Share of churn operations that add triples (the rest retract).
+  double add_fraction = 0.5;
+  /// Fraction of classes eligible for churn ("hot"); the rest never
+  /// change, mirroring how real LD updates concentrate on a few classes.
+  /// At least one class is always hot when churn is enabled.
+  double hot_class_fraction = 0.25;
+  uint64_t seed = 0;
+};
+
 /// Latency model: constant per-query overhead plus a per-binding cost, so
 /// big scans on big datasets are slow the way remote endpoints are.
 struct LatencyModel {
@@ -92,12 +112,16 @@ struct LatencyModel {
 /// CPU work overlaps.
 class SimulatedRemoteEndpoint : public SparqlEndpoint {
  public:
-  /// `store` and `clock` must outlive the endpoint.
+  /// `store` and `clock` must outlive the endpoint. The store is mutable:
+  /// the endpoint owns its day-to-day evolution via the mutation model
+  /// (AdvanceDataDay), which is why churn now happens at data granularity
+  /// instead of endpoint granularity.
   SimulatedRemoteEndpoint(std::string url, std::string name,
-                          const rdf::TripleStore* store, const SimClock* clock,
+                          rdf::TripleStore* store, const SimClock* clock,
                           Dialect dialect = Dialect::Full(),
                           AvailabilityModel availability = {},
-                          LatencyModel latency = {});
+                          LatencyModel latency = {},
+                          MutationModel mutation = {});
 
   Result<QueryOutcome> Query(const std::string& query_text) override;
 
@@ -112,19 +136,43 @@ class SimulatedRemoteEndpoint : public SparqlEndpoint {
     return local_.engine_stats();
   }
 
+  /// Applies the seeded churn for every un-applied day up to `day`,
+  /// exactly once per day (idempotent catch-up, so endpoints that detach
+  /// and recover replay the missed days deterministically). Write-side
+  /// call — must not overlap Query()/ProbeChanges(). Rebuilds the store
+  /// index once per churning day, so `generation()` moves iff data moved.
+  void AdvanceDataDay(int64_t day) override;
+
+  /// One batched probe round-trip: current store generation plus per-class
+  /// version fingerprints (ascending IRI). Availability-gated and counted
+  /// as one served query, like any real request.
+  Result<ChangeProbe> ProbeChanges() override;
+
   const Dialect& dialect() const { return dialect_; }
   const AvailabilityModel& availability() const { return availability_; }
   const LatencyModel& latency_model() const { return latency_; }
+  const MutationModel& mutation_model() const { return mutation_; }
 
   /// True if the endpoint answers queries on `day`.
   bool IsUpOn(int64_t day) const { return availability_.IsUp(day); }
 
  private:
+  /// Plans and applies one day of churn. Reads first (all picks from the
+  /// pre-day snapshot), then stages writes, then rebuilds once.
+  void ApplyMutationDay(int64_t day);
+
+  rdf::TripleStore* store_;
   LocalEndpoint local_;
   const SimClock* clock_;
   Dialect dialect_;
   AvailabilityModel availability_;
   LatencyModel latency_;
+  MutationModel mutation_;
+  /// Per-class change counters backing ProbeChanges(): bumped for every
+  /// class whose instance data changed on a mutation day. Written only by
+  /// AdvanceDataDay (sequential phase), read concurrently by probes.
+  std::map<std::string, uint64_t> class_versions_;
+  int64_t last_mutation_day_ = 0;
   std::atomic<size_t> queries_served_{0};
 };
 

@@ -39,4 +39,28 @@ Result<IndexSummary> IndexExtractor::Extract(endpoint::SparqlEndpoint* ep,
   return last_error;
 }
 
+Result<IndexSummary> IndexExtractor::ExtractClasses(
+    endpoint::SparqlEndpoint* ep, const ExtractionContext& context,
+    const std::vector<std::string>& classes, ExtractionReport* report) const {
+  ExtractionReport local;
+  ExtractionReport* r = report != nullptr ? report : &local;
+  Status last_error = Status::Internal("no extraction strategies configured");
+  for (const auto& strategy : strategies_) {
+    Result<IndexSummary> result =
+        strategy->ExtractClasses(ep, context, classes, r);
+    if (result.ok()) return result;
+    last_error = result.status();
+    if (last_error.IsUnsupported() || last_error.IsTimeout()) {
+      HBOLD_LOG(kDebug) << "restricted strategy " << strategy->name() << " on "
+                        << ep->url() << " fell back: "
+                        << last_error.ToString();
+      r->fallbacks.push_back(strategy->name());
+      if (last_error.IsTimeout()) ++r->throttle_events;
+      continue;
+    }
+    return last_error;  // Unavailable / parse / internal: abort
+  }
+  return last_error;
+}
+
 }  // namespace hbold::extraction

@@ -40,6 +40,19 @@ class IndexExtractor {
     return Extract(ep, ExtractionContext{}, report);
   }
 
+  /// Dirty-class re-extraction through the same fallback chain: strategies
+  /// without a restricted mode (or whose restricted queries the dialect
+  /// rejects) fall through exactly like Extract. Returns the partial
+  /// summary holding only the requested classes; callers merge it with
+  /// MergeDirtyClasses. When every strategy falls through (e.g. a
+  /// no-aggregates endpoint whose only working strategy is the paginated
+  /// scan), the error is Unsupported and callers run a full Extract
+  /// instead.
+  Result<IndexSummary> ExtractClasses(endpoint::SparqlEndpoint* ep,
+                                      const ExtractionContext& context,
+                                      const std::vector<std::string>& classes,
+                                      ExtractionReport* report) const;
+
  private:
   std::vector<std::unique_ptr<ExtractionStrategy>> strategies_;
 };

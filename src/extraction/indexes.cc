@@ -1,5 +1,8 @@
 #include "extraction/indexes.h"
 
+#include <algorithm>
+#include <set>
+
 namespace hbold::extraction {
 
 size_t IndexSummary::TotalClassInstances() const {
@@ -84,6 +87,46 @@ Result<IndexSummary> IndexSummary::FromJson(const Json& j) {
     }
   }
   return s;
+}
+
+void CanonicalizeIndexSummary(IndexSummary* s) {
+  std::sort(s->classes.begin(), s->classes.end(),
+            [](const ClassInfo& a, const ClassInfo& b) {
+              if (a.instance_count != b.instance_count) {
+                return a.instance_count > b.instance_count;
+              }
+              return a.iri < b.iri;
+            });
+  for (ClassInfo& c : s->classes) {
+    std::sort(c.properties.begin(), c.properties.end(),
+              [](const PropertyInfo& a, const PropertyInfo& b) {
+                return a.iri < b.iri;
+              });
+  }
+  s->num_classes = s->classes.size();
+}
+
+IndexSummary MergeDirtyClasses(const IndexSummary& prior,
+                               const IndexSummary& partial,
+                               const std::vector<std::string>& dirty,
+                               const std::vector<std::string>& removed) {
+  std::set<std::string> drop(dirty.begin(), dirty.end());
+  drop.insert(removed.begin(), removed.end());
+
+  IndexSummary merged;
+  merged.endpoint_url = partial.endpoint_url.empty() ? prior.endpoint_url
+                                                     : partial.endpoint_url;
+  merged.num_triples = partial.num_triples;
+  merged.num_instances = partial.num_instances;
+  merged.extracted_day = partial.extracted_day;
+  for (const ClassInfo& c : prior.classes) {
+    if (drop.count(c.iri) == 0) merged.classes.push_back(c);
+  }
+  for (const ClassInfo& c : partial.classes) {
+    merged.classes.push_back(c);
+  }
+  CanonicalizeIndexSummary(&merged);
+  return merged;
 }
 
 }  // namespace hbold::extraction

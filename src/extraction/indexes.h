@@ -50,6 +50,27 @@ struct IndexSummary {
   static Result<IndexSummary> FromJson(const hbold::Json& j);
 };
 
+/// Canonical ordering every extraction path must end with: classes sorted
+/// by descending instance count then IRI, properties by IRI, num_classes
+/// synced. Two summaries describing the same endpoint content serialize
+/// identically after this regardless of which strategy (or which
+/// full/incremental path) produced them.
+void CanonicalizeIndexSummary(IndexSummary* s);
+
+/// Delta-extraction merge: `prior` (the last persisted summary) with the
+/// `dirty` classes replaced by their freshly re-extracted versions from
+/// `partial` and the `removed` classes erased. Dirty classes absent from
+/// `partial` (re-extracted to zero instances) are dropped; global counts
+/// (num_triples / num_instances) are taken from `partial`, whose globals
+/// were re-queried this cycle. The result is canonicalized, so merging a
+/// partial extraction over yesterday's summary is byte-identical to a full
+/// re-extraction — the differential contract the delta pipeline is gated
+/// on.
+IndexSummary MergeDirtyClasses(const IndexSummary& prior,
+                               const IndexSummary& partial,
+                               const std::vector<std::string>& dirty,
+                               const std::vector<std::string>& removed);
+
 }  // namespace hbold::extraction
 
 #endif  // HBOLD_EXTRACTION_INDEXES_H_

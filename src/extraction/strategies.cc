@@ -106,23 +106,77 @@ std::vector<Result<QueryOutcome>> RunBatch(SparqlEndpoint* ep,
 
 std::string IriRef(const std::string& iri) { return "<" + iri + ">"; }
 
-/// Sorts classes by descending instance count, then IRI, so every strategy
-/// produces the summary in the same canonical order.
-void Canonicalize(IndexSummary* s) {
-  std::sort(s->classes.begin(), s->classes.end(),
-            [](const ClassInfo& a, const ClassInfo& b) {
-              if (a.instance_count != b.instance_count) {
-                return a.instance_count > b.instance_count;
-              }
-              return a.iri < b.iri;
-            });
-  for (ClassInfo& c : s->classes) {
-    std::sort(c.properties.begin(), c.properties.end(),
-              [](const PropertyInfo& a, const PropertyInfo& b) {
-                return a.iri < b.iri;
-              });
+/// Canonical ordering shared by every strategy and the delta merge.
+void Canonicalize(IndexSummary* s) { CanonicalizeIndexSummary(s); }
+
+/// Parses one class's (props, ranges) outcome pair from the direct-
+/// aggregation per-class batch into `cls` — shared by the full and the
+/// dirty-class-restricted paths so their per-class figures cannot drift.
+Status ParseClassPropsRanges(ClassInfo* cls,
+                             Result<QueryOutcome>& props_result,
+                             Result<QueryOutcome>& ranges_result) {
+  if (!props_result.ok()) return props_result.status();
+  QueryOutcome& props = *props_result;
+  if (props.truncated) {
+    return Status::Unsupported("property list truncated");
   }
-  s->num_classes = s->classes.size();
+  for (size_t i = 0; i < props.table.num_rows(); ++i) {
+    auto p = props.table.Cell(i, "p");
+    auto n = props.table.Cell(i, "n");
+    if (!p.has_value() || !n.has_value()) continue;
+    if (p->lexical() == rdf::vocab::kRdfType) continue;
+    PropertyInfo info;
+    info.iri = p->lexical();
+    info.count =
+        static_cast<size_t>(std::strtoll(n->lexical().c_str(), nullptr, 10));
+    cls->properties.push_back(std::move(info));
+  }
+  if (!ranges_result.ok()) return ranges_result.status();
+  QueryOutcome& ranges = *ranges_result;
+  if (ranges.truncated) {
+    return Status::Unsupported("range list truncated");
+  }
+  for (size_t i = 0; i < ranges.table.num_rows(); ++i) {
+    auto p = ranges.table.Cell(i, "p");
+    auto rc = ranges.table.Cell(i, "rc");
+    auto n = ranges.table.Cell(i, "n");
+    if (!p.has_value() || !rc.has_value() || !n.has_value()) continue;
+    if (p->lexical() == rdf::vocab::kRdfType) continue;
+    for (PropertyInfo& info : cls->properties) {
+      if (info.iri == p->lexical()) {
+        info.is_object_property = true;
+        info.range_classes[rc->lexical()] = static_cast<size_t>(
+            std::strtoll(n->lexical().c_str(), nullptr, 10));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// The two direct-aggregation per-class query texts (props, ranges).
+std::string DirectPropsQuery(const std::string& cls_iri) {
+  return "SELECT ?p (COUNT(?o) AS ?n) WHERE { ?s a " + IriRef(cls_iri) +
+         " . ?s ?p ?o . } GROUP BY ?p";
+}
+std::string DirectRangesQuery(const std::string& cls_iri) {
+  return "SELECT ?p ?rc (COUNT(?o) AS ?n) WHERE { ?s a " + IriRef(cls_iri) +
+         " . ?s ?p ?o . ?o a ?rc . } GROUP BY ?p ?rc";
+}
+
+/// The global counts every strategy (full or restricted) re-queries.
+Status RunGlobalCounts(SparqlEndpoint* ep, ExtractionReport* report,
+                       IndexSummary* s) {
+  HBOLD_ASSIGN_OR_RETURN(
+      int64_t triples,
+      RunCount(ep, "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }", report));
+  s->num_triples = static_cast<size_t>(triples);
+  HBOLD_ASSIGN_OR_RETURN(
+      int64_t instances,
+      RunCount(ep, "SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s a ?c . }",
+               report));
+  s->num_instances = static_cast<size_t>(instances);
+  return Status::OK();
 }
 
 }  // namespace
@@ -136,17 +190,7 @@ Result<IndexSummary> DirectAggregationStrategy::Extract(
     ExtractionReport* report) const {
   IndexSummary s;
   s.endpoint_url = ep->url();
-
-  HBOLD_ASSIGN_OR_RETURN(
-      int64_t triples,
-      RunCount(ep, "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }", report));
-  s.num_triples = static_cast<size_t>(triples);
-
-  HBOLD_ASSIGN_OR_RETURN(
-      int64_t instances,
-      RunCount(ep, "SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s a ?c . }",
-               report));
-  s.num_instances = static_cast<size_t>(instances);
+  HBOLD_RETURN_NOT_OK(RunGlobalCounts(ep, report, &s));
 
   // Class list with per-class instance counts in one grouped query.
   HBOLD_ASSIGN_OR_RETURN(
@@ -176,57 +220,56 @@ Result<IndexSummary> DirectAggregationStrategy::Extract(
   std::vector<std::string> class_queries;
   class_queries.reserve(s.classes.size() * 2);
   for (const ClassInfo& cls : s.classes) {
-    class_queries.push_back(
-        "SELECT ?p (COUNT(?o) AS ?n) WHERE { ?s a " + IriRef(cls.iri) +
-        " . ?s ?p ?o . } GROUP BY ?p");
-    class_queries.push_back(
-        "SELECT ?p ?rc (COUNT(?o) AS ?n) WHERE { ?s a " + IriRef(cls.iri) +
-        " . ?s ?p ?o . ?o a ?rc . } GROUP BY ?p ?rc");
+    class_queries.push_back(DirectPropsQuery(cls.iri));
+    class_queries.push_back(DirectRangesQuery(cls.iri));
   }
   std::vector<Result<QueryOutcome>> outcomes =
       RunBatch(ep, class_queries, context, report);
 
   for (size_t ci = 0; ci < s.classes.size(); ++ci) {
-    ClassInfo& cls = s.classes[ci];
-    Result<QueryOutcome>& props_result = outcomes[ci * 2];
-    if (!props_result.ok()) return props_result.status();
-    QueryOutcome& props = *props_result;
-    if (props.truncated) {
-      return Status::Unsupported("property list truncated");
-    }
-    for (size_t i = 0; i < props.table.num_rows(); ++i) {
-      auto p = props.table.Cell(i, "p");
-      auto n = props.table.Cell(i, "n");
-      if (!p.has_value() || !n.has_value()) continue;
-      if (p->lexical() == rdf::vocab::kRdfType) continue;
-      PropertyInfo info;
-      info.iri = p->lexical();
-      info.count =
-          static_cast<size_t>(std::strtoll(n->lexical().c_str(), nullptr, 10));
-      cls.properties.push_back(std::move(info));
-    }
-    // Range histogram for properties whose objects are typed resources.
-    Result<QueryOutcome>& ranges_result = outcomes[ci * 2 + 1];
-    if (!ranges_result.ok()) return ranges_result.status();
-    QueryOutcome& ranges = *ranges_result;
-    if (ranges.truncated) {
-      return Status::Unsupported("range list truncated");
-    }
-    for (size_t i = 0; i < ranges.table.num_rows(); ++i) {
-      auto p = ranges.table.Cell(i, "p");
-      auto rc = ranges.table.Cell(i, "rc");
-      auto n = ranges.table.Cell(i, "n");
-      if (!p.has_value() || !rc.has_value() || !n.has_value()) continue;
-      if (p->lexical() == rdf::vocab::kRdfType) continue;
-      for (PropertyInfo& info : cls.properties) {
-        if (info.iri == p->lexical()) {
-          info.is_object_property = true;
-          info.range_classes[rc->lexical()] = static_cast<size_t>(
-              std::strtoll(n->lexical().c_str(), nullptr, 10));
-          break;
-        }
-      }
-    }
+    HBOLD_RETURN_NOT_OK(ParseClassPropsRanges(
+        &s.classes[ci], outcomes[ci * 2], outcomes[ci * 2 + 1]));
+  }
+
+  Canonicalize(&s);
+  if (report != nullptr) report->strategy_used = name();
+  return s;
+}
+
+Result<IndexSummary> DirectAggregationStrategy::ExtractClasses(
+    SparqlEndpoint* ep, const ExtractionContext& context,
+    const std::vector<std::string>& class_iris,
+    ExtractionReport* report) const {
+  IndexSummary s;
+  s.endpoint_url = ep->url();
+  HBOLD_RETURN_NOT_OK(RunGlobalCounts(ep, report, &s));
+
+  // 3 queries per dirty class — fresh instance count (the grouped class
+  // enumeration the full path pays for is exactly what this mode skips),
+  // then the same props/ranges shapes as the full path.
+  std::vector<std::string> queries;
+  queries.reserve(class_iris.size() * 3);
+  for (const std::string& iri : class_iris) {
+    queries.push_back("SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s a " +
+                      IriRef(iri) + " . }");
+    queries.push_back(DirectPropsQuery(iri));
+    queries.push_back(DirectRangesQuery(iri));
+  }
+  std::vector<Result<QueryOutcome>> outcomes =
+      RunBatch(ep, queries, context, report);
+
+  for (size_t ci = 0; ci < class_iris.size(); ++ci) {
+    Result<QueryOutcome>& count_result = outcomes[ci * 3];
+    if (!count_result.ok()) return count_result.status();
+    HBOLD_ASSIGN_OR_RETURN(int64_t count, ScalarOf(*count_result));
+    ClassInfo cls;
+    cls.iri = class_iris[ci];
+    cls.instance_count = static_cast<size_t>(count);
+    HBOLD_RETURN_NOT_OK(ParseClassPropsRanges(&cls, outcomes[ci * 3 + 1],
+                                              outcomes[ci * 3 + 2]));
+    // A dirty class re-extracted to zero instances no longer exists on the
+    // endpoint; the merge drops it from the prior summary.
+    if (cls.instance_count > 0) s.classes.push_back(std::move(cls));
   }
 
   Canonicalize(&s);
@@ -238,37 +281,15 @@ Result<IndexSummary> DirectAggregationStrategy::Extract(
 // Strategy 2: per-class COUNT, no GROUP BY.
 // ------------------------------------------------------------------------
 
-Result<IndexSummary> PerClassCountStrategy::Extract(
-    SparqlEndpoint* ep, const ExtractionContext& context,
-    ExtractionReport* report) const {
-  IndexSummary s;
-  s.endpoint_url = ep->url();
+namespace {
 
-  HBOLD_ASSIGN_OR_RETURN(
-      int64_t triples,
-      RunCount(ep, "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }", report));
-  s.num_triples = static_cast<size_t>(triples);
-
-  HBOLD_ASSIGN_OR_RETURN(
-      int64_t instances,
-      RunCount(ep, "SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s a ?c . }",
-               report));
-  s.num_instances = static_cast<size_t>(instances);
-
-  HBOLD_ASSIGN_OR_RETURN(
-      QueryOutcome classes,
-      Run(ep, "SELECT DISTINCT ?c WHERE { ?s a ?c . }", report));
-  if (classes.truncated) {
-    return Status::Unsupported("class enumeration truncated");
-  }
-  for (size_t i = 0; i < classes.table.num_rows(); ++i) {
-    auto c = classes.table.Cell(i, "c");
-    if (!c.has_value()) continue;
-    ClassInfo cls;
-    cls.iri = c->lexical();
-    s.classes.push_back(std::move(cls));
-  }
-
+/// The three per-class query waves of the per-class-count strategy, run
+/// over whatever class list `s` already holds (the full path enumerates
+/// all classes first; the dirty-class path seeds only the dirty ones).
+/// Fills instance counts, property lists, usage counts, and ranges.
+Status RunPerClassWaves(SparqlEndpoint* ep, const ExtractionContext& context,
+                        IndexSummary* sp, ExtractionReport* report) {
+  IndexSummary& s = *sp;
   // Wave 1 — per class: instance count + property enumeration. Both
   // depend only on the class list, so the 2C queries are one batch.
   std::vector<std::string> wave1;
@@ -358,6 +379,63 @@ Result<IndexSummary> PerClassCountStrategy::Extract(
     info.is_object_property = true;
     info.range_classes[range_class] = static_cast<size_t>(rn);
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<IndexSummary> PerClassCountStrategy::Extract(
+    SparqlEndpoint* ep, const ExtractionContext& context,
+    ExtractionReport* report) const {
+  IndexSummary s;
+  s.endpoint_url = ep->url();
+  HBOLD_RETURN_NOT_OK(RunGlobalCounts(ep, report, &s));
+
+  HBOLD_ASSIGN_OR_RETURN(
+      QueryOutcome classes,
+      Run(ep, "SELECT DISTINCT ?c WHERE { ?s a ?c . }", report));
+  if (classes.truncated) {
+    return Status::Unsupported("class enumeration truncated");
+  }
+  for (size_t i = 0; i < classes.table.num_rows(); ++i) {
+    auto c = classes.table.Cell(i, "c");
+    if (!c.has_value()) continue;
+    ClassInfo cls;
+    cls.iri = c->lexical();
+    s.classes.push_back(std::move(cls));
+  }
+
+  HBOLD_RETURN_NOT_OK(RunPerClassWaves(ep, context, &s, report));
+
+  Canonicalize(&s);
+  if (report != nullptr) report->strategy_used = name();
+  return s;
+}
+
+Result<IndexSummary> PerClassCountStrategy::ExtractClasses(
+    SparqlEndpoint* ep, const ExtractionContext& context,
+    const std::vector<std::string>& class_iris,
+    ExtractionReport* report) const {
+  IndexSummary s;
+  s.endpoint_url = ep->url();
+  HBOLD_RETURN_NOT_OK(RunGlobalCounts(ep, report, &s));
+
+  // Seed the class list with the dirty classes (skipping the class
+  // enumeration query) and run the same three waves the full path runs.
+  for (const std::string& iri : class_iris) {
+    ClassInfo cls;
+    cls.iri = iri;
+    s.classes.push_back(std::move(cls));
+  }
+  HBOLD_RETURN_NOT_OK(RunPerClassWaves(ep, context, &s, report));
+
+  // Dirty classes re-extracted to zero instances no longer exist; the
+  // merge drops them from the prior summary.
+  s.classes.erase(std::remove_if(s.classes.begin(), s.classes.end(),
+                                 [](const ClassInfo& c) {
+                                   return c.instance_count == 0;
+                                 }),
+                  s.classes.end());
 
   Canonicalize(&s);
   if (report != nullptr) report->strategy_used = name();

@@ -90,6 +90,27 @@ class ExtractionStrategy {
                                ExtractionReport* report) const {
     return Extract(ep, ExtractionContext{}, report);
   }
+
+  /// Dirty-class re-extraction mode: re-runs this strategy's query shapes
+  /// restricted to `class_iris` (skipping the class-enumeration step
+  /// entirely), plus the cheap global counts. The returned summary holds
+  /// ONLY the requested classes (those re-extracted to zero instances are
+  /// dropped) with fresh num_triples/num_instances; callers merge it into
+  /// the prior full summary via MergeDirtyClasses. Per-class figures are
+  /// value-identical to what a full Extract would produce, so merge ==
+  /// full re-extraction. Default: Unsupported (strategies without a cheap
+  /// restricted form fall back to the full chain).
+  virtual Result<IndexSummary> ExtractClasses(
+      endpoint::SparqlEndpoint* ep, const ExtractionContext& context,
+      const std::vector<std::string>& class_iris,
+      ExtractionReport* report) const {
+    (void)context;
+    (void)class_iris;
+    (void)report;
+    return Status::Unsupported(std::string(name()) +
+                               " has no dirty-class re-extraction mode for " +
+                               ep->url());
+  }
 };
 
 /// Strategy 1 — aggregation pushed to the endpoint: COUNT + GROUP BY do the
@@ -102,6 +123,10 @@ class DirectAggregationStrategy : public ExtractionStrategy {
   Result<IndexSummary> Extract(endpoint::SparqlEndpoint* ep,
                                const ExtractionContext& context,
                                ExtractionReport* report) const override;
+  Result<IndexSummary> ExtractClasses(
+      endpoint::SparqlEndpoint* ep, const ExtractionContext& context,
+      const std::vector<std::string>& class_iris,
+      ExtractionReport* report) const override;
 };
 
 /// Strategy 2 — plain COUNT without GROUP BY: enumerate classes with
@@ -114,6 +139,10 @@ class PerClassCountStrategy : public ExtractionStrategy {
   Result<IndexSummary> Extract(endpoint::SparqlEndpoint* ep,
                                const ExtractionContext& context,
                                ExtractionReport* report) const override;
+  Result<IndexSummary> ExtractClasses(
+      endpoint::SparqlEndpoint* ep, const ExtractionContext& context,
+      const std::vector<std::string>& class_iris,
+      ExtractionReport* report) const override;
 };
 
 /// Strategy 3 — no aggregates at all: page through raw triples with

@@ -257,6 +257,9 @@ void Fleet::MergeShardReports(std::vector<DailyReport> shard_reports,
     if (rit != report_idx[s].end()) {
       PipelineReport& report = shard_reports[s].reports[rit->second];
       if (report.reused_cluster_schema) ++day_report->reused;
+      if (report.probed) ++day_report->probes;
+      if (report.probe_skipped) ++day_report->probe_skips;
+      if (report.delta_extracted) ++day_report->delta_extractions;
       day_report->reports.push_back(std::move(report));
     }
   }
@@ -338,7 +341,10 @@ FleetReport Fleet::RunSimulation(int64_t days) {
 
 namespace {
 
-/// The deployment-invariant slice of one pipeline report.
+/// The deployment-invariant slice of one pipeline report. Incremental
+/// markers are emitted only when a probe actually ran, so kOff dumps stay
+/// byte-identical to pre-incremental builds (the committed baseline gates
+/// on the exact fingerprint).
 Json CanonicalPipelineJson(const PipelineReport& r) {
   Json j = Json::MakeObject();
   j.Set("url", r.url);
@@ -355,6 +361,24 @@ Json CanonicalPipelineJson(const PipelineReport& r) {
   Json fallbacks = Json::MakeArray();
   for (const std::string& f : r.extraction.fallbacks) fallbacks.Append(f);
   j.Set("fallbacks", std::move(fallbacks));
+  if (r.probed) {
+    j.Set("probed", true);
+    j.Set("probe_skipped", r.probe_skipped);
+    j.Set("delta", r.delta_extracted);
+    j.Set("dirty", static_cast<int64_t>(r.dirty_classes));
+    j.Set("removed", static_cast<int64_t>(r.removed_classes));
+  }
+  return j;
+}
+
+/// The content slice of one pipeline report: what was learned, not how.
+Json ContentPipelineJson(const PipelineReport& r) {
+  Json j = Json::MakeObject();
+  j.Set("url", r.url);
+  j.Set("classes", static_cast<int64_t>(r.classes));
+  j.Set("arcs", static_cast<int64_t>(r.arcs));
+  j.Set("clusters", static_cast<int64_t>(r.clusters));
+  j.Set("reused", r.reused_cluster_schema);
   return j;
 }
 
@@ -370,6 +394,14 @@ std::string FleetReport::CanonicalDump() const {
     d.Set("succeeded", static_cast<int64_t>(day.succeeded));
     d.Set("failed", static_cast<int64_t>(day.failed));
     d.Set("reused", static_cast<int64_t>(day.reused));
+    // Conditional like the per-report markers: absent under kOff so the
+    // committed pre-incremental fingerprints still match.
+    if (day.probes > 0) {
+      d.Set("probes", static_cast<int64_t>(day.probes));
+      d.Set("probe_skips", static_cast<int64_t>(day.probe_skips));
+      d.Set("delta_extractions",
+            static_cast<int64_t>(day.delta_extractions));
+    }
     d.Set("arrivals", static_cast<int64_t>(day.arrivals));
     d.Set("deaths", static_cast<int64_t>(day.deaths));
     d.Set("sum_latency_ms", day.sum_latency_ms);
@@ -399,6 +431,41 @@ std::string FleetReport::Fingerprint() const {
   return HexFingerprint(Fnv64(CanonicalDump()));
 }
 
+std::string FleetReport::ContentDump() const {
+  Json root = Json::MakeObject();
+  Json day_array = Json::MakeArray();
+  for (const FleetDayReport& day : days) {
+    Json d = Json::MakeObject();
+    d.Set("day", day.day);
+    d.Set("due", static_cast<int64_t>(day.due));
+    d.Set("succeeded", static_cast<int64_t>(day.succeeded));
+    d.Set("failed", static_cast<int64_t>(day.failed));
+    d.Set("reused", static_cast<int64_t>(day.reused));
+    d.Set("arrivals", static_cast<int64_t>(day.arrivals));
+    d.Set("deaths", static_cast<int64_t>(day.deaths));
+    Json outcomes = Json::MakeArray();
+    for (const DueOutcome& o : day.outcomes) {
+      Json oj = Json::MakeObject();
+      oj.Set("url", o.url);
+      oj.Set("ok", o.succeeded);
+      outcomes.Append(std::move(oj));
+    }
+    d.Set("outcomes", std::move(outcomes));
+    Json reports = Json::MakeArray();
+    for (const PipelineReport& r : day.reports) {
+      reports.Append(ContentPipelineJson(r));
+    }
+    d.Set("reports", std::move(reports));
+    day_array.Append(std::move(d));
+  }
+  root.Set("days", std::move(day_array));
+  return root.Dump();
+}
+
+std::string FleetReport::ContentFingerprint() const {
+  return HexFingerprint(Fnv64(ContentDump()));
+}
+
 Json FleetReport::ToJson() const {
   Json root = Json::MakeObject();
   root.Set("num_shards", static_cast<int64_t>(num_shards));
@@ -414,6 +481,9 @@ Json FleetReport::ToJson() const {
     d.Set("succeeded", static_cast<int64_t>(day.succeeded));
     d.Set("failed", static_cast<int64_t>(day.failed));
     d.Set("reused", static_cast<int64_t>(day.reused));
+    d.Set("probes", static_cast<int64_t>(day.probes));
+    d.Set("probe_skips", static_cast<int64_t>(day.probe_skips));
+    d.Set("delta_extractions", static_cast<int64_t>(day.delta_extractions));
     d.Set("arrivals", static_cast<int64_t>(day.arrivals));
     d.Set("deaths", static_cast<int64_t>(day.deaths));
     d.Set("sum_latency_ms", day.sum_latency_ms);

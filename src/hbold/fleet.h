@@ -146,6 +146,11 @@ struct FleetDayReport {
   size_t succeeded = 0;
   size_t failed = 0;
   size_t reused = 0;
+  /// Incremental-extraction counters folded in global registration order
+  /// (zero under IncrementalMode::kOff).
+  size_t probes = 0;
+  size_t probe_skips = 0;
+  size_t delta_extractions = 0;
   /// Endpoints churned in / gone dark at the start of this day.
   size_t arrivals = 0;
   size_t deaths = 0;
@@ -203,6 +208,19 @@ struct FleetReport {
 
   /// FNV-1a fingerprint of CanonicalDump(), as 16 hex chars.
   std::string Fingerprint() const;
+
+  /// Serialization of the *content* figures only: what the simulation
+  /// computed (class/arc/cluster counts, success/reuse history), with
+  /// every access figure (strategy, query counts, latencies, probe and
+  /// delta markers) stripped. This is the cross-MODE comparator: a kDelta
+  /// run and a kTrack/full run of the same world legitimately differ in
+  /// how they talked to the endpoints, but must agree byte-for-byte on
+  /// what they learned. CanonicalDump()/Fingerprint() stay the
+  /// within-mode deployment-invariance anchor.
+  std::string ContentDump() const;
+
+  /// FNV-1a fingerprint of ContentDump(), as 16 hex chars.
+  std::string ContentFingerprint() const;
 };
 
 /// The multi-server layer: shards the endpoint registry across N Server

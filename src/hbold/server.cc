@@ -1,13 +1,15 @@
 #include "hbold/server.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <optional>
+#include <set>
+#include <vector>
 
 #include "cluster/cluster_schema.h"
 #include "cluster/louvain.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "schema/schema_summary.h"
 
@@ -93,62 +95,257 @@ Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
     return fail(Status::Unavailable("no route to endpoint " + url));
   }
 
+  const IncrementalOptions& inc = options_.incremental;
+  Json url_filter = Json::MakeObject();
+  url_filter.Set("endpoint_url", url);
+
+  // Incremental prelude: one batched change probe, diffed against the
+  // fingerprints the registry kept from the last successful run. The
+  // probe is charged like any other query, so the accounting ledgers see
+  // its cost.
+  endpoint::ChangeProbe probe;
+  bool have_probe = false;
+  bool generation_match = false;
+  std::vector<std::string> dirty;
+  std::vector<std::string> removed;
+  if (inc.mode != IncrementalMode::kOff) {
+    auto probed = net->second->ProbeChanges();
+    if (!probed.ok()) {
+      // Endpoints without probe support just take the full pipeline; a
+      // dark endpoint aborts the attempt like any other query would.
+      if (!probed.status().IsUnsupported()) return fail(probed.status());
+    } else {
+      probe = std::move(*probed);
+      have_probe = true;
+      report.probed = true;
+      report.extraction.queries_issued += 1;
+      report.extraction.rows_transferred += probe.classes.size();
+      report.extraction.total_latency_ms += probe.latency_ms;
+      report.extraction.intra_makespan_ms += probe.latency_ms;
+      std::optional<endpoint::EndpointRecord> rec = registry_.GetRecord(url);
+      std::set<std::string> current;
+      for (const endpoint::ClassFingerprint& cf : probe.classes) {
+        current.insert(cf.class_iri);
+        uint64_t prev = 0;
+        bool known = false;
+        if (rec.has_value()) {
+          auto it = rec->class_fingerprints.find(cf.class_iri);
+          known = it != rec->class_fingerprints.end() &&
+                  ParseHexU64(it->second, &prev);
+        }
+        // Classes the fingerprints have never seen are dirty defensively.
+        if (!known || prev != cf.version) dirty.push_back(cf.class_iri);
+      }
+      if (rec.has_value()) {
+        uint64_t prev_gen = 0;
+        generation_match = !rec->probed_generation.empty() &&
+                           ParseHexU64(rec->probed_generation, &prev_gen) &&
+                           prev_gen == probe.store_generation;
+        for (const auto& [iri, version] : rec->class_fingerprints) {
+          if (current.count(iri) == 0) removed.push_back(iri);
+        }
+      }
+      report.dirty_classes = dirty.size();
+      report.removed_classes = removed.size();
+    }
+  }
+
+  // Fingerprints advance only on success, so a failed attempt leaves its
+  // classes dirty for tomorrow's probe.
+  auto store_fingerprints = [&] {
+    if (!have_probe) return;
+    registry_.UpdateRecord(url, [&](endpoint::EndpointRecord& r) {
+      r.probed_generation = HexU64(probe.store_generation);
+      r.class_fingerprints.clear();
+      for (const endpoint::ClassFingerprint& cf : probe.classes) {
+        r.class_fingerprints[cf.class_iri] = HexU64(cf.version);
+      }
+    });
+  };
+
+  const store::Collection* summaries_ro =
+      db_->FindCollection(kSummariesCollection);
+  std::optional<Json> stored_summary_doc;
+  if (summaries_ro != nullptr) {
+    stored_summary_doc = summaries_ro->FindOne(url_filter);
+  }
+
+  // Probe-skip: the digest is quiet AND the store generation has not
+  // moved since the last probe — nothing downstream can have changed, so
+  // the whole pipeline collapses to the one probe query. A moved
+  // generation with a quiet digest means something wrote to the store
+  // outside the fingerprinted model (the external-writes safety valve):
+  // fall through to a full re-extraction instead of trusting the digest.
+  if (inc.mode == IncrementalMode::kDelta && have_probe && generation_match &&
+      dirty.empty() && removed.empty() && stored_summary_doc.has_value()) {
+    const Json* nodes = stored_summary_doc->Find("nodes");
+    const Json* arcs = stored_summary_doc->Find("arcs");
+    report.classes =
+        nodes != nullptr && nodes->is_array() ? nodes->as_array().size() : 0;
+    report.arcs =
+        arcs != nullptr && arcs->is_array() ? arcs->as_array().size() : 0;
+    report.probe_skipped = true;
+    report.reused_cluster_schema = true;
+    report.extraction_ms = report.extraction.total_latency_ms;
+    charge();
+    store_fingerprints();
+    record_attempt(true);
+    return report;
+  }
+
   // Stage 1: index extraction (pattern strategies with fallback). The
   // batch width comes from the server options; the pool is the daily
   // cycle's own, so intra-pipeline fan-out never spawns extra threads.
   extraction::ExtractionContext context;
   context.pool = pool;
   context.batch_width = static_cast<size_t>(QueryBatchWidthFor(url));
-  auto indexes = extractor_.Extract(net->second, context, &report.extraction);
-  if (!indexes.ok()) return fail(indexes.status());
+
+  // kDelta with a dirty digest below the threshold: re-extract ONLY the
+  // dirty classes and merge into the stored prior summary. The merge is
+  // value-identical to a full extraction by construction (differential
+  // tested), so everything downstream is agnostic to which path ran.
+  Result<extraction::IndexSummary> indexes =
+      Status::Internal("extraction never ran");
+  bool delta_ok = false;
+  if (inc.mode == IncrementalMode::kDelta && have_probe &&
+      (!dirty.empty() || !removed.empty())) {
+    const double fraction =
+        static_cast<double>(dirty.size() + removed.size()) /
+        static_cast<double>(std::max<size_t>(1, probe.classes.size()));
+    const store::Collection* indexes_ro =
+        db_->FindCollection(kIndexesCollection);
+    std::optional<Json> prior_doc;
+    if (fraction <= inc.full_refresh_fraction && indexes_ro != nullptr) {
+      prior_doc = indexes_ro->FindOne(url_filter);
+    }
+    if (prior_doc.has_value()) {
+      auto prior = extraction::IndexSummary::FromJson(*prior_doc);
+      if (prior.ok()) {
+        auto partial = extractor_.ExtractClasses(net->second, context, dirty,
+                                                 &report.extraction);
+        if (partial.ok()) {
+          indexes = extraction::MergeDirtyClasses(*prior, *partial, dirty,
+                                                  removed);
+          delta_ok = true;
+          report.delta_extracted = true;
+        } else if (!partial.status().IsUnsupported() &&
+                   !partial.status().IsTimeout()) {
+          return fail(partial.status());
+        }
+        // Unsupported/Timeout: every restricted strategy fell through
+        // (e.g. a paginated-scan-only dialect) — run the full chain.
+      }
+    }
+  }
+  if (!delta_ok) {
+    indexes = extractor_.Extract(net->second, context, &report.extraction);
+    if (!indexes.ok()) return fail(indexes.status());
+  }
   indexes->extracted_day = today;
   report.extraction_ms = report.extraction.total_latency_ms;
   charge();
 
-  // Stage 2: Schema Summary.
+  // Stage 2: Schema Summary — patched in place after a delta merge (quiet
+  // class nodes are reused verbatim), rebuilt from scratch otherwise.
+  // Both forms are value-identical to FromIndexes on the same summary.
   Stopwatch sw;
-  schema::SchemaSummary summary = schema::SchemaSummary::FromIndexes(*indexes);
+  schema::SchemaSummary summary;
+  bool patched = false;
+  if (delta_ok && stored_summary_doc.has_value()) {
+    auto prior_summary = schema::SchemaSummary::FromJson(*stored_summary_doc);
+    if (prior_summary.ok()) {
+      summary =
+          schema::SchemaSummary::PatchedFromIndexes(*prior_summary, *indexes,
+                                                    dirty);
+      patched = true;
+    }
+  }
+  if (!patched) summary = schema::SchemaSummary::FromIndexes(*indexes);
   report.summary_ms = sw.ElapsedMillis();
   report.classes = summary.NodeCount();
   report.arcs = summary.ArcCount();
 
   // §3.2 reuse: when the extracted Schema Summary is bit-identical to the
   // stored one, the Cluster Schema cannot have changed — skip clustering
-  // and persist, just refresh the bookkeeping.
+  // and persist, just refresh the bookkeeping. The stored index summary
+  // stays untouched too: an unchanged Schema Summary under the simulated
+  // mutation model implies unchanged data, so the prior is still exact.
   Json summary_doc = summary.ToJson();
   // The hash is stored as a hex string: JSON numbers are doubles and would
   // truncate 64-bit fingerprints.
-  char hash_hex[24];
-  std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
-                static_cast<unsigned long long>(Fnv64(summary_doc.Dump())));
-  std::string content_hash = hash_hex;
-  {
-    const store::Collection* summaries =
-        db_->FindCollection(kSummariesCollection);
-    if (summaries != nullptr) {
-      Json url_filter = Json::MakeObject();
-      url_filter.Set("endpoint_url", url);
-      auto stored = summaries->FindOne(url_filter);
-      if (stored.has_value() &&
-          stored->GetString("content_hash") == content_hash) {
-        report.reused_cluster_schema = true;
-        record_attempt(true);
-        return report;
-      }
-    }
+  std::string content_hash = HexU64(Fnv64(summary_doc.Dump()));
+  if (stored_summary_doc.has_value() &&
+      stored_summary_doc->GetString("content_hash") == content_hash) {
+    report.reused_cluster_schema = true;
+    store_fingerprints();
+    record_attempt(true);
+    return report;
   }
 
   // Stage 3: community detection + Cluster Schema (precomputed server-side
-  // per §3.2, instead of on-the-fly in the presentation layer).
+  // per §3.2, instead of on-the-fly in the presentation layer). After a
+  // delta merge whose class-graph is unchanged (node sequence and arcs
+  // identical — e.g. only attribute counts moved), the prior partition is
+  // recovered from the stored cluster document instead of re-running
+  // Louvain; Louvain is deterministic on the same graph, so the rebuilt
+  // Cluster Schema is identical either way.
   sw.Reset();
-  cluster::UGraph graph = cluster::BuildClassGraph(summary);
-  cluster::Partition partition = cluster::Louvain(graph);
+  cluster::Partition partition;
+  bool partition_reused = false;
+  if (delta_ok && stored_summary_doc.has_value()) {
+    auto prior_summary = schema::SchemaSummary::FromJson(*stored_summary_doc);
+    if (prior_summary.ok() &&
+        prior_summary->NodeCount() == summary.NodeCount() &&
+        prior_summary->ArcCount() == summary.ArcCount()) {
+      bool same_graph = true;
+      for (size_t i = 0; same_graph && i < summary.NodeCount(); ++i) {
+        same_graph = prior_summary->nodes()[i].iri == summary.nodes()[i].iri;
+      }
+      for (size_t i = 0; same_graph && i < summary.ArcCount(); ++i) {
+        const schema::PropertyArc& a = prior_summary->arcs()[i];
+        const schema::PropertyArc& b = summary.arcs()[i];
+        same_graph = a.src == b.src && a.dst == b.dst && a.iri == b.iri &&
+                     a.count == b.count;
+      }
+      if (same_graph) {
+        const store::Collection* clusters_ro =
+            db_->FindCollection(kClustersCollection);
+        std::optional<Json> prior_cluster_doc;
+        if (clusters_ro != nullptr) {
+          prior_cluster_doc = clusters_ro->FindOne(url_filter);
+        }
+        if (prior_cluster_doc.has_value()) {
+          auto prior_clusters =
+              cluster::ClusterSchema::FromJson(*prior_cluster_doc);
+          if (prior_clusters.ok()) {
+            partition.reserve(summary.NodeCount());
+            partition_reused = true;
+            for (size_t i = 0; i < summary.NodeCount(); ++i) {
+              int c = prior_clusters->ClusterOf(i);
+              if (c < 0) {
+                partition.clear();
+                partition_reused = false;
+                break;
+              }
+              partition.push_back(static_cast<size_t>(c));
+            }
+          }
+        }
+      }
+    }
+  }
+  if (!partition_reused) {
+    cluster::UGraph graph = cluster::BuildClassGraph(summary);
+    partition = cluster::Louvain(graph);
+  }
   cluster::ClusterSchema clusters =
       cluster::ClusterSchema::FromPartition(summary, partition);
   report.cluster_ms = sw.ElapsedMillis();
   report.clusters = clusters.ClusterCount();
 
-  // Stage 4: persist both artifacts, replacing any previous version.
+  // Stage 4: persist the artifacts, replacing any previous version. Under
+  // incremental modes the raw index summary is persisted too — it is the
+  // `prior` the next dirty-class merge starts from.
   sw.Reset();
   store::Collection* summaries = db_->GetCollection(kSummariesCollection);
   store::Collection* cluster_docs = db_->GetCollection(kClustersCollection);
@@ -156,10 +353,15 @@ Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
   // the store "improv[es] data recovery performance").
   summaries->CreateIndex("endpoint_url");
   cluster_docs->CreateIndex("endpoint_url");
-  Json url_filter = Json::MakeObject();
-  url_filter.Set("endpoint_url", url);
   summaries->Remove(url_filter);
   cluster_docs->Remove(url_filter);
+  if (inc.mode != IncrementalMode::kOff) {
+    store::Collection* index_docs = db_->GetCollection(kIndexesCollection);
+    index_docs->CreateIndex("endpoint_url");
+    index_docs->Remove(url_filter);
+    Status persisted = index_docs->Insert(indexes->ToJson()).status();
+    if (!persisted.ok()) return fail(std::move(persisted));
+  }
   {
     Json doc = std::move(summary_doc);
     doc.Set("extracted_day", today);
@@ -175,6 +377,7 @@ Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
   }
   report.persist_ms = sw.ElapsedMillis();
 
+  store_fingerprints();
   record_attempt(true);
   HBOLD_LOG(kDebug) << "processed " << url << " classes=" << report.classes
                     << " clusters=" << report.clusters << " strategy="
@@ -222,6 +425,15 @@ DailyReport Server::RunDailyCycleOn(ThreadPool* pool, int parallelism) {
   DailyReport daily;
   daily.day = clock_->NowDay();
   daily.parallelism = std::max(1, parallelism);
+
+  // Data evolves first: every attached endpoint applies its seeded
+  // mutation days up to today — sequentially, in URL order, before the
+  // due snapshot — so the whole cycle observes one fixed world state.
+  // Endpoints without a mutation model no-op.
+  for (auto& [ep_url, ep] : network_) {
+    if (ep != nullptr) ep->AdvanceDataDay(daily.day);
+  }
+
   const endpoint::QueryEngineStats engine_before = SumEngineStats();
 
   // Fix the due list from an immutable snapshot before any worker starts
@@ -260,6 +472,9 @@ DailyReport Server::RunDailyCycleOn(ThreadPool* pool, int parallelism) {
     if (result.ok()) {
       ++daily.succeeded;
       if (result->reused_cluster_schema) ++daily.reused;
+      if (result->probed) ++daily.probes;
+      if (result->probe_skipped) ++daily.probe_skips;
+      if (result->delta_extracted) ++daily.delta_extractions;
       daily.reports.push_back(std::move(*result));
     } else {
       ++daily.failed;

@@ -21,6 +21,34 @@ class ThreadPool;
 inline constexpr const char* kSummariesCollection = "schema_summaries";
 inline constexpr const char* kClustersCollection = "cluster_schemas";
 inline constexpr const char* kRegistryCollection = "registry";
+/// Raw IndexSummary documents, persisted only under incremental modes —
+/// the `prior` a dirty-class merge starts from.
+inline constexpr const char* kIndexesCollection = "index_summaries";
+
+/// How the daily cycle reacts to endpoint data changing between days.
+enum class IncrementalMode {
+  /// Pre-incremental behavior: no probes, full re-extraction every due
+  /// day. Reports and store contents are byte-identical to builds that
+  /// predate incremental extraction.
+  kOff,
+  /// Issue the change probe and persist fingerprints + index summaries,
+  /// but still run the full extraction every due day. The control arm:
+  /// identical artifacts to kDelta, none of the savings.
+  kTrack,
+  /// Full incremental path: skip quiet endpoints outright (one probe
+  /// query), re-extract only dirty classes and patch the summaries in
+  /// place, fall back to full re-extraction past the dirty-fraction
+  /// threshold or when the probe is unsupported.
+  kDelta,
+};
+
+/// Knobs for incremental extraction.
+struct IncrementalOptions {
+  IncrementalMode mode = IncrementalMode::kOff;
+  /// Dirty-class fraction (dirty + removed over current classes) above
+  /// which patching is pointless and kDelta runs a full re-extraction.
+  double full_refresh_fraction = 0.5;
+};
 
 /// Outcome of processing one endpoint through the full pipeline.
 struct PipelineReport {
@@ -38,6 +66,19 @@ struct PipelineReport {
   /// true when the freshly extracted summary matched the stored content
   /// hash and the clustering + persist stages were skipped.
   bool reused_cluster_schema = false;
+  /// A change probe was issued (incremental modes; charged as one query).
+  bool probed = false;
+  /// The probe found the endpoint quiet and the whole pipeline was skipped
+  /// against the stored artifacts (kDelta only; implies
+  /// reused_cluster_schema).
+  bool probe_skipped = false;
+  /// The dirty-class re-extraction path ran instead of a full extraction
+  /// (kDelta only).
+  bool delta_extracted = false;
+  /// Dirty / vanished class counts the probe diff produced (set whenever
+  /// probed, whatever path was then taken).
+  size_t dirty_classes = 0;
+  size_t removed_classes = 0;
 };
 
 /// Per due-list entry accounting for one daily cycle, in due (registry)
@@ -64,8 +105,14 @@ struct DailyReport {
   size_t succeeded = 0;
   size_t failed = 0;
   /// Successful runs whose Schema Summary was unchanged (clustering
-  /// skipped per §3.2).
+  /// skipped per §3.2). Probe-skips count here too — a skipped pipeline
+  /// is the strongest form of reuse.
   size_t reused = 0;
+  /// Incremental-extraction counters over the day's successful runs:
+  /// probes issued, endpoints skipped as quiet, dirty-class re-extractions.
+  size_t probes = 0;
+  size_t probe_skips = 0;
+  size_t delta_extractions = 0;
   /// Worker count the cycle ran with (1 = sequential).
   int parallelism = 1;
   /// Real wall-clock of the whole cycle.
@@ -117,6 +164,9 @@ struct ServerOptions {
   /// one pool serves both layers, so total threads never exceed
   /// `parallelism` no matter how wide the batches are.
   int query_batch_width = 1;
+  /// Incremental extraction (change probes + dirty-class patching). Off
+  /// by default: kOff runs are byte-identical to pre-incremental builds.
+  IncrementalOptions incremental;
 };
 
 /// H-BOLD's server layer: owns the endpoint registry and the document

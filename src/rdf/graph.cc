@@ -1,6 +1,7 @@
 #include "rdf/graph.h"
 
 #include <algorithm>
+#include <iterator>
 
 namespace hbold::rdf {
 
@@ -52,6 +53,7 @@ TripleStore::TripleStore(TripleStore&& other) noexcept
       pos_(std::move(other.pos_)),
       osp_(std::move(other.osp_)),
       staged_(std::move(other.staged_)),
+      staged_removals_(std::move(other.staged_removals_)),
       pred_stats_(std::move(other.pred_stats_)),
       dirty_(other.dirty_.load(std::memory_order_relaxed)),
       generation_(other.generation_.load(std::memory_order_relaxed)),
@@ -64,6 +66,7 @@ TripleStore& TripleStore::operator=(TripleStore&& other) noexcept {
     pos_ = std::move(other.pos_);
     osp_ = std::move(other.osp_);
     staged_ = std::move(other.staged_);
+    staged_removals_ = std::move(other.staged_removals_);
     pred_stats_ = std::move(other.pred_stats_);
     dirty_.store(other.dirty_.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
@@ -83,6 +86,18 @@ void TripleStore::AddIds(TermId s, TermId p, TermId o) {
   dirty_.store(true, std::memory_order_release);
 }
 
+void TripleStore::Remove(const Term& s, const Term& p, const Term& o) {
+  // Intern (not Lookup): removing a never-seen triple must still be a
+  // deterministic no-op, and interning keeps id assignment a pure function
+  // of the term-arrival sequence regardless of whether the triple existed.
+  RemoveIds(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+}
+
+void TripleStore::RemoveIds(TermId s, TermId p, TermId o) {
+  staged_removals_.push_back(Triple{s, p, o});
+  dirty_.store(true, std::memory_order_release);
+}
+
 void TripleStore::EnsureIndexed() const {
   // Double-checked locking: readers that observe !dirty_ (acquire) see the
   // fully built indexes (released by the builder); the first reader after a
@@ -96,24 +111,44 @@ void TripleStore::EnsureIndexed() const {
 
 void TripleStore::RebuildLocked() const {
   const size_t indexed_before = spo_.size();
-  const size_t batch = staged_.size();
+  const size_t batch = staged_.size() + staged_removals_.size();
   spo_.insert(spo_.end(), staged_.begin(), staged_.end());
   staged_.clear();
   SortIndex(&spo_, KeySpo);
   spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  if (!staged_removals_.empty()) {
+    // Removals win over same-batch adds: the batch describes the end state
+    // of a churn step, so subtract the removal set after the merge.
+    SortIndex(&staged_removals_, KeySpo);
+    staged_removals_.erase(
+        std::unique(staged_removals_.begin(), staged_removals_.end()),
+        staged_removals_.end());
+    std::vector<Triple> kept;
+    kept.reserve(spo_.size());
+    std::set_difference(spo_.begin(), spo_.end(), staged_removals_.begin(),
+                        staged_removals_.end(), std::back_inserter(kept));
+    spo_ = std::move(kept);
+    staged_removals_.clear();
+  }
   pos_ = spo_;
   SortIndex(&pos_, KeyPos);
   osp_ = spo_;
   SortIndex(&osp_, KeyOsp);
 
-  // Statistics refresh policy: a small incremental batch appended to an
-  // already-large index refreshes by deterministic sampling (O(P * log n))
-  // instead of the exact two-pass recompute (O(n)); everything else —
-  // bulk loads, small stores — recomputes exactly. Either way the stats
-  // are *refreshed*: incremental loads never leave a frozen snapshot
-  // driving join orders.
-  const bool sampled = indexed_before >= stats_sampling_threshold_ &&
-                       batch * 8 <= indexed_before;
+  // Statistics refresh policy: a small incremental batch (adds + removals)
+  // against an already-large index refreshes by deterministic sampling
+  // (O(P * log n)) instead of the exact two-pass recompute (O(n)), and so
+  // does an initial bulk load at least threshold-sized (the per-predicate
+  // figures only steer join orders there, and the sampled refresh is a
+  // pure function of the sorted content, so determinism holds). Small
+  // stores recompute exactly. Either way the stats are *refreshed*:
+  // incremental loads never leave a frozen snapshot driving join orders.
+  const bool small_batch_on_large_index =
+      indexed_before >= stats_sampling_threshold_ &&
+      batch * 8 <= indexed_before;
+  const bool bulk_load =
+      indexed_before == 0 && batch >= stats_sampling_threshold_;
+  const bool sampled = small_batch_on_large_index || bulk_load;
   if (sampled) {
     RefreshStatsSampledLocked();
   } else {

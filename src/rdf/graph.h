@@ -81,6 +81,15 @@ class TripleStore {
   /// Adds a triple of already-interned ids.
   void AddIds(TermId s, TermId p, TermId o);
 
+  /// Stages the retraction of a triple. Removing an absent triple is a
+  /// no-op; terms stay interned (dictionary ids are stable for the life of
+  /// the store). Within one staged batch a removal wins over an add of the
+  /// same triple — the batch describes the *end state* of a day's churn,
+  /// not an ordered log. Same write-side synchronization rules as Add.
+  void Remove(const Term& s, const Term& p, const Term& o);
+  /// Stages the retraction of a triple of already-interned ids.
+  void RemoveIds(TermId s, TermId p, TermId o);
+
   /// Eagerly (re)builds the indexes if any writes are staged. Call once
   /// before serving concurrent readers so the mutable lazy rebuild cannot
   /// run inside a query.
@@ -155,10 +164,11 @@ class TripleStore {
   PredicateStats StatsForPredicate(TermId p) const;
 
   /// Minimum indexed size at which a small incremental batch (< 1/8 of the
-  /// index) refreshes statistics by sampling instead of the exact two-pass
-  /// recompute. Defaults to kDefaultStatsSamplingThreshold; tests lower it
-  /// to exercise the sampled path on small stores. Call before serving
-  /// readers (same write-side discipline as Add).
+  /// index) — or an initial bulk load at least this large — refreshes
+  /// statistics by sampling instead of the exact two-pass recompute.
+  /// Defaults to kDefaultStatsSamplingThreshold; tests lower it to exercise
+  /// the sampled path on small stores. Call before serving readers (same
+  /// write-side discipline as Add).
   void SetStatsSamplingThreshold(size_t min_indexed_size) {
     stats_sampling_threshold_ = min_indexed_size;
   }
@@ -199,6 +209,7 @@ class TripleStore {
   mutable std::vector<Triple> pos_;
   mutable std::vector<Triple> osp_;
   mutable std::vector<Triple> staged_;
+  mutable std::vector<Triple> staged_removals_;
   mutable std::unordered_map<TermId, PredicateStats> pred_stats_;
   mutable std::atomic<bool> dirty_{false};
   mutable std::atomic<uint64_t> generation_{0};

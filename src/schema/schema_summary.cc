@@ -44,6 +44,53 @@ SchemaSummary SchemaSummary::FromIndexes(
   return s;
 }
 
+SchemaSummary SchemaSummary::PatchedFromIndexes(
+    const SchemaSummary& prior, const extraction::IndexSummary& merged,
+    const std::vector<std::string>& dirty) {
+  std::set<std::string> dirty_set(dirty.begin(), dirty.end());
+  std::map<std::string, size_t> prior_index;
+  for (size_t i = 0; i < prior.nodes_.size(); ++i) {
+    prior_index[prior.nodes_[i].iri] = i;
+  }
+
+  SchemaSummary s;
+  s.endpoint_url_ = merged.endpoint_url;
+
+  std::map<std::string, size_t> index_of;
+  for (const extraction::ClassInfo& c : merged.classes) {
+    index_of[c.iri] = s.nodes_.size();
+    s.total_instances_ += c.instance_count;
+    auto it = prior_index.find(c.iri);
+    if (dirty_set.count(c.iri) == 0 && it != prior_index.end()) {
+      s.nodes_.push_back(prior.nodes_[it->second]);  // quiet: reuse verbatim
+      continue;
+    }
+    ClassNode node;
+    node.iri = c.iri;
+    node.label = IriLocalName(c.iri);
+    node.instance_count = c.instance_count;
+    for (const extraction::PropertyInfo& p : c.properties) {
+      if (!p.is_object_property) {
+        node.attributes.push_back(Attribute{p.iri, p.count});
+      }
+    }
+    s.nodes_.push_back(std::move(node));
+  }
+
+  for (const extraction::ClassInfo& c : merged.classes) {
+    size_t src = index_of[c.iri];
+    for (const extraction::PropertyInfo& p : c.properties) {
+      if (!p.is_object_property) continue;
+      for (const auto& [range_iri, count] : p.range_classes) {
+        auto it = index_of.find(range_iri);
+        if (it == index_of.end()) continue;
+        s.arcs_.push_back(PropertyArc{src, it->second, p.iri, count});
+      }
+    }
+  }
+  return s;
+}
+
 int SchemaSummary::FindNode(const std::string& iri) const {
   for (size_t i = 0; i < nodes_.size(); ++i) {
     if (nodes_[i].iri == iri) return static_cast<int>(i);

@@ -51,6 +51,17 @@ class SchemaSummary {
   /// properties become attributes of their class node.
   static SchemaSummary FromIndexes(const extraction::IndexSummary& indexes);
 
+  /// Incremental rebuild after a dirty-class merge: nodes for classes NOT
+  /// in `dirty` are copied from `prior` (their ClassInfo is unchanged by
+  /// construction of the merge), dirty nodes are rebuilt from `merged`, and
+  /// ALL arcs are recomputed from `merged` — arcs are index pairs into the
+  /// node vector, and any class's rank (hence every index) can shift when
+  /// counts move, so patching arcs in place would be incorrect. The result
+  /// is value-identical to FromIndexes(merged).
+  static SchemaSummary PatchedFromIndexes(
+      const SchemaSummary& prior, const extraction::IndexSummary& merged,
+      const std::vector<std::string>& dirty);
+
   const std::string& endpoint_url() const { return endpoint_url_; }
   size_t total_instances() const { return total_instances_; }
 

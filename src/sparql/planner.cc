@@ -261,7 +261,8 @@ void PlanCache::InsertPrepared(const std::string& text, uint64_t generation,
   std::unique_lock<std::shared_mutex> lock(mu_);
   FlushIfStaleLocked(generation);
   if (prepared_.size() >= max_entries_ &&
-      prepared_.find(text) == prepared_.end()) {
+      prepared_.find(text) == prepared_.end() &&
+      MakeRoomLocked(prepared_.size())) {
     prepared_.clear();  // epoch eviction; the steady-state corpus re-warms
   }
   prepared_[text] = std::move(prepared);
@@ -288,10 +289,21 @@ void PlanCache::Insert(const std::string& key, uint64_t generation,
   std::unique_lock<std::shared_mutex> lock(mu_);
   FlushIfStaleLocked(generation);
   if (entries_.size() >= max_entries_ &&
-      entries_.find(key) == entries_.end()) {
+      entries_.find(key) == entries_.end() &&
+      MakeRoomLocked(entries_.size())) {
     entries_.clear();  // epoch eviction; the steady-state corpus re-warms
   }
   entries_[key] = std::move(plan);
+}
+
+bool PlanCache::MakeRoomLocked(size_t tier_size) {
+  if (!adaptive_ || max_entries_ >= kMaxAdaptiveCapacity) return true;
+  // Adaptive growth: the observed corpus outgrew the capacity guess —
+  // double (bounded) rather than throw the warm tier away.
+  while (max_entries_ <= tier_size && max_entries_ < kMaxAdaptiveCapacity) {
+    max_entries_ <<= 1;
+  }
+  return false;
 }
 
 void PlanCache::FlushIfStaleLocked(uint64_t generation) {
@@ -313,12 +325,18 @@ PlanCacheStats PlanCache::stats() const {
   s.invalidations = invalidations_.load(std::memory_order_relaxed);
   std::shared_lock<std::shared_mutex> lock(mu_);
   s.entries = entries_.size();
+  s.capacity = max_entries_;
   return s;
 }
 
 size_t PlanCache::size() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return entries_.size();
+}
+
+size_t PlanCache::capacity() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return max_entries_;
 }
 
 }  // namespace hbold::sparql

@@ -144,12 +144,14 @@ void ForEachGroup(const GroupGraphPattern& g, Fn&& fn) {
 /// part of the key: the plan is a function of the WHERE tree alone.
 std::string NormalizeWhereKey(const SelectQuery& q);
 
-/// Cumulative counters of one PlanCache (monotonic except `entries`).
+/// Cumulative counters of one PlanCache (monotonic except `entries` and
+/// `capacity`).
 struct PlanCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t invalidations = 0;  // generation flushes
   size_t entries = 0;          // normalized-tier entries currently resident
+  size_t capacity = 0;         // current max entries per tier
 };
 
 /// A fully prepared query: the parsed AST plus its physical plan. The
@@ -187,9 +189,30 @@ struct PreparedQuery {
 class PlanCache {
  public:
   static constexpr size_t kDefaultCapacity = 512;
+  /// Ceiling for adaptive growth: even the largest observed corpus never
+  /// grows a per-endpoint cache beyond this.
+  static constexpr size_t kMaxAdaptiveCapacity = 8192;
 
-  explicit PlanCache(size_t max_entries = kDefaultCapacity)
-      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+  /// `adaptive = true` lets the cache grow with the observed corpus:
+  /// instead of epoch-evicting when a tier fills, capacity doubles (up to
+  /// kMaxAdaptiveCapacity) so a steady-state corpus slightly larger than
+  /// the initial guess is not thrown away every pass. Off by default —
+  /// fixed-capacity behavior is unchanged.
+  explicit PlanCache(size_t max_entries = kDefaultCapacity,
+                     bool adaptive = false)
+      : max_entries_(max_entries == 0 ? 1 : max_entries),
+        adaptive_(adaptive) {}
+
+  /// Initial capacity adapted to an endpoint's corpus size: the extraction
+  /// workload issues a bounded set of distinct query shapes roughly
+  /// proportional to the endpoint's schema size, which tracks store size.
+  /// Rounded to a power of two, clamped to [64, kMaxAdaptiveCapacity].
+  static size_t CapacityForStoreSize(size_t num_triples) {
+    size_t want = num_triples / 16;
+    size_t cap = 64;
+    while (cap < want && cap < kMaxAdaptiveCapacity) cap <<= 1;
+    return cap;
+  }
 
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
@@ -219,13 +242,21 @@ class PlanCache {
 
   PlanCacheStats stats() const;
   size_t size() const;
+  /// Current capacity (grows only in adaptive mode).
+  size_t capacity() const;
 
  private:
   /// Drops both tiers when `generation` differs from the resident epoch.
   /// Caller holds the exclusive lock.
   void FlushIfStaleLocked(uint64_t generation);
+  /// Handles a full tier before inserting a new key: adaptive caches
+  /// double capacity (up to the ceiling); fixed caches epoch-evict the
+  /// tier. Caller holds the exclusive lock. Returns true when the tier
+  /// was cleared.
+  bool MakeRoomLocked(size_t tier_size);
 
-  const size_t max_entries_;
+  size_t max_entries_;  // mutable: adaptive growth under the exclusive lock
+  const bool adaptive_;
   mutable std::shared_mutex mu_;
   uint64_t generation_ = 0;  // epoch of resident entries (guarded by mu_)
   std::unordered_map<std::string, std::shared_ptr<const QueryPlan>> entries_;

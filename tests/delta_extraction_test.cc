@@ -1,0 +1,406 @@
+// Delta-extraction differential tests: the incremental pipeline (change
+// probes, dirty-class re-extraction, schema/cluster patching) must land on
+// byte-identical artifacts to a full re-extraction of the same churning
+// world, across deployment shapes, while issuing strictly fewer queries.
+// Plus unit-level checks for MergeDirtyClasses and PatchedFromIndexes.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "endpoint/simulated_endpoint.h"
+#include "extraction/indexes.h"
+#include "hbold/fleet.h"
+#include "hbold/server.h"
+#include "rdf/graph.h"
+#include "schema/schema_summary.h"
+#include "store/database.h"
+#include "workload/ld_generator.h"
+
+namespace hbold {
+namespace {
+
+using endpoint::Dialect;
+using endpoint::EndpointRecord;
+using endpoint::MutationModel;
+using endpoint::SimulatedRemoteEndpoint;
+using extraction::ClassInfo;
+using extraction::IndexSummary;
+using extraction::PropertyInfo;
+
+constexpr size_t kEndpoints = 8;
+constexpr int64_t kDays = 6;
+constexpr double kChurnFraction = 0.06;
+
+std::map<std::string, std::string> CanonicalCollection(
+    const store::Database& db, const std::string& collection) {
+  std::map<std::string, std::string> canonical;
+  const store::Collection* c = db.FindCollection(collection);
+  if (c == nullptr) return canonical;
+  for (store::Document doc : c->Snapshot()) {
+    std::string url = doc.GetString("endpoint_url");
+    doc.Set("_id", 0);
+    canonical[url] = doc.Dump();
+  }
+  return canonical;
+}
+
+std::map<std::string, std::string> MergedCanonicalCollection(
+    const Fleet& fleet, const std::string& collection) {
+  std::map<std::string, std::string> merged;
+  for (size_t s = 0; s < fleet.num_shards(); ++s) {
+    for (auto& [url, dump] :
+         CanonicalCollection(fleet.shard_db(s), collection)) {
+      merged.emplace(url, dump);
+    }
+  }
+  return merged;
+}
+
+std::string DumpStore(const rdf::TripleStore& store) {
+  std::string out;
+  for (const rdf::Triple& t : store.MatchAll(rdf::TriplePattern{})) {
+    out += store.dict().Get(t.s).lexical();
+    out += ' ';
+    out += store.dict().Get(t.p).lexical();
+    out += ' ';
+    out += store.dict().Get(t.o).lexical();
+    out += '\n';
+  }
+  return out;
+}
+
+/// One seeded churning world. Unlike FleetWorld, every run regenerates its
+/// stores: the mutation model rewrites them day by day, so sharing stores
+/// across runs would leak one run's churn into the next. Two DeltaWorlds
+/// built from the same options replay bit-identical histories.
+class DeltaWorld {
+ public:
+  static std::string Url(size_t i) {
+    return "http://delta" + std::to_string(i) + ".example.org/sparql";
+  }
+
+  explicit DeltaWorld(FleetOptions options, double churn = kChurnFraction) {
+    options.server.refresh_age_days = 1;  // churn-sensitive: due daily
+    fleet_ = std::make_unique<Fleet>(&clock_, options);
+    for (size_t i = 0; i < kEndpoints; ++i) {
+      auto store = std::make_unique<rdf::TripleStore>();
+      workload::SyntheticLdConfig config;
+      config.namespace_iri = "http://delta" + std::to_string(i) +
+                             ".example.org/";
+      config.num_classes = 6 + i * 2;
+      config.max_instances_per_class = 20;
+      config.seed = 2600 + i;
+      workload::GenerateSyntheticLd(config, store.get());
+
+      Dialect dialect = Dialect::Full();
+      if (i % 4 == 1) dialect = Dialect::NoGroupBy();
+      if (i % 4 == 2) dialect = Dialect::NoAggregates();
+      if (i % 4 == 3) dialect = Dialect::RowCapped(64);
+      MutationModel mutation;
+      // A third of the fleet never changes — realistic (most LD sources
+      // are quiet) and what makes the probe-skip path reachable in the
+      // churning differential runs.
+      mutation.daily_churn_fraction = (i % 3 == 0) ? 0.0 : churn;
+      mutation.seed = 500 + i * 104729;
+      auto ep = std::make_unique<SimulatedRemoteEndpoint>(
+          Url(i), "Delta " + std::to_string(i), store.get(), &clock_,
+          dialect, endpoint::AvailabilityModel{}, endpoint::LatencyModel{},
+          mutation);
+      EndpointRecord record;
+      record.url = Url(i);
+      record.name = ep->name();
+      fleet_->RegisterEndpoint(record);
+      fleet_->AttachEndpoint(Url(i), ep.get());
+      stores_.push_back(std::move(store));
+      endpoints_.push_back(std::move(ep));
+    }
+  }
+
+  Fleet& fleet() { return *fleet_; }
+
+  size_t TotalQueriesServed() const {
+    size_t total = 0;
+    for (const auto& ep : endpoints_) total += ep->queries_served();
+    return total;
+  }
+
+  std::string DumpAllStores() const {
+    std::string out;
+    for (const auto& store : stores_) out += DumpStore(*store);
+    return out;
+  }
+
+ private:
+  SimClock clock_;
+  std::vector<std::unique_ptr<rdf::TripleStore>> stores_;
+  std::vector<std::unique_ptr<SimulatedRemoteEndpoint>> endpoints_;
+  std::unique_ptr<Fleet> fleet_;
+};
+
+FleetOptions Config(int shards, int parallelism, IncrementalMode mode) {
+  FleetOptions options;
+  options.num_shards = shards;
+  options.server.parallelism = parallelism;
+  options.server.incremental.mode = mode;
+  if (shards == 1 && parallelism == 1) options.fleet_workers = 1;
+  return options;
+}
+
+struct RunResult {
+  FleetReport report;
+  std::map<std::string, std::string> summaries;
+  std::map<std::string, std::string> clusters;
+  std::map<std::string, std::string> indexes;
+  std::string stores;
+  size_t queries = 0;
+  size_t probe_skips = 0;
+  size_t delta_extractions = 0;
+};
+
+RunResult RunWorld(FleetOptions options, double churn = kChurnFraction) {
+  DeltaWorld world(options, churn);
+  RunResult r;
+  r.report = world.fleet().RunSimulation(kDays);
+  r.summaries = MergedCanonicalCollection(world.fleet(), kSummariesCollection);
+  r.clusters = MergedCanonicalCollection(world.fleet(), kClustersCollection);
+  r.indexes = MergedCanonicalCollection(world.fleet(), kIndexesCollection);
+  r.stores = world.DumpAllStores();
+  r.queries = world.TotalQueriesServed();
+  for (const auto& day : r.report.days) {
+    r.probe_skips += day.probe_skips;
+    r.delta_extractions += day.delta_extractions;
+  }
+  return r;
+}
+
+// ------------------------------------------------ the differential gate
+
+/// kDelta must compute exactly what kTrack (probe + always-full, the
+/// control arm) and kOff (the seed pipeline) compute, with fewer queries.
+TEST(DeltaExtractionTest, DeltaMatchesFullReextraction) {
+  RunResult off = RunWorld(Config(1, 1, IncrementalMode::kOff));
+  RunResult track = RunWorld(Config(1, 1, IncrementalMode::kTrack));
+  RunResult delta = RunWorld(Config(1, 1, IncrementalMode::kDelta));
+
+  // Identical seeded worlds evolve identically whatever the crawler does.
+  ASSERT_EQ(track.stores, off.stores);
+  ASSERT_EQ(delta.stores, off.stores);
+
+  // Content identity across all three modes.
+  EXPECT_EQ(track.report.ContentDump(), off.report.ContentDump());
+  EXPECT_EQ(delta.report.ContentDump(), off.report.ContentDump());
+  EXPECT_EQ(delta.report.ContentFingerprint(), off.report.ContentFingerprint());
+
+  // Persisted artifacts: byte-identical summaries and cluster schemas.
+  EXPECT_EQ(track.summaries, off.summaries);
+  EXPECT_EQ(delta.summaries, off.summaries);
+  EXPECT_EQ(delta.clusters, off.clusters);
+  // Index summaries are persisted only under incremental modes; the two
+  // arms must agree with each other.
+  EXPECT_TRUE(off.indexes.empty());
+  ASSERT_FALSE(track.indexes.empty());
+  EXPECT_EQ(delta.indexes, track.indexes);
+
+  // The delta arm actually took the cheap paths, and they paid off.
+  EXPECT_GT(delta.probe_skips, 0u);
+  EXPECT_GT(delta.delta_extractions, 0u);
+  EXPECT_EQ(track.probe_skips, 0u);
+  EXPECT_LT(delta.queries, track.queries);
+  EXPECT_LT(delta.queries, off.queries);
+}
+
+/// Within kDelta the usual deployment-invariance contract holds: shard
+/// count and parallelism never change the canonical history.
+TEST(DeltaExtractionTest, DeltaInvariantAcrossDeployments) {
+  RunResult baseline = RunWorld(Config(1, 1, IncrementalMode::kDelta));
+  ASSERT_GT(baseline.probe_skips + baseline.delta_extractions, 0u);
+  const std::string baseline_dump = baseline.report.CanonicalDump();
+
+  struct Deployment {
+    int shards, parallelism;
+  };
+  const Deployment deployments[] = {{2, 1}, {4, 1}, {1, 4}, {4, 4}};
+  for (const Deployment& dep : deployments) {
+    SCOPED_TRACE("shards=" + std::to_string(dep.shards) +
+                 " parallelism=" + std::to_string(dep.parallelism));
+    RunResult run = RunWorld(Config(dep.shards, dep.parallelism,
+                               IncrementalMode::kDelta));
+    EXPECT_EQ(run.report.CanonicalDump(), baseline_dump);
+    EXPECT_EQ(run.report.Fingerprint(), baseline.report.Fingerprint());
+    EXPECT_EQ(run.summaries, baseline.summaries);
+    EXPECT_EQ(run.clusters, baseline.clusters);
+    EXPECT_EQ(run.indexes, baseline.indexes);
+    EXPECT_EQ(run.stores, baseline.stores);
+  }
+}
+
+/// An all-quiet fleet costs one probe per endpoint per day after the first
+/// full extraction — the O(1)-queries steady state the probe exists for.
+TEST(DeltaExtractionTest, QuietFleetSettlesIntoProbeSkips) {
+  DeltaWorld world(Config(1, 1, IncrementalMode::kDelta), /*churn=*/0.0);
+  FleetReport first = world.fleet().RunSimulation(1);
+  ASSERT_EQ(first.days[0].probe_skips, 0u);  // nothing stored yet
+  ASSERT_EQ(first.days[0].succeeded, kEndpoints);
+  size_t queries_after_first = world.TotalQueriesServed();
+
+  FleetReport rest = world.fleet().RunSimulation(3);
+  for (const auto& day : rest.days) {
+    EXPECT_EQ(day.due, kEndpoints);
+    EXPECT_EQ(day.succeeded, kEndpoints);
+    EXPECT_EQ(day.probes, kEndpoints);
+    EXPECT_EQ(day.probe_skips, kEndpoints);
+    EXPECT_EQ(day.delta_extractions, 0u);
+  }
+  // Three quiet days: exactly one probe query per endpoint per day.
+  EXPECT_EQ(world.TotalQueriesServed() - queries_after_first,
+            3 * kEndpoints);
+}
+
+/// full_refresh_fraction = 0 disables the restricted path entirely; the
+/// pipeline must fall back to full re-extraction and still agree.
+TEST(DeltaExtractionTest, ZeroThresholdFallsBackToFullAndStaysExact) {
+  FleetOptions always_full = Config(1, 1, IncrementalMode::kDelta);
+  always_full.server.incremental.full_refresh_fraction = 0.0;
+  RunResult fallback = RunWorld(always_full);
+  RunResult delta = RunWorld(Config(1, 1, IncrementalMode::kDelta));
+
+  EXPECT_EQ(fallback.delta_extractions, 0u);
+  EXPECT_GT(fallback.probe_skips, 0u);  // quiet days still skip
+  EXPECT_EQ(fallback.report.ContentFingerprint(),
+            delta.report.ContentFingerprint());
+  EXPECT_EQ(fallback.summaries, delta.summaries);
+  EXPECT_EQ(fallback.clusters, delta.clusters);
+}
+
+// --------------------------------------------------------- merge units
+
+ClassInfo MakeClass(const std::string& iri, size_t instances,
+                    std::vector<PropertyInfo> props) {
+  ClassInfo c;
+  c.iri = iri;
+  c.instance_count = instances;
+  c.properties = std::move(props);
+  return c;
+}
+
+PropertyInfo DataProp(const std::string& iri, size_t count) {
+  PropertyInfo p;
+  p.iri = iri;
+  p.count = count;
+  return p;
+}
+
+PropertyInfo ObjectProp(const std::string& iri, size_t count,
+                        const std::string& range, size_t range_count) {
+  PropertyInfo p;
+  p.iri = iri;
+  p.count = count;
+  p.is_object_property = true;
+  p.range_classes[range] = range_count;
+  return p;
+}
+
+/// Yesterday's world: classes A, B, C. Today: B grew a property, C is
+/// gone, D appeared (externally — the model itself never mints classes,
+/// but the merge must handle probe-reported unknowns).
+struct MergeFixture {
+  IndexSummary prior;     // persisted yesterday
+  IndexSummary today;     // what a full re-extraction would see
+  IndexSummary partial;   // restricted extraction of the dirty classes
+  std::vector<std::string> dirty = {"http://x/B", "http://x/D"};
+  std::vector<std::string> removed = {"http://x/C"};
+
+  MergeFixture() {
+    prior.endpoint_url = "http://x/sparql";
+    prior.num_triples = 100;
+    prior.num_instances = 18;
+    prior.classes = {
+        MakeClass("http://x/A", 10,
+                  {DataProp("http://x/name", 10),
+                   ObjectProp("http://x/knows", 4, "http://x/B", 4)}),
+        MakeClass("http://x/B", 5, {DataProp("http://x/name", 5)}),
+        MakeClass("http://x/C", 3, {DataProp("http://x/age", 3)}),
+    };
+    CanonicalizeIndexSummary(&prior);
+
+    today = prior;
+    today.num_triples = 104;
+    today.num_instances = 19;
+    today.classes = {
+        today.classes[0],  // A untouched (canonical order: biggest first)
+        MakeClass("http://x/B", 7,
+                  {DataProp("http://x/name", 7),
+                   DataProp("http://x/age", 2)}),
+        MakeClass("http://x/D", 2, {DataProp("http://x/name", 2)}),
+    };
+    CanonicalizeIndexSummary(&today);
+
+    partial.endpoint_url = "http://x/sparql";
+    partial.num_triples = today.num_triples;
+    partial.num_instances = today.num_instances;
+    for (const ClassInfo& c : today.classes) {
+      if (c.iri == "http://x/B" || c.iri == "http://x/D") {
+        partial.classes.push_back(c);
+      }
+    }
+    CanonicalizeIndexSummary(&partial);
+  }
+};
+
+TEST(MergeDirtyClassesTest, MergeEqualsFullReextraction) {
+  MergeFixture f;
+  IndexSummary merged =
+      extraction::MergeDirtyClasses(f.prior, f.partial, f.dirty, f.removed);
+  EXPECT_EQ(merged.ToJson().Dump(), f.today.ToJson().Dump());
+}
+
+TEST(MergeDirtyClassesTest, DirtyClassExtractedToZeroIsDropped) {
+  MergeFixture f;
+  // B re-extracts to nothing (all its instances retyped away): the merge
+  // must drop it, exactly as a full pass would never see it.
+  IndexSummary partial;
+  partial.endpoint_url = f.partial.endpoint_url;
+  partial.num_triples = 90;
+  partial.num_instances = 12;
+  for (const ClassInfo& c : f.partial.classes) {
+    if (c.iri != "http://x/B") partial.classes.push_back(c);
+  }
+  CanonicalizeIndexSummary(&partial);
+  IndexSummary merged =
+      extraction::MergeDirtyClasses(f.prior, partial, f.dirty, f.removed);
+  for (const ClassInfo& c : merged.classes) {
+    EXPECT_NE(c.iri, "http://x/B");
+    EXPECT_NE(c.iri, "http://x/C");
+  }
+  EXPECT_EQ(merged.num_classes, 2u);  // A and D
+  EXPECT_EQ(merged.num_triples, 90u);
+}
+
+TEST(SchemaPatchTest, PatchedFromIndexesEqualsFromIndexes) {
+  MergeFixture f;
+  schema::SchemaSummary prior_summary =
+      schema::SchemaSummary::FromIndexes(f.prior);
+  IndexSummary merged =
+      extraction::MergeDirtyClasses(f.prior, f.partial, f.dirty, f.removed);
+  schema::SchemaSummary patched = schema::SchemaSummary::PatchedFromIndexes(
+      prior_summary, merged, f.dirty);
+  schema::SchemaSummary full = schema::SchemaSummary::FromIndexes(merged);
+  EXPECT_EQ(patched.ToJson().Dump(), full.ToJson().Dump());
+}
+
+TEST(SchemaPatchTest, PatchWithNoDirtyClassesReproducesPrior) {
+  MergeFixture f;
+  schema::SchemaSummary prior_summary =
+      schema::SchemaSummary::FromIndexes(f.prior);
+  schema::SchemaSummary patched = schema::SchemaSummary::PatchedFromIndexes(
+      prior_summary, f.prior, {});
+  EXPECT_EQ(patched.ToJson().Dump(), prior_summary.ToJson().Dump());
+}
+
+}  // namespace
+}  // namespace hbold

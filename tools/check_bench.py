@@ -146,6 +146,20 @@ GATED = {
         Metric("total_failed", "stable"),
         Metric("speedup", "higher", when="gate_enforced"),
     ],
+    "BENCH_delta_extraction.json": [
+        # The seeded churning world is fully deterministic (simulated
+        # makespan, not wall clock), so every figure here is a hard gate:
+        # content divergence or a shrinking reduction means the
+        # incremental pipeline changed behavior.
+        Metric("gates.content_identity", "bool"),
+        Metric("gates.deployment_invariance", "bool"),
+        Metric("gates.makespan_reduction_3x", "bool"),
+        Metric("content_fingerprint", "exact"),
+        Metric("makespan_reduction", "higher"),
+        Metric("query_reduction", "higher"),
+        Metric("probe_skips", "stable"),
+        Metric("delta_extractions", "stable"),
+    ],
 }
 
 
