@@ -40,8 +40,13 @@ TaskOutcome EffectivenessSimulator::FindClassByLabel(
     size_t pa = SharedPrefix(clusters_.clusters()[a].label, label);
     size_t pb = SharedPrefix(clusters_.clusters()[b].label, label);
     if (pa != pb) return pa > pb;
-    return clusters_.clusters()[a].total_instances >
-           clusters_.clusters()[b].total_instances;
+    size_t ta = clusters_.clusters()[a].total_instances;
+    size_t tb = clusters_.clusters()[b].total_instances;
+    if (ta != tb) return ta > tb;
+    // Cluster index as the final tie-break: equal-affinity, equal-size
+    // clusters must open in one fixed order or the interaction count
+    // depends on std::sort's whim for that run.
+    return a < b;
   });
   for (size_t ci : order) {
     ++outcome.interactions;  // inspect the cluster label / open it
@@ -76,8 +81,10 @@ TaskOutcome EffectivenessSimulator::FindMostPopulatedClass(
   std::vector<size_t> order(clusters_.ClusterCount());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return clusters_.clusters()[a].total_instances >
-           clusters_.clusters()[b].total_instances;
+    size_t ta = clusters_.clusters()[a].total_instances;
+    size_t tb = clusters_.clusters()[b].total_instances;
+    if (ta != tb) return ta > tb;
+    return a < b;  // stable order for equal-total clusters
   });
   size_t best_seen = 0;
   for (size_t ci : order) {

@@ -159,6 +159,11 @@ void Fleet::DetachEndpoint(const std::string& url) {
   shards_[ShardOf(url)]->DetachEndpoint(url);
 }
 
+endpoint::SparqlEndpoint* Fleet::EndpointFor(const std::string& url) const {
+  auto it = attached_.find(url);
+  return it == attached_.end() ? nullptr : it->second;
+}
+
 void Fleet::ApplyChurn(int64_t day, FleetDayReport* day_report) {
   for (ChurnArrival& arrival : churn_.TakeArrivalsThrough(day)) {
     std::string url = arrival.record.url;

@@ -265,6 +265,12 @@ class Fleet {
   /// Drops the route (record stays; attempts fail and retry daily).
   void DetachEndpoint(const std::string& url);
 
+  /// The live endpoint routed for `url`, or nullptr when none is attached
+  /// (never registered, registered without a route, or gone dark). This
+  /// is the serving layer's query path: user sessions drill down against
+  /// the owning shard's endpoint directly.
+  endpoint::SparqlEndpoint* EndpointFor(const std::string& url) const;
+
   /// Every registered URL, in global registration order — the merge
   /// order of FleetDayReport and the order a 1-shard registry would
   /// hold them in.

@@ -18,6 +18,7 @@
 #include "extraction/scheduler.h"       // IWYU pragma: export
 #include "hbold/crawler.h"              // IWYU pragma: export
 #include "hbold/effectiveness.h"        // IWYU pragma: export
+#include "hbold/exploration_service.h"  // IWYU pragma: export
 #include "hbold/fleet.h"                // IWYU pragma: export
 #include "hbold/manual_insert.h"        // IWYU pragma: export
 #include "hbold/metadata_crawler.h"     // IWYU pragma: export
@@ -33,7 +34,9 @@
 #include "store/database.h"             // IWYU pragma: export
 #include "viz/circle_pack.h"            // IWYU pragma: export
 #include "viz/edge_bundling.h"          // IWYU pragma: export
+#include "viz/layout_cache.h"           // IWYU pragma: export
 #include "viz/render.h"                 // IWYU pragma: export
+#include "workload/exploration_workload.h"  // IWYU pragma: export
 #include "viz/sunburst.h"               // IWYU pragma: export
 #include "viz/treemap.h"                // IWYU pragma: export
 

@@ -6,15 +6,37 @@
 #include "cluster/louvain.h"
 #include "common/clock.h"
 #include "hbold/server.h"
+#include "sparql/query_builder.h"
 
 namespace hbold {
 
-std::vector<DatasetInfo> Presentation::ListDatasets() const {
-  std::vector<DatasetInfo> out;
+PresentationSnapshot PresentationSnapshot::Capture(const store::Database& db) {
+  PresentationSnapshot snap;
   const store::Collection* summaries =
-      db_->FindCollection(kSummariesCollection);
-  if (summaries == nullptr) return out;
-  for (const Json& doc : summaries->Find(Json::MakeObject())) {
+      db.FindCollection(kSummariesCollection);
+  if (summaries != nullptr) snap.summaries_ = summaries->Snapshot();
+  const store::Collection* clusters = db.FindCollection(kClustersCollection);
+  if (clusters != nullptr) snap.clusters_ = clusters->Snapshot();
+  return snap;
+}
+
+const Json* PresentationSnapshot::FindSummaryDoc(const std::string& url) const {
+  for (const Json& doc : summaries_) {
+    if (doc.GetString("endpoint_url") == url) return &doc;
+  }
+  return nullptr;
+}
+
+const Json* PresentationSnapshot::FindClusterDoc(const std::string& url) const {
+  for (const Json& doc : clusters_) {
+    if (doc.GetString("endpoint_url") == url) return &doc;
+  }
+  return nullptr;
+}
+
+std::vector<DatasetInfo> PresentationSnapshot::ListDatasets() const {
+  std::vector<DatasetInfo> out;
+  for (const Json& doc : summaries_) {
     DatasetInfo info;
     info.url = doc.GetString("endpoint_url");
     const Json* nodes = doc.Find("nodes");
@@ -32,18 +54,11 @@ std::vector<DatasetInfo> Presentation::ListDatasets() const {
   return out;
 }
 
-Result<schema::SchemaSummary> Presentation::LoadSchemaSummary(
+Result<schema::SchemaSummary> PresentationSnapshot::LoadSchemaSummary(
     const std::string& url, double* load_ms) const {
   Stopwatch sw;
-  const store::Collection* summaries =
-      db_->FindCollection(kSummariesCollection);
-  if (summaries == nullptr) {
-    return Status::NotFound("no schema summaries stored");
-  }
-  Json filter = Json::MakeObject();
-  filter.Set("endpoint_url", url);
-  auto doc = summaries->FindOne(filter);
-  if (!doc.has_value()) {
+  const Json* doc = FindSummaryDoc(url);
+  if (doc == nullptr) {
     return Status::NotFound("no schema summary for " + url);
   }
   auto summary = schema::SchemaSummary::FromJson(*doc);
@@ -51,20 +66,30 @@ Result<schema::SchemaSummary> Presentation::LoadSchemaSummary(
   return summary;
 }
 
-Result<cluster::ClusterSchema> Presentation::LoadClusterSchema(
+Result<cluster::ClusterSchema> PresentationSnapshot::LoadClusterSchema(
     const std::string& url, double* load_ms) const {
   Stopwatch sw;
-  const store::Collection* docs = db_->FindCollection(kClustersCollection);
-  if (docs == nullptr) return Status::NotFound("no cluster schemas stored");
-  Json filter = Json::MakeObject();
-  filter.Set("endpoint_url", url);
-  auto doc = docs->FindOne(filter);
-  if (!doc.has_value()) {
+  const Json* doc = FindClusterDoc(url);
+  if (doc == nullptr) {
     return Status::NotFound("no cluster schema for " + url);
   }
   auto clusters = cluster::ClusterSchema::FromJson(*doc);
   if (load_ms != nullptr) *load_ms = sw.ElapsedMillis();
   return clusters;
+}
+
+std::vector<DatasetInfo> Presentation::ListDatasets() const {
+  return Snapshot().ListDatasets();
+}
+
+Result<schema::SchemaSummary> Presentation::LoadSchemaSummary(
+    const std::string& url, double* load_ms) const {
+  return Snapshot().LoadSchemaSummary(url, load_ms);
+}
+
+Result<cluster::ClusterSchema> Presentation::LoadClusterSchema(
+    const std::string& url, double* load_ms) const {
+  return Snapshot().LoadClusterSchema(url, load_ms);
 }
 
 Result<cluster::ClusterSchema> Presentation::ComputeClusterSchemaOnTheFly(
@@ -88,7 +113,7 @@ Result<sparql::ResultTable> SampleInstances(endpoint::SparqlEndpoint* ep,
   std::string q =
       "SELECT ?instance ?label WHERE {\n"
       "  ?instance a <" +
-      class_iri +
+      sparql::EscapeIri(class_iri) +
       "> .\n"
       "  OPTIONAL { ?instance "
       "<http://www.w3.org/2000/01/rdf-schema#label> ?label . }\n"
@@ -100,7 +125,7 @@ Result<sparql::ResultTable> SampleInstances(endpoint::SparqlEndpoint* ep,
 
 Result<sparql::ResultTable> DescribeResource(
     endpoint::SparqlEndpoint* ep, const std::string& resource_iri) {
-  std::string q = "SELECT ?p ?o WHERE { <" + resource_iri +
+  std::string q = "SELECT ?p ?o WHERE { <" + sparql::EscapeIri(resource_iri) +
                   "> ?p ?o . } ORDER BY ?p ?o";
   HBOLD_ASSIGN_OR_RETURN(endpoint::QueryOutcome outcome, ep->Query(q));
   return outcome.table;

@@ -22,13 +22,60 @@ struct DatasetInfo {
   int64_t extracted_day = -1;
 };
 
+/// Point-in-time view of the presentation collections. Capture() copies
+/// the summary and cluster documents once via Collection::Snapshot();
+/// every read on the object is then lock-free and sees one consistent
+/// store state, no matter how many daily-cycle writes land concurrently.
+/// This is the read path the serving layer holds across a whole burst of
+/// user interactions.
+class PresentationSnapshot {
+ public:
+  PresentationSnapshot() = default;
+
+  static PresentationSnapshot Capture(const store::Database& db);
+
+  /// Datasets with a stored Schema Summary, sorted by URL.
+  std::vector<DatasetInfo> ListDatasets() const;
+
+  /// Decodes the stored Schema Summary. `load_ms` (optional) receives the
+  /// retrieval+decode time.
+  Result<schema::SchemaSummary> LoadSchemaSummary(const std::string& url,
+                                                  double* load_ms = nullptr)
+      const;
+
+  /// Decodes the precomputed Cluster Schema (§3.2 fast path).
+  Result<cluster::ClusterSchema> LoadClusterSchema(const std::string& url,
+                                                   double* load_ms = nullptr)
+      const;
+
+  /// Raw document accessors (nullptr when absent).
+  const Json* FindSummaryDoc(const std::string& url) const;
+  const Json* FindClusterDoc(const std::string& url) const;
+
+  size_t dataset_count() const { return summaries_.size(); }
+
+ private:
+  std::vector<Json> summaries_;
+  std::vector<Json> clusters_;
+};
+
 /// H-BOLD's presentation layer against the document store: dataset
 /// listing, Schema Summary / Cluster Schema retrieval (measured, for the
 /// §3.2 experiment), and the legacy on-the-fly Cluster Schema path.
+///
+/// Every method reads through a fresh PresentationSnapshot — the daily
+/// extraction cycle writes the same collections concurrently, and the
+/// snapshot guarantees each call observes one consistent point in time
+/// instead of racing document-by-document with the writers.
 class Presentation {
  public:
   /// `db` must outlive the presentation layer.
   explicit Presentation(const store::Database* db) : db_(db) {}
+
+  /// Captures a consistent read view of the store's current state.
+  PresentationSnapshot Snapshot() const {
+    return PresentationSnapshot::Capture(*db_);
+  }
 
   /// Datasets with a stored Schema Summary.
   std::vector<DatasetInfo> ListDatasets() const;

@@ -353,26 +353,28 @@ Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
   // the store "improv[es] data recovery performance").
   summaries->CreateIndex("endpoint_url");
   cluster_docs->CreateIndex("endpoint_url");
-  summaries->Remove(url_filter);
-  cluster_docs->Remove(url_filter);
+  // Each artifact is swapped in with an atomic Replace: presentation-layer
+  // readers running concurrently with the cycle see either the previous
+  // extraction or this one, never a window with the document missing.
   if (inc.mode != IncrementalMode::kOff) {
     store::Collection* index_docs = db_->GetCollection(kIndexesCollection);
     index_docs->CreateIndex("endpoint_url");
-    index_docs->Remove(url_filter);
-    Status persisted = index_docs->Insert(indexes->ToJson()).status();
+    Status persisted =
+        index_docs->Replace(url_filter, indexes->ToJson()).status();
     if (!persisted.ok()) return fail(std::move(persisted));
   }
   {
     Json doc = std::move(summary_doc);
     doc.Set("extracted_day", today);
     doc.Set("content_hash", content_hash);
-    Status persisted = summaries->Insert(std::move(doc)).status();
+    Status persisted = summaries->Replace(url_filter, std::move(doc)).status();
     if (!persisted.ok()) return fail(std::move(persisted));
   }
   {
     Json doc = clusters.ToJson();
     doc.Set("extracted_day", today);
-    Status persisted = cluster_docs->Insert(std::move(doc)).status();
+    Status persisted =
+        cluster_docs->Replace(url_filter, std::move(doc)).status();
     if (!persisted.ok()) return fail(std::move(persisted));
   }
   report.persist_ms = sw.ElapsedMillis();
@@ -497,10 +499,9 @@ DailyReport Server::RunDailyCycleOn(ThreadPool* pool, int parallelism) {
 
 Status Server::PersistRegistry() {
   store::Collection* c = db_->GetCollection(kRegistryCollection);
-  c->Remove(Json::MakeObject());
   Json wrapper = Json::MakeObject();
   wrapper.Set("records", registry_.ToJson());
-  return c->Insert(std::move(wrapper)).status();
+  return c->Replace(Json::MakeObject(), std::move(wrapper)).status();
 }
 
 Status Server::LoadRegistry() {

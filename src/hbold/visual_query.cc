@@ -60,14 +60,37 @@ std::string VisualQuery::FollowArc(const schema::PropertyArc& arc) {
 
 void VisualQuery::FilterRegex(const std::string& var,
                               const std::string& pattern,
-                              bool case_insensitive) {
-  filters_.push_back({true, var, pattern, "", case_insensitive});
+                              bool case_insensitive, bool literal_text) {
+  std::string p = literal_text ? sparql::EscapeRegexText(pattern) : pattern;
+  filters_.push_back({true, var, std::move(p), "", case_insensitive});
 }
 
 void VisualQuery::FilterCompare(const std::string& var, const std::string& op,
                                 const std::string& value) {
   filters_.push_back({false, var, op, value});
 }
+
+namespace {
+
+/// True when `value` lexes as a bare SPARQL numeric literal (integer or
+/// decimal, optional sign) and can be emitted unquoted.
+bool IsNumericLiteral(const std::string& value) {
+  size_t i = 0;
+  if (i < value.size() && (value[i] == '+' || value[i] == '-')) ++i;
+  size_t digits = 0, dots = 0;
+  for (; i < value.size(); ++i) {
+    if (value[i] >= '0' && value[i] <= '9') {
+      ++digits;
+    } else if (value[i] == '.') {
+      ++dots;
+    } else {
+      return false;
+    }
+  }
+  return digits > 0 && dots <= 1;
+}
+
+}  // namespace
 
 std::string VisualQuery::GenerateSparql() const {
   sparql::QueryBuilder b;
@@ -87,8 +110,11 @@ std::string VisualQuery::GenerateSparql() const {
   for (const FilterSpec& f : filters_) {
     if (f.is_regex) {
       b.FilterRegex(f.var, f.a, f.icase);
-    } else {
+    } else if (IsNumericLiteral(f.b)) {
       b.FilterCompare(f.var, f.a, f.b);
+    } else {
+      b.FilterCompare(f.var, f.a,
+                      "\"" + sparql::EscapeLiteral(f.b) + "\"");
     }
   }
   if (limit_.has_value()) b.Limit(*limit_);

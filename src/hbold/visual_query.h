@@ -41,10 +41,16 @@ class VisualQuery {
   /// destination variable, "" on error.
   std::string FollowArc(const schema::PropertyArc& arc);
 
-  /// Adds FILTER regex on an attribute variable.
+  /// Adds FILTER regex on an attribute variable. `pattern` is the user's
+  /// search text: by default every regex metacharacter is escaped so the
+  /// filter matches the text literally (a label like "C++ (draft)" is a
+  /// valid search, not a broken regex). Pass `literal_text = false` to
+  /// hand through a real regular expression instead.
   void FilterRegex(const std::string& var, const std::string& pattern,
-                   bool case_insensitive = false);
-  /// Adds FILTER (?var op value).
+                   bool case_insensitive = false, bool literal_text = true);
+  /// Adds FILTER (?var op value). Numeric-looking values are emitted as
+  /// numeric literals; everything else is emitted as a quoted, escaped
+  /// string literal — raw user strings can never inject query syntax.
   void FilterCompare(const std::string& var, const std::string& op,
                      const std::string& value);
 

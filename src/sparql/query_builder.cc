@@ -2,6 +2,52 @@
 
 namespace hbold::sparql {
 
+std::string EscapeLiteral(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeRegexText(std::string_view text) {
+  constexpr std::string_view kMeta = "\\^$.|?*+()[]{}";
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (kMeta.find(c) != std::string_view::npos) out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string EscapeIri(std::string_view iri) {
+  constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(iri.size());
+  for (unsigned char c : iri) {
+    bool forbidden = c <= 0x20 || c == 0x7f || c == '<' || c == '>' ||
+                     c == '"' || c == '\\' || c == '^' || c == '`' ||
+                     c == '{' || c == '}' || c == '|';
+    if (forbidden) {
+      out += '%';
+      out += kHex[c >> 4];
+      out += kHex[c & 0xF];
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
 QueryBuilder& QueryBuilder::Prefix(const std::string& label,
                                    const std::string& iri) {
   prefixes_.emplace_back(label, iri);
@@ -30,14 +76,15 @@ QueryBuilder& QueryBuilder::Distinct(bool distinct) {
 
 QueryBuilder& QueryBuilder::WhereClass(const std::string& var,
                                        const std::string& class_iri) {
-  patterns_.push_back({"?" + var, "a", "<" + class_iri + ">", false});
+  patterns_.push_back({"?" + var, "a", "<" + EscapeIri(class_iri) + ">",
+                       false});
   return *this;
 }
 
 QueryBuilder& QueryBuilder::WhereLink(const std::string& subject_var,
                                       const std::string& predicate_iri,
                                       const std::string& object_var) {
-  patterns_.push_back({"?" + subject_var, "<" + predicate_iri + ">",
+  patterns_.push_back({"?" + subject_var, "<" + EscapeIri(predicate_iri) + ">",
                        "?" + object_var, false});
   return *this;
 }
@@ -56,7 +103,7 @@ QueryBuilder& QueryBuilder::MakeLastOptional() {
 QueryBuilder& QueryBuilder::FilterRegex(const std::string& var,
                                         const std::string& pattern,
                                         bool case_insensitive) {
-  std::string f = "regex(STR(?" + var + "), \"" + pattern + "\"";
+  std::string f = "regex(STR(?" + var + "), \"" + EscapeLiteral(pattern) + "\"";
   if (case_insensitive) f += ", \"i\"";
   f += ")";
   filters_.push_back(std::move(f));

@@ -4,9 +4,29 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace hbold::sparql {
+
+/// Escapes `text` for embedding inside a double-quoted SPARQL string
+/// literal: backslash, double quote, newline, tab, and carriage return
+/// become the escape sequences the lexer accepts. Parsing the emitted
+/// literal yields `text` back unchanged, so user-supplied labels can never
+/// terminate the literal or inject query syntax.
+std::string EscapeLiteral(std::string_view text);
+
+/// Backslash-escapes every regex metacharacter in `text` so the result
+/// matches `text` literally under REGEX (both ECMAScript and the
+/// executor's LitePatternMatch subset treat \c as the literal c).
+std::string EscapeRegexText(std::string_view text);
+
+/// Sanitizes an IRI for emission inside <...>: characters RDF forbids in
+/// IRI references (control characters, whitespace, angle brackets, quotes,
+/// backslash, and the other <> delimiters) are percent-encoded so a
+/// hostile "IRI" cannot break out of the brackets. Well-formed IRIs pass
+/// through byte-identical.
+std::string EscapeIri(std::string_view iri);
 
 /// Programmatic SPARQL text generator.
 ///
@@ -29,10 +49,11 @@ class QueryBuilder {
                             const std::string& as, bool distinct = false);
   QueryBuilder& Distinct(bool distinct = true);
 
-  /// Adds the pattern `?var a <class_iri>`.
+  /// Adds the pattern `?var a <class_iri>`. The IRI is sanitized with
+  /// EscapeIri.
   QueryBuilder& WhereClass(const std::string& var,
                            const std::string& class_iri);
-  /// Adds `?s <predicate_iri> ?o`.
+  /// Adds `?s <predicate_iri> ?o`. The IRI is sanitized with EscapeIri.
   QueryBuilder& WhereLink(const std::string& subject_var,
                           const std::string& predicate_iri,
                           const std::string& object_var);
@@ -44,7 +65,10 @@ class QueryBuilder {
   /// recently added triple.
   QueryBuilder& MakeLastOptional();
 
-  /// Adds FILTER regex(STR(?var), "pattern").
+  /// Adds FILTER regex(STR(?var), "pattern"). `pattern` is a regular
+  /// expression; it is embedded with EscapeLiteral so the parsed query
+  /// sees exactly `pattern` (quotes and backslashes included) rather than
+  /// whatever the raw bytes happen to lex as.
   QueryBuilder& FilterRegex(const std::string& var, const std::string& pattern,
                             bool case_insensitive = false);
   /// Adds FILTER (?var <op> value) with a raw value string.

@@ -247,6 +247,38 @@ Result<size_t> Collection::Update(const Document& filter,
   return targets.size();
 }
 
+Result<DocId> Collection::Replace(const Document& filter, Document doc) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("documents must be JSON objects");
+  }
+  // Pull the matches out first so the uniqueness check runs against the
+  // survivors only; restore them if the new document is rejected.
+  std::vector<std::pair<DocId, Document>> removed;
+  for (auto it = docs_.begin(); it != docs_.end();) {
+    if (Matches(it->second, filter)) {
+      DeindexDoc(it->first, it->second);
+      removed.emplace_back(it->first, std::move(it->second));
+      it = docs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Status unique = CheckUnique(doc, std::nullopt);
+  if (!unique.ok()) {
+    for (auto& [id, old_doc] : removed) {
+      IndexDoc(id, old_doc);
+      docs_.emplace(id, std::move(old_doc));
+    }
+    return unique;
+  }
+  DocId id = next_id_++;
+  doc.Set(kIdField, Json(static_cast<int64_t>(id)));
+  IndexDoc(id, doc);
+  docs_.emplace(id, std::move(doc));
+  return id;
+}
+
 size_t Collection::Remove(const Document& filter) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   size_t removed = 0;

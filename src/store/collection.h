@@ -69,6 +69,14 @@ class Collection {
   /// Removes matching documents. Returns the number removed.
   size_t Remove(const Document& filter);
 
+  /// Atomically removes every document matching `filter` and inserts
+  /// `doc`, under one exclusive lock — concurrent readers see either the
+  /// old document(s) or the new one, never the gap a separate
+  /// Remove+Insert pair exposes. Returns the new document's id; fails
+  /// (with nothing removed) when a unique index would be violated by
+  /// `doc` against the surviving documents.
+  Result<DocId> Replace(const Document& filter, Document doc);
+
   /// Declares a unique index on a (dotted) field path. Existing duplicates
   /// cause InvalidArgument.
   Status CreateUniqueIndex(const std::string& field_path);

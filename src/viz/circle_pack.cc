@@ -207,7 +207,9 @@ SubPack PackNode(const Hierarchy& node, size_t depth, size_t group,
                  double padding_fraction) {
   SubPack result;
   if (node.IsLeaf()) {
-    double v = node.value > 0 ? node.value : 1.0;
+    // Mirror Hierarchy's fill rule: non-finite or non-positive leaf
+    // values get unit weight instead of a NaN/zero-radius circle.
+    double v = std::isfinite(node.value) && node.value > 0 ? node.value : 1.0;
     result.radius = std::sqrt(v / kPi);
     result.circles.push_back(PackedCircle{
         node.name, depth, group, v, Circle{0, 0, result.radius}});

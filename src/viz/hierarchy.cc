@@ -1,13 +1,24 @@
 #include "viz/hierarchy.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace hbold::viz {
+
+namespace {
+
+/// A usable weight is finite and strictly positive; NaN, infinities,
+/// zeros, and negative values all fall back to the sibling fill rule so
+/// degenerate inputs (zero-instance classes, corrupt counts) can never
+/// poison the geometry downstream.
+bool UsableWeight(double v) { return std::isfinite(v) && v > 0; }
+
+}  // namespace
 
 double Hierarchy::EffectiveValue() const {
   double total = 0;
   for (double v : ChildValues()) total += v;
-  if (IsLeaf()) return value > 0 ? value : 1.0;
+  if (IsLeaf()) return UsableWeight(value) ? value : 1.0;
   return total;
 }
 
@@ -19,18 +30,20 @@ std::vector<double> Hierarchy::ChildValues() const {
   for (const Hierarchy& c : children) {
     double v = c.IsLeaf() ? c.value : c.EffectiveValue();
     out.push_back(v);
-    if (v > 0) {
+    if (UsableWeight(v)) {
       nonzero_sum += v;
       ++nonzero_count;
     }
   }
   // Zero-valued leaves receive the mean of their non-zero siblings (equal
-  // visual share), or 1 when everything is zero.
+  // visual share), or 1 when everything is zero. Non-finite values take
+  // the same fill — checking `v <= 0` alone would let a NaN slip through
+  // both branches and surface as NaN rectangles in every layout.
   double fill = nonzero_count > 0
                     ? nonzero_sum / static_cast<double>(nonzero_count)
                     : 1.0;
   for (double& v : out) {
-    if (v <= 0) v = fill;
+    if (!UsableWeight(v)) v = fill;
   }
   return out;
 }

@@ -1,0 +1,123 @@
+#ifndef HBOLD_VIZ_LAYOUT_CACHE_H_
+#define HBOLD_VIZ_LAYOUT_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster_schema.h"
+#include "schema/schema_summary.h"
+#include "viz/circle_pack.h"
+#include "viz/edge_bundling.h"
+#include "viz/hierarchy.h"
+#include "viz/sunburst.h"
+#include "viz/treemap.h"
+
+namespace hbold::viz {
+
+/// Rendering knobs for one full layout set (all four Fig. 4-7 views).
+struct LayoutSetOptions {
+  double treemap_width = 800.0;
+  double treemap_height = 600.0;
+  TreemapOptions treemap;
+  SunburstOptions sunburst;
+  CirclePackOptions circle_pack;
+  EdgeBundlingOptions bundling;
+
+  /// Stable FNV-1a fingerprint over every knob — the options half of the
+  /// cache key, so two services with different view settings never share
+  /// entries.
+  uint64_t Fingerprint() const;
+};
+
+/// Everything one "open cluster schema" interaction needs rendered: the
+/// four layout geometries plus their SVG documents, and a byte-stable
+/// fingerprint over the rendered output. Computed once per distinct
+/// cluster-schema content, then served from the LayoutCache.
+struct LayoutSet {
+  std::vector<TreemapCell> treemap;
+  std::vector<SunburstSlice> sunburst;
+  std::vector<PackedCircle> circles;
+  EdgeBundlingLayout bundling;
+  std::string treemap_svg;
+  std::string sunburst_svg;
+  std::string circle_pack_svg;
+  std::string bundling_svg;
+  /// FNV-1a over the four rendered SVG byte streams — the geometry
+  /// fingerprint session transcripts embed, so any divergence between the
+  /// cached and on-the-fly paths (or across thread counts) is caught by
+  /// byte comparison of transcripts.
+  uint64_t geometry_fingerprint = 0;
+};
+
+/// Computes all four layouts and renders them to SVG — the cacheable viz
+/// entry point. Deterministic: a pure function of its arguments.
+LayoutSet ComputeLayoutSet(const schema::SchemaSummary& summary,
+                           const cluster::ClusterSchema& clusters,
+                           const std::string& dataset_name,
+                           const LayoutSetOptions& options);
+
+struct LayoutCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t epoch_flushes = 0;
+};
+
+/// Thread-safe LRU cache of LayoutSets keyed on (cluster-schema content
+/// fingerprint, options fingerprint), generation-invalidated like the
+/// query engine's PlanCache: the serving layer bumps the epoch whenever it
+/// refreshes its store snapshots, and a mismatched epoch flushes the
+/// cache wholesale. Keys are content fingerprints, so even a stale entry
+/// can never be *wrong* — the epoch bound only keeps dead schemas from
+/// pinning memory across extraction cycles.
+///
+/// Lookups are single-flight: concurrent requests for the same key block
+/// on one computation instead of racing it, which both saves the duplicate
+/// work and keeps hit/miss counters deterministic under any thread count
+/// (misses == distinct keys requested, always).
+class LayoutCache {
+ public:
+  /// `capacity` is clamped to >= 1.
+  explicit LayoutCache(size_t capacity = 256);
+
+  /// Returns the cached set for the key, computing it via `compute` on
+  /// first request. `compute` runs outside the cache lock; concurrent
+  /// callers with the same key wait for the in-flight computation.
+  std::shared_ptr<const LayoutSet> GetOrCompute(
+      uint64_t cluster_fingerprint, uint64_t options_fingerprint,
+      const std::function<LayoutSet()>& compute);
+
+  /// Flushes everything when `epoch` differs from the current epoch (the
+  /// PlanCache idiom: callers pass their snapshot generation).
+  void SetEpoch(uint64_t epoch);
+
+  LayoutCacheStats stats() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using Key = std::pair<uint64_t, uint64_t>;
+  struct Entry {
+    std::shared_future<std::shared_ptr<const LayoutSet>> future;
+    std::list<Key>::iterator lru_it;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t epoch_ = 0;
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;  // front = most recently used
+  LayoutCacheStats stats_;
+};
+
+}  // namespace hbold::viz
+
+#endif  // HBOLD_VIZ_LAYOUT_CACHE_H_

@@ -23,6 +23,9 @@ void LayoutNode(const Hierarchy& node, double a0, double a1, size_t depth,
     slice.a1 = a1;
     slice.r0 = hole + ring * static_cast<double>(depth - 1);
     slice.r1 = hole + ring * static_cast<double>(depth) - opt.ring_gap;
+    // A ring thinner than ring_gap (deep hierarchy, small radius) would
+    // invert the annulus; collapse it to zero thickness instead.
+    if (slice.r1 < slice.r0) slice.r1 = slice.r0;
     out->push_back(std::move(slice));
   }
   if (node.IsLeaf()) return;

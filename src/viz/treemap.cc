@@ -1,6 +1,7 @@
 #include "viz/treemap.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 namespace hbold::viz {
@@ -123,7 +124,9 @@ void LayoutNode(const Hierarchy& node, const Rect& rect, size_t depth,
 
   std::vector<double> values = node.ChildValues();
   double total = std::accumulate(values.begin(), values.end(), 0.0);
-  if (total <= 0) return;
+  // ChildValues() fills degenerate weights, so total > 0 whenever there
+  // are children — the guard is belt-and-braces against non-finite input.
+  if (!(total > 0) || !std::isfinite(total)) return;
   std::vector<double> areas(values.size());
   for (size_t i = 0; i < values.size(); ++i) {
     areas[i] = values[i] / total * inner.Area();

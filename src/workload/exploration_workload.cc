@@ -1,0 +1,92 @@
+#include "workload/exploration_workload.h"
+
+#include "common/random.h"
+
+namespace hbold::workload {
+
+const char* SessionActionKindName(SessionActionKind kind) {
+  switch (kind) {
+    case SessionActionKind::kListDatasets:
+      return "list_datasets";
+    case SessionActionKind::kOpenDataset:
+      return "open_dataset";
+    case SessionActionKind::kRenderLayouts:
+      return "render_layouts";
+    case SessionActionKind::kFocusClass:
+      return "focus_class";
+    case SessionActionKind::kExpandClass:
+      return "expand_class";
+    case SessionActionKind::kExpandAll:
+      return "expand_all";
+    case SessionActionKind::kEffectivenessTask:
+      return "effectiveness_task";
+    case SessionActionKind::kDrilldownSample:
+      return "drilldown_sample";
+    case SessionActionKind::kDescribeResource:
+      return "describe_resource";
+    case SessionActionKind::kVisualQuery:
+      return "visual_query";
+  }
+  return "unknown";
+}
+
+std::vector<SessionPlan> GenerateSessions(
+    const ExplorationWorkloadOptions& options, size_t dataset_count) {
+  std::vector<SessionPlan> plans;
+  plans.reserve(options.sessions);
+  for (size_t s = 0; s < options.sessions; ++s) {
+    SessionPlan plan;
+    plan.session_id = s;
+    // Per-session seed derived from the workload seed, never from the
+    // session's position in any execution order.
+    plan.seed = options.seed * 0x9E3779B97F4A7C15ULL + s * 2 + 1;
+    Rng rng(plan.seed);
+    plan.dataset_rank =
+        dataset_count == 0
+            ? 0
+            : rng.Zipf(dataset_count, options.dataset_zipf_s);
+
+    // Every session walks the same prologue a real user does: pick a
+    // dataset from the list, open it, look at the high-level views.
+    plan.actions.push_back({SessionActionKind::kListDatasets, 0, 0});
+    plan.actions.push_back({SessionActionKind::kOpenDataset, 0, 0});
+    plan.actions.push_back({SessionActionKind::kRenderLayouts, 0, 0});
+
+    size_t span = options.max_steps >= options.min_steps
+                      ? options.max_steps - options.min_steps + 1
+                      : 1;
+    size_t steps = options.min_steps + rng.Uniform(span);
+    bool focused = false;
+    for (size_t i = 0; i < steps; ++i) {
+      uint64_t roll = rng.Uniform(100);
+      SessionAction action;
+      action.pick_a = rng.Next();
+      action.pick_b = rng.Next();
+      if (!focused || roll < 15) {
+        action.kind = SessionActionKind::kFocusClass;
+        focused = true;
+      } else if (roll < 35) {
+        action.kind = SessionActionKind::kExpandClass;
+      } else if (roll < 42) {
+        action.kind = SessionActionKind::kExpandAll;
+      } else if (roll < 55) {
+        action.kind = SessionActionKind::kEffectivenessTask;
+      } else if (roll < 70) {
+        action.kind = SessionActionKind::kDrilldownSample;
+      } else if (roll < 80) {
+        action.kind = SessionActionKind::kDescribeResource;
+      } else if (roll < 92) {
+        action.kind = SessionActionKind::kVisualQuery;
+      } else {
+        // Revisit the high-level views mid-session — the second render of
+        // the same schema is the layout cache's bread and butter.
+        action.kind = SessionActionKind::kRenderLayouts;
+      }
+      plan.actions.push_back(action);
+    }
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+}  // namespace hbold::workload

@@ -1,0 +1,70 @@
+#ifndef HBOLD_WORKLOAD_EXPLORATION_WORKLOAD_H_
+#define HBOLD_WORKLOAD_EXPLORATION_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hbold::workload {
+
+/// One user gesture of a simulated exploration session, covering the full
+/// H-BOLD loop: dataset selection, high-level views, Fig. 2 exploration
+/// steps, the §5 effectiveness tasks, and live drill-down / visual queries
+/// against the owning endpoint.
+enum class SessionActionKind {
+  kListDatasets,       // the selection screen
+  kOpenDataset,        // load summary + cluster schema of the session's dataset
+  kRenderLayouts,      // render all four Fig. 4-7 views (the cacheable unit)
+  kFocusClass,         // ExplorationSession::FocusClass(pick_a)
+  kExpandClass,        // ExplorationSession::ExpandClass(pick_a)
+  kExpandAll,          // ExplorationSession::ExpandAll()
+  kEffectivenessTask,  // EffectivenessSimulator task pick_a in {0,1,2}
+  kDrilldownSample,    // drilldown::SampleInstances on class pick_a
+  kDescribeResource,   // drilldown::DescribeResource on a sampled instance
+  kVisualQuery,        // VisualQuery on class pick_a with a label filter
+};
+
+const char* SessionActionKindName(SessionActionKind kind);
+
+/// One step of a session plan. `pick_a` / `pick_b` are raw 64-bit draws;
+/// the serving layer resolves them modulo whatever is actually there
+/// (catalog size, class count, row count), so plan generation never needs
+/// to know the catalog and the same plan replays against any deployment.
+struct SessionAction {
+  SessionActionKind kind = SessionActionKind::kListDatasets;
+  uint64_t pick_a = 0;
+  uint64_t pick_b = 0;
+};
+
+/// A full scripted session: which dataset the user works on (a Zipf rank —
+/// real exploration traffic concentrates on a few popular datasets, which
+/// is exactly what makes the layout cache earn its keep) and the gesture
+/// sequence.
+struct SessionPlan {
+  size_t session_id = 0;
+  uint64_t seed = 0;
+  /// Zipf-skewed dataset rank; resolved modulo the catalog size.
+  size_t dataset_rank = 0;
+  std::vector<SessionAction> actions;
+};
+
+struct ExplorationWorkloadOptions {
+  size_t sessions = 64;
+  uint64_t seed = 2020;
+  /// Zipf skew of dataset popularity (higher = more concentrated).
+  double dataset_zipf_s = 1.1;
+  /// Exploration steps after the fixed open/render prologue.
+  size_t min_steps = 5;
+  size_t max_steps = 12;
+};
+
+/// Generates the session plans. A pure function of (options,
+/// dataset_count): same inputs, byte-identical plans, in any build, which
+/// anchors the serving layer's transcript-determinism contract.
+std::vector<SessionPlan> GenerateSessions(
+    const ExplorationWorkloadOptions& options, size_t dataset_count);
+
+}  // namespace hbold::workload
+
+#endif  // HBOLD_WORKLOAD_EXPLORATION_WORKLOAD_H_

@@ -277,6 +277,77 @@ TEST_F(HboldTest, VisualQueryInvalidSelections) {
   EXPECT_EQ(vq.FollowArc(bogus), "");
 }
 
+// Hostile user input (quotes, backslashes, newlines, regex metachars) in
+// filters must produce queries that the endpoint's own parser accepts —
+// the search text can never break out of the literal and inject syntax.
+TEST_F(HboldTest, VisualQueryHostileFilterTextStaysInLiteral) {
+  ASSERT_TRUE(server_->ProcessEndpoint(kUrl).ok());
+  Presentation pres(&db_);
+  auto summary = pres.LoadSchemaSummary(kUrl);
+  ASSERT_TRUE(summary.ok());
+  int person =
+      summary->FindNode(std::string(workload::kScholarlyNs) + "Person");
+  ASSERT_GE(person, 0);
+
+  const std::string hostile[] = {
+      "say \"hi\"", "back\\slash", "line\nbreak", "C++ (a|b)*?",
+      "\"} . ?s ?p ?o . FILTER regex(STR(?s), \"",  // injection attempt
+  };
+  for (const std::string& text : hostile) {
+    VisualQuery vq(*summary);
+    std::string var = vq.SelectClass(static_cast<size_t>(person));
+    std::string label_var = vq.SelectAttribute(
+        static_cast<size_t>(person),
+        "http://www.w3.org/2000/01/rdf-schema#label");
+    ASSERT_FALSE(label_var.empty());
+    vq.FilterRegex(label_var, text);          // literal search text
+    vq.FilterCompare(label_var, "!=", text);  // string comparison
+    std::string sparql = vq.GenerateSparql();
+    auto parsed = sparql::ParseQuery(sparql);
+    ASSERT_TRUE(parsed.ok()) << sparql << "\n" << parsed.status();
+    // Exactly the two filters we added — nothing escaped into the BGP.
+    EXPECT_EQ(parsed->where.filters.size(), 2u) << sparql;
+    auto result = vq.Execute(scholarly_ep_.get());
+    ASSERT_TRUE(result.ok()) << sparql << "\n" << result.status();
+    EXPECT_EQ(result->table.num_rows(), 0u);  // nothing matches, nothing breaks
+  }
+
+  // Escaped-literal search still finds real matches.
+  VisualQuery finds(*summary);
+  finds.SelectClass(static_cast<size_t>(person));
+  std::string label_var = finds.SelectAttribute(
+      static_cast<size_t>(person),
+      "http://www.w3.org/2000/01/rdf-schema#label");
+  finds.FilterRegex(label_var, "Person 1");
+  auto result = finds.Execute(scholarly_ep_.get());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->table.num_rows(), 0u);
+}
+
+// Drill-down queries IRI-escape the class/resource identifiers they embed:
+// a malformed IRI (spaces, quotes, angle brackets) degrades to an empty
+// result, never a parse error at the endpoint.
+TEST_F(HboldTest, DrilldownEscapesHostileIris) {
+  ASSERT_TRUE(server_->ProcessEndpoint(kUrl).ok());
+  const std::string hostile_iris[] = {
+      "http://x/a b", "http://x/a>\"<b", "http://x/a\\b",
+      "http://x/a\nb> . ?s ?p ?o . <http://x/c",
+  };
+  for (const std::string& iri : hostile_iris) {
+    auto sample = drilldown::SampleInstances(scholarly_ep_.get(), iri, 5);
+    ASSERT_TRUE(sample.ok()) << iri << "\n" << sample.status();
+    EXPECT_EQ(sample->num_rows(), 0u) << iri;
+    auto describe = drilldown::DescribeResource(scholarly_ep_.get(), iri);
+    ASSERT_TRUE(describe.ok()) << iri << "\n" << describe.status();
+    EXPECT_EQ(describe->num_rows(), 0u) << iri;
+  }
+  // And a well-formed IRI still drills down normally.
+  auto sample = drilldown::SampleInstances(
+      scholarly_ep_.get(), std::string(workload::kScholarlyNs) + "Person", 5);
+  ASSERT_TRUE(sample.ok()) << sample.status();
+  EXPECT_GT(sample->num_rows(), 0u);
+}
+
 // ---------------------------------------------------------------- Crawler
 
 TEST(CrawlerTest, DiscoversDedupsAndRegisters) {

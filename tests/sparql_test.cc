@@ -483,6 +483,77 @@ TEST(QueryBuilderTest, FiltersAndOptional) {
   EXPECT_EQ(q->where.filters.size(), 2u);
 }
 
+// ----------------------------------------------------- hostile-text escaping
+
+TEST(QueryBuilderTest, EscapeLiteralEmitsOnlyLexerEscapes) {
+  EXPECT_EQ(EscapeLiteral("plain"), "plain");
+  EXPECT_EQ(EscapeLiteral("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeLiteral("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLiteral("line\nbreak\ttab\rcr"),
+            "line\\nbreak\\ttab\\rcr");
+}
+
+TEST(QueryBuilderTest, EscapeRegexTextNeutralizesMetacharacters) {
+  EXPECT_EQ(EscapeRegexText("abc"), "abc");
+  EXPECT_EQ(EscapeRegexText("C++ (draft)"), "C\\+\\+ \\(draft\\)");
+  EXPECT_EQ(EscapeRegexText("a.b*c?"), "a\\.b\\*c\\?");
+  EXPECT_EQ(EscapeRegexText("^[x]|{y}$"), "\\^\\[x\\]\\|\\{y\\}\\$");
+}
+
+TEST(QueryBuilderTest, EscapeIriPercentEncodesForbiddenBytes) {
+  // Well-formed IRIs pass through byte-identical.
+  EXPECT_EQ(EscapeIri("http://x/Person"), "http://x/Person");
+  // Delimiters that would terminate or corrupt the <...> token get
+  // percent-encoded, so the query stays parseable.
+  EXPECT_EQ(EscapeIri("http://x/a b"), "http://x/a%20b");
+  EXPECT_EQ(EscapeIri("http://x/a>c"), "http://x/a%3Ec");
+  EXPECT_EQ(EscapeIri("http://x/a\"c"), "http://x/a%22c");
+  EXPECT_EQ(EscapeIri("http://x/a\\c"), "http://x/a%5Cc");
+  EXPECT_EQ(EscapeIri("http://x/a\nc"), "http://x/a%0Ac");
+}
+
+// Hostile labels round-trip through the builder into queries the repo's own
+// parser accepts — quotes, backslashes, newlines, and regex metacharacters
+// can never break out of the literal or IRI context.
+TEST(QueryBuilderTest, HostileTextProducesParseableQueries) {
+  const std::string hostile[] = {
+      "say \"hi\"",  "back\\slash", "line\nbreak",
+      "C++ (draft)", "^a.b$|[c]*",  "tab\there \"x\\y\"",
+  };
+  for (const std::string& text : hostile) {
+    QueryBuilder b;
+    b.Select("s")
+        .WhereClass("s", "http://x/C " + text)  // hostile IRI too
+        .WhereLink("s", "http://x/p", "v")
+        .FilterRegex("v", EscapeRegexText(text), true)
+        .FilterCompare("v", "!=", "\"" + EscapeLiteral(text) + "\"");
+    auto q = ParseQuery(b.Build());
+    ASSERT_TRUE(q.ok()) << b.Build() << "\n" << q.status();
+    EXPECT_EQ(q->where.filters.size(), 2u);
+  }
+}
+
+// A regex-escaped search still MATCHES the literal text it came from when
+// executed (metachars match themselves after escaping).
+TEST_F(SparqlTest, EscapedRegexMatchesLiterally) {
+  QueryBuilder b;
+  b.Select("name")
+      .WhereClass("p", "http://xmlns.com/foaf/0.1/Person")
+      .WhereLink("p", "http://xmlns.com/foaf/0.1/name", "name")
+      .FilterRegex("name", EscapeRegexText("Alice"), false);
+  ResultTable t = Run(b.Build());
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.Cell(0, "name")->lexical(), "Alice");
+
+  // A pattern full of metachars escaped: matches nothing, breaks nothing.
+  QueryBuilder b2;
+  b2.Select("name")
+      .WhereClass("p", "http://xmlns.com/foaf/0.1/Person")
+      .WhereLink("p", "http://xmlns.com/foaf/0.1/name", "name")
+      .FilterRegex("name", EscapeRegexText("^Al.ce$"), false);
+  EXPECT_EQ(Run(b2.Build()).num_rows(), 0u);
+}
+
 // End-to-end: builder-generated query runs on the fixture store.
 TEST_F(SparqlTest, BuilderQueryExecutes) {
   QueryBuilder b;

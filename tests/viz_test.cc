@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "common/random.h"
@@ -612,6 +614,166 @@ TEST(RenderTest, AllRenderersProduceElements) {
   auto graph =
       RenderGraph(nodes, edges, ForceLayout(2, edges, {}), 800, 600);
   EXPECT_GT(graph.ElementCount(), 3u);
+}
+
+// ------------------------------------------ degenerate-input properties
+
+/// Hierarchies that historically broke layout math: NaN and infinite
+/// weights, all-zero clusters, a single leaf, a childless cluster.
+std::vector<Hierarchy> DegenerateHierarchies() {
+  double nan = std::nan("");
+  double inf = std::numeric_limits<double>::infinity();
+  std::vector<Hierarchy> cases;
+  cases.push_back(Hierarchy{
+      "nan_leaves", 0, {Hierarchy{"c", 0, {{"a", nan, {}}, {"b", 5, {}}}}}});
+  cases.push_back(Hierarchy{
+      "inf_leaf", 0, {Hierarchy{"c", 0, {{"a", inf, {}}, {"b", 2, {}}}}}});
+  cases.push_back(Hierarchy{
+      "negative", 0, {Hierarchy{"c", 0, {{"a", -3, {}}, {"b", 1, {}}}}}});
+  cases.push_back(Hierarchy{
+      "all_nan", 0, {Hierarchy{"c", 0, {{"a", nan, {}}, {"b", nan, {}}}}}});
+  cases.push_back(Hierarchy{"single", 7, {}});
+  cases.push_back(Hierarchy{
+      "zero_cluster", 0, {Hierarchy{"c1", 0, {{"a", 0, {}}, {"b", 0, {}}}},
+                          Hierarchy{"c2", 0, {{"d", 9, {}}}}}});
+  return cases;
+}
+
+TEST(DegenerateInputTest, TreemapStaysFiniteInBoundsNonOverlapping) {
+  const Rect bounds{0, 0, 400, 300};
+  for (const Hierarchy& h : DegenerateHierarchies()) {
+    TreemapOptions opt;
+    opt.padding = 0;
+    opt.header = 0;
+    auto cells = TreemapLayout(h, bounds, opt);
+    ASSERT_FALSE(cells.empty()) << h.name;
+    size_t max_depth = 0;
+    for (const TreemapCell& c : cells) {
+      EXPECT_TRUE(std::isfinite(c.rect.x) && std::isfinite(c.rect.y) &&
+                  std::isfinite(c.rect.w) && std::isfinite(c.rect.h))
+          << h.name << "/" << c.name;
+      EXPECT_GE(c.rect.w, 0.0) << h.name << "/" << c.name;
+      EXPECT_GE(c.rect.h, 0.0) << h.name << "/" << c.name;
+      EXPECT_GE(c.rect.x, bounds.x - 1e-6) << h.name << "/" << c.name;
+      EXPECT_GE(c.rect.y, bounds.y - 1e-6) << h.name << "/" << c.name;
+      EXPECT_LE(c.rect.x + c.rect.w, bounds.x + bounds.w + 1e-6)
+          << h.name << "/" << c.name;
+      EXPECT_LE(c.rect.y + c.rect.h, bounds.y + bounds.h + 1e-6)
+          << h.name << "/" << c.name;
+      max_depth = std::max(max_depth, c.depth);
+    }
+    // Leaves never overlap (intersection area ~ 0).
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i].depth != max_depth) continue;
+      for (size_t j = i + 1; j < cells.size(); ++j) {
+        if (cells[j].depth != max_depth) continue;
+        const Rect& a = cells[i].rect;
+        const Rect& b = cells[j].rect;
+        double ox = std::min(a.x + a.w, b.x + b.w) - std::max(a.x, b.x);
+        double oy = std::min(a.y + a.h, b.y + b.h) - std::max(a.y, b.y);
+        double overlap = std::max(0.0, ox) * std::max(0.0, oy);
+        EXPECT_LT(overlap, 1e-6)
+            << h.name << ": " << cells[i].name << " vs " << cells[j].name;
+      }
+    }
+  }
+}
+
+TEST(DegenerateInputTest, SunburstRingsStayFiniteAndOrdered) {
+  for (const Hierarchy& h : DegenerateHierarchies()) {
+    SunburstOptions opt;
+    auto slices = SunburstLayout(h, opt);
+    for (const SunburstSlice& s : slices) {
+      EXPECT_TRUE(std::isfinite(s.a0) && std::isfinite(s.a1) &&
+                  std::isfinite(s.r0) && std::isfinite(s.r1))
+          << h.name << "/" << s.name;
+      EXPECT_LE(s.a0, s.a1 + 1e-9) << h.name << "/" << s.name;
+      EXPECT_LE(s.r0, s.r1 + 1e-9) << h.name << "/" << s.name;
+      EXPECT_LE(s.r1, opt.radius + 1e-6) << h.name << "/" << s.name;
+    }
+    // Same-depth slices partition the angle range: no angular overlap.
+    for (size_t i = 0; i < slices.size(); ++i) {
+      for (size_t j = i + 1; j < slices.size(); ++j) {
+        if (slices[i].depth != slices[j].depth) continue;
+        double lo = std::max(slices[i].a0, slices[j].a0);
+        double hi = std::min(slices[i].a1, slices[j].a1);
+        EXPECT_LT(hi - lo, 1e-6)
+            << h.name << ": " << slices[i].name << " vs " << slices[j].name;
+      }
+    }
+  }
+}
+
+TEST(DegenerateInputTest, SunburstThinRingClampsInsteadOfInverting) {
+  // A ring gap wider than the rings themselves used to produce r1 < r0
+  // (negative annulus thickness). Now the outer radius clamps to r0.
+  Hierarchy deep{"root", 0, {}};
+  Hierarchy* cursor = &deep;
+  for (int d = 0; d < 12; ++d) {
+    cursor->children.push_back(Hierarchy{"d" + std::to_string(d), 1, {}});
+    cursor = &cursor->children[0];
+  }
+  SunburstOptions opt;
+  opt.radius = 40;
+  opt.ring_gap = 10;  // gap * depth >> radius
+  for (const SunburstSlice& s : SunburstLayout(deep, opt)) {
+    EXPECT_TRUE(std::isfinite(s.r0) && std::isfinite(s.r1)) << s.name;
+    EXPECT_GE(s.r1, s.r0) << s.name;
+  }
+}
+
+TEST(DegenerateInputTest, CirclePackStaysFiniteAndSiblingsDisjoint) {
+  for (const Hierarchy& h : DegenerateHierarchies()) {
+    CirclePackOptions opt;
+    auto circles = CirclePackLayout(h, opt);
+    ASSERT_FALSE(circles.empty()) << h.name;
+    for (const PackedCircle& c : circles) {
+      EXPECT_TRUE(std::isfinite(c.circle.x) && std::isfinite(c.circle.y) &&
+                  std::isfinite(c.circle.r))
+          << h.name << "/" << c.name;
+      EXPECT_GT(c.circle.r, 0.0) << h.name << "/" << c.name;
+      EXPECT_LE(c.circle.r, opt.radius * (1 + 1e-6)) << h.name << "/" << c.name;
+    }
+    // Leaves of the same cluster (same depth + group) must not overlap.
+    size_t max_depth = 0;
+    for (const PackedCircle& c : circles)
+      max_depth = std::max(max_depth, c.depth);
+    for (size_t i = 0; i < circles.size(); ++i) {
+      if (circles[i].depth != max_depth) continue;
+      for (size_t j = i + 1; j < circles.size(); ++j) {
+        if (circles[j].depth != max_depth ||
+            circles[j].group != circles[i].group) {
+          continue;
+        }
+        const Circle& a = circles[i].circle;
+        const Circle& b = circles[j].circle;
+        double dist = std::hypot(a.x - b.x, a.y - b.y);
+        EXPECT_GE(dist + 1e-6, a.r + b.r)
+            << h.name << ": " << circles[i].name << " vs " << circles[j].name;
+      }
+    }
+  }
+}
+
+TEST(DegenerateInputTest, DegenerateHierarchiesRenderToSvg) {
+  for (const Hierarchy& h : DegenerateHierarchies()) {
+    auto treemap = RenderTreemap(TreemapLayout(h, Rect{0, 0, 400, 300}, {}),
+                                 400, 300);
+    auto sunburst = RenderSunburst(SunburstLayout(h, {}), 300);
+    auto pack = RenderCirclePack(CirclePackLayout(h, {}), 300);
+    if (!h.children.empty()) {
+      // A root-only hierarchy legitimately renders nothing (the renderers
+      // skip depth 0); everything else must produce visible elements.
+      EXPECT_GT(treemap.ElementCount(), 0u) << h.name;
+      EXPECT_GT(sunburst.ElementCount(), 0u) << h.name;
+      EXPECT_GT(pack.ElementCount(), 0u) << h.name;
+    }
+    // The SVG bytes are the geometry fingerprint input: NaN would print
+    // as "nan" — assert it never reaches the document.
+    EXPECT_EQ(treemap.ToString().find("nan"), std::string::npos) << h.name;
+    EXPECT_EQ(sunburst.ToString().find("nan"), std::string::npos) << h.name;
+    EXPECT_EQ(pack.ToString().find("nan"), std::string::npos) << h.name;
+  }
 }
 
 }  // namespace

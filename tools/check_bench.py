@@ -160,6 +160,17 @@ GATED = {
         Metric("probe_skips", "stable"),
         Metric("delta_extractions", "stable"),
     ],
+    "BENCH_exploration_serving.json": [
+        # The session stream is fully seeded: transcripts and cache miss
+        # counts are deterministic, so the fingerprint is a hard gate.
+        # The bench's own >=2x speedup bool is the wall-clock authority.
+        Metric("gates.transcript_identity", "bool"),
+        Metric("gates.deterministic_misses", "bool"),
+        Metric("gates.cache_speedup_2x", "bool"),
+        Metric("transcript_fingerprint", "exact"),
+        Metric("cache_misses", "stable"),
+        Metric("sessions", "stable"),
+    ],
 }
 
 
