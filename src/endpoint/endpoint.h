@@ -76,6 +76,11 @@ struct ChangeProbe {
   std::vector<ClassFingerprint> classes;
   /// Simulated latency charged for the probe round-trip.
   double latency_ms = 0;
+  /// True when the endpoint cut the fingerprint list short (row cap,
+  /// adversarial truncation). A truncated probe proves nothing about the
+  /// classes it omitted — consumers must not infer removals from absence
+  /// and must not take the all-quiet shortcut.
+  bool truncated = false;
 };
 
 /// A SPARQL endpoint as H-BOLD sees it: an opaque URL that answers SPARQL

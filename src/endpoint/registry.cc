@@ -3,6 +3,8 @@
 #include <mutex>
 #include <set>
 
+#include "common/string_util.h"
+
 namespace hbold::endpoint {
 
 const char* EndpointSourceName(EndpointSource source) {
@@ -17,11 +19,29 @@ const char* EndpointSourceName(EndpointSource source) {
   return "?";
 }
 
+const char* TrustStateName(TrustState state) {
+  switch (state) {
+    case TrustState::kTrusted:
+      return "trusted";
+    case TrustState::kSuspect:
+      return "suspect";
+    case TrustState::kQuarantined:
+      return "quarantined";
+  }
+  return "?";
+}
+
 namespace {
 EndpointSource SourceFromName(const std::string& name) {
   if (name == "portal") return EndpointSource::kPortalCrawl;
   if (name == "manual") return EndpointSource::kManualInsert;
   return EndpointSource::kSeedList;
+}
+
+TrustState TrustStateFromName(const std::string& name) {
+  if (name == "suspect") return TrustState::kSuspect;
+  if (name == "quarantined") return TrustState::kQuarantined;
+  return TrustState::kTrusted;
 }
 }  // namespace
 
@@ -52,6 +72,22 @@ Json EndpointRecord::ToJson() const {
     }
     j.Set("class_fingerprints", std::move(fp));
   }
+  // Quarantine bookkeeping, likewise emitted only when it ever moved off
+  // the defaults (honest fleets keep byte-identical registries).
+  if (trust_state != TrustState::kTrusted) {
+    j.Set("trust_state", TrustStateName(trust_state));
+  }
+  if (suspect_strikes != 0) j.Set("suspect_strikes", suspect_strikes);
+  if (quarantine_until_day != -1) {
+    j.Set("quarantine_until_day", quarantine_until_day);
+  }
+  if (clean_streak != 0) j.Set("clean_streak", clean_streak);
+  if (last_full_refresh_day != -1) {
+    j.Set("last_full_refresh_day", last_full_refresh_day);
+  }
+  if (probe_failure_streak != 0) {
+    j.Set("probe_failure_streak", probe_failure_streak);
+  }
   return j;
 }
 
@@ -69,12 +105,42 @@ EndpointRecord EndpointRecord::FromJson(const Json& j) {
   r.last_attempt_failed = j.GetBool("last_attempt_failed");
   r.indexed = j.GetBool("indexed");
   r.probed_generation = j.GetString("probed_generation");
+  // Defensive fingerprint parsing: a record whose incremental bookkeeping
+  // is missing entries or garbled (non-string / non-hex versions, wrong
+  // container type) cannot safely drive a delta. Degrade just this
+  // endpoint to a full refresh (drop generation + fingerprints) instead of
+  // failing the whole registry load.
+  bool garbled = false;
   const Json* fp = j.Find("class_fingerprints");
-  if (fp != nullptr && fp->is_object()) {
-    for (const auto& [iri, version] : fp->as_object()) {
-      if (version.is_string()) r.class_fingerprints[iri] = version.as_string();
+  if (fp != nullptr) {
+    if (!fp->is_object()) {
+      garbled = true;
+    } else {
+      for (const auto& [iri, version] : fp->as_object()) {
+        uint64_t parsed = 0;
+        if (!version.is_string() ||
+            !ParseHexU64(version.as_string(), &parsed)) {
+          garbled = true;
+          break;
+        }
+        r.class_fingerprints[iri] = version.as_string();
+      }
     }
   }
+  if (!r.probed_generation.empty()) {
+    uint64_t parsed = 0;
+    if (!ParseHexU64(r.probed_generation, &parsed)) garbled = true;
+  }
+  if (garbled) {
+    r.class_fingerprints.clear();
+    r.probed_generation.clear();
+  }
+  r.trust_state = TrustStateFromName(j.GetString("trust_state"));
+  r.suspect_strikes = j.GetInt("suspect_strikes", 0);
+  r.quarantine_until_day = j.GetInt("quarantine_until_day", -1);
+  r.clean_streak = j.GetInt("clean_streak", 0);
+  r.last_full_refresh_day = j.GetInt("last_full_refresh_day", -1);
+  r.probe_failure_streak = j.GetInt("probe_failure_streak", 0);
   // Preserve keys from newer builds verbatim (forward compatibility).
   static const std::set<std::string> kKnownKeys = {
       "url",          "name",
@@ -82,7 +148,10 @@ EndpointRecord EndpointRecord::FromJson(const Json& j) {
       "first_eligible_day", "last_attempt_day",
       "last_success_day",   "last_attempt_failed",
       "indexed",      "probed_generation",
-      "class_fingerprints"};
+      "class_fingerprints", "trust_state",
+      "suspect_strikes",    "quarantine_until_day",
+      "clean_streak",       "last_full_refresh_day",
+      "probe_failure_streak"};
   if (j.is_object()) {
     for (const auto& [key, value] : j.as_object()) {
       if (kKnownKeys.count(key) == 0) r.unknown_fields[key] = value;

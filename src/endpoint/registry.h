@@ -23,6 +23,18 @@ enum class EndpointSource {
 
 const char* EndpointSourceName(EndpointSource source);
 
+/// Incremental-trust state of one endpoint: how much the server believes
+/// its change probes. Advances trust -> suspect -> quarantined on detected
+/// probe lies / divergences and walks back after clean full refreshes.
+/// Quarantined endpoints get unconditional full refreshes until parole.
+enum class TrustState {
+  kTrusted = 0,
+  kSuspect = 1,
+  kQuarantined = 2,
+};
+
+const char* TrustStateName(TrustState state);
+
 /// Registry record for one SPARQL endpoint: discovery provenance plus the
 /// §3.1 extraction bookkeeping (last attempt day, last success day,
 /// indexed flag).
@@ -57,6 +69,26 @@ struct EndpointRecord {
   /// class IRI -> hex version. Diffed against the next probe to pick the
   /// dirty classes; empty when incremental extraction is disabled.
   std::map<std::string, std::string> class_fingerprints;
+
+  /// Quarantine state machine (adversarial-endpoint hardening). All fields
+  /// keep their zero defaults when incremental trust tracking never fired,
+  /// so registries from honest runs stay byte-identical to earlier builds.
+  TrustState trust_state = TrustState::kTrusted;
+  /// Divergences detected while suspect/trusted; reaching the server's
+  /// suspect threshold quarantines the endpoint.
+  int64_t suspect_strikes = 0;
+  /// First day the endpoint may leave quarantine; -1 = not quarantined.
+  int64_t quarantine_until_day = -1;
+  /// Consecutive successful cycles without a detected divergence (drives
+  /// parole from suspect back to trusted).
+  int64_t clean_streak = 0;
+  /// Day of the last *full* (non-delta) successful extraction; -1 = never.
+  /// kBounded forces a full refresh when today - last_full_refresh_day
+  /// exceeds the staleness budget.
+  int64_t last_full_refresh_day = -1;
+  /// Consecutive transient probe failures (Timeout) — drives deterministic
+  /// retry/backoff, reset on any successful probe.
+  int64_t probe_failure_streak = 0;
 
   /// Forward compatibility: JSON keys this build does not know (e.g.
   /// fields added by a newer build) survive a load/save round-trip

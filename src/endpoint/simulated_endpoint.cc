@@ -54,14 +54,16 @@ bool AvailabilityModel::IsUp(int64_t day) const {
 SimulatedRemoteEndpoint::SimulatedRemoteEndpoint(
     std::string url, std::string name, rdf::TripleStore* store,
     const SimClock* clock, Dialect dialect, AvailabilityModel availability,
-    LatencyModel latency, MutationModel mutation)
+    LatencyModel latency, MutationModel mutation,
+    ProbeFaultModel probe_faults)
     : store_(store),
       local_(std::move(url), std::move(name), store),
       clock_(clock),
       dialect_(dialect),
       availability_(availability),
       latency_(latency),
-      mutation_(mutation) {}
+      mutation_(mutation),
+      probe_faults_(probe_faults) {}
 
 void SimulatedRemoteEndpoint::AdvanceDataDay(int64_t day) {
   for (int64_t d = last_mutation_day_ + 1; d <= day; ++d) {
@@ -71,40 +73,18 @@ void SimulatedRemoteEndpoint::AdvanceDataDay(int64_t day) {
 }
 
 void SimulatedRemoteEndpoint::ApplyMutationDay(int64_t day) {
-  if (mutation_.daily_churn_fraction <= 0.0 || store_ == nullptr) return;
-  rdf::TripleStore& st = *store_;
-  const size_t total = st.size();
-  const size_t budget =
-      static_cast<size_t>(static_cast<double>(total) *
-                          mutation_.daily_churn_fraction);
-  if (budget == 0) return;
-
-  const rdf::TermId type_id =
-      st.dict().Lookup(rdf::Term::Iri(rdf::vocab::kRdfType));
-  if (type_id == rdf::kInvalidTermId) return;
-  const auto classes = st.GroupedCountByObject(type_id);
-  if (classes.empty()) return;
-
-  // Hot set: a fixed, seed-determined subset of classes absorbs all churn;
-  // everything else stays quiet forever. Guaranteed non-empty (the class
-  // with the smallest hash is always hot) so enabled churn always churns.
-  std::vector<rdf::TermId> hot;
-  rdf::TermId min_hash_class = classes.front().first;
-  uint64_t min_hash = ~uint64_t{0};
-  for (const auto& [cid, count] : classes) {
-    const uint64_t h =
-        Mix64(Fnv64(st.dict().Get(cid).lexical()) ^ mutation_.seed);
-    if (h < min_hash) {
-      min_hash = h;
-      min_hash_class = cid;
-    }
-    if (UnitInterval(h) < mutation_.hot_class_fraction) hot.push_back(cid);
+  if (store_ == nullptr) return;
+  if (mutation_.freeze_after_day >= 0 && day > mutation_.freeze_after_day) {
+    return;
   }
-  if (hot.empty()) hot.push_back(min_hash_class);
+  rdf::TripleStore& st = *store_;
 
-  // Plan phase: every pick reads the pre-day snapshot, so the op sequence
-  // is a pure function of (seed, day, store content) — no read depends on
-  // a same-day write.
+  const rdf::TermId type_lookup =
+      st.dict().Lookup(rdf::Term::Iri(rdf::vocab::kRdfType));
+
+  // ---- Plan phase: data churn. Every pick reads the pre-day snapshot, so
+  // the op sequence is a pure function of (seed, day, store content) — no
+  // read depends on a same-day write.
   struct PlannedAdd {
     std::string subject_iri;
     std::vector<std::pair<rdf::TermId, rdf::TermId>> po;  // (p, o) pairs
@@ -116,83 +96,197 @@ void SimulatedRemoteEndpoint::ApplyMutationDay(int64_t day) {
   auto bump_classes_of = [&](rdf::TermId subject) {
     rdf::TriplePattern pat;
     pat.s = subject;
-    pat.p = type_id;
+    pat.p = type_lookup;
     for (const rdf::Triple& t : st.Span(pat)) dirty_classes.insert(t.o);
   };
 
-  size_t staged = 0;
-  for (uint64_t op = 0; staged < budget && op < budget * 4; ++op) {
-    const uint64_t h = MutHash(mutation_.seed, day, op, 0);
-    const rdf::TermId cls = hot[MutHash(mutation_.seed, day, op, 1) %
-                               hot.size()];
-    rdf::TriplePattern members;
-    members.p = type_id;
-    members.o = cls;
-    const rdf::TripleSpan span = st.Span(members);
-    if (span.empty()) continue;
-    const rdf::TermId inst =
-        span.data[MutHash(mutation_.seed, day, op, 2) % span.size].s;
-    rdf::TriplePattern of_inst;
-    of_inst.s = inst;
-    const rdf::TripleSpan inst_triples = st.Span(of_inst);
-    if (inst_triples.empty()) continue;
-
-    if (UnitInterval(h) < mutation_.add_fraction) {
-      // Add: a fresh instance of the hot class, cloned from `inst` as a
-      // template (type triple plus every non-type (p, o) of the template).
-      PlannedAdd add;
-      add.subject_iri = st.dict().Get(cls).lexical() + "/churn-d" +
-                        std::to_string(day) + "-k" + std::to_string(op);
-      add.po.emplace_back(type_id, cls);
-      for (const rdf::Triple& t : inst_triples) {
-        if (t.p == type_id) continue;
-        add.po.emplace_back(t.p, t.o);
+  const size_t total = st.size();
+  const size_t budget = static_cast<size_t>(
+      static_cast<double>(total) * mutation_.daily_churn_fraction);
+  if (budget > 0 && type_lookup != rdf::kInvalidTermId) {
+    const auto classes = st.GroupedCountByObject(type_lookup);
+    // Hot set: a fixed, seed-determined subset of classes absorbs all
+    // churn; everything else stays quiet forever. Guaranteed non-empty
+    // (the class with the smallest hash is always hot) so enabled churn
+    // always churns.
+    std::vector<rdf::TermId> hot;
+    if (!classes.empty()) {
+      rdf::TermId min_hash_class = classes.front().first;
+      uint64_t min_hash = ~uint64_t{0};
+      for (const auto& [cid, count] : classes) {
+        const uint64_t h =
+            Mix64(Fnv64(st.dict().Get(cid).lexical()) ^ mutation_.seed);
+        if (h < min_hash) {
+          min_hash = h;
+          min_hash_class = cid;
+        }
+        if (UnitInterval(h) < mutation_.hot_class_fraction) {
+          hot.push_back(cid);
+        }
       }
-      staged += add.po.size();
-      adds.push_back(std::move(add));
-      dirty_classes.insert(cls);
-    } else {
-      // Retract one triple of the picked instance.
-      const rdf::Triple t =
-          inst_triples.data[MutHash(mutation_.seed, day, op, 3) %
-                            inst_triples.size];
-      removes.push_back(t);
-      staged += 1;
-      bump_classes_of(t.s);
-      if (t.p == type_id) {
-        // Losing a type edge changes the class itself and the property
-        // ranges of every class whose instances point at this one.
-        dirty_classes.insert(t.o);
-        rdf::TriplePattern incoming;
-        incoming.o = t.s;
-        for (const rdf::Triple& in : st.Span(incoming)) {
-          if (in.p == type_id) continue;
-          bump_classes_of(in.s);
+      if (hot.empty()) hot.push_back(min_hash_class);
+    }
+
+    size_t staged = 0;
+    for (uint64_t op = 0; !hot.empty() && staged < budget && op < budget * 4;
+         ++op) {
+      const uint64_t h = MutHash(mutation_.seed, day, op, 0);
+      const rdf::TermId cls =
+          hot[MutHash(mutation_.seed, day, op, 1) % hot.size()];
+      rdf::TriplePattern members;
+      members.p = type_lookup;
+      members.o = cls;
+      const rdf::TripleSpan span = st.Span(members);
+      if (span.empty()) continue;
+      const rdf::TermId inst =
+          span.data[MutHash(mutation_.seed, day, op, 2) % span.size].s;
+      rdf::TriplePattern of_inst;
+      of_inst.s = inst;
+      const rdf::TripleSpan inst_triples = st.Span(of_inst);
+      if (inst_triples.empty()) continue;
+
+      if (UnitInterval(h) < mutation_.add_fraction) {
+        // Add: a fresh instance of the hot class, cloned from `inst` as a
+        // template (type triple plus every non-type (p, o) of the
+        // template).
+        PlannedAdd add;
+        add.subject_iri = st.dict().Get(cls).lexical() + "/churn-d" +
+                          std::to_string(day) + "-k" + std::to_string(op);
+        add.po.emplace_back(type_lookup, cls);
+        for (const rdf::Triple& t : inst_triples) {
+          if (t.p == type_lookup) continue;
+          add.po.emplace_back(t.p, t.o);
+        }
+        staged += add.po.size();
+        adds.push_back(std::move(add));
+        dirty_classes.insert(cls);
+      } else {
+        // Retract one triple of the picked instance.
+        const rdf::Triple t =
+            inst_triples.data[MutHash(mutation_.seed, day, op, 3) %
+                              inst_triples.size];
+        removes.push_back(t);
+        staged += 1;
+        bump_classes_of(t.s);
+        if (t.p == type_lookup) {
+          // Losing a type edge changes the class itself and the property
+          // ranges of every class whose instances point at this one.
+          dirty_classes.insert(t.o);
+          rdf::TriplePattern incoming;
+          incoming.o = t.s;
+          for (const rdf::Triple& in : st.Span(incoming)) {
+            if (in.p == type_lookup) continue;
+            bump_classes_of(in.s);
+          }
         }
       }
     }
   }
 
-  // Apply phase: stage all writes, then rebuild exactly once so the store
-  // generation moves by one per churning day.
+  // ---- Plan phase: structural churn (class births / retires). Runs even
+  // with data churn disabled and on an empty store — it models schema
+  // evolution, not data volume. All reads still hit the pre-day snapshot.
+  bool structural_today = false;
+  std::string born_class_iri;
+  size_t born_instances = 0;
+  if (mutation_.class_birth_probability > 0 &&
+      UnitInterval(MutHash(mutation_.seed, day, 0xB117B117ULL, 1)) <
+          mutation_.class_birth_probability) {
+    born_class_iri = url() + "#class-born-d" + std::to_string(day);
+    born_instances = 2 + MutHash(mutation_.seed, day, 0xB117B117ULL, 2) % 3;
+    structural_today = true;
+  }
+  if (mutation_.class_retire_probability > 0 &&
+      type_lookup != rdf::kInvalidTermId &&
+      UnitInterval(MutHash(mutation_.seed, day, 0x5E71BEULL, 1)) <
+          mutation_.class_retire_probability) {
+    const auto classes = st.GroupedCountByObject(type_lookup);
+    if (!classes.empty()) {
+      const rdf::TermId retired =
+          classes[MutHash(mutation_.seed, day, 0x5E71BEULL, 2) %
+                  classes.size()]
+              .first;
+      dirty_classes.insert(retired);
+      rdf::TriplePattern members;
+      members.p = type_lookup;
+      members.o = retired;
+      std::vector<rdf::TermId> member_ids;
+      for (const rdf::Triple& m : st.Span(members)) member_ids.push_back(m.s);
+      for (const rdf::TermId member : member_ids) {
+        bump_classes_of(member);  // members may carry other types too
+        rdf::TriplePattern outgoing;
+        outgoing.s = member;
+        for (const rdf::Triple& t : st.Span(outgoing)) removes.push_back(t);
+        // Incoming edges go too; their subjects' classes see their
+        // property ranges change.
+        rdf::TriplePattern incoming;
+        incoming.o = member;
+        for (const rdf::Triple& in : st.Span(incoming)) {
+          if (in.p == type_lookup) continue;
+          removes.push_back(in);
+          bump_classes_of(in.s);
+        }
+      }
+      structural_today = true;
+    }
+  }
+
+  const bool will_write =
+      !removes.empty() || !adds.empty() || born_instances > 0;
+  if (!will_write) return;
+
+  // Quiet-structural worlds answer probes from a snapshot taken before the
+  // structural change; capture it now, while the store still shows the
+  // pre-day state. Honest worlds never populate the snapshot.
+  if (mutation_.quiet_structural_changes && structural_today &&
+      !have_probe_snapshot_) {
+    probe_snapshot_ = TruthfulProbe();
+    have_probe_snapshot_ = true;
+  }
+  const uint64_t gen_before = st.generation();
+
+  // ---- Apply phase: stage all writes, then rebuild exactly once so the
+  // store generation moves by one per churning day.
   for (const rdf::Triple& t : removes) st.RemoveIds(t.s, t.p, t.o);
   for (const PlannedAdd& add : adds) {
     const rdf::TermId sid = st.dict().Intern(rdf::Term::Iri(add.subject_iri));
     for (const auto& [p, o] : add.po) st.AddIds(sid, p, o);
   }
-  if (removes.empty() && adds.empty()) return;
+  if (born_instances > 0) {
+    const rdf::TermId type_id =
+        st.dict().Intern(rdf::Term::Iri(rdf::vocab::kRdfType));
+    const rdf::TermId cls =
+        st.dict().Intern(rdf::Term::Iri(born_class_iri));
+    const rdf::TermId prop =
+        st.dict().Intern(rdf::Term::Iri(born_class_iri + "/label"));
+    for (size_t k = 0; k < born_instances; ++k) {
+      const rdf::TermId inst = st.dict().Intern(
+          rdf::Term::Iri(born_class_iri + "/inst" + std::to_string(k)));
+      const rdf::TermId val = st.dict().Intern(
+          rdf::Term::Iri(born_class_iri + "/val" + std::to_string(k)));
+      st.AddIds(inst, type_id, cls);
+      st.AddIds(inst, prop, val);
+    }
+    dirty_classes.insert(cls);
+  }
   for (const rdf::TermId cid : dirty_classes) {
-    ++class_versions_[st.dict().Get(cid).lexical()];
+    const std::string iri = st.dict().Get(cid).lexical();
+    auto it = class_versions_.try_emplace(iri, 0).first;
+    prev_class_versions_[iri] = it->second;
+    ++it->second;
   }
   st.FinalizeIndex();
+  prev_generation_ = gen_before;
+
+  // Non-structural mutation days make the world visible again: the
+  // endpoint's next probe answers live, revealing whatever the quiet
+  // structural changes hid.
+  if (mutation_.quiet_structural_changes && !structural_today) {
+    have_probe_snapshot_ = false;
+  }
 }
 
-Result<ChangeProbe> SimulatedRemoteEndpoint::ProbeChanges() {
-  queries_served_.fetch_add(1, std::memory_order_relaxed);
-  if (!availability_.IsUp(clock_->NowDay())) {
-    return Status::Unavailable("endpoint " + url() + " is down on day " +
-                               std::to_string(clock_->NowDay()));
-  }
+ChangeProbe SimulatedRemoteEndpoint::TruthfulProbe() const {
   ChangeProbe probe;
   probe.store_generation = store_->generation();
   const rdf::TermId type_id =
@@ -209,6 +303,100 @@ Result<ChangeProbe> SimulatedRemoteEndpoint::ProbeChanges() {
               [](const ClassFingerprint& a, const ClassFingerprint& b) {
                 return a.class_iri < b.class_iri;
               });
+  }
+  return probe;
+}
+
+Result<ChangeProbe> SimulatedRemoteEndpoint::ProbeChanges() {
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t today = clock_->NowDay();
+  if (!availability_.IsUp(today)) {
+    return Status::Unavailable("endpoint " + url() + " is down on day " +
+                               std::to_string(today));
+  }
+  // Outage-recovery edge case: a probe arriving before the harness advanced
+  // the endpoint's data (e.g. right after an outage window) would answer
+  // from the un-churned store and report a generation that spuriously
+  // matches the consumer's persisted one. Catch up first — idempotent when
+  // the owner already called AdvanceDataDay for today.
+  if (last_mutation_day_ < today) AdvanceDataDay(today);
+
+  // Fault coins are salted with a per-day attempt index so a retry or a
+  // post-merge validation echo can see a different fate than the first
+  // attempt. Honest endpoints never touch the counter (or the mutex), and
+  // a frozen adversary (freeze_after_day passed) answers truthfully — the
+  // gate is a pure function of the day, so determinism holds either way.
+  const bool faults_active =
+      probe_faults_.Enabled() && (probe_faults_.freeze_after_day < 0 ||
+                                  today <= probe_faults_.freeze_after_day);
+  uint64_t attempt = 0;
+  if (faults_active) {
+    std::lock_guard<std::mutex> lock(probe_mutex_);
+    if (probe_attempt_day_ != today) {
+      probe_attempt_day_ = today;
+      probe_attempts_today_ = 0;
+    }
+    attempt = probe_attempts_today_++;
+  }
+  auto coin = [&](uint64_t salt) {
+    return UnitInterval(MutHash(probe_faults_.seed, today, attempt, salt));
+  };
+
+  if (faults_active && probe_faults_.transient_failure_probability > 0 &&
+      coin(1) < probe_faults_.transient_failure_probability) {
+    return Status::Timeout("endpoint " + url() +
+                           " probe connection dropped on day " +
+                           std::to_string(today) + " (attempt " +
+                           std::to_string(attempt) + ")");
+  }
+
+  ChangeProbe probe =
+      (mutation_.quiet_structural_changes && have_probe_snapshot_)
+          ? probe_snapshot_
+          : TruthfulProbe();
+
+  if (faults_active && probe_faults_.lie_generation_probability > 0 &&
+      coin(2) < probe_faults_.lie_generation_probability) {
+    // The quiet liar: report the generation from before the last change.
+    probe.store_generation = prev_generation_;
+  }
+  if (faults_active && probe_faults_.lie_fingerprint_probability > 0) {
+    for (ClassFingerprint& f : probe.classes) {
+      const uint64_t h = MutHash(probe_faults_.seed ^ Fnv64(f.class_iri),
+                                 today, attempt, 3);
+      if (UnitInterval(h) < probe_faults_.lie_fingerprint_probability) {
+        auto it = prev_class_versions_.find(f.class_iri);
+        f.version = it == prev_class_versions_.end() ? 0 : it->second;
+      }
+    }
+  }
+  if (faults_active && probe_faults_.partial_probability > 0 &&
+      !probe.classes.empty() &&
+      coin(4) < probe_faults_.partial_probability) {
+    // Partial fingerprint set: a per-class keep coin drops a subset. The
+    // omission is silent — consumers must not read absence as removal.
+    std::vector<ClassFingerprint> kept;
+    for (ClassFingerprint& f : probe.classes) {
+      const uint64_t h = MutHash(probe_faults_.seed ^ Fnv64(f.class_iri),
+                                 today, attempt, 5);
+      if (UnitInterval(h) < probe_faults_.partial_keep_fraction) {
+        kept.push_back(std::move(f));
+      }
+    }
+    probe.classes = std::move(kept);
+  }
+  if (faults_active && probe_faults_.truncate_probability > 0 &&
+      !probe.classes.empty() &&
+      coin(6) < probe_faults_.truncate_probability) {
+    probe.classes.resize(MutHash(probe_faults_.seed, today, attempt, 7) %
+                         probe.classes.size());
+    probe.truncated = true;
+  }
+  // An honest row cap truncates the fingerprint list like any result set.
+  if (dialect_.max_result_rows > 0 &&
+      probe.classes.size() > dialect_.max_result_rows) {
+    probe.classes.resize(dialect_.max_result_rows);
+    probe.truncated = true;
   }
   probe.latency_ms = latency_.Cost(0, probe.classes.size());
   return probe;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -83,6 +84,63 @@ struct MutationModel {
   /// At least one class is always hot when churn is enabled.
   double hot_class_fraction = 0.25;
   uint64_t seed = 0;
+  /// Per-day probability that a brand-new class (with a few instances) is
+  /// born. Structural churn runs even when `daily_churn_fraction` is 0 and
+  /// even on an empty store — it models schema evolution, not data volume.
+  double class_birth_probability = 0.0;
+  /// Per-day probability that one existing class is retired wholesale
+  /// (every instance's triples removed).
+  double class_retire_probability = 0.0;
+  /// Adversarial: structural changes (births/retires) happen "behind a
+  /// quiet generation" — the endpoint keeps answering probes from a stale
+  /// snapshot taken before the change, so the probe reports the old
+  /// generation and the old class list until a non-structural mutation day
+  /// refreshes the snapshot. Honest endpoints leave this off.
+  bool quiet_structural_changes = false;
+  /// Day after which all churn (data and structural) stops. <0 = never.
+  /// Convergence tests freeze the world and let the staleness bound
+  /// catch the system up to byte-identity.
+  int64_t freeze_after_day = -1;
+};
+
+/// Seeded adversarial faults injected into ProbeChanges(). Every coin is a
+/// pure function of (seed, day, per-day attempt index), so a fleet replays
+/// bit-identically across shard x parallelism deployments: within one
+/// simulated day, probe attempt k against this endpoint sees the same fate
+/// no matter which worker thread issues it. (Probes for one endpoint are
+/// issued sequentially by its own pipeline, so the attempt index is itself
+/// deterministic.)
+struct ProbeFaultModel {
+  /// Probability a probe lies about the store generation: it reports the
+  /// previous generation even though data changed (the "quiet liar").
+  double lie_generation_probability = 0.0;
+  /// Probability each class fingerprint is reported stale (version from
+  /// before the last change), hiding a dirty class.
+  double lie_fingerprint_probability = 0.0;
+  /// Probability the probe omits a random subset of classes entirely
+  /// (partial fingerprint set — absence must not be read as removal).
+  double partial_probability = 0.0;
+  /// When a partial fault fires, each class survives with this probability.
+  double partial_keep_fraction = 0.5;
+  /// Probability the probe is truncated after a prefix of the class list;
+  /// the probe carries truncated=true (an honest row cap would too).
+  double truncate_probability = 0.0;
+  /// Probability one probe attempt fails transiently (Timeout) even though
+  /// the endpoint is up — distinct from a day-level outage; an immediate
+  /// retry may succeed.
+  double transient_failure_probability = 0.0;
+  uint64_t seed = 0;
+  /// Day after which fault injection stops and probes answer truthfully.
+  /// <0 = never. Pairs with MutationModel::freeze_after_day: convergence
+  /// tests freeze both the world and the adversary, then assert the
+  /// staleness-bounded pipeline catches back up to byte-identity.
+  int64_t freeze_after_day = -1;
+
+  bool Enabled() const {
+    return lie_generation_probability > 0 ||
+           lie_fingerprint_probability > 0 || partial_probability > 0 ||
+           truncate_probability > 0 || transient_failure_probability > 0;
+  }
 };
 
 /// Latency model: constant per-query overhead plus a per-binding cost, so
@@ -121,7 +179,8 @@ class SimulatedRemoteEndpoint : public SparqlEndpoint {
                           Dialect dialect = Dialect::Full(),
                           AvailabilityModel availability = {},
                           LatencyModel latency = {},
-                          MutationModel mutation = {});
+                          MutationModel mutation = {},
+                          ProbeFaultModel probe_faults = {});
 
   Result<QueryOutcome> Query(const std::string& query_text) override;
 
@@ -152,6 +211,7 @@ class SimulatedRemoteEndpoint : public SparqlEndpoint {
   const AvailabilityModel& availability() const { return availability_; }
   const LatencyModel& latency_model() const { return latency_; }
   const MutationModel& mutation_model() const { return mutation_; }
+  const ProbeFaultModel& probe_faults() const { return probe_faults_; }
 
   /// True if the endpoint answers queries on `day`.
   bool IsUpOn(int64_t day) const { return availability_.IsUp(day); }
@@ -161,6 +221,9 @@ class SimulatedRemoteEndpoint : public SparqlEndpoint {
   /// pre-day snapshot), then stages writes, then rebuilds once.
   void ApplyMutationDay(int64_t day);
 
+  /// The truthful probe body (generation + fingerprints) from live state.
+  ChangeProbe TruthfulProbe() const;
+
   rdf::TripleStore* store_;
   LocalEndpoint local_;
   const SimClock* clock_;
@@ -168,11 +231,29 @@ class SimulatedRemoteEndpoint : public SparqlEndpoint {
   AvailabilityModel availability_;
   LatencyModel latency_;
   MutationModel mutation_;
+  ProbeFaultModel probe_faults_;
   /// Per-class change counters backing ProbeChanges(): bumped for every
   /// class whose instance data changed on a mutation day. Written only by
   /// AdvanceDataDay (sequential phase), read concurrently by probes.
   std::map<std::string, uint64_t> class_versions_;
+  /// Previous version of each class fingerprint, kept so a lying probe can
+  /// report the value from before the last change.
+  std::map<std::string, uint64_t> prev_class_versions_;
   int64_t last_mutation_day_ = 0;
+  /// Quiet-structural snapshot: when MutationModel::quiet_structural_changes
+  /// is set, probes answer from this stale copy (refreshed only on days
+  /// whose mutations were non-structural). Unused (and probes stay live)
+  /// otherwise, preserving honest behavior bit-for-bit.
+  bool have_probe_snapshot_ = false;
+  ChangeProbe probe_snapshot_;
+  uint64_t prev_generation_ = 0;
+  /// Per-day probe attempt counter (salts fault coins so a retry or a
+  /// validation echo can see a different fate than the first attempt).
+  /// Guarded by probe_mutex_; probes for one endpoint are sequential
+  /// within its pipeline, so the sequence is deterministic.
+  mutable std::mutex probe_mutex_;
+  int64_t probe_attempt_day_ = -1;
+  uint64_t probe_attempts_today_ = 0;
   std::atomic<size_t> queries_served_{0};
 };
 

@@ -620,4 +620,170 @@ Result<IndexSummary> PaginatedScanStrategy::Extract(
   return s;
 }
 
+Result<IndexSummary> PaginatedScanStrategy::ExtractClasses(
+    SparqlEndpoint* ep, const ExtractionContext& context,
+    const std::vector<std::string>& class_iris,
+    ExtractionReport* report) const {
+  // Price the restricted path against the full scan before issuing a
+  // single query, using last cycle's magnitudes. Both pay the type scan;
+  // the full scan then pages through ALL triples, while the restricted
+  // path pays ~2*log2(T) one-row offset probes for the exact global
+  // triple count plus one paged scan per dirty class. On small stores
+  // (or without hints) the full scan wins and this mode declines, so
+  // dialects that always ran the full chain keep doing exactly that.
+  const size_t page = std::max<size_t>(1, page_size_);
+  if (context.prior_num_triples == 0 || context.prior_class_count == 0) {
+    return Status::Unsupported(
+        "paginated dirty-class scan needs prior-summary magnitudes for " +
+        ep->url());
+  }
+  auto pages_of = [&](size_t rows) { return rows / page + 1; };
+  size_t probe_queries = 4;  // bracket overhead beyond the log2 walks
+  for (size_t t = context.prior_num_triples; t > 0; t >>= 1) {
+    probe_queries += 2;
+  }
+  const size_t avg_class_rows =
+      context.prior_num_triples / context.prior_class_count;
+  const size_t restricted_pages =
+      probe_queries + class_iris.size() * pages_of(avg_class_rows);
+  if (restricted_pages >= pages_of(context.prior_num_triples)) {
+    return Status::Unsupported(
+        "paginated dirty-class scan would cost more than the full scan on " +
+        ep->url());
+  }
+
+  IndexSummary s;
+  s.endpoint_url = ep->url();
+
+  // Pass 1: the same full type scan the unrestricted path runs — it is
+  // what prices instance counts and object-property ranges, and the
+  // restricted path cannot do without either.
+  std::map<std::string, std::set<std::string>> types_of;  // subject -> classes
+  HBOLD_RETURN_NOT_OK(ScanPages(
+      ep, "SELECT ?s ?c WHERE { ?s a ?c . }", page_size_, context, report,
+      [&](const ResultTable& table) {
+        for (size_t i = 0; i < table.num_rows(); ++i) {
+          auto subj = table.Cell(i, "s");
+          auto cls = table.Cell(i, "c");
+          if (subj.has_value() && cls.has_value()) {
+            types_of[subj->ToNTriples()].insert(cls->lexical());
+          }
+        }
+      }));
+  s.num_instances = types_of.size();
+  std::map<std::string, size_t> instance_counts;
+  for (const auto& [subj, cls_set] : types_of) {
+    for (const std::string& c : cls_set) ++instance_counts[c];
+  }
+
+  // Exact global triple count WITHOUT scanning every triple: LIMIT 1
+  // OFFSET probes answer "are there more than m rows?", so galloping out
+  // from the prior count and binary-searching the bracket finds the exact
+  // total in ~2*log2(|T - prior|) one-row queries. Exactness matters: the
+  // merge takes its globals from this partial summary.
+  auto probe_beyond = [&](size_t m) -> Result<bool> {
+    HBOLD_ASSIGN_OR_RETURN(
+        QueryOutcome o,
+        Run(ep,
+            "SELECT ?s ?p ?o WHERE { ?s ?p ?o . } LIMIT 1 OFFSET " +
+                std::to_string(m),
+            report));
+    return o.table.num_rows() > 0;  // true iff total > m
+  };
+  size_t total_triples = 0;
+  {
+    size_t lo = 0;  // once bracketed: total > lo
+    size_t hi = 0;  // once bracketed: total <= hi
+    bool bracketed = false;
+    const size_t hint = context.prior_num_triples;
+    HBOLD_ASSIGN_OR_RETURN(bool above_hint, probe_beyond(hint));
+    if (above_hint) {
+      lo = hint;
+      size_t step = 1;
+      size_t next = hint + 1;
+      while (true) {
+        HBOLD_ASSIGN_OR_RETURN(bool above, probe_beyond(next));
+        if (!above) {
+          hi = next;
+          bracketed = true;
+          break;
+        }
+        lo = next;
+        next += step;
+        step *= 2;
+      }
+    } else if (hint > 0) {
+      hi = hint;
+      size_t step = 1;
+      while (true) {
+        const size_t next = hi > step ? hi - step : 0;
+        HBOLD_ASSIGN_OR_RETURN(bool above, probe_beyond(next));
+        if (above) {
+          lo = next;
+          bracketed = true;
+          break;
+        }
+        hi = next;
+        if (next == 0) break;  // empty store
+        step *= 2;
+      }
+    }
+    if (bracketed) {
+      while (hi - lo > 1) {
+        const size_t mid = lo + (hi - lo) / 2;
+        HBOLD_ASSIGN_OR_RETURN(bool above, probe_beyond(mid));
+        if (above) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      total_triples = hi;
+    }
+  }
+  s.num_triples = total_triples;
+
+  // One paged scan per dirty class, restricted server-side to that class's
+  // subjects. Each non-type triple of a member arrives exactly once, so
+  // the client-side counting below is value-identical to what the full
+  // scan's pass 2 attributes to this class. Classes the type scan saw no
+  // instances of are skipped outright (and dropped from the summary —
+  // they no longer exist on the endpoint).
+  for (const std::string& cls_iri : class_iris) {
+    if (instance_counts.find(cls_iri) == instance_counts.end()) continue;
+    std::map<std::string, PropertyInfo> props;
+    HBOLD_RETURN_NOT_OK(ScanPages(
+        ep,
+        "SELECT ?s ?p ?o WHERE { ?s a " + IriRef(cls_iri) +
+            " . ?s ?p ?o . }",
+        page_size_, context, report, [&](const ResultTable& table) {
+          for (size_t i = 0; i < table.num_rows(); ++i) {
+            auto pred = table.Cell(i, "p");
+            auto obj = table.Cell(i, "o");
+            if (!pred.has_value() || !obj.has_value()) continue;
+            if (pred->lexical() == rdf::vocab::kRdfType) continue;
+            PropertyInfo& info = props[pred->lexical()];
+            info.iri = pred->lexical();
+            ++info.count;
+            auto obj_types = types_of.find(obj->ToNTriples());
+            if (obj_types != types_of.end()) {
+              info.is_object_property = true;
+              for (const std::string& range : obj_types->second) {
+                ++info.range_classes[range];
+              }
+            }
+          }
+        }));
+    ClassInfo cls;
+    cls.iri = cls_iri;
+    cls.instance_count = instance_counts[cls_iri];
+    for (auto& [piri, pinfo] : props) cls.properties.push_back(pinfo);
+    s.classes.push_back(std::move(cls));
+  }
+
+  Canonicalize(&s);
+  if (report != nullptr) report->strategy_used = name();
+  return s;
+}
+
 }  // namespace hbold::extraction

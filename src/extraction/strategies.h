@@ -29,6 +29,14 @@ struct ExtractionContext {
   /// batching.
   size_t batch_width = 1;
 
+  /// Prior-summary magnitudes for dirty-class re-extraction (0 = unknown).
+  /// Restricted strategies whose dirty-class path is not obviously cheaper
+  /// than their full scan (the paginated scan) use these to price the two
+  /// and decline (Unsupported) when the full chain would win.
+  size_t prior_num_triples = 0;
+  size_t prior_num_instances = 0;
+  size_t prior_class_count = 0;
+
   bool batching_enabled() const { return batch_width > 1; }
 };
 
@@ -157,6 +165,16 @@ class PaginatedScanStrategy : public ExtractionStrategy {
   Result<IndexSummary> Extract(endpoint::SparqlEndpoint* ep,
                                const ExtractionContext& context,
                                ExtractionReport* report) const override;
+  /// Restricted dirty-class form for aggregate-free / row-capped dialects:
+  /// one full type scan (for instance counts and the range map), an exact
+  /// global triple count via LIMIT 1 OFFSET probes galloping out from the
+  /// prior count, then one paged scan per dirty class. Declines
+  /// (Unsupported) when the prior-summary hints say the full scan is
+  /// cheaper or are absent.
+  Result<IndexSummary> ExtractClasses(
+      endpoint::SparqlEndpoint* ep, const ExtractionContext& context,
+      const std::vector<std::string>& class_iris,
+      ExtractionReport* report) const override;
 
  private:
   size_t page_size_;

@@ -265,6 +265,10 @@ void Fleet::MergeShardReports(std::vector<DailyReport> shard_reports,
       if (report.probed) ++day_report->probes;
       if (report.probe_skipped) ++day_report->probe_skips;
       if (report.delta_extracted) ++day_report->delta_extractions;
+      if (report.probe_mismatch) ++day_report->probe_mismatches;
+      if (report.forced_refresh) ++day_report->forced_refreshes;
+      if (report.quarantine_entered) ++day_report->quarantines_entered;
+      if (report.quarantine_exited) ++day_report->quarantines_exited;
       day_report->reports.push_back(std::move(report));
     }
   }
@@ -277,6 +281,10 @@ void Fleet::MergeShardReports(std::vector<DailyReport> shard_reports,
     day_report->plan_cache_hits += shard.plan_cache_hits;
     day_report->plan_cache_misses += shard.plan_cache_misses;
     day_report->hash_join_builds += shard.hash_join_builds;
+    // Keyed sum, so the merged histogram is independent of shard count.
+    for (const auto& [days_stale, n] : shard.staleness_histogram) {
+      day_report->staleness_histogram[days_stale] += n;
+    }
     // The pipeline reports were moved into the merged list above; drop
     // the gutted shells rather than publish moved-from objects. The
     // per-shard view keeps its counters, outcomes, and makespans.
@@ -373,6 +381,18 @@ Json CanonicalPipelineJson(const PipelineReport& r) {
     j.Set("dirty", static_cast<int64_t>(r.dirty_classes));
     j.Set("removed", static_cast<int64_t>(r.removed_classes));
   }
+  // Defense markers are emitted only when they fired, so honest-fleet
+  // dumps (and their committed fingerprints) are byte-identical to
+  // pre-hardening builds.
+  if (r.probe_mismatch) j.Set("probe_mismatch", true);
+  if (r.forced_refresh) j.Set("forced_refresh", true);
+  if (r.quarantined) j.Set("quarantined", true);
+  if (r.quarantine_entered) j.Set("quarantine_entered", true);
+  if (r.quarantine_exited) j.Set("quarantine_exited", true);
+  if (r.probe_retries > 0) {
+    j.Set("probe_retries", static_cast<int64_t>(r.probe_retries));
+  }
+  if (r.staleness_days > 0) j.Set("staleness_days", r.staleness_days);
   return j;
 }
 
@@ -406,6 +426,29 @@ std::string FleetReport::CanonicalDump() const {
       d.Set("probe_skips", static_cast<int64_t>(day.probe_skips));
       d.Set("delta_extractions",
             static_cast<int64_t>(day.delta_extractions));
+    }
+    // Defense counters and the staleness histogram, likewise emitted only
+    // when something moved (honest kOff/kTrack days stay byte-identical).
+    if (day.probe_mismatches > 0) {
+      d.Set("probe_mismatches", static_cast<int64_t>(day.probe_mismatches));
+    }
+    if (day.forced_refreshes > 0) {
+      d.Set("forced_refreshes", static_cast<int64_t>(day.forced_refreshes));
+    }
+    if (day.quarantines_entered > 0) {
+      d.Set("quarantines_entered",
+            static_cast<int64_t>(day.quarantines_entered));
+    }
+    if (day.quarantines_exited > 0) {
+      d.Set("quarantines_exited",
+            static_cast<int64_t>(day.quarantines_exited));
+    }
+    if (!day.staleness_histogram.empty()) {
+      Json hist = Json::MakeObject();
+      for (const auto& [days_stale, n] : day.staleness_histogram) {
+        hist.Set(std::to_string(days_stale), static_cast<int64_t>(n));
+      }
+      d.Set("staleness_histogram", std::move(hist));
     }
     d.Set("arrivals", static_cast<int64_t>(day.arrivals));
     d.Set("deaths", static_cast<int64_t>(day.deaths));
@@ -489,6 +532,19 @@ Json FleetReport::ToJson() const {
     d.Set("probes", static_cast<int64_t>(day.probes));
     d.Set("probe_skips", static_cast<int64_t>(day.probe_skips));
     d.Set("delta_extractions", static_cast<int64_t>(day.delta_extractions));
+    d.Set("probe_mismatches", static_cast<int64_t>(day.probe_mismatches));
+    d.Set("forced_refreshes", static_cast<int64_t>(day.forced_refreshes));
+    d.Set("quarantines_entered",
+          static_cast<int64_t>(day.quarantines_entered));
+    d.Set("quarantines_exited",
+          static_cast<int64_t>(day.quarantines_exited));
+    {
+      Json hist = Json::MakeObject();
+      for (const auto& [days_stale, n] : day.staleness_histogram) {
+        hist.Set(std::to_string(days_stale), static_cast<int64_t>(n));
+      }
+      d.Set("staleness_histogram", std::move(hist));
+    }
     d.Set("arrivals", static_cast<int64_t>(day.arrivals));
     d.Set("deaths", static_cast<int64_t>(day.deaths));
     d.Set("sum_latency_ms", day.sum_latency_ms);

@@ -151,6 +151,16 @@ struct FleetDayReport {
   size_t probes = 0;
   size_t probe_skips = 0;
   size_t delta_extractions = 0;
+  /// Adversarial-endpoint defense counters folded in global registration
+  /// order (all zero on honest fleets).
+  size_t probe_mismatches = 0;
+  size_t forced_refreshes = 0;
+  size_t quarantines_entered = 0;
+  size_t quarantines_exited = 0;
+  /// Staleness histogram merged across shards: days since the last
+  /// verified full refresh -> successful endpoint count. Populated only
+  /// under the delta modes.
+  std::map<int64_t, size_t> staleness_histogram;
   /// Endpoints churned in / gone dark at the start of this day.
   size_t arrivals = 0;
   size_t deaths = 0;

@@ -1,6 +1,7 @@
 #include "hbold/server.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
@@ -21,6 +22,16 @@ ServerOptions WithRefreshAge(int64_t refresh_age_days) {
   options.refresh_age_days = refresh_age_days;
   return options;
 }
+
+extraction::IndexExtractor MakeExtractor(const ServerOptions& options) {
+  if (options.paginated_page_size == 0) return extraction::IndexExtractor();
+  std::vector<std::unique_ptr<extraction::ExtractionStrategy>> chain;
+  chain.push_back(std::make_unique<extraction::DirectAggregationStrategy>());
+  chain.push_back(std::make_unique<extraction::PerClassCountStrategy>());
+  chain.push_back(std::make_unique<extraction::PaginatedScanStrategy>(
+      options.paginated_page_size));
+  return extraction::IndexExtractor(std::move(chain));
+}
 }  // namespace
 
 Server::Server(store::Database* db, SimClock* clock, int64_t refresh_age_days)
@@ -31,7 +42,8 @@ Server::Server(store::Database* db, SimClock* clock,
     : db_(db),
       clock_(clock),
       options_(options),
-      scheduler_(options.refresh_age_days) {}
+      scheduler_(options.refresh_age_days),
+      extractor_(MakeExtractor(options)) {}
 
 void Server::AttachEndpoint(const std::string& url,
                             endpoint::SparqlEndpoint* ep) {
@@ -96,8 +108,59 @@ Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
   }
 
   const IncrementalOptions& inc = options_.incremental;
+  const bool delta_mode = inc.mode == IncrementalMode::kDelta ||
+                          inc.mode == IncrementalMode::kBounded;
   Json url_filter = Json::MakeObject();
   url_filter.Set("endpoint_url", url);
+
+  // Trust + staleness snapshot, read once at pipeline start so every
+  // decision below sees one fixed record state.
+  const std::optional<endpoint::EndpointRecord> rec0 = registry_.GetRecord(url);
+  const endpoint::TrustState trust =
+      rec0.has_value() ? rec0->trust_state : endpoint::TrustState::kTrusted;
+  const int64_t last_full =
+      rec0.has_value() ? rec0->last_full_refresh_day : -1;
+  if (delta_mode) {
+    report.staleness_days =
+        (last_full >= 0 && today > last_full) ? today - last_full : 0;
+  }
+  report.quarantined = trust == endpoint::TrustState::kQuarantined;
+
+  // A full refresh is forced — whatever the probe claims — while the
+  // endpoint is quarantined, and under kBounded once the unverified drift
+  // window exceeds the staleness budget.
+  bool force_full = report.quarantined;
+  if (inc.mode == IncrementalMode::kBounded && last_full >= 0 &&
+      today - last_full >= inc.staleness_budget_days) {
+    force_full = true;
+  }
+
+  // Divergence bookkeeping: a probe claim was contradicted by evidence.
+  // The endpoint takes a strike (trusted -> suspect -> quarantined), its
+  // persisted fingerprints are dropped (claims from a contradicted probe
+  // are worthless), and this cycle runs a full refresh.
+  auto strike = [&](const char* what) {
+    report.probe_mismatch = true;
+    report.forced_refresh = true;
+    HBOLD_LOG(kDebug) << url << " probe divergence (" << what << ")";
+    registry_.UpdateRecord(url, [&](endpoint::EndpointRecord& r) {
+      r.clean_streak = 0;
+      ++r.suspect_strikes;
+      if (r.trust_state == endpoint::TrustState::kTrusted) {
+        r.trust_state = endpoint::TrustState::kSuspect;
+      }
+      if (r.suspect_strikes >= inc.quarantine_strikes &&
+          r.trust_state != endpoint::TrustState::kQuarantined) {
+        r.trust_state = endpoint::TrustState::kQuarantined;
+        report.quarantine_entered = true;
+      }
+      if (r.trust_state == endpoint::TrustState::kQuarantined) {
+        r.quarantine_until_day = today + inc.quarantine_days;
+      }
+      r.class_fingerprints.clear();
+      r.probed_generation.clear();
+    });
+  };
 
   // Incremental prelude: one batched change probe, diffed against the
   // fingerprints the registry kept from the last successful run. The
@@ -109,40 +172,70 @@ Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
   std::vector<std::string> dirty;
   std::vector<std::string> removed;
   if (inc.mode != IncrementalMode::kOff) {
-    auto probed = net->second->ProbeChanges();
-    if (!probed.ok()) {
-      // Endpoints without probe support just take the full pipeline; a
-      // dark endpoint aborts the attempt like any other query would.
-      if (!probed.status().IsUnsupported()) return fail(probed.status());
+    Status probe_status = Status::OK();
+    for (int attempt = 0;; ++attempt) {
+      auto probed = net->second->ProbeChanges();
+      if (probed.ok()) {
+        probe = std::move(*probed);
+        have_probe = true;
+        break;
+      }
+      probe_status = probed.status();
+      // A transient mid-cycle failure (Timeout while the endpoint is up)
+      // is retried deterministically — the endpoint's fault coins are
+      // salted by the per-day attempt index, so the retry sequence
+      // replays bit-identically on any deployment. A day-level outage
+      // (Unavailable) is not retried: §3.1 says try again tomorrow.
+      if (probe_status.IsTimeout() && attempt < inc.max_probe_retries) {
+        ++report.probe_retries;
+        continue;
+      }
+      break;
+    }
+    if (!have_probe) {
+      if (probe_status.IsTimeout()) {
+        // Retries exhausted: the endpoint is up but its probe channel is
+        // flapping. Degrade to a probe-less full extraction instead of
+        // failing the day — queries still work, only the shortcut is
+        // gone. No strike: flakiness is not dishonesty.
+        registry_.UpdateRecord(url, [](endpoint::EndpointRecord& r) {
+          ++r.probe_failure_streak;
+        });
+      } else if (!probe_status.IsUnsupported()) {
+        // A dark endpoint aborts the attempt like any other query would;
+        // endpoints without probe support just take the full pipeline.
+        return fail(probe_status);
+      }
     } else {
-      probe = std::move(*probed);
-      have_probe = true;
       report.probed = true;
       report.extraction.queries_issued += 1;
       report.extraction.rows_transferred += probe.classes.size();
       report.extraction.total_latency_ms += probe.latency_ms;
       report.extraction.intra_makespan_ms += probe.latency_ms;
-      std::optional<endpoint::EndpointRecord> rec = registry_.GetRecord(url);
       std::set<std::string> current;
       for (const endpoint::ClassFingerprint& cf : probe.classes) {
         current.insert(cf.class_iri);
         uint64_t prev = 0;
         bool known = false;
-        if (rec.has_value()) {
-          auto it = rec->class_fingerprints.find(cf.class_iri);
-          known = it != rec->class_fingerprints.end() &&
+        if (rec0.has_value()) {
+          auto it = rec0->class_fingerprints.find(cf.class_iri);
+          known = it != rec0->class_fingerprints.end() &&
                   ParseHexU64(it->second, &prev);
         }
         // Classes the fingerprints have never seen are dirty defensively.
         if (!known || prev != cf.version) dirty.push_back(cf.class_iri);
       }
-      if (rec.has_value()) {
+      if (rec0.has_value()) {
         uint64_t prev_gen = 0;
-        generation_match = !rec->probed_generation.empty() &&
-                           ParseHexU64(rec->probed_generation, &prev_gen) &&
+        generation_match = !rec0->probed_generation.empty() &&
+                           ParseHexU64(rec0->probed_generation, &prev_gen) &&
                            prev_gen == probe.store_generation;
-        for (const auto& [iri, version] : rec->class_fingerprints) {
-          if (current.count(iri) == 0) removed.push_back(iri);
+        // A truncated probe proves nothing about the classes it omitted —
+        // never infer removals from one.
+        if (!probe.truncated) {
+          for (const auto& [iri, version] : rec0->class_fingerprints) {
+            if (current.count(iri) == 0) removed.push_back(iri);
+          }
         }
       }
       report.dirty_classes = dirty.size();
@@ -151,14 +244,45 @@ Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
   }
 
   // Fingerprints advance only on success, so a failed attempt leaves its
-  // classes dirty for tomorrow's probe.
+  // classes dirty for tomorrow's probe. A truncated probe's partial view
+  // and a contradicted probe's claims are never persisted — the record
+  // keeps (or, post-strike, loses) its previous fingerprints instead.
   auto store_fingerprints = [&] {
-    if (!have_probe) return;
+    if (!have_probe || probe.truncated || report.probe_mismatch) return;
     registry_.UpdateRecord(url, [&](endpoint::EndpointRecord& r) {
       r.probed_generation = HexU64(probe.store_generation);
       r.class_fingerprints.clear();
       for (const endpoint::ClassFingerprint& cf : probe.classes) {
         r.class_fingerprints[cf.class_iri] = HexU64(cf.version);
+      }
+    });
+  };
+
+  // Success-side trust bookkeeping: verified full refreshes reset the
+  // staleness clock, divergence-free cycles build the clean streak that
+  // paroles suspect endpoints, and a served-out quarantine ends once a
+  // full refresh lands. Skipped entirely under kOff so pre-incremental
+  // registries stay byte-identical.
+  bool ran_full_extraction = false;
+  auto record_defense = [&] {
+    if (inc.mode == IncrementalMode::kOff) return;
+    registry_.UpdateRecord(url, [&](endpoint::EndpointRecord& r) {
+      if (ran_full_extraction) r.last_full_refresh_day = today;
+      if (have_probe) r.probe_failure_streak = 0;
+      if (report.probe_mismatch) return;  // strike() already booked this
+      ++r.clean_streak;
+      if (r.trust_state == endpoint::TrustState::kQuarantined) {
+        if (today >= r.quarantine_until_day && ran_full_extraction) {
+          r.trust_state = endpoint::TrustState::kSuspect;
+          r.suspect_strikes = 0;
+          r.clean_streak = 0;
+          r.quarantine_until_day = -1;
+          report.quarantine_exited = true;
+        }
+      } else if (r.trust_state == endpoint::TrustState::kSuspect &&
+                 r.clean_streak >= inc.parole_clean_cycles) {
+        r.trust_state = endpoint::TrustState::kTrusted;
+        r.suspect_strikes = 0;
       }
     });
   };
@@ -176,7 +300,15 @@ Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
   // generation with a quiet digest means something wrote to the store
   // outside the fingerprinted model (the external-writes safety valve):
   // fall through to a full re-extraction instead of trusting the digest.
-  if (inc.mode == IncrementalMode::kDelta && have_probe && generation_match &&
+  //
+  // The skip takes a probe's word for everything, so it demands the most:
+  // a fully trusted endpoint, an untruncated probe with at least one
+  // class (an empty store's generation can collide with a stale persisted
+  // one while the content provenance differs — never a skip), and no
+  // forced refresh pending.
+  if (delta_mode && !force_full &&
+      trust == endpoint::TrustState::kTrusted && have_probe &&
+      !probe.truncated && !probe.classes.empty() && generation_match &&
       dirty.empty() && removed.empty() && stored_summary_doc.has_value()) {
     const Json* nodes = stored_summary_doc->Find("nodes");
     const Json* arcs = stored_summary_doc->Find("arcs");
@@ -189,6 +321,7 @@ Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
     report.extraction_ms = report.extraction.total_latency_ms;
     charge();
     store_fingerprints();
+    record_defense();
     record_attempt(true);
     return report;
   }
@@ -207,8 +340,12 @@ Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
   Result<extraction::IndexSummary> indexes =
       Status::Internal("extraction never ran");
   bool delta_ok = false;
-  if (inc.mode == IncrementalMode::kDelta && have_probe &&
-      (!dirty.empty() || !removed.empty())) {
+  // Deltas need an untruncated probe (a partial class list cannot anchor
+  // a merge) and an endpoint that is not quarantined — suspect endpoints
+  // may still delta because every delta is validated below.
+  if (delta_mode && !force_full &&
+      trust != endpoint::TrustState::kQuarantined && have_probe &&
+      !probe.truncated && (!dirty.empty() || !removed.empty())) {
     const double fraction =
         static_cast<double>(dirty.size() + removed.size()) /
         static_cast<double>(std::max<size_t>(1, probe.classes.size()));
@@ -221,6 +358,11 @@ Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
     if (prior_doc.has_value()) {
       auto prior = extraction::IndexSummary::FromJson(*prior_doc);
       if (prior.ok()) {
+        // Restricted strategies (paginated scan) price the dirty-class
+        // path against a full scan using last cycle's magnitudes.
+        context.prior_num_triples = prior->num_triples;
+        context.prior_num_instances = prior->num_instances;
+        context.prior_class_count = prior->classes.size();
         auto partial = extractor_.ExtractClasses(net->second, context, dirty,
                                                  &report.extraction);
         if (partial.ok()) {
@@ -237,9 +379,67 @@ Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
       }
     }
   }
+
+  // Delta validation: before trusting a merge built on a probe's claims,
+  // echo the probe and cross-check. The echo must agree with the first
+  // probe on generation and on every common fingerprint, and (when it is
+  // untruncated) list exactly the same classes, with every merged class
+  // among them. Any contradiction discards the merge: the endpoint lied
+  // to one of the two probes, so only a full re-extraction is safe.
+  if (delta_ok && inc.validate_deltas) {
+    auto echo = net->second->ProbeChanges();
+    if (echo.ok()) {
+      report.extraction.queries_issued += 1;
+      report.extraction.rows_transferred += echo->classes.size();
+      report.extraction.total_latency_ms += echo->latency_ms;
+      report.extraction.intra_makespan_ms += echo->latency_ms;
+      const char* what = nullptr;
+      if (echo->store_generation != probe.store_generation) {
+        what = "generation echo mismatch";
+      }
+      const size_t common =
+          std::min(echo->classes.size(), probe.classes.size());
+      for (size_t i = 0; what == nullptr && i < common; ++i) {
+        if (echo->classes[i].class_iri != probe.classes[i].class_iri ||
+            echo->classes[i].version != probe.classes[i].version) {
+          what = "fingerprint echo mismatch";
+        }
+      }
+      if (what == nullptr && !echo->truncated) {
+        if (echo->classes.size() != probe.classes.size()) {
+          what = "class count mismatch";
+        } else {
+          // Every class the merge kept must exist on the endpoint.
+          std::set<std::string> echoed;
+          for (const endpoint::ClassFingerprint& cf : echo->classes) {
+            echoed.insert(cf.class_iri);
+          }
+          for (const extraction::ClassInfo& cls : indexes->classes) {
+            if (echoed.count(cls.iri) == 0) {
+              what = "merged class unknown to endpoint";
+              break;
+            }
+          }
+        }
+      } else if (what == nullptr && echo->truncated &&
+                 echo->classes.size() > probe.classes.size()) {
+        what = "class count mismatch";
+      }
+      if (what != nullptr) {
+        strike(what);
+        delta_ok = false;
+        report.delta_extracted = false;
+      }
+    }
+    // An echo that fails outright cannot validate anything; the merge
+    // stands unvalidated and kBounded's staleness budget backstops it.
+  }
+
   if (!delta_ok) {
     indexes = extractor_.Extract(net->second, context, &report.extraction);
     if (!indexes.ok()) return fail(indexes.status());
+    ran_full_extraction = true;
+    if (delta_mode && force_full) report.forced_refresh = true;
   }
   indexes->extracted_day = today;
   report.extraction_ms = report.extraction.total_latency_ms;
@@ -278,8 +478,20 @@ Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
       stored_summary_doc->GetString("content_hash") == content_hash) {
     report.reused_cluster_schema = true;
     store_fingerprints();
+    record_defense();
     record_attempt(true);
     return report;
+  }
+
+  // Lying-quiet detection: this full extraction produced *different*
+  // content while the probe claimed nothing changed (matching generation,
+  // clean untruncated digest). The probe lied — only a forced refresh
+  // (staleness bound, quarantine) ever exposes this, which is exactly why
+  // kBounded bounds the trust window.
+  if (ran_full_extraction && have_probe && !probe.truncated &&
+      generation_match && dirty.empty() && removed.empty() &&
+      stored_summary_doc.has_value()) {
+    strike("content changed behind a quiet probe");
   }
 
   // Stage 3: community detection + Cluster Schema (precomputed server-side
@@ -380,6 +592,7 @@ Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
   report.persist_ms = sw.ElapsedMillis();
 
   store_fingerprints();
+  record_defense();
   record_attempt(true);
   HBOLD_LOG(kDebug) << "processed " << url << " classes=" << report.classes
                     << " clusters=" << report.clusters << " strategy="
@@ -477,6 +690,15 @@ DailyReport Server::RunDailyCycleOn(ThreadPool* pool, int parallelism) {
       if (result->probed) ++daily.probes;
       if (result->probe_skipped) ++daily.probe_skips;
       if (result->delta_extracted) ++daily.delta_extractions;
+      if (result->probe_mismatch) ++daily.probe_mismatches;
+      if (result->forced_refresh) ++daily.forced_refreshes;
+      if (result->quarantine_entered) ++daily.quarantines_entered;
+      if (result->quarantine_exited) ++daily.quarantines_exited;
+      const IncrementalMode mode = options_.incremental.mode;
+      if (mode == IncrementalMode::kDelta ||
+          mode == IncrementalMode::kBounded) {
+        ++daily.staleness_histogram[result->staleness_days];
+      }
       daily.reports.push_back(std::move(*result));
     } else {
       ++daily.failed;

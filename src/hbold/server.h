@@ -40,6 +40,13 @@ enum class IncrementalMode {
   /// place, fall back to full re-extraction past the dirty-fraction
   /// threshold or when the probe is unsupported.
   kDelta,
+  /// kDelta plus a staleness bound: probes are trusted for at most
+  /// `staleness_budget_days` simulated days, after which a full refresh is
+  /// forced regardless of what they claim. The backstop against endpoints
+  /// whose probes lie consistently enough to evade delta validation — a
+  /// persistent quiet-liar drifts for at most one budget window before a
+  /// forced refresh restores (and verifies) the stored artifacts.
+  kBounded,
 };
 
 /// Knobs for incremental extraction.
@@ -48,6 +55,29 @@ struct IncrementalOptions {
   /// Dirty-class fraction (dirty + removed over current classes) above
   /// which patching is pointless and kDelta runs a full re-extraction.
   double full_refresh_fraction = 0.5;
+  /// kBounded only: maximum days since the last *full* (verified)
+  /// extraction before one is forced.
+  int64_t staleness_budget_days = 7;
+  /// Transient probe failures (Timeout while the endpoint is up) retried
+  /// within one attempt before degrading to a probe-less full extraction.
+  /// Retries are deterministic: the endpoint's fault coins are salted by a
+  /// per-day attempt index, never by wall clock.
+  int max_probe_retries = 2;
+  /// Detected divergences (delta validation failure, lying-quiet probe)
+  /// before the endpoint is quarantined. Each divergence also forces a
+  /// full refresh and drops the persisted fingerprints.
+  int64_t quarantine_strikes = 3;
+  /// Days a quarantine lasts; while quarantined every cycle is a forced
+  /// full refresh and probe claims are never trusted.
+  int64_t quarantine_days = 3;
+  /// Consecutive divergence-free successful cycles a suspect endpoint
+  /// needs before it is trusted (and probe-skip eligible) again.
+  int64_t parole_clean_cycles = 2;
+  /// Post-merge delta validation: echo the change probe after a dirty-
+  /// class merge and cross-check generation, per-class fingerprints, and
+  /// the merged class set against it. A mismatch discards the merge, runs
+  /// a full refresh, and strikes the endpoint.
+  bool validate_deltas = true;
 };
 
 /// Outcome of processing one endpoint through the full pipeline.
@@ -79,6 +109,25 @@ struct PipelineReport {
   /// probed, whatever path was then taken).
   size_t dirty_classes = 0;
   size_t removed_classes = 0;
+  /// Adversarial-endpoint defense surface. All false/zero on honest
+  /// fleets, so pre-hardening reports are unchanged.
+  /// A probe claim was contradicted — delta validation echo failed, or a
+  /// full refresh found content change behind a claimed-quiet generation.
+  bool probe_mismatch = false;
+  /// A full extraction ran where the probe alone would have allowed a skip
+  /// or delta: divergence detected, staleness budget exhausted, or the
+  /// endpoint was quarantined.
+  bool forced_refresh = false;
+  /// The endpoint was in quarantine when this cycle processed it.
+  bool quarantined = false;
+  bool quarantine_entered = false;
+  bool quarantine_exited = false;
+  /// Transient probe failures retried within this attempt (the retries are
+  /// not charged as queries; only outcomes that returned data are).
+  size_t probe_retries = 0;
+  /// Days since the endpoint's last verified full refresh, as of this
+  /// cycle's start (0 when it has never completed one or just did).
+  int64_t staleness_days = 0;
 };
 
 /// Per due-list entry accounting for one daily cycle, in due (registry)
@@ -113,6 +162,16 @@ struct DailyReport {
   size_t probes = 0;
   size_t probe_skips = 0;
   size_t delta_extractions = 0;
+  /// Adversarial-endpoint defense counters over the day's runs (all zero
+  /// on honest fleets; see the PipelineReport flags they fold).
+  size_t probe_mismatches = 0;
+  size_t forced_refreshes = 0;
+  size_t quarantines_entered = 0;
+  size_t quarantines_exited = 0;
+  /// Staleness histogram over the day's successful incremental runs:
+  /// days-since-last-full-refresh -> endpoint count. Empty outside the
+  /// delta modes (kDelta/kBounded), keeping earlier reports byte-stable.
+  std::map<int64_t, size_t> staleness_histogram;
   /// Worker count the cycle ran with (1 = sequential).
   int parallelism = 1;
   /// Real wall-clock of the whole cycle.
@@ -167,6 +226,11 @@ struct ServerOptions {
   /// Incremental extraction (change probes + dirty-class patching). Off
   /// by default: kOff runs are byte-identical to pre-incremental builds.
   IncrementalOptions incremental;
+  /// Page size for the paginated-scan strategy, 0 = the strategy's
+  /// default. Tests and benches shrink it so the small simulated stores
+  /// exercise multi-page scans (and the restricted dirty-class scan's
+  /// cost model) the way real million-triple endpoints would.
+  size_t paginated_page_size = 0;
 };
 
 /// H-BOLD's server layer: owns the endpoint registry and the document

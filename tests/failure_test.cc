@@ -222,5 +222,270 @@ TEST(RegistryFailureTest, LoadJsonResetsPreviousContent) {
   EXPECT_TRUE(reg.Contains("http://new"));
 }
 
+TEST(RegistryFailureTest, GarbledIncrementalFieldsDegradeInsteadOfFailing) {
+  // A hand-edited (or bit-rotted) registry file with unparseable probe
+  // state must still load: the endpoint degrades to full refresh, and
+  // fields this build does not know about survive a round trip.
+  const char* kCorrupt = R"([{
+    "url": "http://corrupt.example.org/sparql",
+    "name": "corrupt",
+    "indexed": true,
+    "probed_generation": "0xNOPE",
+    "class_fingerprints": {
+      "http://corrupt.example.org/C0": "zz-not-hex",
+      "http://corrupt.example.org/C1": 7
+    },
+    "trust_state": "weird-state",
+    "future_field": {"keep": ["me"]}
+  }])";
+  auto parsed = Json::Parse(kCorrupt);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  endpoint::EndpointRegistry reg;
+  ASSERT_TRUE(reg.LoadJson(*parsed).ok());
+  auto rec = reg.GetRecord("http://corrupt.example.org/sparql");
+  ASSERT_TRUE(rec.has_value());
+  // Garbled probe state is dropped wholesale, never half-trusted.
+  EXPECT_TRUE(rec->probed_generation.empty());
+  EXPECT_TRUE(rec->class_fingerprints.empty());
+  EXPECT_EQ(rec->trust_state, endpoint::TrustState::kTrusted);
+  EXPECT_EQ(rec->unknown_fields.count("future_field"), 1u);
+  EXPECT_NE(reg.ToJson().Dump().find("future_field"), std::string::npos);
+}
+
+TEST(RegistryFailureTest, HandCorruptedRecordFallsBackToFullRefresh) {
+  const std::string url = "http://corrupt.example.org/sparql";
+  SimClock clock;
+  store::Database db;
+  ServerOptions options;
+  options.refresh_age_days = 1;
+  options.incremental.mode = IncrementalMode::kDelta;
+  Server server(&db, &clock, options);
+
+  rdf::TripleStore data;
+  workload::SyntheticLdConfig config;
+  config.namespace_iri = "http://corrupt.example.org/";
+  config.num_classes = 6;
+  config.max_instances_per_class = 20;
+  workload::GenerateSyntheticLd(config, &data);
+  endpoint::SimulatedRemoteEndpoint ep(url, "corrupt", &data, &clock);
+  server.AttachEndpoint(url, &ep);
+  endpoint::EndpointRecord record;
+  record.url = url;
+  server.RegisterEndpoint(record);
+
+  ASSERT_TRUE(server.ProcessEndpoint(url).ok());
+  clock.AdvanceDays(1);
+  auto day1 = server.ProcessEndpoint(url);
+  ASSERT_TRUE(day1.ok()) << day1.status();
+  ASSERT_TRUE(day1->probe_skipped);  // quiet store: probe-skip works
+
+  // An operator hand-edits the persisted registry and garbles the probe
+  // state for this endpoint.
+  auto corrupted = Json::Parse(R"([{
+    "url": "http://corrupt.example.org/sparql",
+    "name": "corrupt",
+    "indexed": true,
+    "probed_generation": "not-hex-at-all",
+    "class_fingerprints": {"http://corrupt.example.org/C0": false}
+  }])");
+  ASSERT_TRUE(corrupted.ok());
+  ASSERT_TRUE(server.registry().LoadJson(*corrupted).ok());
+
+  // Next cycle: the degraded record forces a clean full refresh rather
+  // than trusting (or crashing on) the corrupt fingerprints.
+  clock.AdvanceDays(1);
+  auto day2 = server.ProcessEndpoint(url);
+  ASSERT_TRUE(day2.ok()) << day2.status();
+  EXPECT_FALSE(day2->probe_skipped);
+  EXPECT_FALSE(day2->delta_extracted);
+  // The rebuilt probe state is trusted again afterwards.
+  auto rec = server.registry().GetRecord(url);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_FALSE(rec->class_fingerprints.empty());
+}
+
+// ------------------------------------------------------- adversarial probes
+
+TEST(ProbeRetryTest, TransientProbeFlapRetriesThenDegradesToFull) {
+  const std::string url = "http://flap.example.org/sparql";
+  SimClock clock;
+  store::Database db;
+  ServerOptions options;
+  options.refresh_age_days = 1;
+  options.incremental.mode = IncrementalMode::kDelta;
+  Server server(&db, &clock, options);
+
+  rdf::TripleStore data;
+  workload::SyntheticLdConfig config;
+  config.namespace_iri = "http://flap.example.org/";
+  config.num_classes = 6;
+  config.max_instances_per_class = 20;
+  workload::GenerateSyntheticLd(config, &data);
+  endpoint::ProbeFaultModel faults;
+  faults.transient_failure_probability = 1.0;  // every attempt times out
+  faults.seed = 5;
+  endpoint::SimulatedRemoteEndpoint ep(url, "flap", &data, &clock,
+                                       endpoint::Dialect::Full(), {}, {}, {},
+                                       faults);
+  server.AttachEndpoint(url, &ep);
+  endpoint::EndpointRecord record;
+  record.url = url;
+  server.RegisterEndpoint(record);
+
+  for (int64_t day = 0; day < 2; ++day) {
+    if (day > 0) clock.AdvanceDays(1);
+    auto r = server.ProcessEndpoint(url);
+    ASSERT_TRUE(r.ok()) << "day " << day << ": " << r.status();
+    // The probe was retried up to the cap, then the day degraded to a
+    // probe-less full extraction instead of failing outright.
+    EXPECT_FALSE(r->probed);
+    EXPECT_EQ(r->probe_retries,
+              static_cast<size_t>(options.incremental.max_probe_retries));
+    EXPECT_FALSE(r->probe_skipped);
+    EXPECT_FALSE(r->delta_extracted);
+  }
+  auto rec = server.registry().GetRecord(url);
+  ASSERT_TRUE(rec.has_value());
+  // Flaky probes are tracked but are not treated as lying: no strikes.
+  EXPECT_EQ(rec->probe_failure_streak, 2);
+  EXPECT_EQ(rec->trust_state, endpoint::TrustState::kTrusted);
+}
+
+/// Forwards everything to a real simulated endpoint but can replay its last
+/// honest probe verbatim — the fully deterministic "quiet liar" the trust
+/// state machine is exercised against below.
+class ScriptedLiarEndpoint : public endpoint::SparqlEndpoint {
+ public:
+  explicit ScriptedLiarEndpoint(endpoint::SimulatedRemoteEndpoint* inner)
+      : inner_(inner) {}
+  void set_lying(bool lying) { lying_ = lying; }
+
+  Result<endpoint::QueryOutcome> Query(const std::string& query) override {
+    return inner_->Query(query);
+  }
+  const std::string& url() const override { return inner_->url(); }
+  const std::string& name() const override { return inner_->name(); }
+  size_t queries_served() const override { return inner_->queries_served(); }
+  endpoint::QueryEngineStats engine_stats() const override {
+    return inner_->engine_stats();
+  }
+  void AdvanceDataDay(int64_t day) override { inner_->AdvanceDataDay(day); }
+  Result<endpoint::ChangeProbe> ProbeChanges() override {
+    auto probe = inner_->ProbeChanges();  // keeps accounting + catch-up
+    if (!probe.ok()) return probe;
+    if (lying_) return last_honest_;  // "nothing changed since last time"
+    last_honest_ = *probe;
+    return probe;
+  }
+
+ private:
+  endpoint::SimulatedRemoteEndpoint* inner_;
+  bool lying_ = false;
+  endpoint::ChangeProbe last_honest_;
+};
+
+TEST(QuarantineLifecycleTest, LyingQuietEndpointIsStruckQuarantinedParoled) {
+  const std::string url = "http://liar.example.org/sparql";
+  SimClock clock;
+  store::Database db;
+  ServerOptions options;
+  options.refresh_age_days = 1;
+  options.incremental.mode = IncrementalMode::kBounded;
+  options.incremental.staleness_budget_days = 2;
+  options.incremental.quarantine_strikes = 2;
+  options.incremental.quarantine_days = 2;
+  options.incremental.parole_clean_cycles = 2;
+  Server server(&db, &clock, options);
+
+  rdf::TripleStore data;
+  workload::SyntheticLdConfig config;
+  config.namespace_iri = "http://liar.example.org/";
+  config.num_classes = 6;
+  config.max_instances_per_class = 20;
+  config.seed = 1234;
+  workload::GenerateSyntheticLd(config, &data);
+  endpoint::MutationModel mutation;
+  mutation.daily_churn_fraction = 0.5;  // heavy churn: every day differs
+  mutation.hot_class_fraction = 1.0;
+  mutation.seed = 887;
+  endpoint::SimulatedRemoteEndpoint inner(url, "liar", &data, &clock,
+                                          endpoint::Dialect::Full(), {}, {},
+                                          mutation);
+  ScriptedLiarEndpoint ep(&inner);
+  server.AttachEndpoint(url, &ep);
+  endpoint::EndpointRecord record;
+  record.url = url;
+  server.RegisterEndpoint(record);
+
+  auto process = [&](int64_t day) {
+    if (day > 0) clock.AdvanceDays(1);
+    inner.AdvanceDataDay(day);
+    auto r = server.ProcessEndpoint(url);
+    EXPECT_TRUE(r.ok()) << "day " << day << ": " << r.status();
+    return r.ok() ? *r : PipelineReport{};
+  };
+  auto trust = [&] { return server.registry().GetRecord(url)->trust_state; };
+
+  // Day 0: honest first contact — full extraction, fingerprints stored.
+  PipelineReport d0 = process(0);
+  EXPECT_FALSE(d0.probe_skipped);
+  EXPECT_EQ(trust(), endpoint::TrustState::kTrusted);
+  EXPECT_EQ(server.registry().GetRecord(url)->last_full_refresh_day, 0);
+
+  ep.set_lying(true);
+  // Day 1: the probe replays day 0. Inside the staleness budget the lie
+  // buys a (wrong) probe-skip — exactly the drift window kBounded bounds.
+  PipelineReport d1 = process(1);
+  EXPECT_TRUE(d1.probe_skipped);
+  EXPECT_EQ(d1.staleness_days, 1);
+
+  // Day 2: budget exhausted -> forced refresh finds the content changed
+  // behind the quiet probe -> strike one, trusted -> suspect.
+  PipelineReport d2 = process(2);
+  EXPECT_TRUE(d2.forced_refresh);
+  EXPECT_TRUE(d2.probe_mismatch);
+  EXPECT_EQ(d2.staleness_days, 2);
+  EXPECT_EQ(trust(), endpoint::TrustState::kSuspect);
+  EXPECT_EQ(server.registry().GetRecord(url)->suspect_strikes, 1);
+  // The strike voids the (lying) probe state.
+  EXPECT_TRUE(server.registry().GetRecord(url)->class_fingerprints.empty());
+
+  // Day 3: no stored fingerprints, so everything is dirty -> plain full
+  // refresh; the lie is indistinguishable from churn, no new strike.
+  PipelineReport d3 = process(3);
+  EXPECT_FALSE(d3.probe_mismatch);
+  EXPECT_EQ(trust(), endpoint::TrustState::kSuspect);
+
+  // Day 4: the replayed probe matches the fingerprints it planted on day
+  // 3; a suspect endpoint never probe-skips, so the full extraction
+  // catches the quiet lie again -> strike two -> quarantined.
+  PipelineReport d4 = process(4);
+  EXPECT_FALSE(d4.probe_skipped);
+  EXPECT_TRUE(d4.probe_mismatch);
+  EXPECT_TRUE(d4.quarantine_entered);
+  EXPECT_EQ(trust(), endpoint::TrustState::kQuarantined);
+  EXPECT_EQ(server.registry().GetRecord(url)->quarantine_until_day, 6);
+
+  ep.set_lying(false);  // the endpoint comes clean
+  // Day 5: still quarantined -> unconditional forced full refresh.
+  PipelineReport d5 = process(5);
+  EXPECT_TRUE(d5.quarantined);
+  EXPECT_TRUE(d5.forced_refresh);
+  EXPECT_EQ(trust(), endpoint::TrustState::kQuarantined);
+
+  // Day 6: quarantine served and a clean full refresh landed -> paroled
+  // back to suspect.
+  PipelineReport d6 = process(6);
+  EXPECT_TRUE(d6.quarantine_exited);
+  EXPECT_EQ(trust(), endpoint::TrustState::kSuspect);
+
+  // Days 7-8: two divergence-free cycles walk suspect back to trusted.
+  process(7);
+  EXPECT_EQ(trust(), endpoint::TrustState::kSuspect);
+  process(8);
+  EXPECT_EQ(trust(), endpoint::TrustState::kTrusted);
+  EXPECT_EQ(server.registry().GetRecord(url)->suspect_strikes, 0);
+}
+
 }  // namespace
 }  // namespace hbold

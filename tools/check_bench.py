@@ -160,6 +160,21 @@ GATED = {
         Metric("probe_skips", "stable"),
         Metric("delta_extractions", "stable"),
     ],
+    "BENCH_adversarial_delta.json": [
+        # Mixed honest/lying/partial/flaky fleet under kBounded. The
+        # world and the adversary are seeded and frozen before the end,
+        # so convergence, detection counters, and the canonical
+        # fingerprint are all deterministic hard gates.
+        Metric("gates.final_state_identity", "bool"),
+        Metric("gates.deployment_invariance", "bool"),
+        Metric("gates.adversary_detected", "bool"),
+        Metric("gates.makespan_reduction_1_2x", "bool"),
+        Metric("bounded_fingerprint", "exact"),
+        Metric("probe_mismatches", "stable"),
+        Metric("forced_refreshes", "stable"),
+        Metric("quarantines_entered", "stable"),
+        Metric("makespan_reduction", "higher"),
+    ],
     "BENCH_exploration_serving.json": [
         # The session stream is fully seeded: transcripts and cache miss
         # counts are deterministic, so the fingerprint is a hard gate.
