@@ -1,6 +1,6 @@
 // Fleet simulation bench + gate: a multi-day, multi-server H-BOLD fleet
-// (sharded registry, shared pool, SimClock advanced by the fleet makespan
-// each day, seeded churn, availability flapping) versus the 1-shard
+// (sharded registry, shared pool, daily cycles chained as events on one
+// sim::EventLoop, seeded churn, availability flapping) versus the 1-shard
 // sequential run of the same seeded world.
 //
 // Emits machine-readable BENCH_fleet_simulation.json and exits nonzero
@@ -26,15 +26,16 @@
 #include "common/logging.h"
 #include "endpoint/simulated_endpoint.h"
 #include "hbold/fleet.h"
+#include "hbold/sim_options.h"
+#include "sim/event_loop.h"
 #include "workload/ld_generator.h"
 
 namespace {
 
 using hbold::Fleet;
-using hbold::FleetOptions;
 using hbold::FleetReport;
 using hbold::Json;
-using hbold::SimClock;
+using hbold::SimulationOptions;
 using hbold::Stopwatch;
 
 constexpr size_t kLatentEndpoints = 4;
@@ -75,7 +76,9 @@ struct RunResult {
 RunResult RunWorld(
     const std::vector<std::unique_ptr<hbold::rdf::TripleStore>>& stores,
     int shards, int fleet_workers, int parallelism, int64_t days) {
-  SimClock clock;
+  // The primary time API: an explicit event loop owning the run's clock.
+  hbold::sim::EventLoop loop;
+  const hbold::SimClock* clock = loop.clock();
   const size_t base = stores.size() - kLatentEndpoints;
   std::vector<std::unique_ptr<hbold::endpoint::SimulatedRemoteEndpoint>>
       endpoints;
@@ -104,22 +107,22 @@ RunResult RunWorld(
     }
     endpoints.push_back(
         std::make_unique<hbold::endpoint::SimulatedRemoteEndpoint>(
-            UrlOf(i), "Fleet " + std::to_string(i), stores[i].get(), &clock,
+            UrlOf(i), "Fleet " + std::to_string(i), stores[i].get(), clock,
             dialect, availability));
   }
 
-  FleetOptions options;
+  SimulationOptions options;
   options.num_shards = shards;
   // Per-shard pipeline fan-out rides the same shared pool the shard
   // cycles run on, so real scheduling is work-conserving at pipeline
   // granularity — an unlucky shard-hash imbalance cannot serialize the
   // wall clock behind one overloaded shard.
-  options.server.parallelism = parallelism;
-  options.server.query_batch_width = 1;
+  options.parallelism = parallelism;
+  options.query_batch_width = 1;
   options.fleet_workers = static_cast<size_t>(fleet_workers);
   options.churn.death_probability = kDeathProbability;
   options.churn.seed = kChurnSeed;
-  Fleet fleet(&clock, options);
+  Fleet fleet(&loop, options.ToFleetOptions());
 
   for (size_t i = 0; i < base; ++i) {
     hbold::endpoint::EndpointRecord record;

@@ -335,6 +335,26 @@ std::vector<SessionResult> ExplorationService::RunSessions(
   return results;
 }
 
+void ExplorationService::ScheduleSessions(
+    sim::EventLoop* loop, std::vector<workload::SessionPlan> plans,
+    std::vector<int64_t> arrival_times_ms) {
+  const size_t n = std::min(plans.size(), arrival_times_ms.size());
+  for (size_t i = 0; i < n; ++i) {
+    loop->ScheduleAt(
+        arrival_times_ms[i], sim::EventKind::kSessionArrival,
+        "session " + std::to_string(plans[i].session_id),
+        [this, plan = std::move(plans[i])] {
+          scheduled_results_.push_back(RunSession(plan));
+        });
+  }
+}
+
+std::vector<SessionResult> ExplorationService::TakeScheduledResults() {
+  std::vector<SessionResult> taken = std::move(scheduled_results_);
+  scheduled_results_.clear();
+  return taken;
+}
+
 uint64_t ExplorationService::CombinedFingerprint(
     const std::vector<SessionResult>& results) {
   uint64_t h = 1469598103934665603ULL;

@@ -97,6 +97,25 @@ class ExplorationService {
   std::vector<SessionResult> RunSessions(
       const std::vector<workload::SessionPlan>& plans, ThreadPool* pool);
 
+  /// Mixed-timeline serving: registers plan `i` as a kSessionArrival
+  /// event at absolute time `arrival_times_ms[i]` on `loop` (typically
+  /// the fleet's — one shared timeline for extraction and serving, with
+  /// sim::ArrivalProcess generating the times). Sessions run inline on
+  /// the dispatching thread, in event order, against whatever snapshot
+  /// catalog is current when they fire — so a cycle-complete handler that
+  /// calls RefreshSnapshots() hands later arrivals the fresher data, the
+  /// way a live deployment would. Results accumulate in arrival order
+  /// until TakeScheduledResults(). Arrival times must not collide with a
+  /// RefreshSnapshots() running on another thread (the loop is
+  /// single-threaded, so scheduling both on it is always safe).
+  void ScheduleSessions(sim::EventLoop* loop,
+                        std::vector<workload::SessionPlan> plans,
+                        std::vector<int64_t> arrival_times_ms);
+
+  /// Drains the results of sessions served through ScheduleSessions, in
+  /// the order their arrival events dispatched.
+  std::vector<SessionResult> TakeScheduledResults();
+
   /// Order-independent-free combined fingerprint: FNV-1a folded over the
   /// per-session transcripts in session order. Two serving runs are the
   /// same history iff this matches.
@@ -115,6 +134,8 @@ class ExplorationService {
   std::vector<DatasetSnapshot> catalog_;
   uint64_t generation_ = 0;
   viz::LayoutCache cache_;
+  /// Results of loop-scheduled sessions, in dispatch order.
+  std::vector<SessionResult> scheduled_results_;
 };
 
 }  // namespace hbold

@@ -112,13 +112,23 @@ int AdaptiveWidthController::Observe(const std::string& url,
 
 // ----------------------------------------------------------------- fleet
 
+Fleet::Fleet(sim::EventLoop* loop, const FleetOptions& options)
+    : Fleet(nullptr, loop, options) {}
+
 Fleet::Fleet(SimClock* clock, const FleetOptions& options)
-    : clock_(clock),
+    : Fleet(std::make_unique<sim::EventLoop>(clock), nullptr, options) {}
+
+Fleet::Fleet(std::unique_ptr<sim::EventLoop> owned, sim::EventLoop* loop,
+             const FleetOptions& options)
+    : owned_loop_(std::move(owned)),
+      loop_(loop != nullptr ? loop : owned_loop_.get()),
       options_(options),
       churn_(options.churn),
       widths_(options.adaptive_width,
-              std::max(1, options.server.query_batch_width)) {
+              std::max(1, options.server.query_batch_width)),
+      cycle_process_(loop_, sim::EventKind::kCycleStart, "fleet-cycle") {
   options_.num_shards = std::max(1, options_.num_shards);
+  options_.virtual_workers = std::max(1, options_.virtual_workers);
   if (options_.fleet_workers == 0) {
     options_.fleet_workers =
         static_cast<size_t>(options_.num_shards) *
@@ -128,8 +138,9 @@ Fleet::Fleet(SimClock* clock, const FleetOptions& options)
   shards_.reserve(options_.num_shards);
   for (int s = 0; s < options_.num_shards; ++s) {
     dbs_.push_back(std::make_unique<store::Database>());
-    shards_.push_back(
-        std::make_unique<Server>(dbs_.back().get(), clock_, options_.server));
+    shards_.push_back(std::make_unique<Server>(
+        dbs_.back().get(), static_cast<const sim::Timeline*>(loop_),
+        options_.server));
   }
   if (options_.fleet_workers > 1) pool_.emplace(options_.fleet_workers);
 }
@@ -174,6 +185,7 @@ void Fleet::ApplyChurn(int64_t day, FleetDayReport* day_report) {
     if (RegisterEndpoint(std::move(arrival.record))) {
       if (arrival.endpoint != nullptr) AttachEndpoint(url, arrival.endpoint);
       ++day_report->arrivals;
+      loop_->Note(sim::EventKind::kChurn, "arrival|" + url);
       HBOLD_LOG(kDebug) << "fleet churn: " << url << " arrived on day "
                         << day;
     } else if (arrival.endpoint != nullptr && attached_.count(url) == 0) {
@@ -182,6 +194,7 @@ void Fleet::ApplyChurn(int64_t day, FleetDayReport* day_report) {
       // restore the route and count the recovery as an arrival.
       AttachEndpoint(url, arrival.endpoint);
       ++day_report->arrivals;
+      loop_->Note(sim::EventKind::kChurn, "recover|" + url);
       HBOLD_LOG(kDebug) << "fleet churn: " << url << " recovered on day "
                         << day;
     } else {
@@ -199,6 +212,7 @@ void Fleet::ApplyChurn(int64_t day, FleetDayReport* day_report) {
     for (const std::string& url : victims) {
       DetachEndpoint(url);
       ++day_report->deaths;
+      loop_->Note(sim::EventKind::kChurn, "death|" + url);
       HBOLD_LOG(kDebug) << "fleet churn: " << url << " died on day " << day;
     }
   }
@@ -293,30 +307,45 @@ void Fleet::MergeShardReports(std::vector<DailyReport> shard_reports,
   day_report->shard_reports = std::move(shard_reports);
 }
 
-void Fleet::AdvanceClock(int64_t day, FleetDayReport* day_report) {
-  // The clock-advance contract: the day took its fleet makespan (the
-  // slowest shard's batched duration); the next cycle starts at the next
-  // day boundary unless the makespan already overran it.
-  clock_->AdvanceMs(
-      static_cast<int64_t>(std::ceil(day_report->fleet_makespan_ms)));
-  const int64_t next_boundary = (day + 1) * SimClock::kMillisPerDay;
-  if (clock_->NowMs() < next_boundary) {
-    clock_->AdvanceMs(next_boundary - clock_->NowMs());
-  } else {
-    day_report->overran_day = true;
-    HBOLD_LOG(kWarn) << "fleet day " << day << " overran its boundary ("
-                     << day_report->fleet_makespan_ms
-                     << " ms makespan); day numbering is no longer "
-                        "deployment-invariant";
-  }
+// ------------------------------------------------- the event-loop chain
+
+void Fleet::ScheduleCycles(int64_t count) {
+  if (count <= 0) return;
+  const bool chain_idle = cycles_remaining_ == 0;
+  cycles_remaining_ += count;
+  if (chain_idle) ScheduleCycleAt(loop_->NowMs());
 }
 
-FleetDayReport Fleet::RunDay() {
-  FleetDayReport day_report;
-  const int64_t day = clock_->NowDay();
-  day_report.day = day;
-  ApplyChurn(day, &day_report);
-  if (options_.adaptive_width.enabled) PushAdaptiveWidths();
+void Fleet::ScheduleCycleAt(int64_t start_ms) {
+  const int64_t day = start_ms / SimClock::kMillisPerDay;
+  // A cycle landing on a day boundary crosses it with an explicit
+  // kDayBoundary event — boundaries are scheduled occurrences on the
+  // timeline, not clock arithmetic. Catch-up cycles start mid-day and
+  // cross no boundary.
+  if (start_ms % SimClock::kMillisPerDay == 0 &&
+      start_ms > last_boundary_ms_) {
+    last_boundary_ms_ = start_ms;
+    loop_->ScheduleAt(start_ms, sim::EventKind::kDayBoundary,
+                      "day " + std::to_string(day), nullptr);
+  }
+  // Churn precedes the cycle at the same instant (scheduled first, lower
+  // sequence): arrivals/deaths applied for the day the cycle runs in.
+  loop_->ScheduleAt(start_ms, sim::EventKind::kChurn,
+                    "day " + std::to_string(day), [this] {
+                      pending_day_ = FleetDayReport{};
+                      pending_day_.day = loop_->NowDay();
+                      ApplyChurn(pending_day_.day, &pending_day_);
+                      if (options_.adaptive_width.enabled) {
+                        PushAdaptiveWidths();
+                      }
+                    });
+  cycle_process_.ActivateAt(start_ms, [this] { RunCycleBody(); });
+}
+
+void Fleet::RunCycleBody() {
+  const int64_t day = loop_->NowDay();
+  const int64_t start_ms = loop_->NowMs();
+  FleetDayReport& day_report = pending_day_;  // primed by the kChurn event
 
   Stopwatch wall;
   std::vector<DailyReport> shard_reports(shards_.size());
@@ -324,7 +353,8 @@ FleetDayReport Fleet::RunDay() {
   // Shard cycles are tasks on the same pool their pipelines (and their
   // pipelines' query batches) fan out over; every layer's claim loop
   // participates, so one pool serves the whole depth without deadlock
-  // and total threads stay at fleet_workers.
+  // and total threads stay at fleet_workers. The loop itself never leaves
+  // this thread — workers compute, only the dispatcher schedules.
   ThreadPool::ParallelFor(pool, shards_.size(), [&](size_t s) {
     shard_reports[s] =
         shards_[s]->RunDailyCycleOn(pool, options_.server.parallelism);
@@ -333,21 +363,90 @@ FleetDayReport Fleet::RunDay() {
 
   MergeShardReports(std::move(shard_reports), &day_report);
   if (options_.adaptive_width.enabled) ObserveOutcomes(day_report);
-  AdvanceClock(day, &day_report);
-  return day_report;
+
+  // Price the simulated timeline with the canonical ledger: merged
+  // charged latencies, global registration order, virtual_workers wide.
+  // Every figure feeding it is deployment-invariant, so the resulting
+  // event times (and overrun decisions) are too.
+  std::unordered_map<std::string, size_t> throttle_by_url;
+  for (const PipelineReport& r : day_report.reports) {
+    throttle_by_url[r.url] = r.extraction.throttle_events;
+  }
+  WorkerLatencyLedger ledger(
+      static_cast<size_t>(std::max(1, options_.virtual_workers)));
+  for (const DueOutcome& o : day_report.outcomes) {
+    const size_t worker = ledger.Assign(o.charged_latency_ms);
+    const int64_t finish_ms =
+        start_ms + static_cast<int64_t>(std::ceil(ledger.WorkerMs(worker)));
+    loop_->ScheduleAt(finish_ms, sim::EventKind::kPipelineComplete,
+                      o.url + (o.succeeded ? "" : "|failed"), nullptr);
+    auto it = throttle_by_url.find(o.url);
+    if (it != throttle_by_url.end() && it->second > 0) {
+      loop_->ScheduleAt(finish_ms, sim::EventKind::kThrottle,
+                        o.url + "|x" + std::to_string(it->second), nullptr);
+    }
+  }
+  day_report.sim_makespan_ms = ledger.MakespanMs();
+  const int64_t complete_ms =
+      start_ms + static_cast<int64_t>(std::ceil(day_report.sim_makespan_ms));
+  loop_->ScheduleAt(complete_ms, sim::EventKind::kCycleComplete,
+                    "day " + std::to_string(day),
+                    [this, day] { CompleteCycle(day); });
 }
 
-FleetReport Fleet::RunSimulation(int64_t days) {
+void Fleet::CompleteCycle(int64_t day) {
+  FleetDayReport report = std::move(pending_day_);
+  pending_day_ = FleetDayReport{};
+  const int64_t boundary = (day + 1) * SimClock::kMillisPerDay;
+  const int64_t now = loop_->NowMs();
+  if (now >= boundary) {
+    report.overran_day = true;
+    HBOLD_LOG(kWarn) << "fleet day " << day << " overran its boundary ("
+                     << report.sim_makespan_ms
+                     << " ms canonical makespan); scheduling a catch-up "
+                        "cycle";
+  }
+  collected_days_.push_back(std::move(report));
+  const FleetDayReport& done = collected_days_.back();
+  if (cycle_complete_handler_) cycle_complete_handler_(done);
+  --cycles_remaining_;
+  if (cycles_remaining_ > 0) {
+    // Overrun -> catch-up: the next cycle starts immediately instead of
+    // waiting for a boundary that already passed.
+    ScheduleCycleAt(done.overran_day ? now : boundary);
+  } else if (!done.overran_day && boundary > last_boundary_ms_) {
+    // No further cycles: cross into the next day so the clock contract
+    // ("a drained day ends at the next boundary") still holds.
+    last_boundary_ms_ = boundary;
+    loop_->ScheduleAt(boundary, sim::EventKind::kDayBoundary,
+                      "day " + std::to_string(day + 1), nullptr);
+  }
+}
+
+FleetReport Fleet::TakeReport() {
   FleetReport report;
   report.num_shards = options_.num_shards;
   report.parallelism = std::max(1, options_.server.parallelism);
   report.query_batch_width = std::max(1, options_.server.query_batch_width);
   report.adaptive_width = options_.adaptive_width.enabled;
-  report.days.reserve(static_cast<size_t>(std::max<int64_t>(0, days)));
-  for (int64_t d = 0; d < days; ++d) {
-    report.days.push_back(RunDay());
-  }
+  report.days = std::move(collected_days_);
+  collected_days_.clear();
   return report;
+}
+
+FleetDayReport Fleet::RunDay() {
+  ScheduleCycles(1);
+  loop_->RunUntilIdle();
+  FleetDayReport report = std::move(collected_days_.back());
+  collected_days_.pop_back();
+  return report;
+}
+
+FleetReport Fleet::RunSimulation(int64_t days) {
+  collected_days_.clear();
+  ScheduleCycles(days);
+  loop_->RunUntilIdle();
+  return TakeReport();
 }
 
 // ---------------------------------------------------------------- report
@@ -549,6 +648,7 @@ Json FleetReport::ToJson() const {
     d.Set("deaths", static_cast<int64_t>(day.deaths));
     d.Set("sum_latency_ms", day.sum_latency_ms);
     d.Set("fleet_makespan_ms", day.fleet_makespan_ms);
+    d.Set("sim_makespan_ms", day.sim_makespan_ms);
     d.Set("wall_ms", day.wall_ms);
     d.Set("overran_day", day.overran_day);
     d.Set("plan_cache_hits", static_cast<int64_t>(day.plan_cache_hits));

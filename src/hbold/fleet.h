@@ -8,12 +8,15 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "common/clock.h"
 #include "common/json.h"
 #include "common/thread_pool.h"
 #include "endpoint/endpoint.h"
 #include "endpoint/registry.h"
 #include "hbold/server.h"
+#include "sim/event_loop.h"
 #include "store/database.h"
 
 namespace hbold {
@@ -137,6 +140,16 @@ struct FleetOptions {
   size_t fleet_workers = 0;
   ChurnOptions churn;
   AdaptiveWidthOptions adaptive_width;
+  /// Simulated hardware width for the event timeline: the canonical
+  /// list-scheduling ledger that prices per-endpoint pipeline-completion
+  /// events and the day's sim_makespan_ms replays the merged charged
+  /// latencies (global registration order) over this many virtual
+  /// workers. A *simulation* parameter, deliberately decoupled from the
+  /// physical deployment (fleet_workers, parallelism, shard count), so
+  /// event times — and with them overrun decisions and the whole event
+  /// history — stay byte-identical across deployment shapes. Physical
+  /// knobs only move real wall-clock.
+  int virtual_workers = 4;
 };
 
 /// One simulated day of the whole fleet, merged across shards.
@@ -169,10 +182,17 @@ struct FleetDayReport {
   /// parallelism, and batching (per-shard ledger sums are NOT used here,
   /// their float addition order would depend on the deployment).
   double sum_latency_ms = 0;
-  /// Simulated duration of the day: max over shards of the per-shard
-  /// batched makespan — what the fleet clock advances by. A deployment
-  /// figure: it legitimately shrinks as shards/parallelism grow.
+  /// Deployment duration of the day: max over shards of the per-shard
+  /// batched makespan. A deployment figure — it legitimately shrinks as
+  /// shards/parallelism grow — so it prices nothing on the event
+  /// timeline; sim_makespan_ms below does.
   double fleet_makespan_ms = 0;
+  /// Canonical simulated duration of the day: list-scheduling makespan of
+  /// the merged charged latencies (global registration order) over
+  /// FleetOptions::virtual_workers virtual workers. Deployment-invariant
+  /// by construction — this is what spaces cycle-complete events on the
+  /// event loop and decides overrun days.
+  double sim_makespan_ms = 0;
   /// Real wall-clock of the day's cycles.
   double wall_ms = 0;
   /// Query-engine deployment counters summed over shards (each shard's
@@ -181,9 +201,12 @@ struct FleetDayReport {
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
   uint64_t hash_join_builds = 0;
-  /// True when fleet_makespan_ms pushed the clock past the next day
-  /// boundary — the fleet cannot keep up with daily cycles, and the
-  /// shard-count invariance of *day numbering* no longer holds.
+  /// True when sim_makespan_ms pushed the cycle's completion to (or past)
+  /// the next day boundary — the fleet cannot keep up with daily cycles.
+  /// The next cycle then starts immediately as a catch-up cycle instead
+  /// of waiting for a boundary. Because the deciding makespan is the
+  /// canonical one, overruns (and the day numbering they shift) are
+  /// deployment-invariant.
   bool overran_day = false;
   /// Pipeline reports and per-due-entry outcomes merged in global
   /// registration order (identical to a 1-shard run's order).
@@ -234,27 +257,41 @@ struct FleetReport {
 };
 
 /// The multi-server layer: shards the endpoint registry across N Server
-/// instances by stable URL hash and drives them through multi-day
-/// simulations on one shared pool, advancing the fleet-wide SimClock by
-/// each day's makespan.
+/// instances by stable URL hash and drives them as processes on a
+/// sim::EventLoop — daily cycles, churn, per-endpoint pipeline
+/// completions, throttle pressure, and day boundaries are all scheduled
+/// events on one shared timeline, so serving traffic (user-session
+/// arrivals) can interleave with extraction in the same simulated day.
 ///
 /// Determinism contract: for the same seeded world (endpoints, churn
-/// schedule, availability), FleetReport::CanonicalDump() and the merged
-/// persisted store contents are byte-identical for ANY (num_shards,
-/// fleet_workers, parallelism, query_batch_width, adaptive on/off) —
-/// differential-tested in tests/fleet_test.cc and gated in
-/// bench_fleet_simulation. Holds as long as no day overruns (see
-/// FleetDayReport::overran_day).
+/// schedule, availability), FleetReport::CanonicalDump() AND the loop's
+/// event history (sim::EventLoop::HistoryDump()) and the merged persisted
+/// store contents are byte-identical for ANY (num_shards, fleet_workers,
+/// parallelism, query_batch_width, adaptive on/off) — differential-tested
+/// in tests/fleet_test.cc + tests/sim_test.cc and gated in
+/// bench_fleet_simulation / bench_mixed_timeline. Unlike the pre-loop
+/// API, the contract now covers overrun days too: the event timeline is
+/// priced by the canonical virtual-worker ledger, so catch-up cycles land
+/// on the same instants in every deployment shape.
 class Fleet {
  public:
-  /// `clock` must outlive the fleet and must be the same clock the
-  /// simulated endpoints were built against, so the whole world shares
-  /// one timeline.
+  /// Primary constructor: the fleet becomes a process on `loop` (which
+  /// must outlive it). Simulated endpoints must be built against
+  /// `loop->clock()` so the whole world shares one timeline.
+  Fleet(sim::EventLoop* loop, const FleetOptions& options);
+
+  /// SimClock compatibility shim (one release): wraps `clock` in an
+  /// internally-owned EventLoop. Existing worlds whose endpoints bind to
+  /// a bare SimClock keep working unchanged; RunDay()/RunSimulation()
+  /// schedule onto the internal loop and drain it. New code should build
+  /// the EventLoop itself and use the primary constructor.
   Fleet(SimClock* clock, const FleetOptions& options);
 
   size_t num_shards() const { return shards_.size(); }
   const FleetOptions& options() const { return options_; }
-  SimClock* clock() { return clock_; }
+  /// The shared timeline every fleet event lands on.
+  sim::EventLoop& loop() { return *loop_; }
+  SimClock* clock() { return loop_->clock(); }
 
   /// Stable shard assignment: Fnv64(url) % num_shards.
   size_t ShardOf(const std::string& url) const;
@@ -288,24 +325,59 @@ class Fleet {
     return registration_order_;
   }
 
-  /// One simulated day: apply churn, push adaptive widths, run every
-  /// shard's cycle on the shared pool, merge reports in global
-  /// registration order, observe outcomes, and advance the clock by the
-  /// fleet makespan (then to the next day boundary).
+  /// Registers `count` daily cycles on the loop, starting at the current
+  /// instant. Each cycle is a kChurn + kCycleStart event pair; its
+  /// completion schedules the next cycle at the following day boundary —
+  /// or immediately (a catch-up cycle) when the canonical makespan
+  /// overran the boundary. Completed days accumulate until TakeReport().
+  /// The caller drives the loop (RunUntilIdle / RunUntil), which is what
+  /// lets other traffic — session arrivals, extra processes — interleave
+  /// with extraction on the same timeline.
+  void ScheduleCycles(int64_t count);
+
+  /// Drains the day reports completed since the last take into a
+  /// FleetReport.
+  FleetReport TakeReport();
+
+  /// Called (on the loop thread) as each cycle's kCycleComplete event
+  /// finalizes its day report — the hook serving layers use to refresh
+  /// their snapshots mid-simulation.
+  void SetCycleCompleteHandler(std::function<void(const FleetDayReport&)> fn) {
+    cycle_complete_handler_ = std::move(fn);
+  }
+
+  /// One simulated day, synchronously: schedules a single cycle at the
+  /// current instant and drains the loop. Retained from the pre-loop API;
+  /// equivalent to ScheduleCycles(1) + loop().RunUntilIdle().
   FleetDayReport RunDay();
 
-  /// Runs `days` consecutive daily cycles.
+  /// Runs `days` consecutive daily cycles to idle and takes the report.
   FleetReport RunSimulation(int64_t days);
 
  private:
+  Fleet(std::unique_ptr<sim::EventLoop> owned, sim::EventLoop* loop,
+        const FleetOptions& options);
+
+  /// Schedules the next cycle's kChurn + kCycleStart pair at `start_ms`
+  /// (plus the kDayBoundary event when `start_ms` sits on one).
+  void ScheduleCycleAt(int64_t start_ms);
+  /// The kCycleStart handler: runs every shard's cycle on the shared
+  /// pool, merges, prices the canonical timeline, and schedules the
+  /// pipeline-completion / throttle / cycle-complete events.
+  void RunCycleBody();
+  /// The kCycleComplete handler: finalizes the day report, detects
+  /// overruns, and chains the next cycle.
+  void CompleteCycle(int64_t day);
+
   void ApplyChurn(int64_t day, FleetDayReport* day_report);
   void PushAdaptiveWidths();
   void ObserveOutcomes(const FleetDayReport& day_report);
   void MergeShardReports(std::vector<DailyReport> shard_reports,
                          FleetDayReport* day_report) const;
-  void AdvanceClock(int64_t day, FleetDayReport* day_report);
 
-  SimClock* clock_;
+  /// Owned only by the SimClock compatibility constructor.
+  std::unique_ptr<sim::EventLoop> owned_loop_;
+  sim::EventLoop* loop_;
   FleetOptions options_;
   std::vector<std::unique_ptr<store::Database>> dbs_;
   std::vector<std::unique_ptr<Server>> shards_;
@@ -317,6 +389,18 @@ class Fleet {
   std::vector<std::string> registration_order_;
   /// Live routes, for the death lottery (url-sorted: deterministic).
   std::map<std::string, endpoint::SparqlEndpoint*> attached_;
+  /// The daily-cycle chain: at most one activation pending at a time.
+  sim::Process cycle_process_;
+  /// Cycles registered but not yet completed.
+  int64_t cycles_remaining_ = 0;
+  /// The day report under construction between a cycle's kChurn event and
+  /// its kCycleComplete event.
+  FleetDayReport pending_day_;
+  /// Completed days awaiting TakeReport().
+  std::vector<FleetDayReport> collected_days_;
+  std::function<void(const FleetDayReport&)> cycle_complete_handler_;
+  /// Last instant a kDayBoundary event was emitted for (dedup guard).
+  int64_t last_boundary_ms_ = -1;
 };
 
 }  // namespace hbold

@@ -34,16 +34,23 @@ extraction::IndexExtractor MakeExtractor(const ServerOptions& options) {
 }
 }  // namespace
 
+Server::Server(store::Database* db, const sim::Timeline* timeline,
+               const ServerOptions& options)
+    : db_(db),
+      timeline_(timeline),
+      options_(options),
+      scheduler_(options.refresh_age_days),
+      extractor_(MakeExtractor(options)) {}
+
 Server::Server(store::Database* db, SimClock* clock, int64_t refresh_age_days)
     : Server(db, clock, WithRefreshAge(refresh_age_days)) {}
 
 Server::Server(store::Database* db, SimClock* clock,
                const ServerOptions& options)
-    : db_(db),
-      clock_(clock),
-      options_(options),
-      scheduler_(options.refresh_age_days),
-      extractor_(MakeExtractor(options)) {}
+    : Server(db, static_cast<const sim::Timeline*>(nullptr), options) {
+  owned_timeline_ = std::make_unique<sim::ClockTimeline>(clock);
+  timeline_ = owned_timeline_.get();
+}
 
 void Server::AttachEndpoint(const std::string& url,
                             endpoint::SparqlEndpoint* ep) {
@@ -80,7 +87,7 @@ Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
                                                    PipelineCost* cost) {
   PipelineReport report;
   report.url = url;
-  const int64_t today = clock_->NowDay();
+  const int64_t today = timeline_->NowDay();
 
   // Bookkeeping writes go through the registry's serialized update path so
   // concurrent pipelines never race on a shared record.
@@ -128,11 +135,20 @@ Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
 
   // A full refresh is forced — whatever the probe claims — while the
   // endpoint is quarantined, and under kBounded once the unverified drift
-  // window exceeds the staleness budget.
+  // window exceeds the staleness budget. The effective budget is adaptive
+  // when strike_budget_penalty_days is set: every lifetime strike the
+  // record carries tightens it, so endpoints with a divergence history
+  // get re-verified sooner than clean ones.
   bool force_full = report.quarantined;
-  if (inc.mode == IncrementalMode::kBounded && last_full >= 0 &&
-      today - last_full >= inc.staleness_budget_days) {
-    force_full = true;
+  if (inc.mode == IncrementalMode::kBounded && last_full >= 0) {
+    int64_t budget = inc.staleness_budget_days;
+    if (inc.strike_budget_penalty_days > 0 && rec0.has_value() &&
+        rec0->lifetime_strikes > 0) {
+      budget = std::max(
+          inc.min_staleness_budget_days,
+          budget - rec0->lifetime_strikes * inc.strike_budget_penalty_days);
+    }
+    if (today - last_full >= budget) force_full = true;
   }
 
   // Divergence bookkeeping: a probe claim was contradicted by evidence.
@@ -146,6 +162,7 @@ Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
     registry_.UpdateRecord(url, [&](endpoint::EndpointRecord& r) {
       r.clean_streak = 0;
       ++r.suspect_strikes;
+      ++r.lifetime_strikes;
       if (r.trust_state == endpoint::TrustState::kTrusted) {
         r.trust_state = endpoint::TrustState::kSuspect;
       }
@@ -271,6 +288,14 @@ Result<PipelineReport> Server::ProcessEndpointImpl(const std::string& url,
       if (have_probe) r.probe_failure_streak = 0;
       if (report.probe_mismatch) return;  // strike() already booked this
       ++r.clean_streak;
+      // Strike decay: a long-enough clean streak forgives one recorded
+      // strike per interval, relaxing the adaptive staleness budget back
+      // toward the configured one.
+      if (inc.strike_decay_clean_cycles > 0 && r.lifetime_strikes > 0 &&
+          r.clean_streak % inc.strike_decay_clean_cycles == 0) {
+        --r.lifetime_strikes;
+        if (r.suspect_strikes > 0) --r.suspect_strikes;
+      }
       if (r.trust_state == endpoint::TrustState::kQuarantined) {
         if (today >= r.quarantine_until_day && ran_full_extraction) {
           r.trust_state = endpoint::TrustState::kSuspect;
@@ -620,7 +645,7 @@ DailyReport Server::RunDailyCycle(int parallelism) {
   // days of a multi-day simulation. (The due list is recomputed inside
   // RunDailyCycleOn from the same registry state; DueToday is read-only,
   // so the two computations agree.)
-  if (scheduler_.DueToday(registry_.Snapshot(), clock_->NowDay()).size() <=
+  if (scheduler_.DueToday(registry_.Snapshot(), timeline_->NowDay()).size() <=
       1) {
     return RunDailyCycleOn(nullptr, parallelism);
   }
@@ -638,7 +663,7 @@ endpoint::QueryEngineStats Server::SumEngineStats() const {
 
 DailyReport Server::RunDailyCycleOn(ThreadPool* pool, int parallelism) {
   DailyReport daily;
-  daily.day = clock_->NowDay();
+  daily.day = timeline_->NowDay();
   daily.parallelism = std::max(1, parallelism);
 
   // Data evolves first: every attached endpoint applies its seeded

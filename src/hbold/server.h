@@ -5,8 +5,11 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/clock.h"
 #include "common/result.h"
+#include "sim/timeline.h"
 #include "endpoint/endpoint.h"
 #include "endpoint/registry.h"
 #include "extraction/extractor.h"
@@ -58,6 +61,21 @@ struct IncrementalOptions {
   /// kBounded only: maximum days since the last *full* (verified)
   /// extraction before one is forced.
   int64_t staleness_budget_days = 7;
+  /// Adaptive staleness budgets (kBounded): when > 0, every lifetime
+  /// strike on an endpoint's record tightens its *effective* budget by
+  /// this many days — endpoints with a divergence history get verified
+  /// more often — floored at min_staleness_budget_days. 0 keeps the
+  /// fixed budget for everyone (default; preserves earlier histories).
+  int64_t strike_budget_penalty_days = 0;
+  /// Floor for the adaptive budget: even a heavily-struck endpoint keeps
+  /// at least this many days between forced refreshes.
+  int64_t min_staleness_budget_days = 1;
+  /// Strike decay: when > 0, each time an endpoint's divergence-free
+  /// clean streak reaches a multiple of this many cycles, one lifetime
+  /// strike (and one pending suspect strike) is forgiven — the adaptive
+  /// budget relaxes back toward the configured one on long-clean
+  /// endpoints. 0 = strikes never decay (default).
+  int64_t strike_decay_clean_cycles = 0;
   /// Transient probe failures (Timeout while the endpoint is up) retried
   /// within one attempt before degrading to a probe-less full extraction.
   /// Retries are deterministic: the endpoint's fault coins are salted by a
@@ -242,7 +260,16 @@ struct ServerOptions {
 /// endpoints.
 class Server {
  public:
-  /// `db` and `clock` must outlive the server.
+  /// Primary constructor: the server *reads* simulated time through
+  /// `timeline` (a sim::EventLoop, or any Timeline) and never advances
+  /// it — under the event-loop redesign only the loop's dispatcher moves
+  /// time. `db` and `timeline` must outlive the server.
+  Server(store::Database* db, const sim::Timeline* timeline,
+         const ServerOptions& options);
+
+  /// SimClock compatibility shims (one release): wrap `clock` in an
+  /// owned ClockTimeline so pre-event-loop callers that still advance a
+  /// bare SimClock between manual cycles keep working unchanged.
   Server(store::Database* db, SimClock* clock,
          int64_t refresh_age_days = 7);
   Server(store::Database* db, SimClock* clock, const ServerOptions& options);
@@ -333,7 +360,9 @@ class Server {
   endpoint::QueryEngineStats SumEngineStats() const;
 
   store::Database* db_;
-  SimClock* clock_;
+  /// Owned only by the SimClock compatibility constructors.
+  std::unique_ptr<sim::ClockTimeline> owned_timeline_;
+  const sim::Timeline* timeline_;
   ServerOptions options_;
   extraction::RefreshScheduler scheduler_;
   extraction::IndexExtractor extractor_;

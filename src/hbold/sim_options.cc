@@ -1,0 +1,26 @@
+#include "hbold/sim_options.h"
+
+namespace hbold {
+
+ServerOptions SimulationOptions::ToServerOptions() const {
+  ServerOptions server;
+  server.refresh_age_days = refresh_age_days;
+  server.parallelism = server_parallelism.value_or(parallelism);
+  server.query_batch_width = server_batch_width.value_or(query_batch_width);
+  server.incremental = incremental;
+  server.paginated_page_size = paginated_page_size;
+  return server;
+}
+
+FleetOptions SimulationOptions::ToFleetOptions() const {
+  FleetOptions fleet;
+  fleet.num_shards = num_shards;
+  fleet.server = ToServerOptions();
+  fleet.fleet_workers = fleet_workers;
+  fleet.churn = churn;
+  fleet.adaptive_width = adaptive_width;
+  fleet.virtual_workers = virtual_workers;
+  return fleet;
+}
+
+}  // namespace hbold

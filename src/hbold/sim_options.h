@@ -1,0 +1,70 @@
+#ifndef HBOLD_HBOLD_SIM_OPTIONS_H_
+#define HBOLD_HBOLD_SIM_OPTIONS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "hbold/fleet.h"
+#include "hbold/server.h"
+
+namespace hbold {
+
+/// One sim-aware options surface for a whole simulated deployment.
+///
+/// Before the event-loop redesign the knobs below were spelled twice:
+/// benches and tests built a ServerOptions (refresh age, parallelism,
+/// batch width, incremental mode, page size) and then a FleetOptions
+/// embedding it, duplicating every shared field at two nesting depths.
+/// SimulationOptions is the single flat source of truth: set each knob
+/// once, call ToFleetOptions() / ToServerOptions() at the layer boundary.
+///
+/// Per-layer overrides stay *explicit*: the std::optional fields at the
+/// bottom override a shared knob for one layer only, so a config that
+/// wants "4 workers per shard cycle but sequential standalone servers"
+/// says so in one place instead of mutating two structs after the fact.
+struct SimulationOptions {
+  // ---- shared policy knobs (previously duplicated across layers) ----
+  /// §3.1 refresh age: re-extract after N days (7 in the paper).
+  int64_t refresh_age_days = 7;
+  /// Worker threads per shard cycle; <= 1 runs pipelines sequentially.
+  int parallelism = 1;
+  /// Intra-pipeline fan-out cap (ServerOptions::query_batch_width).
+  int query_batch_width = 1;
+  /// Incremental extraction knobs, shared verbatim by every shard.
+  IncrementalOptions incremental;
+  /// Page size for the paginated-scan strategy (0 = strategy default).
+  size_t paginated_page_size = 0;
+
+  // ---- fleet layer ----
+  /// Registry shards = server instances.
+  int num_shards = 1;
+  /// Workers in the one pool every layer shares (0 = shards *
+  /// parallelism; 1 = fully inline).
+  size_t fleet_workers = 0;
+  ChurnOptions churn;
+  AdaptiveWidthOptions adaptive_width;
+
+  // ---- simulation core ----
+  /// Virtual hardware width pricing the event timeline
+  /// (FleetOptions::virtual_workers) — a simulation parameter, decoupled
+  /// from the physical knobs above by design.
+  int virtual_workers = 4;
+
+  // ---- explicit per-layer overrides ----
+  /// Overrides `parallelism` for the shard cycles only (the fleet pool
+  /// size still derives from the shared knob unless fleet_workers is set).
+  std::optional<int> server_parallelism;
+  /// Overrides `query_batch_width` inside shard pipelines only.
+  std::optional<int> server_batch_width;
+
+  /// The server-layer slice (shared knobs + server overrides applied).
+  ServerOptions ToServerOptions() const;
+
+  /// The fleet-layer view: everything above, with the embedded
+  /// ServerOptions built by ToServerOptions().
+  FleetOptions ToFleetOptions() const;
+};
+
+}  // namespace hbold
+
+#endif  // HBOLD_HBOLD_SIM_OPTIONS_H_

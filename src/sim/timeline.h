@@ -1,0 +1,44 @@
+#ifndef HBOLD_SIM_TIMELINE_H_
+#define HBOLD_SIM_TIMELINE_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace hbold::sim {
+
+/// Read-only view of simulated time — the interface layers consult
+/// instead of holding a SimClock* they could (and historically did)
+/// advance themselves. Under the event-loop redesign only the loop's
+/// dispatcher moves time; everything else (servers, schedulers,
+/// endpoints) just reads it through this interface.
+class Timeline {
+ public:
+  virtual ~Timeline() = default;
+
+  /// Milliseconds since the simulation epoch.
+  virtual int64_t NowMs() const = 0;
+
+  /// Simulated day index (§3.1 refresh granularity).
+  int64_t NowDay() const { return NowMs() / SimClock::kMillisPerDay; }
+};
+
+/// Adapter: views an externally-owned SimClock as a Timeline. This is the
+/// compatibility shim for the pre-event-loop API — code that still drives
+/// a bare SimClock (AdvanceDays between manual cycles) keeps working, and
+/// the server layer reads it through the same interface it reads an
+/// EventLoop through. Scheduled for removal once the last SimClock-passing
+/// caller migrates.
+class ClockTimeline final : public Timeline {
+ public:
+  explicit ClockTimeline(const SimClock* clock) : clock_(clock) {}
+
+  int64_t NowMs() const override { return clock_->NowMs(); }
+
+ private:
+  const SimClock* clock_;
+};
+
+}  // namespace hbold::sim
+
+#endif  // HBOLD_SIM_TIMELINE_H_

@@ -587,14 +587,21 @@ class GroupEvaluator {
     PatternConsts consts = ResolveConsts(pat, dict);
     if (consts.missing) return {};
 
-    // The build depends only on the pattern's constants and the key-slot
-    // mask — not on row values — so it is cached per (pattern, mask) for
-    // the whole execution. OPTIONAL groups re-evaluate once per outer
-    // row; without this, every outer row would re-copy and re-sort the
-    // whole constant-matched span.
+    // The build depends only on the pattern's resolved constants and the
+    // key-slot mask — not on row values and not on variable names (a
+    // constant slot is exactly a slot with a valid term id, so the consts
+    // triple pins the var/const shape too). Keying on those values rather
+    // than pattern identity means two different steps probing the same
+    // constant span with the same key shape — `?a p ?b . ?c p ?d`-style
+    // repeated predicates, or the same pattern in both UNION branches —
+    // share one build, on top of the original win (OPTIONAL groups
+    // re-evaluate once per outer row without re-sorting the span).
     const int mask = (key_s ? 1 : 0) | (key_p ? 2 : 0) | (key_o ? 4 : 0);
-    auto build_key = std::make_pair(&pat, mask);
+    auto build_key = std::make_tuple(consts.s, consts.p, consts.o, mask);
     auto bit = hash_builds_.find(build_key);
+    if (bit != hash_builds_.end() && stats_ != nullptr) {
+      ++stats_->hash_join_build_reuses;
+    }
     if (bit == hash_builds_.end()) {
       HashBuild fresh;
       // Probe-side boundness (constants + key variables) decides which
@@ -682,9 +689,10 @@ class GroupEvaluator {
   ExecOptions options_;
   const GroupPlanMap* plan_map_;
   std::unordered_map<const GroupGraphPattern*, ExecGroupPlan> plans_;
-  /// Hash-join builds cached per (pattern, key mask) for this execution —
-  /// OPTIONAL re-evaluations (once per outer row) reuse one build.
-  std::map<std::pair<const TriplePatternNode*, int>, HashBuild> hash_builds_;
+  /// Hash-join builds cached per (resolved constants, key mask) for this
+  /// execution — OPTIONAL re-evaluations and distinct steps probing the
+  /// same constant span with the same key shape reuse one build.
+  std::map<std::tuple<TermId, TermId, TermId, int>, HashBuild> hash_builds_;
 };
 
 // ------------------------------------------------------- result modifiers
@@ -1560,7 +1568,30 @@ std::shared_ptr<const QueryPlan> Executor::AcquirePlan(const SelectQuery& q,
   if (plan != nullptr) {
     if (stats != nullptr) ++stats->plan_cache_hits;
   } else {
-    plan = std::make_shared<QueryPlan>(PlanQuery(q, options_, store_));
+    // Whole-query miss: plan group by group, serving non-root groups
+    // (OPTIONAL/UNION bodies) from the cache's group tier. Queries that
+    // disagree at the top level but share a sub-group — the extraction
+    // corpus's OPTIONAL label/comment tails — replan only the parts that
+    // actually differ. The root group is skipped: it is exactly what the
+    // whole-query tiers above already key on.
+    auto fresh = std::make_shared<QueryPlan>();
+    bool root = true;
+    ForEachGroup(q.where, [&](const GroupGraphPattern& g) {
+      if (root) {
+        root = false;
+        fresh->groups.push_back(PlanGroup(g, options_, store_));
+        return;
+      }
+      const std::string gkey = NormalizeGroupKey(g);
+      std::shared_ptr<const GroupPlan> cached =
+          plan_cache_->LookupGroup(gkey, generation);
+      if (cached == nullptr) {
+        cached = std::make_shared<GroupPlan>(PlanGroup(g, options_, store_));
+        plan_cache_->InsertGroup(gkey, generation, cached);
+      }
+      fresh->groups.push_back(*cached);
+    });
+    plan = fresh;
     plan_cache_->Insert(key, generation, plan);
     if (stats != nullptr) ++stats->plan_cache_misses;
   }

@@ -34,6 +34,9 @@ struct ExecStats {
   size_t plan_cache_hits = 0;    // plan served from the cross-query cache
   size_t plan_cache_misses = 0;  // plan computed (and cached) this query
   size_t hash_join_builds = 0;   // hash tables built by join steps
+  /// Probes served by an already-built hash table: OPTIONAL re-evaluations
+  /// plus distinct steps sharing one (constants, key mask) build.
+  size_t hash_join_build_reuses = 0;
 };
 
 /// Evaluates SELECT queries against a TripleStore.

@@ -244,6 +244,24 @@ std::string NormalizeWhereKey(const SelectQuery& q) {
   return key;
 }
 
+std::string NormalizeGroupKey(const GroupGraphPattern& g) {
+  // Fresh VarCanon per group: the alias class restarts at ?0, so the same
+  // OPTIONAL body keyed from two different enclosing queries (whose outer
+  // variables occupy different canonical indices) still collides onto one
+  // entry. Only the triple list is serialized — PlanGroup never looks at
+  // filters or nested groups.
+  std::string key;
+  key.reserve(64);
+  VarCanon vars;
+  for (const TriplePatternNode& t : g.triples) {
+    key += 'T';
+    AppendSlot(t.s, &vars, &key);
+    AppendSlot(t.p, &vars, &key);
+    AppendSlot(t.o, &vars, &key);
+  }
+  return key;
+}
+
 // -------------------------------------------------------------- plan cache
 
 std::shared_ptr<const PreparedQuery> PlanCache::LookupPrepared(
@@ -296,6 +314,53 @@ void PlanCache::Insert(const std::string& key, uint64_t generation,
   entries_[key] = std::move(plan);
 }
 
+std::shared_ptr<const GroupPlan> PlanCache::LookupGroup(
+    const std::string& key, uint64_t generation) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (generation_ == generation) {
+      auto it = group_entries_.find(key);
+      if (it != group_entries_.end()) {
+        group_hits_.fetch_add(1, std::memory_order_relaxed);
+        it->second.reuses->fetch_add(1, std::memory_order_relaxed);
+        return it->second.plan;
+      }
+    }
+  }
+  group_misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void PlanCache::InsertGroup(const std::string& key, uint64_t generation,
+                            std::shared_ptr<const GroupPlan> plan) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  FlushIfStaleLocked(generation);
+  if (group_entries_.size() >= max_entries_ &&
+      group_entries_.find(key) == group_entries_.end() &&
+      MakeRoomLocked(group_entries_.size())) {
+    group_entries_.clear();  // epoch eviction, same as the other tiers
+  }
+  GroupEntry& entry = group_entries_[key];
+  entry.plan = std::move(plan);
+  if (entry.reuses == nullptr) {
+    entry.reuses = std::make_unique<std::atomic<uint64_t>>(0);
+  }
+}
+
+std::vector<std::pair<std::string, uint64_t>> PlanCache::GroupReuseStats()
+    const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    out.reserve(group_entries_.size());
+    for (const auto& [key, entry] : group_entries_) {
+      out.emplace_back(key, entry.reuses->load(std::memory_order_relaxed));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 bool PlanCache::MakeRoomLocked(size_t tier_size) {
   if (!adaptive_ || max_entries_ >= kMaxAdaptiveCapacity) return true;
   // Adaptive growth: the observed corpus outgrew the capacity guess —
@@ -310,9 +375,10 @@ void PlanCache::FlushIfStaleLocked(uint64_t generation) {
   if (generation_ == generation) return;
   // The store was rebuilt since this epoch was planned: every resident
   // plan (and prepared AST) was derived from stale statistics.
-  if (!entries_.empty() || !prepared_.empty()) {
+  if (!entries_.empty() || !prepared_.empty() || !group_entries_.empty()) {
     entries_.clear();
     prepared_.clear();
+    group_entries_.clear();
     invalidations_.fetch_add(1, std::memory_order_relaxed);
   }
   generation_ = generation;
@@ -323,9 +389,12 @@ PlanCacheStats PlanCache::stats() const {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.group_hits = group_hits_.load(std::memory_order_relaxed);
+  s.group_misses = group_misses_.load(std::memory_order_relaxed);
   std::shared_lock<std::shared_mutex> lock(mu_);
   s.entries = entries_.size();
   s.capacity = max_entries_;
+  s.group_entries = group_entries_.size();
   return s;
 }
 

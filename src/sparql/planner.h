@@ -8,6 +8,7 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "rdf/graph.h"
@@ -144,14 +145,32 @@ void ForEachGroup(const GroupGraphPattern& g, Fn&& fn) {
 /// part of the key: the plan is a function of the WHERE tree alone.
 std::string NormalizeWhereKey(const SelectQuery& q);
 
-/// Cumulative counters of one PlanCache (monotonic except `entries` and
-/// `capacity`).
+/// Canonical cache key of ONE group graph pattern, taken in isolation: the
+/// group's own triple list with variables renamed to ?0, ?1, ... by first
+/// occurrence *within the group* (a fresh alias class per group, unlike
+/// NormalizeWhereKey's whole-tree numbering). A group's physical plan is a
+/// function of its triple list alone — filters and nested groups never
+/// influence PlanGroup — so the key covers exactly the plan's inputs, and
+/// the same OPTIONAL/UNION body reached from two structurally different
+/// queries (or at two different nesting depths) shares one cached
+/// GroupPlan.
+std::string NormalizeGroupKey(const GroupGraphPattern& g);
+
+/// Cumulative counters of one PlanCache (monotonic except `entries`,
+/// `group_entries` and `capacity`).
 struct PlanCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t invalidations = 0;  // generation flushes
   size_t entries = 0;          // normalized-tier entries currently resident
   size_t capacity = 0;         // current max entries per tier
+  /// Group-tier counters. These are deliberately NOT folded into
+  /// hits/misses: the per-query contract (hits + misses == queries
+  /// executed) stays intact, and a whole-query miss may still harvest
+  /// several group-tier hits for its OPTIONAL/UNION bodies.
+  uint64_t group_hits = 0;
+  uint64_t group_misses = 0;
+  size_t group_entries = 0;  // group-tier entries currently resident
 };
 
 /// A fully prepared query: the parsed AST plus its physical plan. The
@@ -163,15 +182,20 @@ struct PreparedQuery {
   std::shared_ptr<const QueryPlan> plan;
 };
 
-/// Cross-query plan cache, two tiers, both scoped to one TripleStore
+/// Cross-query plan cache, three tiers, all scoped to one TripleStore
 /// rebuild generation:
 ///   1. text tier: exact query text -> PreparedQuery (AST + plan) — the
 ///      steady-state repeated corpus skips parse and planning entirely;
 ///   2. normalized tier: canonical WHERE key -> QueryPlan — alpha-renamed
 ///      spellings and different SELECT clauses over the same WHERE tree
-///      share one plan (this is the tier the keying contract names).
+///      share one plan (this is the tier the keying contract names);
+///   3. group tier: NormalizeGroupKey -> GroupPlan for non-root groups
+///      (OPTIONAL/UNION bodies). Consulted only on a whole-query miss:
+///      queries that disagree at the top level but share a sub-group —
+///      the extraction corpus's OPTIONAL label/comment tail is the
+///      motivating case — replan only the parts that actually differ.
 /// A lookup presenting a newer store generation misses; the next insert
-/// flushes the stale epoch (both tiers — stats changed, plans are stale).
+/// flushes the stale epoch (all tiers — stats changed, plans are stale).
 ///
 /// Hit/miss accounting: each executed query counts exactly once — a text
 /// hit or a normalized hit is one hit, anything else one miss — so
@@ -240,6 +264,21 @@ class PlanCache {
   void Insert(const std::string& key, uint64_t generation,
               std::shared_ptr<const QueryPlan> plan);
 
+  /// Group tier: the cached sub-plan for (group key, generation), or null.
+  /// A hit bumps the entry's reuse counter (see GroupReuseStats).
+  std::shared_ptr<const GroupPlan> LookupGroup(const std::string& key,
+                                               uint64_t generation) const;
+
+  /// Group tier insert; same epoch-flush and eviction discipline as the
+  /// normalized tier.
+  void InsertGroup(const std::string& key, uint64_t generation,
+                   std::shared_ptr<const GroupPlan> plan);
+
+  /// Per-group reuse counts for the resident epoch: (group key, times the
+  /// entry was served after insertion), sorted by key so the listing is
+  /// deterministic. An entry that was inserted but never reused reports 0.
+  std::vector<std::pair<std::string, uint64_t>> GroupReuseStats() const;
+
   PlanCacheStats stats() const;
   size_t size() const;
   /// Current capacity (grows only in adaptive mode).
@@ -255,6 +294,14 @@ class PlanCache {
   /// was cleared.
   bool MakeRoomLocked(size_t tier_size);
 
+  /// One group-tier entry: the immutable sub-plan plus its reuse counter
+  /// (atomic so hits under the shared lock can bump it without
+  /// serializing readers).
+  struct GroupEntry {
+    std::shared_ptr<const GroupPlan> plan;
+    std::unique_ptr<std::atomic<uint64_t>> reuses;
+  };
+
   size_t max_entries_;  // mutable: adaptive growth under the exclusive lock
   const bool adaptive_;
   mutable std::shared_mutex mu_;
@@ -262,9 +309,12 @@ class PlanCache {
   std::unordered_map<std::string, std::shared_ptr<const QueryPlan>> entries_;
   std::unordered_map<std::string, std::shared_ptr<const PreparedQuery>>
       prepared_;
+  std::unordered_map<std::string, GroupEntry> group_entries_;
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
   mutable std::atomic<uint64_t> invalidations_{0};
+  mutable std::atomic<uint64_t> group_hits_{0};
+  mutable std::atomic<uint64_t> group_misses_{0};
 };
 
 }  // namespace hbold::sparql

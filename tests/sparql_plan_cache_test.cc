@@ -154,6 +154,107 @@ TEST(PlanCacheTest, IncrementalLoadInvalidatesByGeneration) {
   EXPECT_EQ(s4.plan_cache_hits, 1u);
 }
 
+// ------------------------------------------------------------ group tier
+
+TEST(GroupTierTest, SharedOptionalBodyReplansOnce) {
+  rdf::TripleStore store = MakeSmallStore();
+  PlanCache cache;
+  Executor ex(&store, ExecOptions{}, &cache);
+
+  // Two queries that disagree at the root but share the OPTIONAL body
+  // (alias-renamed in the second — the fresh-VarCanon contract).
+  ASSERT_TRUE(ex.Execute("SELECT ?a WHERE { ?a <http://x/p> ?b . "
+                         "OPTIONAL { ?a <http://x/q> ?x . } }")
+                  .ok());
+  PlanCacheStats after_first = cache.stats();
+  EXPECT_EQ(after_first.group_misses, 1u);
+  EXPECT_EQ(after_first.group_hits, 0u);
+  EXPECT_EQ(after_first.group_entries, 1u);
+
+  ASSERT_TRUE(ex.Execute("SELECT ?s WHERE { ?s <http://x/q> ?t . "
+                         "OPTIONAL { ?s <http://x/q> ?y . } }")
+                  .ok());
+  PlanCacheStats cs = cache.stats();
+  EXPECT_EQ(cs.group_hits, 1u) << "alias-renamed OPTIONAL body must hit";
+  EXPECT_EQ(cs.group_misses, 1u);
+  EXPECT_EQ(cs.group_entries, 1u);
+  // Whole-query accounting is untouched by the group tier: both queries
+  // were top-level misses.
+  EXPECT_EQ(cs.misses, 2u);
+  EXPECT_EQ(cs.hits, 0u);
+
+  auto reuse = cache.GroupReuseStats();
+  ASSERT_EQ(reuse.size(), 1u);
+  EXPECT_EQ(reuse[0].second, 1u);
+}
+
+TEST(GroupTierTest, UnionBranchesShareOneGroupEntry) {
+  rdf::TripleStore store = MakeSmallStore();
+  PlanCache cache;
+  Executor ex(&store, ExecOptions{}, &cache);
+
+  // Both UNION branches have the same canonical triple list, so the right
+  // branch is served from the entry the left branch just inserted.
+  ASSERT_TRUE(ex.Execute("SELECT ?s WHERE { ?s <http://x/p> ?o . "
+                         "{ ?s <http://x/q> ?w . } UNION "
+                         "{ ?s <http://x/q> ?v . } }")
+                  .ok());
+  PlanCacheStats cs = cache.stats();
+  EXPECT_EQ(cs.group_misses, 1u);
+  EXPECT_EQ(cs.group_hits, 1u);
+  EXPECT_EQ(cs.group_entries, 1u);
+}
+
+TEST(GroupTierTest, FlushedWithTheEpoch) {
+  rdf::TripleStore store = MakeSmallStore();
+  PlanCache cache;
+  Executor ex(&store, ExecOptions{}, &cache);
+  const std::string q =
+      "SELECT ?a WHERE { ?a <http://x/p> ?b . "
+      "OPTIONAL { ?a <http://x/q> ?x . } }";
+  ASSERT_TRUE(ex.Execute(q).ok());
+  EXPECT_EQ(cache.stats().group_entries, 1u);
+
+  // Generation bump: the group tier was planned against stale statistics
+  // and must flush with the other tiers.
+  store.Add(Term::Iri("http://x/new"), Term::Iri("http://x/p"),
+            Term::Iri("http://x/o0"));
+  ASSERT_TRUE(ex.Execute(q).ok());
+  PlanCacheStats cs = cache.stats();
+  EXPECT_EQ(cs.group_hits, 0u);
+  EXPECT_EQ(cs.group_misses, 2u);
+  EXPECT_EQ(cs.group_entries, 1u) << "fresh epoch re-inserted the body";
+}
+
+// ------------------------------------------------- hash-join build reuse
+
+TEST(HashBuildReuseTest, RepeatedPredicateStepsShareOneBuild) {
+  rdf::TripleStore store = MakeSmallStore();
+  ExecOptions forced;
+  forced.hash_join = HashJoinMode::kForce;
+  Executor hashed(&store, forced);
+  ExecOptions off;
+  off.hash_join = HashJoinMode::kOff;
+  Executor nested(&store, off);
+
+  // A chain over one predicate: after the driving scan, both remaining
+  // steps probe the identical (constants, key mask) span, so the second
+  // hash step reuses the first step's build.
+  const std::string q =
+      "SELECT ?a ?d WHERE { ?a <http://x/q> ?b . ?b <http://x/q> ?c . "
+      "?c <http://x/q> ?d . }";
+  ExecStats hs, ns;
+  auto hr = hashed.Execute(q, &hs);
+  auto nr = nested.Execute(q, &ns);
+  ASSERT_TRUE(hr.ok());
+  ASSERT_TRUE(nr.ok());
+  EXPECT_EQ(hs.hash_join_builds, 1u) << "second step must reuse the build";
+  EXPECT_GE(hs.hash_join_build_reuses, 1u);
+  // The physical sharing is invisible to results and charged accounting.
+  EXPECT_EQ(hr->num_rows(), nr->num_rows());
+  EXPECT_EQ(hs.intermediate_bindings, ns.intermediate_bindings);
+}
+
 // ------------------------------------------------ stale-statistics guard
 
 TEST(StaleStatsTest, JoinOrderFollowsSkewedIncrementalBatch) {

@@ -146,6 +146,23 @@ GATED = {
         Metric("total_failed", "stable"),
         Metric("speedup", "higher", when="gate_enforced"),
     ],
+    "BENCH_mixed_timeline.json": [
+        # Extraction cycles and serving sessions share one sim::EventLoop.
+        # Everything on that loop is seeded and single-timeline, so the
+        # event history, session transcripts, and fleet fingerprint are
+        # deterministic hard gates; the overrun day is the scheduling
+        # regression canary (losing it means catch-up cycles stopped
+        # being exercised).
+        Metric("gates.history_invariance", "bool"),
+        Metric("gates.transcript_identity", "bool"),
+        Metric("gates.overrun_present", "bool"),
+        Metric("gates.sessions_served_nonzero", "bool"),
+        Metric("fingerprint", "exact"),
+        Metric("history_fingerprint", "exact"),
+        Metric("transcript_fingerprint", "exact"),
+        Metric("sessions_served", "stable"),
+        Metric("overran_days", "stable"),
+    ],
     "BENCH_delta_extraction.json": [
         # The seeded churning world is fully deterministic (simulated
         # makespan, not wall clock), so every figure here is a hard gate:
