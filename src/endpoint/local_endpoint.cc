@@ -1,8 +1,34 @@
 #include "endpoint/local_endpoint.h"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+
 #include "common/clock.h"
 
 namespace hbold::endpoint {
+
+Status ApplyStoreBackendPolicy(rdf::TripleStore* store,
+                               const StoreBackendPolicy& policy) {
+  if (store->on_disk() || store->size() < policy.disk_threshold_triples) {
+    return Status::OK();
+  }
+  rdf::DiskBackendOptions options;
+  options.memory_budget_bytes = policy.memory_budget_bytes;
+  if (!policy.directory.empty()) {
+    options.directory = policy.directory;
+  } else {
+    namespace fs = std::filesystem;
+    static std::atomic<uint64_t> counter{0};
+    options.directory =
+        (fs::temp_directory_path() /
+         ("hbold-store-" + std::to_string(static_cast<long>(::getpid())) +
+          "-" + std::to_string(counter.fetch_add(1))))
+            .string();
+  }
+  return store->EnableDiskBackend(options);
+}
 
 Result<QueryOutcome> LocalEndpoint::Query(const std::string& query_text) {
   sparql::ExecStats stats;

@@ -11,6 +11,29 @@
 
 namespace hbold::endpoint {
 
+/// Backend selection for stores served by endpoints: small corpora stay in
+/// RAM, million-triple corpora move out of core before serving begins.
+/// Applied by ApplyStoreBackendPolicy — typically right after bulk load,
+/// before the endpoint (and its FinalizeIndex) is constructed.
+struct StoreBackendPolicy {
+  /// Stores with at least this many triples switch to the mmap-backed
+  /// disk backend. With ~36 B/triple mapped across the three runs, the
+  /// default (4M triples, ~144 MB on disk) is where the in-RAM vectors'
+  /// doubling slack starts to dominate typical endpoint memory budgets.
+  size_t disk_threshold_triples = size_t{4} << 20;
+  /// Scratch root for the store's run files; empty = a fresh directory
+  /// under the system temp dir.
+  std::string directory;
+  /// Forwarded to DiskBackendOptions::memory_budget_bytes.
+  size_t memory_budget_bytes = size_t{64} << 20;
+};
+
+/// Enables the disk backend on `store` when it is at or past the policy
+/// threshold. No-op (OK) below the threshold or when already on disk.
+/// Same write-side synchronization rules as TripleStore::Add.
+Status ApplyStoreBackendPolicy(rdf::TripleStore* store,
+                               const StoreBackendPolicy& policy);
+
 /// An endpoint backed directly by an in-process TripleStore. Latency is the
 /// measured wall-clock execution time; no availability or dialect modeling.
 ///

@@ -1,11 +1,19 @@
 #include "rdf/graph.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <iterator>
+#include <memory>
+#include <queue>
+
+#include "common/logging.h"
+#include "rdf/run_file.h"
 
 namespace hbold::rdf {
 
 namespace {
+
+namespace fs = std::filesystem;
 
 // Key extractors per index order.
 inline std::tuple<TermId, TermId, TermId> KeySpo(const Triple& t) {
@@ -29,23 +37,80 @@ void SortIndex(std::vector<Triple>* index, KeyFn key) {
 /// after the bound prefix); finds each group's end with a binary-search
 /// jump, so runs in O(groups * log(range)).
 template <typename KeyFn>
-size_t CountGroups(const std::vector<Triple>& index, size_t b, size_t e,
-                   KeyFn key) {
+size_t CountGroups(TripleSpan index, size_t b, size_t e, KeyFn key) {
   size_t groups = 0;
   size_t i = b;
   while (i < e) {
     ++groups;
-    TermId k = key(index[i]);
+    TermId k = key(index.data[i]);
     i = static_cast<size_t>(
-        std::upper_bound(index.begin() + static_cast<long>(i),
-                         index.begin() + static_cast<long>(e), k,
+        std::upper_bound(index.begin() + i, index.begin() + e, k,
                          [&](TermId v, const Triple& t) { return v < key(t); }) -
         index.begin());
   }
   return groups;
 }
 
+/// Ascending-SPO triple streams feeding the disk rebuild merge.
+class SpoSource {
+ public:
+  virtual ~SpoSource() = default;
+  virtual bool Next(Triple* t) = 0;
+};
+
+class SpanSource : public SpoSource {
+ public:
+  explicit SpanSource(TripleSpan span) : it_(span.begin()), end_(span.end()) {}
+  bool Next(Triple* t) override {
+    if (it_ == end_) return false;
+    *t = *it_++;
+    return true;
+  }
+
+ private:
+  const Triple* it_;
+  const Triple* end_;
+};
+
+class ChunkSource : public SpoSource {
+ public:
+  Status Open(const std::string& path) { return reader_.Open(path); }
+  bool Next(Triple* t) override { return reader_.Next(t); }
+  const Status& status() const { return reader_.status(); }
+
+ private:
+  DeltaChunkReader reader_;
+};
+
+/// How many staged triples the disk backend holds in RAM before spilling
+/// them to a sorted delta chunk.
+size_t StagingCapacity(const DiskBackendOptions& options) {
+  return std::max<size_t>(4096,
+                          options.memory_budget_bytes / sizeof(Triple) / 4);
+}
+
 }  // namespace
+
+/// The disk-resident incarnation of the three indexes: one mmapped sorted
+/// run per order plus the spilled staging chunks awaiting the next rebuild.
+struct TripleStore::DiskIndexes {
+  DiskBackendOptions options;
+  uint64_t serial = 0;        // names each rebuild's run files
+  uint64_t chunk_serial = 0;  // names staging spill chunks
+  MappedTripleRun spo;
+  MappedTripleRun pos;
+  MappedTripleRun osp;
+  std::vector<std::string> chunks;  // spilled staged adds (SPO delta chunks)
+  size_t spilled = 0;               // triples across `chunks`
+
+  std::string RunPath(const char* order) const {
+    return options.directory + "/" + order + "-" + std::to_string(serial) +
+           ".run";
+  }
+};
+
+TripleStore::TripleStore() = default;
+TripleStore::~TripleStore() = default;
 
 TripleStore::TripleStore(TripleStore&& other) noexcept
     : dict_(std::move(other.dict_)),
@@ -57,7 +122,8 @@ TripleStore::TripleStore(TripleStore&& other) noexcept
       pred_stats_(std::move(other.pred_stats_)),
       dirty_(other.dirty_.load(std::memory_order_relaxed)),
       generation_(other.generation_.load(std::memory_order_relaxed)),
-      stats_sampling_threshold_(other.stats_sampling_threshold_) {}
+      stats_sampling_threshold_(other.stats_sampling_threshold_),
+      disk_(std::move(other.disk_)) {}
 
 TripleStore& TripleStore::operator=(TripleStore&& other) noexcept {
   if (this != &other) {
@@ -73,8 +139,24 @@ TripleStore& TripleStore::operator=(TripleStore&& other) noexcept {
     generation_.store(other.generation_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
     stats_sampling_threshold_ = other.stats_sampling_threshold_;
+    disk_ = std::move(other.disk_);
   }
   return *this;
+}
+
+TripleSpan TripleStore::SpoView() const {
+  return disk_ != nullptr ? disk_->spo.view()
+                          : TripleSpan{spo_.data(), spo_.size()};
+}
+
+TripleSpan TripleStore::PosView() const {
+  return disk_ != nullptr ? disk_->pos.view()
+                          : TripleSpan{pos_.data(), pos_.size()};
+}
+
+TripleSpan TripleStore::OspView() const {
+  return disk_ != nullptr ? disk_->osp.view()
+                          : TripleSpan{osp_.data(), osp_.size()};
 }
 
 void TripleStore::Add(const Term& s, const Term& p, const Term& o) {
@@ -84,6 +166,9 @@ void TripleStore::Add(const Term& s, const Term& p, const Term& o) {
 void TripleStore::AddIds(TermId s, TermId p, TermId o) {
   staged_.push_back(Triple{s, p, o});
   dirty_.store(true, std::memory_order_release);
+  if (disk_ != nullptr && staged_.size() >= StagingCapacity(disk_->options)) {
+    SpillStagedChunk();
+  }
 }
 
 void TripleStore::Remove(const Term& s, const Term& p, const Term& o) {
@@ -98,6 +183,76 @@ void TripleStore::RemoveIds(TermId s, TermId p, TermId o) {
   dirty_.store(true, std::memory_order_release);
 }
 
+void TripleStore::SpillStagedChunk() {
+  DiskIndexes& d = *disk_;
+  SortIndex(&staged_, KeySpo);
+  staged_.erase(std::unique(staged_.begin(), staged_.end()), staged_.end());
+  std::string path = d.options.directory + "/chunk-" +
+                     std::to_string(d.chunk_serial++) + ".spill";
+  Status st =
+      WriteDeltaChunk(path, RunOrder::kSpo, staged_.data(), staged_.size());
+  if (!st.ok()) {
+    // Degrade to keeping the batch in RAM; the rebuild still sees it.
+    HBOLD_LOG(kError) << "staging spill failed, keeping batch in RAM: "
+                      << st.message();
+    return;
+  }
+  d.chunks.push_back(std::move(path));
+  d.spilled += staged_.size();
+  staged_.clear();
+}
+
+Status TripleStore::EnableDiskBackend(const DiskBackendOptions& options) {
+  if (disk_ != nullptr) {
+    return Status::InvalidArgument("disk backend already enabled");
+  }
+  if (options.directory.empty()) {
+    return Status::InvalidArgument("disk backend needs a directory");
+  }
+  std::error_code ec;
+  fs::create_directories(options.directory, ec);
+  if (ec) {
+    return Status::IOError("cannot create '" + options.directory +
+                           "': " + ec.message());
+  }
+  // Convert whatever is already here: build the in-RAM indexes one last
+  // time, write them out as runs, then drop the vectors.
+  EnsureIndexed();
+  auto d = std::make_unique<DiskIndexes>();
+  d->options = options;
+  d->serial = 1;
+  struct OrderSpec {
+    const char* name;
+    RunOrder order;
+    const std::vector<Triple>* source;
+    MappedTripleRun* target;
+  };
+  const OrderSpec specs[] = {
+      {"spo", RunOrder::kSpo, &spo_, &d->spo},
+      {"pos", RunOrder::kPos, &pos_, &d->pos},
+      {"osp", RunOrder::kOsp, &osp_, &d->osp},
+  };
+  for (const OrderSpec& spec : specs) {
+    RunWriter writer;
+    Status st = writer.Open(d->RunPath(spec.name), spec.order);
+    for (const Triple& t : *spec.source) {
+      if (!st.ok()) break;
+      st = writer.Append(t);
+    }
+    if (st.ok()) st = writer.Finish(spec.target);
+    if (!st.ok()) return st;  // store stays fully in RAM
+  }
+  disk_ = std::move(d);
+  std::vector<Triple>().swap(spo_);
+  std::vector<Triple>().swap(pos_);
+  std::vector<Triple>().swap(osp_);
+  // Span pointers moved from the vectors to the mappings: bump the
+  // generation so anything keyed on it (plan caches, layout snapshots)
+  // drops the dangling views.
+  generation_.fetch_add(1, std::memory_order_release);
+  return Status::OK();
+}
+
 void TripleStore::EnsureIndexed() const {
   // Double-checked locking: readers that observe !dirty_ (acquire) see the
   // fully built indexes (released by the builder); the first reader after a
@@ -110,30 +265,36 @@ void TripleStore::EnsureIndexed() const {
 }
 
 void TripleStore::RebuildLocked() const {
-  const size_t indexed_before = spo_.size();
-  const size_t batch = staged_.size() + staged_removals_.size();
-  spo_.insert(spo_.end(), staged_.begin(), staged_.end());
-  staged_.clear();
-  SortIndex(&spo_, KeySpo);
-  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
-  if (!staged_removals_.empty()) {
-    // Removals win over same-batch adds: the batch describes the end state
-    // of a churn step, so subtract the removal set after the merge.
-    SortIndex(&staged_removals_, KeySpo);
-    staged_removals_.erase(
-        std::unique(staged_removals_.begin(), staged_removals_.end()),
-        staged_removals_.end());
-    std::vector<Triple> kept;
-    kept.reserve(spo_.size());
-    std::set_difference(spo_.begin(), spo_.end(), staged_removals_.begin(),
-                        staged_removals_.end(), std::back_inserter(kept));
-    spo_ = std::move(kept);
-    staged_removals_.clear();
+  const size_t indexed_before =
+      disk_ != nullptr ? disk_->spo.count() : spo_.size();
+  const size_t batch = staged_.size() + staged_removals_.size() +
+                       (disk_ != nullptr ? disk_->spilled : 0);
+  if (disk_ != nullptr) {
+    RebuildDiskLocked();
+  } else {
+    spo_.insert(spo_.end(), staged_.begin(), staged_.end());
+    staged_.clear();
+    SortIndex(&spo_, KeySpo);
+    spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+    if (!staged_removals_.empty()) {
+      // Removals win over same-batch adds: the batch describes the end state
+      // of a churn step, so subtract the removal set after the merge.
+      SortIndex(&staged_removals_, KeySpo);
+      staged_removals_.erase(
+          std::unique(staged_removals_.begin(), staged_removals_.end()),
+          staged_removals_.end());
+      std::vector<Triple> kept;
+      kept.reserve(spo_.size());
+      std::set_difference(spo_.begin(), spo_.end(), staged_removals_.begin(),
+                          staged_removals_.end(), std::back_inserter(kept));
+      spo_ = std::move(kept);
+      staged_removals_.clear();
+    }
+    pos_ = spo_;
+    SortIndex(&pos_, KeyPos);
+    osp_ = spo_;
+    SortIndex(&osp_, KeyOsp);
   }
-  pos_ = spo_;
-  SortIndex(&pos_, KeyPos);
-  osp_ = spo_;
-  SortIndex(&osp_, KeyOsp);
 
   // Statistics refresh policy: a small incremental batch (adds + removals)
   // against an already-large index refreshes by deterministic sampling
@@ -157,20 +318,136 @@ void TripleStore::RebuildLocked() const {
   generation_.fetch_add(1, std::memory_order_release);
 }
 
+void TripleStore::RebuildDiskLocked() const {
+  DiskIndexes& d = *disk_;
+  SortIndex(&staged_, KeySpo);
+  staged_.erase(std::unique(staged_.begin(), staged_.end()), staged_.end());
+  SortIndex(&staged_removals_, KeySpo);
+  staged_removals_.erase(
+      std::unique(staged_removals_.begin(), staged_removals_.end()),
+      staged_removals_.end());
+
+  const std::string old_spo = d.spo.path();
+  const std::string old_pos = d.pos.path();
+  const std::string old_osp = d.osp.path();
+  ++d.serial;
+
+  // Merge sources, all ascending SPO: the previous run, every spilled
+  // chunk, and the staging tail. Dedup on emit; a triple in the removal
+  // set is dropped (removals win over same-batch adds, as in RAM).
+  std::vector<std::unique_ptr<SpoSource>> sources;
+  sources.push_back(std::make_unique<SpanSource>(d.spo.view()));
+  Status st = Status::OK();
+  std::vector<ChunkSource*> chunk_sources;
+  for (const std::string& path : d.chunks) {
+    auto chunk = std::make_unique<ChunkSource>();
+    st = chunk->Open(path);
+    if (!st.ok()) break;
+    chunk_sources.push_back(chunk.get());
+    sources.push_back(std::move(chunk));
+  }
+  sources.push_back(
+      std::make_unique<SpanSource>(TripleSpan{staged_.data(), staged_.size()}));
+
+  MappedTripleRun new_spo;
+  if (st.ok()) {
+    RunWriter writer;
+    st = writer.Open(d.RunPath("spo"), RunOrder::kSpo);
+    if (st.ok()) {
+      struct HeapItem {
+        Triple t;
+        size_t src;
+      };
+      auto heap_after = [](const HeapItem& a, const HeapItem& b) {
+        if (a.t < b.t) return false;
+        if (b.t < a.t) return true;
+        return a.src > b.src;
+      };
+      std::priority_queue<HeapItem, std::vector<HeapItem>,
+                          decltype(heap_after)>
+          heap(heap_after);
+      for (size_t i = 0; i < sources.size(); ++i) {
+        Triple t;
+        if (sources[i]->Next(&t)) heap.push(HeapItem{t, i});
+      }
+      bool have_last = false;
+      Triple last;
+      while (!heap.empty() && st.ok()) {
+        HeapItem item = heap.top();
+        heap.pop();
+        const bool duplicate = have_last && item.t == last;
+        have_last = true;
+        last = item.t;
+        if (!duplicate &&
+            !std::binary_search(staged_removals_.begin(),
+                                staged_removals_.end(), item.t)) {
+          st = writer.Append(item.t);
+        }
+        Triple t;
+        if (sources[item.src]->Next(&t)) heap.push(HeapItem{t, item.src});
+      }
+      for (ChunkSource* chunk : chunk_sources) {
+        if (st.ok() && !chunk->status().ok()) st = chunk->status();
+      }
+      if (st.ok()) st = writer.Finish(&new_spo);
+    }
+  }
+  sources.clear();
+
+  MappedTripleRun new_pos;
+  MappedTripleRun new_osp;
+  if (st.ok()) {
+    st = ExternalSortToRun(new_spo.view(), RunOrder::kPos,
+                           d.options.memory_budget_bytes, d.options.directory,
+                           d.RunPath("pos"), &new_pos);
+  }
+  if (st.ok()) {
+    st = ExternalSortToRun(new_spo.view(), RunOrder::kOsp,
+                           d.options.memory_budget_bytes, d.options.directory,
+                           d.RunPath("osp"), &new_osp);
+  }
+  if (!st.ok()) {
+    // Leave the previous generation of runs (and the staged batch) in
+    // place: reads keep serving the last successfully built indexes.
+    HBOLD_LOG(kError) << "disk index rebuild failed: " << st.message();
+    --d.serial;
+    std::error_code ec;
+    fs::remove(d.RunPath("spo"), ec);
+    return;
+  }
+
+  d.spo = std::move(new_spo);
+  d.pos = std::move(new_pos);
+  d.osp = std::move(new_osp);
+  std::error_code ec;
+  if (!old_spo.empty()) fs::remove(old_spo, ec);
+  if (!old_pos.empty()) fs::remove(old_pos, ec);
+  if (!old_osp.empty()) fs::remove(old_osp, ec);
+  for (const std::string& path : d.chunks) fs::remove(path, ec);
+  d.chunks.clear();
+  d.spilled = 0;
+  std::vector<Triple>().swap(staged_);
+  std::vector<Triple>().swap(staged_removals_);
+}
+
 void TripleStore::RefreshStatsExactLocked() const {
   // Per-predicate cardinality statistics in two linear passes: POS yields
   // triple counts and (p, o) boundaries, SPO yields (s, p) boundaries.
   pred_stats_.clear();
-  for (size_t i = 0; i < pos_.size(); ++i) {
-    PredicateStats& st = pred_stats_[pos_[i].p];
+  const TripleSpan pos = PosView();
+  for (size_t i = 0; i < pos.size; ++i) {
+    PredicateStats& st = pred_stats_[pos.data[i].p];
     ++st.triples;
-    if (i == 0 || pos_[i - 1].p != pos_[i].p || pos_[i - 1].o != pos_[i].o) {
+    if (i == 0 || pos.data[i - 1].p != pos.data[i].p ||
+        pos.data[i - 1].o != pos.data[i].o) {
       ++st.distinct_objects;
     }
   }
-  for (size_t i = 0; i < spo_.size(); ++i) {
-    if (i == 0 || spo_[i - 1].s != spo_[i].s || spo_[i - 1].p != spo_[i].p) {
-      ++pred_stats_[spo_[i].p].distinct_subjects;
+  const TripleSpan spo = SpoView();
+  for (size_t i = 0; i < spo.size; ++i) {
+    if (i == 0 || spo.data[i - 1].s != spo.data[i].s ||
+        spo.data[i - 1].p != spo.data[i].p) {
+      ++pred_stats_[spo.data[i].p].distinct_subjects;
     }
   }
 }
@@ -184,14 +461,15 @@ void TripleStore::RefreshStatsSampledLocked() const {
   constexpr size_t kJumpCap = 64;    // max o-group boundary jumps
   constexpr size_t kSampleCap = 64;  // stride samples for subject counts
   pred_stats_.clear();
+  const TripleSpan pos = PosView();
   size_t i = 0;
-  while (i < pos_.size()) {
-    const TermId p = pos_[i].p;
+  while (i < pos.size) {
+    const TermId p = pos.data[i].p;
     const size_t begin = i;
     i = static_cast<size_t>(
-        std::upper_bound(pos_.begin() + static_cast<long>(i), pos_.end(), p,
+        std::upper_bound(pos.begin() + i, pos.end(), p,
                          [](TermId v, const Triple& t) { return v < t.p; }) -
-        pos_.begin());
+        pos.begin());
     const size_t end = i;
     const size_t range = end - begin;
     PredicateStats st;
@@ -206,12 +484,11 @@ void TripleStore::RefreshStatsSampledLocked() const {
     size_t j = begin;
     while (j < end && groups < kJumpCap) {
       ++groups;
-      const TermId o = pos_[j].o;
+      const TermId o = pos.data[j].o;
       j = static_cast<size_t>(
-          std::upper_bound(pos_.begin() + static_cast<long>(j),
-                           pos_.begin() + static_cast<long>(end), o,
+          std::upper_bound(pos.begin() + j, pos.begin() + end, o,
                            [](TermId v, const Triple& t) { return v < t.o; }) -
-          pos_.begin());
+          pos.begin());
     }
     if (j >= end) {
       st.distinct_objects = groups;  // walked every boundary: exact figure
@@ -228,7 +505,7 @@ void TripleStore::RefreshStatsSampledLocked() const {
     if (range <= kSampleCap) {
       std::vector<TermId> subjects;
       subjects.reserve(range);
-      for (size_t k = begin; k < end; ++k) subjects.push_back(pos_[k].s);
+      for (size_t k = begin; k < end; ++k) subjects.push_back(pos.data[k].s);
       std::sort(subjects.begin(), subjects.end());
       subjects.erase(std::unique(subjects.begin(), subjects.end()),
                      subjects.end());
@@ -238,7 +515,7 @@ void TripleStore::RefreshStatsSampledLocked() const {
       sample.reserve(kSampleCap);
       const size_t stride = range / kSampleCap;
       for (size_t k = 0; k < kSampleCap; ++k) {
-        sample.push_back(pos_[begin + k * stride].s);
+        sample.push_back(pos.data[begin + k * stride].s);
       }
       std::sort(sample.begin(), sample.end());
       sample.erase(std::unique(sample.begin(), sample.end()), sample.end());
@@ -253,7 +530,7 @@ void TripleStore::RefreshStatsSampledLocked() const {
 
 size_t TripleStore::size() const {
   EnsureIndexed();
-  return spo_.size();
+  return disk_ != nullptr ? disk_->spo.count() : spo_.size();
 }
 
 bool TripleStore::Contains(const Term& s, const Term& p, const Term& o) const {
@@ -265,11 +542,13 @@ bool TripleStore::Contains(const Term& s, const Term& p, const Term& o) const {
   }
   EnsureIndexed();
   Triple t{si, pi, oi};
-  return std::binary_search(spo_.begin(), spo_.end(), t);
+  const TripleSpan spo = SpoView();
+  return std::binary_search(spo.begin(), spo.end(), t);
 }
 
-std::pair<size_t, size_t> TripleStore::EqualRange(
-    const std::vector<Triple>& index, Order order, TermId k1, TermId k2) {
+std::pair<size_t, size_t> TripleStore::EqualRange(TripleSpan index,
+                                                  Order order, TermId k1,
+                                                  TermId k2) {
   // Comparators considering only the bound prefix of the key.
   auto key = [order](const Triple& t) -> std::pair<TermId, TermId> {
     switch (order) {
@@ -311,14 +590,14 @@ std::pair<size_t, size_t> TripleStore::EqualRange(
           static_cast<size_t>(end - index.begin())};
 }
 
-bool TripleStore::PlanRange(const TriplePattern& pattern,
-                            const std::vector<Triple>** index, Order* order,
-                            TermId* k1, TermId* k2, bool* residual) const {
+bool TripleStore::PlanRange(const TriplePattern& pattern, TripleSpan* index,
+                            Order* order, TermId* k1, TermId* k2,
+                            bool* residual) const {
   const bool bs = pattern.s != kInvalidTermId;
   const bool bp = pattern.p != kInvalidTermId;
   const bool bo = pattern.o != kInvalidTermId;
   if (bs) {
-    *index = &spo_;
+    *index = SpoView();
     *order = Order::kSpo;
     *k1 = pattern.s;
     *k2 = bp ? pattern.p : kInvalidTermId;
@@ -327,7 +606,7 @@ bool TripleStore::PlanRange(const TriplePattern& pattern,
     return true;
   }
   if (bp) {
-    *index = &pos_;
+    *index = PosView();
     *order = Order::kPos;
     *k1 = pattern.p;
     *k2 = bo ? pattern.o : kInvalidTermId;
@@ -335,7 +614,7 @@ bool TripleStore::PlanRange(const TriplePattern& pattern,
     return true;
   }
   if (bo) {
-    *index = &osp_;
+    *index = OspView();
     *order = Order::kOsp;
     *k1 = pattern.o;
     *k2 = kInvalidTermId;
@@ -348,22 +627,22 @@ bool TripleStore::PlanRange(const TriplePattern& pattern,
 void TripleStore::Match(const TriplePattern& pattern,
                         const std::function<bool(const Triple&)>& fn) const {
   EnsureIndexed();
-  const std::vector<Triple>* index = &spo_;
+  TripleSpan index;
   Order order = Order::kSpo;
   TermId k1 = kInvalidTermId;
   TermId k2 = kInvalidTermId;
   bool residual = false;
 
   if (!PlanRange(pattern, &index, &order, &k1, &k2, &residual)) {
-    for (const Triple& t : spo_) {
+    for (const Triple& t : SpoView()) {
       if (!fn(t)) return;
     }
     return;
   }
 
-  auto [begin, end] = EqualRange(*index, order, k1, k2);
+  auto [begin, end] = EqualRange(index, order, k1, k2);
   for (size_t i = begin; i < end; ++i) {
-    const Triple& t = (*index)[i];
+    const Triple& t = index.data[i];
     // Residual position filter — only the (s, o)/(s, p, o) shapes need it;
     // every other bound combination is exactly the prefix range.
     if (residual && !pattern.Matches(t)) continue;
@@ -380,11 +659,12 @@ TripleSpan TripleStore::Span(const TriplePattern& pattern) const {
   // whose prefix range is exactly the match set — no residual shapes.
   if (bs && bp && bo) {
     Triple t{pattern.s, pattern.p, pattern.o};
-    auto it = std::lower_bound(spo_.begin(), spo_.end(), t);
-    const bool hit = it != spo_.end() && *it == t;
-    return TripleSpan{spo_.data() + (it - spo_.begin()), hit ? 1u : 0u};
+    const TripleSpan spo = SpoView();
+    auto it = std::lower_bound(spo.begin(), spo.end(), t);
+    const bool hit = it != spo.end() && *it == t;
+    return TripleSpan{it, hit ? 1u : 0u};
   }
-  const std::vector<Triple>* index = &spo_;
+  TripleSpan index = SpoView();
   Order order = Order::kSpo;
   TermId k1 = kInvalidTermId;
   TermId k2 = kInvalidTermId;
@@ -392,26 +672,26 @@ TripleSpan TripleStore::Span(const TriplePattern& pattern) const {
     k1 = pattern.s;
     k2 = pattern.p;
   } else if (bs && bo) {
-    index = &osp_;
+    index = OspView();
     order = Order::kOsp;
     k1 = pattern.o;
     k2 = pattern.s;
   } else if (bs) {
     k1 = pattern.s;
   } else if (bp) {
-    index = &pos_;
+    index = PosView();
     order = Order::kPos;
     k1 = pattern.p;
     k2 = bo ? pattern.o : kInvalidTermId;
   } else if (bo) {
-    index = &osp_;
+    index = OspView();
     order = Order::kOsp;
     k1 = pattern.o;
   } else {
-    return TripleSpan{spo_.data(), spo_.size()};
+    return index;
   }
-  auto [b, e] = EqualRange(*index, order, k1, k2);
-  return TripleSpan{index->data() + b, e - b};
+  auto [b, e] = EqualRange(index, order, k1, k2);
+  return TripleSpan{index.data + b, e - b};
 }
 
 std::vector<Triple> TripleStore::MatchAll(const TriplePattern& pattern) const {
@@ -434,23 +714,24 @@ size_t TripleStore::Count(const TriplePattern& pattern) const {
   // combination ever needs a residual walk.
   if (bs && bp && bo) {
     Triple t{pattern.s, pattern.p, pattern.o};
-    return std::binary_search(spo_.begin(), spo_.end(), t) ? 1 : 0;
+    const TripleSpan spo = SpoView();
+    return std::binary_search(spo.begin(), spo.end(), t) ? 1 : 0;
   }
   std::pair<size_t, size_t> r;
   if (bs && bp) {
-    r = EqualRange(spo_, Order::kSpo, pattern.s, pattern.p);
+    r = EqualRange(SpoView(), Order::kSpo, pattern.s, pattern.p);
   } else if (bs && bo) {
-    r = EqualRange(osp_, Order::kOsp, pattern.o, pattern.s);
+    r = EqualRange(OspView(), Order::kOsp, pattern.o, pattern.s);
   } else if (bs) {
-    r = EqualRange(spo_, Order::kSpo, pattern.s, kInvalidTermId);
+    r = EqualRange(SpoView(), Order::kSpo, pattern.s, kInvalidTermId);
   } else if (bp && bo) {
-    r = EqualRange(pos_, Order::kPos, pattern.p, pattern.o);
+    r = EqualRange(PosView(), Order::kPos, pattern.p, pattern.o);
   } else if (bp) {
-    r = EqualRange(pos_, Order::kPos, pattern.p, kInvalidTermId);
+    r = EqualRange(PosView(), Order::kPos, pattern.p, kInvalidTermId);
   } else if (bo) {
-    r = EqualRange(osp_, Order::kOsp, pattern.o, kInvalidTermId);
+    r = EqualRange(OspView(), Order::kOsp, pattern.o, kInvalidTermId);
   } else {
-    return spo_.size();
+    return SpoView().size;
   }
   return r.second - r.first;
 }
@@ -477,17 +758,22 @@ size_t TripleStore::CountDistinct(const TriplePattern& pattern,
       if (bp && !bo) {
         auto it = pred_stats_.find(pattern.p);
         if (it == pred_stats_.end()) return 0;
-        // Sampled stats are planner estimates, never query answers — fall
-        // through to the exact collect+sort below when inexact.
+        // The documented PredicateStats contract: sampled figures are
+        // planner estimates, never query answers. Serve the cached count
+        // only when the whole stats entry is exact; any inexact entry
+        // (including one whose *other* figure was the sampled one) takes
+        // the exact collect+sort fallback below.
         if (it->second.exact) return it->second.distinct_subjects;
         break;
       }
       if (!bp && bo) {
         // OSP(o): s is the next sort component.
-        auto [b, e] = EqualRange(osp_, Order::kOsp, pattern.o, kInvalidTermId);
-        return CountGroups(osp_, b, e, [](const Triple& t) { return t.s; });
+        auto [b, e] =
+            EqualRange(OspView(), Order::kOsp, pattern.o, kInvalidTermId);
+        return CountGroups(OspView(), b, e,
+                           [](const Triple& t) { return t.s; });
       }
-      return CountGroups(spo_, 0, spo_.size(),
+      return CountGroups(SpoView(), 0, SpoView().size,
                          [](const Triple& t) { return t.s; });
     case TriplePos::kP:
       if (bs && bo) {
@@ -495,11 +781,13 @@ size_t TripleStore::CountDistinct(const TriplePattern& pattern,
         return Count(pattern);
       }
       if (bs && !bo) {
-        auto [b, e] = EqualRange(spo_, Order::kSpo, pattern.s, kInvalidTermId);
-        return CountGroups(spo_, b, e, [](const Triple& t) { return t.p; });
+        auto [b, e] =
+            EqualRange(SpoView(), Order::kSpo, pattern.s, kInvalidTermId);
+        return CountGroups(SpoView(), b, e,
+                           [](const Triple& t) { return t.p; });
       }
       if (!bs && !bo) {
-        return CountGroups(pos_, 0, pos_.size(),
+        return CountGroups(PosView(), 0, PosView().size,
                            [](const Triple& t) { return t.p; });
       }
       break;  // (o) bound only: p not sorted in OSP(o) — fall through
@@ -512,15 +800,18 @@ size_t TripleStore::CountDistinct(const TriplePattern& pattern,
         auto it = pred_stats_.find(pattern.p);
         if (it == pred_stats_.end()) return 0;
         if (it->second.exact) return it->second.distinct_objects;
-        // Inexact (sampled) stats: o is the next sort component of the
-        // POS range, so the boundary-jump count stays exact and cheap.
-        auto [b, e] = EqualRange(pos_, Order::kPos, pattern.p, kInvalidTermId);
-        return CountGroups(pos_, b, e, [](const Triple& t) { return t.o; });
+        // Inexact (sampled) stats must not be served: o is the next sort
+        // component of the POS range, so the boundary-jump count stays
+        // exact and cheap.
+        auto [b, e] =
+            EqualRange(PosView(), Order::kPos, pattern.p, kInvalidTermId);
+        return CountGroups(PosView(), b, e,
+                           [](const Triple& t) { return t.o; });
       }
       if (bs && !bp) {
         break;  // o not sorted within SPO(s) — fall through
       }
-      return CountGroups(osp_, 0, osp_.size(),
+      return CountGroups(OspView(), 0, OspView().size,
                          [](const Triple& t) { return t.o; });
   }
 
@@ -541,16 +832,15 @@ std::vector<std::pair<TermId, size_t>> TripleStore::GroupedCountByObject(
     TermId p) const {
   EnsureIndexed();
   std::vector<std::pair<TermId, size_t>> out;
-  auto [b, e] = EqualRange(pos_, Order::kPos, p, kInvalidTermId);
+  const TripleSpan pos = PosView();
+  auto [b, e] = EqualRange(pos, Order::kPos, p, kInvalidTermId);
   size_t i = b;
   while (i < e) {
-    TermId o = pos_[i].o;
+    TermId o = pos.data[i].o;
     size_t next = static_cast<size_t>(
-        std::upper_bound(
-            pos_.begin() + static_cast<long>(i),
-            pos_.begin() + static_cast<long>(e), o,
-            [](TermId v, const Triple& t) { return v < t.o; }) -
-        pos_.begin());
+        std::upper_bound(pos.begin() + i, pos.begin() + e, o,
+                         [](TermId v, const Triple& t) { return v < t.o; }) -
+        pos.begin());
     out.emplace_back(o, next - i);
     i = next;
   }

@@ -4,12 +4,14 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "rdf/dictionary.h"
 #include "rdf/triple.h"
 
@@ -49,13 +51,33 @@ struct TripleSpan {
   bool empty() const { return size == 0; }
 };
 
-/// In-memory RDF graph: a term dictionary plus three sorted triple indexes
+/// Options for the out-of-core backend (see
+/// TripleStore::EnableDiskBackend). `directory` holds the three run files
+/// plus transient merge chunks; it is created if absent and treated as
+/// scratch owned by this store (stale files from a previous incarnation are
+/// overwritten). `memory_budget_bytes` bounds the triple buffers the
+/// backend holds in RAM at any one time: the staging buffer spills to
+/// sorted delta chunks past ~budget/4, and index rebuilds externally sort
+/// in ~budget/2 fragments. The term dictionary always stays in RAM (it
+/// scales with distinct terms, not triples).
+struct DiskBackendOptions {
+  std::string directory;
+  size_t memory_budget_bytes = size_t{64} << 20;
+};
+
+/// An RDF graph: a term dictionary plus three sorted triple indexes
 /// (SPO, POS, OSP) so that any triple pattern with at least one bound
 /// position is answered with a binary search + contiguous range scan.
 ///
 /// Writes append to a staging buffer; indexes are (re)built lazily on first
 /// read after a write (sort + dedup), which makes bulk loading linearithmic
 /// instead of per-insert logarithmic.
+///
+/// The three indexes live either in RAM (default) or, after
+/// EnableDiskBackend(), as memory-mapped sorted run files on disk. Both
+/// backends serve the same read primitives (Span/Count/CountDistinct/
+/// GroupedCountByObject/...) over TripleSpan views, so callers cannot tell
+/// them apart except by memory footprint.
 ///
 /// Thread safety: writes (Add/AddIds) require external synchronization and
 /// must not overlap reads. Concurrent *reads* are safe: the lazy rebuild is
@@ -65,12 +87,26 @@ struct TripleSpan {
 /// so no query ever pays (or blocks on) the rebuild.
 class TripleStore {
  public:
-  TripleStore() = default;
+  TripleStore();
+  ~TripleStore();
 
   TripleStore(const TripleStore&) = delete;
   TripleStore& operator=(const TripleStore&) = delete;
   TripleStore(TripleStore&& other) noexcept;
   TripleStore& operator=(TripleStore&& other) noexcept;
+
+  /// Switches the index backend to dictionary-compressed sorted runs on
+  /// disk, accessed via memory-mapped binary search. Existing content is
+  /// converted in place (indexes written out as runs, the in-RAM vectors
+  /// freed); later writes stage in RAM, spill to sorted delta chunks past
+  /// the memory budget, and merge into fresh runs on the next rebuild.
+  /// Call with the same write-side synchronization as Add. Fails if the
+  /// backend is already enabled or the directory cannot be prepared; on
+  /// failure the store stays fully in RAM and remains usable.
+  Status EnableDiskBackend(const DiskBackendOptions& options);
+
+  /// True when the indexes are disk-resident.
+  bool on_disk() const { return disk_ != nullptr; }
 
   Dictionary& dict() { return dict_; }
   const Dictionary& dict() const { return dict_; }
@@ -183,9 +219,17 @@ class TripleStore {
 
  private:
   enum class Order { kSpo, kPos, kOsp };
+  struct DiskIndexes;  // defined in graph.cc (owns the mmapped runs)
 
   void EnsureIndexed() const;
   void RebuildLocked() const;
+  /// Disk-backend rebuild: k-way merges the previous SPO run, spilled
+  /// staging chunks, and the in-RAM staging tail (removals subtracted)
+  /// into a fresh SPO run, then externally sorts it into POS/OSP runs.
+  void RebuildDiskLocked() const;
+  /// Spills the in-RAM staging buffer to a sorted delta chunk once it
+  /// exceeds the backend's budget share (write side, like Add).
+  void SpillStagedChunk();
   /// Exact per-predicate statistics: two linear passes (POS + SPO).
   void RefreshStatsExactLocked() const;
   /// Sampled refresh for incremental batches on large indexes: per
@@ -193,15 +237,20 @@ class TripleStore {
   /// boundary-jump / stride-sample estimates for the distinct counts.
   /// Deterministic for a given store content.
   void RefreshStatsSampledLocked() const;
+  /// The three indexes as views — in-RAM vectors or mmapped runs,
+  /// depending on the backend. Callers must hold the indexed invariant
+  /// (EnsureIndexed ran, or inside the rebuild after installation).
+  TripleSpan SpoView() const;
+  TripleSpan PosView() const;
+  TripleSpan OspView() const;
   // Returns the [begin, end) range of `index` whose first `bound` key
   // components equal those of `key` under `order`.
-  static std::pair<size_t, size_t> EqualRange(const std::vector<Triple>& index,
-                                              Order order, TermId k1,
-                                              TermId k2);
+  static std::pair<size_t, size_t> EqualRange(TripleSpan index, Order order,
+                                              TermId k1, TermId k2);
   // Picks the index/order/keys for `pattern` the way Match does. Returns
   // false for the full-scan case. `residual` is set when the range still
   // needs a per-triple pattern check.
-  bool PlanRange(const TriplePattern& pattern, const std::vector<Triple>** index,
+  bool PlanRange(const TriplePattern& pattern, TripleSpan* index,
                  Order* order, TermId* k1, TermId* k2, bool* residual) const;
 
   Dictionary dict_;
@@ -215,6 +264,9 @@ class TripleStore {
   mutable std::atomic<uint64_t> generation_{0};
   size_t stats_sampling_threshold_ = kDefaultStatsSamplingThreshold;
   mutable std::mutex index_mu_;
+  /// Non-null iff the disk backend is enabled. Mutated under the same
+  /// rebuild discipline as the index vectors (write side or index_mu_).
+  mutable std::unique_ptr<DiskIndexes> disk_;
 };
 
 }  // namespace hbold::rdf

@@ -1,8 +1,12 @@
 #include "sparql/executor.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdlib>
+#include <filesystem>
 #include <limits>
 #include <map>
 #include <memory>
@@ -13,7 +17,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/logging.h"
 #include "common/string_util.h"
+#include "rdf/run_file.h"
 #include "sparql/parser.h"
 #include "sparql/planner.h"
 
@@ -557,6 +563,8 @@ class GroupEvaluator {
   /// Falls back to ExtendRows when the step is not actually hash-shaped at
   /// runtime: repeated variables in the pattern, no bound join variable,
   /// or rows with heterogeneous boundness (OPTIONAL/UNION residue).
+  struct HashBuild;  // defined below (after the join methods)
+
   std::vector<RowIds> HashExtendRows(const TriplePatternNode& pat,
                                      std::vector<RowIds> rows, size_t cap) {
     if (rows.empty()) return rows;
@@ -598,60 +606,117 @@ class GroupEvaluator {
     // re-evaluate once per outer row without re-sorting the span).
     const int mask = (key_s ? 1 : 0) | (key_p ? 2 : 0) | (key_o ? 4 : 0);
     auto build_key = std::make_tuple(consts.s, consts.p, consts.o, mask);
+    // Probe-side boundness (constants + key variables) decides which
+    // index the nested loop would have walked; bucket order must
+    // replicate its iteration order.
+    const bool bs = !pat.s.is_var || key_s;
+    const bool bp = !pat.p.is_var || key_p;
+    auto probe_tuple = [&](const rdf::Triple& t) {
+      if (bs) return std::tuple<TermId, TermId, TermId>(t.s, t.p, t.o);
+      if (bp) return std::tuple<TermId, TermId, TermId>(t.p, t.o, t.s);
+      return std::tuple<TermId, TermId, TermId>(t.o, t.s, t.p);
+    };
+    auto key_of = [&](const rdf::Triple& t) {
+      return std::tuple<TermId, TermId, TermId>(key_s ? t.s : kInvalidTermId,
+                                                key_p ? t.p : kInvalidTermId,
+                                                key_o ? t.o : kInvalidTermId);
+    };
     auto bit = hash_builds_.find(build_key);
     if (bit != hash_builds_.end() && stats_ != nullptr) {
       ++stats_->hash_join_build_reuses;
     }
     if (bit == hash_builds_.end()) {
-      HashBuild fresh;
-      // Probe-side boundness (constants + key variables) decides which
-      // index the nested loop would have walked; bucket order must
-      // replicate its iteration order.
-      const bool bs = !pat.s.is_var || key_s;
-      const bool bp = !pat.p.is_var || key_p;
-      auto probe_tuple = [&](const rdf::Triple& t) {
-        if (bs) return std::tuple<TermId, TermId, TermId>(t.s, t.p, t.o);
-        if (bp) return std::tuple<TermId, TermId, TermId>(t.p, t.o, t.s);
-        return std::tuple<TermId, TermId, TermId>(t.o, t.s, t.p);
-      };
-      auto key_of = [&](const rdf::Triple& t) {
-        return std::tuple<TermId, TermId, TermId>(
-            key_s ? t.s : kInvalidTermId, key_p ? t.p : kInvalidTermId,
-            key_o ? t.o : kInvalidTermId);
-      };
-      // Build side: the contiguous slice matching the constants alone.
+      // Build side: the contiguous slice matching the constants alone,
+      // sorted by (join key, probe iteration order) — the comparator is
+      // shared by the in-RAM and spilled representations, which is what
+      // makes the spill bit-identical.
       rdf::TriplePattern build_pat;
       build_pat.s = consts.s;
       build_pat.p = consts.p;
       build_pat.o = consts.o;
       rdf::TripleSpan span = store_->Span(build_pat);
-      fresh.triples.assign(span.begin(), span.end());
-      std::sort(fresh.triples.begin(), fresh.triples.end(),
-                [&](const rdf::Triple& a, const rdf::Triple& b) {
-                  auto ka = key_of(a);
-                  auto kb = key_of(b);
-                  if (ka != kb) return ka < kb;
-                  return probe_tuple(a) < probe_tuple(b);
-                });
-      fresh.buckets.reserve(fresh.triples.size());
-      size_t i = 0;
-      while (i < fresh.triples.size()) {
-        auto k = key_of(fresh.triples[i]);
-        size_t j = i + 1;
-        while (j < fresh.triples.size() && key_of(fresh.triples[j]) == k) ++j;
-        fresh.buckets.emplace(
-            std::vector<TermId>{std::get<0>(k), std::get<1>(k),
-                                std::get<2>(k)},
-            std::make_pair(i, j));
-        i = j;
+      auto build_less = [&](const rdf::Triple& a, const rdf::Triple& b) {
+        auto ka = key_of(a);
+        auto kb = key_of(b);
+        if (ka != kb) return ka < kb;
+        return probe_tuple(a) < probe_tuple(b);
+      };
+      const size_t budget = options_.hash_join_spill_budget_bytes;
+      if (budget > 0 && span.size * sizeof(rdf::Triple) > budget) {
+        HashBuild fresh;
+        Status st = SpillBuildToRun(span, build_less, budget, &fresh);
+        if (st.ok()) {
+          fresh.on_disk = true;
+          if (stats_ != nullptr) {
+            ++stats_->hash_join_builds;
+            ++stats_->hash_join_spills;
+          }
+          bit = hash_builds_.emplace(build_key, std::move(fresh)).first;
+        } else {
+          HBOLD_LOG(kWarn) << "hash-join spill failed, building in RAM: "
+                           << st.message();
+        }
       }
-      if (stats_ != nullptr) ++stats_->hash_join_builds;
-      bit = hash_builds_.emplace(build_key, std::move(fresh)).first;
+      if (bit == hash_builds_.end()) {
+        HashBuild fresh;
+        fresh.triples.assign(span.begin(), span.end());
+        std::sort(fresh.triples.begin(), fresh.triples.end(), build_less);
+        fresh.buckets.reserve(fresh.triples.size());
+        size_t i = 0;
+        while (i < fresh.triples.size()) {
+          auto k = key_of(fresh.triples[i]);
+          size_t j = i + 1;
+          while (j < fresh.triples.size() && key_of(fresh.triples[j]) == k) {
+            ++j;
+          }
+          fresh.buckets.emplace(
+              std::vector<TermId>{std::get<0>(k), std::get<1>(k),
+                                  std::get<2>(k)},
+              std::make_pair(i, j));
+          i = j;
+        }
+        if (stats_ != nullptr) ++stats_->hash_join_builds;
+        bit = hash_builds_.emplace(build_key, std::move(fresh)).first;
+      }
     }
-    const std::vector<rdf::Triple>& build = bit->second.triples;
-    const auto& buckets = bit->second.buckets;
+
+    auto emit = [&](const RowIds& row, const rdf::Triple& t,
+                    std::vector<RowIds>* out) {
+      RowIds next = row;
+      if (slot_s >= 0 && !key_s) next[static_cast<size_t>(slot_s)] = t.s;
+      if (slot_p >= 0 && !key_p) next[static_cast<size_t>(slot_p)] = t.p;
+      if (slot_o >= 0 && !key_o) next[static_cast<size_t>(slot_o)] = t.o;
+      if (stats_ != nullptr) ++stats_->intermediate_bindings;
+      out->push_back(std::move(next));
+    };
 
     std::vector<RowIds> out;
+    if (bit->second.on_disk) {
+      // Spilled build: the run holds the same triples in the same
+      // (key, probe order) sort; each bucket is found by binary search
+      // over the mapping instead of a hash lookup.
+      const rdf::TripleSpan build = bit->second.spilled.view();
+      using Key = std::tuple<TermId, TermId, TermId>;
+      for (const RowIds& row : rows) {
+        if (out.size() >= cap) break;
+        const Key k(key_s ? row[static_cast<size_t>(slot_s)] : kInvalidTermId,
+                    key_p ? row[static_cast<size_t>(slot_p)] : kInvalidTermId,
+                    key_o ? row[static_cast<size_t>(slot_o)] : kInvalidTermId);
+        const rdf::Triple* lo = std::lower_bound(
+            build.begin(), build.end(), k,
+            [&](const rdf::Triple& t, const Key& v) { return key_of(t) < v; });
+        const rdf::Triple* hi = std::upper_bound(
+            lo, build.end(), k,
+            [&](const Key& v, const rdf::Triple& t) { return v < key_of(t); });
+        for (const rdf::Triple* t = lo; t != hi && out.size() < cap; ++t) {
+          emit(row, *t, &out);
+        }
+      }
+      return out;
+    }
+
+    const std::vector<rdf::Triple>& build = bit->second.triples;
+    const auto& buckets = bit->second.buckets;
     std::vector<TermId> probe_key(3);
     for (const RowIds& row : rows) {
       if (out.size() >= cap) break;
@@ -662,25 +727,53 @@ class GroupEvaluator {
       if (it == buckets.end()) continue;
       for (size_t b = it->second.first;
            b < it->second.second && out.size() < cap; ++b) {
-        const rdf::Triple& t = build[b];
-        RowIds next = row;
-        if (slot_s >= 0 && !key_s) next[static_cast<size_t>(slot_s)] = t.s;
-        if (slot_p >= 0 && !key_p) next[static_cast<size_t>(slot_p)] = t.p;
-        if (slot_o >= 0 && !key_o) next[static_cast<size_t>(slot_o)] = t.o;
-        if (stats_ != nullptr) ++stats_->intermediate_bindings;
-        out.push_back(std::move(next));
+        emit(row, build[b], &out);
       }
     }
     return out;
   }
 
+  /// Externally sorts a too-large build span into a temporary run file
+  /// under the system temp directory and maps it into `out->spilled`. The
+  /// scratch directory (and the run file itself) are unlinked immediately —
+  /// the mapping keeps the data alive for the lifetime of the build, and
+  /// nothing leaks if the process dies.
+  Status SpillBuildToRun(
+      rdf::TripleSpan span,
+      const std::function<bool(const rdf::Triple&, const rdf::Triple&)>& less,
+      size_t budget, HashBuild* out) {
+    namespace fs = std::filesystem;
+    static std::atomic<uint64_t> counter{0};
+    std::error_code ec;
+    const fs::path dir =
+        fs::temp_directory_path(ec) /
+        ("hbold-spill-" + std::to_string(static_cast<long>(::getpid())) + "-" +
+         std::to_string(counter.fetch_add(1)));
+    if (ec) return Status::IOError("no temp directory: " + ec.message());
+    fs::create_directories(dir, ec);
+    if (ec) {
+      return Status::IOError("cannot create '" + dir.string() +
+                             "': " + ec.message());
+    }
+    Status st = rdf::ExternalSortToRunBy(span, less, budget, dir.string(),
+                                         (dir / "build.run").string(),
+                                         &out->spilled);
+    fs::remove_all(dir, ec);  // mapping survives the unlink
+    return st;
+  }
+
   /// One hash-join build: the constant-matched span, key-grouped and
-  /// bucket-sorted to the probe order, plus key -> [begin, end) buckets.
+  /// bucket-sorted to the probe order. In RAM it is a triple vector plus
+  /// key -> [begin, end) buckets; past the spill budget it is the same
+  /// sorted sequence as a memory-mapped temporary run (`on_disk`), probed
+  /// by binary search.
   struct HashBuild {
     std::vector<rdf::Triple> triples;
     std::unordered_map<std::vector<TermId>, std::pair<size_t, size_t>,
                        IdVecHash>
         buckets;
+    rdf::MappedTripleRun spilled;
+    bool on_disk = false;
   };
 
   const rdf::TripleStore* store_;
@@ -1519,12 +1612,31 @@ bool ForceHashJoinFromEnv() {
   return forced;
 }
 
+/// HBOLD_HASH_SPILL_BUDGET=<bytes> overrides the hash-join spill threshold
+/// — sanitizer runs set a tiny budget to drive every build through the
+/// spill path (results are bit-identical by construction).
+bool HashSpillBudgetFromEnv(size_t* budget) {
+  const char* env = std::getenv("HBOLD_HASH_SPILL_BUDGET");
+  if (env == nullptr || *env == '\0') return false;
+  *budget = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  return true;
+}
+
 }  // namespace
 
 Executor::Executor(const rdf::TripleStore* store, ExecOptions options,
                    PlanCache* plan_cache)
     : store_(store), options_(options), plan_cache_(plan_cache) {
   if (ForceHashJoinFromEnv()) options_.hash_join = HashJoinMode::kForce;
+  size_t budget = 0;
+  if (HashSpillBudgetFromEnv(&budget) &&
+      options_.hash_join_spill_budget_bytes ==
+          ExecOptions{}.hash_join_spill_budget_bytes) {
+    // The env override stands in for the default only: a caller that set
+    // an explicit budget (differential tests pinning spill behavior)
+    // keeps it even under the CI-wide override.
+    options_.hash_join_spill_budget_bytes = budget;
+  }
 }
 
 Result<ResultTable> Executor::Execute(std::string_view query_text,

@@ -37,6 +37,9 @@ struct ExecStats {
   /// Probes served by an already-built hash table: OPTIONAL re-evaluations
   /// plus distinct steps sharing one (constants, key mask) build.
   size_t hash_join_build_reuses = 0;
+  /// Hash-join builds that exceeded ExecOptions::hash_join_spill_budget_bytes
+  /// and were externally sorted to a temporary on-disk run.
+  size_t hash_join_spills = 0;
 };
 
 /// Evaluates SELECT queries against a TripleStore.

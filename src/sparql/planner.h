@@ -51,6 +51,16 @@ struct ExecOptions {
   /// bit-identical — rows, order, and charged intermediate_bindings — to
   /// the nested index-loop it replaces.
   HashJoinMode hash_join = HashJoinMode::kCost;
+  /// When a hash-join build side exceeds this many bytes of triples, the
+  /// build is externally sorted into a temporary on-disk run (by the same
+  /// (join key, probe order) comparator the in-memory build sorts by) and
+  /// probed via memory-mapped binary search instead of an in-RAM hash
+  /// table. Output stays bit-identical; only the memory footprint changes.
+  /// 0 disables spilling. The HBOLD_HASH_SPILL_BUDGET environment
+  /// variable (bytes) replaces the *default* only — an explicitly
+  /// configured budget wins over the env, so differential tests pinning
+  /// spill behavior stay pinned under the CI-wide override.
+  size_t hash_join_spill_budget_bytes = size_t{256} << 20;
 };
 
 /// Physical operator for one join step.

@@ -1,9 +1,13 @@
 #include "store/database.h"
 
 #include <filesystem>
-#include <fstream>
 #include <mutex>
-#include <sstream>
+#include <set>
+#include <utility>
+
+#include "common/io_util.h"
+#include "common/logging.h"
+#include "store/snapshot.h"
 
 namespace hbold::store {
 
@@ -42,7 +46,8 @@ bool Database::DropCollection(const std::string& name) {
   return collections_.erase(name) > 0;
 }
 
-Status Database::SaveToDirectory(const std::string& dir) const {
+Status Database::SaveToDirectory(const std::string& dir,
+                                 SnapshotFormat format) const {
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) {
@@ -51,31 +56,21 @@ Status Database::SaveToDirectory(const std::string& dir) const {
   }
   std::shared_lock<std::shared_mutex> lock(mu_);
   for (const auto& [name, collection] : collections_) {
-    fs::path path = fs::path(dir) / (name + ".jsonl");
-    fs::path tmp = fs::path(dir) / (name + ".jsonl.tmp");
-    {
-      std::ofstream out(tmp, std::ios::trunc);
-      if (!out) {
-        return Status::IOError("cannot open '" + tmp.string() +
-                               "' for writing");
-      }
-      out << collection->DumpJsonl();
-      out.flush();
-      if (!out) {
-        out.close();
-        fs::remove(tmp, ec);
-        return Status::IOError("write failed for '" + tmp.string() + "'");
-      }
+    std::string filename;
+    std::string content;
+    if (format == SnapshotFormat::kBinary) {
+      filename = EncodeSnapshotFilename(name) + ".hbsnap";
+      content = EncodeSnapshot(name, collection->DumpJsonl());
+    } else {
+      filename = name + ".jsonl";
+      content = collection->DumpJsonl();
     }
-    // Atomic publish: readers (and a crash between here and the next
-    // collection) see either the old complete file or the new one.
-    fs::rename(tmp, path, ec);
-    if (ec) {
-      std::string rename_error = ec.message();
-      fs::remove(tmp, ec);  // best-effort cleanup; error irrelevant
-      return Status::IOError("cannot rename '" + tmp.string() + "' to '" +
-                             path.string() + "': " + rename_error);
-    }
+    // Durable atomic publish: content reaches stable storage before the
+    // rename, and the rename itself is fsynced via the parent directory —
+    // a crash at any point leaves the previous complete file or the new
+    // one, never a truncated file under the final name.
+    HBOLD_RETURN_NOT_OK(
+        io::WriteFileDurable((fs::path(dir) / filename).string(), content));
   }
   return Status::OK();
 }
@@ -85,19 +80,63 @@ Status Database::LoadFromDirectory(const std::string& dir) {
   if (!fs::is_directory(dir, ec)) {
     return Status::NotFound("directory '" + dir + "' does not exist");
   }
+  std::vector<fs::path> snapshots;
+  std::vector<fs::path> legacy;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    if (entry.path().extension() != ".jsonl") continue;
-    std::ifstream in(entry.path());
-    if (!in) {
-      return Status::IOError("cannot open '" + entry.path().string() + "'");
+    const fs::path& path = entry.path();
+    if (path.extension() == ".tmp") {
+      // Leftover from a save interrupted between write and rename. The
+      // content under the final name is the last complete version; the
+      // .tmp must never be loaded (it may be truncated) — drop it.
+      HBOLD_LOG(kWarn) << "removing stale temp file from interrupted save: "
+                       << path.string();
+      std::error_code rm_ec;
+      fs::remove(path, rm_ec);
+      continue;
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    Collection* c = GetCollection(entry.path().stem().string());
-    HBOLD_RETURN_NOT_OK(c->LoadJsonl(buffer.str()));
+    if (path.extension() == ".hbsnap") {
+      snapshots.push_back(path);
+    } else if (path.extension() == ".jsonl") {
+      legacy.push_back(path);
+    }
   }
   if (ec) return Status::IOError("directory scan failed: " + ec.message());
+
+  std::set<std::string> loaded_names;
+  for (const fs::path& path : snapshots) {
+    auto data = io::ReadFile(path.string());
+    HBOLD_RETURN_NOT_OK(data.status());
+    std::string name;
+    std::string payload;
+    Status st = DecodeSnapshot(*data, &name, &payload);
+    if (!st.ok()) {
+      return Status(st.code(),
+                    "snapshot '" + path.string() + "': " + st.message());
+    }
+    HBOLD_RETURN_NOT_OK(GetCollection(name)->LoadJsonl(payload));
+    loaded_names.insert(std::move(name));
+  }
+  // Legacy JSONL files migrate transparently: loaded when no snapshot
+  // already covers the same collection name (the next binary save then
+  // supersedes them).
+  for (const fs::path& path : legacy) {
+    std::string name = path.stem().string();
+    if (loaded_names.count(name) > 0) continue;
+    auto data = io::ReadFile(path.string());
+    HBOLD_RETURN_NOT_OK(data.status());
+    HBOLD_RETURN_NOT_OK(GetCollection(name)->LoadJsonl(*data));
+  }
   return Status::OK();
+}
+
+std::string Database::CanonicalDump() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, collection] : collections_) {
+    out += "== " + name + "\n";
+    out += collection->DumpJsonl();
+  }
+  return out;
 }
 
 }  // namespace hbold::store

@@ -39,14 +39,38 @@ class Database {
   /// Drops a collection. Returns true if it existed.
   bool DropCollection(const std::string& name);
 
-  /// Writes every collection to `<dir>/<name>.jsonl` (creating `dir`).
-  /// Each file is written to `<name>.jsonl.tmp` first and renamed into
-  /// place, so a crash mid-save leaves the previous file intact instead
-  /// of a truncated one.
-  Status SaveToDirectory(const std::string& dir) const;
+  /// On-disk representation for SaveToDirectory.
+  enum class SnapshotFormat {
+    /// Versioned binary snapshots (`<encoded-name>.hbsnap`, see
+    /// store/snapshot.h): checksummed, and the collection name travels
+    /// inside the file so it round-trips exactly. The default.
+    kBinary,
+    /// Legacy plain `<name>.jsonl` files. Names that are not valid
+    /// filename stems (or collide as filenames) cannot round-trip in this
+    /// format; kept for interop with external JSONL tooling.
+    kJsonl,
+  };
 
-  /// Loads every `*.jsonl` file in `dir` as a collection.
+  /// Writes every collection into `dir` (creating it). Each file is
+  /// written durably: content to `<file>.tmp`, fsync, rename into place,
+  /// fsync of the directory — a crash at any point leaves either the
+  /// previous complete file or the new one under the final name, never a
+  /// truncated file, and the rename survives power loss.
+  Status SaveToDirectory(const std::string& dir,
+                         SnapshotFormat format = SnapshotFormat::kBinary)
+      const;
+
+  /// Loads every `*.hbsnap` snapshot in `dir` as a collection, plus any
+  /// legacy `*.jsonl` file whose name no snapshot already covers. A
+  /// corrupted or truncated snapshot fails the load with a descriptive
+  /// Status. Stale `*.tmp` files left by an interrupted save are logged
+  /// (warning) and removed — never loaded.
   Status LoadFromDirectory(const std::string& dir);
+
+  /// Deterministic dump of the whole database — collections in sorted
+  /// name order, each as "== <name>\n" + its JSONL dump. Byte-identity of
+  /// two CanonicalDump() strings is the save/load round-trip oracle.
+  std::string CanonicalDump() const;
 
  private:
   mutable std::shared_mutex mu_;

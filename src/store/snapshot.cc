@@ -1,0 +1,146 @@
+#include "store/snapshot.h"
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace hbold::store {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'B', 'S', 'N', 'A', 'P', '1', '\n'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = 32;
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+uint64_t ContentChecksum(std::string_view name, std::string_view payload) {
+  std::string joined;
+  joined.reserve(name.size() + payload.size());
+  joined.append(name);
+  joined.append(payload);
+  return Fnv64(joined);
+}
+
+char HexDigit(unsigned v) { return v < 10 ? char('0' + v) : char('A' + v - 10); }
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(const std::string& name,
+                           const std::string& payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + name.size() + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  AppendU32(&out, kVersion);
+  AppendU32(&out, static_cast<uint32_t>(name.size()));
+  AppendU64(&out, static_cast<uint64_t>(payload.size()));
+  AppendU64(&out, ContentChecksum(name, payload));
+  out.append(name);
+  out.append(payload);
+  return out;
+}
+
+Status DecodeSnapshot(std::string_view data, std::string* name,
+                      std::string* payload) {
+  if (data.size() < kHeaderBytes) {
+    return Status::ParseError("snapshot truncated: " +
+                              std::to_string(data.size()) +
+                              " bytes, header needs 32");
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("snapshot has bad magic");
+  }
+  const uint32_t version = ReadU32(data.data() + 8);
+  if (version != kVersion) {
+    return Status::ParseError("snapshot version " + std::to_string(version) +
+                              " unsupported (expected 1)");
+  }
+  const uint64_t name_len = ReadU32(data.data() + 12);
+  const uint64_t payload_len = ReadU64(data.data() + 16);
+  const uint64_t checksum = ReadU64(data.data() + 24);
+  if (data.size() != kHeaderBytes + name_len + payload_len) {
+    return Status::ParseError(
+        "snapshot size mismatch: file has " + std::to_string(data.size()) +
+        " bytes, header claims " +
+        std::to_string(kHeaderBytes + name_len + payload_len));
+  }
+  std::string_view got_name = data.substr(kHeaderBytes, name_len);
+  std::string_view got_payload = data.substr(kHeaderBytes + name_len);
+  if (ContentChecksum(got_name, got_payload) != checksum) {
+    return Status::ParseError("snapshot checksum mismatch (corrupt content)");
+  }
+  name->assign(got_name);
+  payload->assign(got_payload);
+  return Status::OK();
+}
+
+std::string EncodeSnapshotFilename(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (unsigned char c : name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                      c == '_' || c == '-';
+    if (safe) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out.push_back('%');
+      out.push_back(HexDigit(c >> 4));
+      out.push_back(HexDigit(c & 0xF));
+    }
+  }
+  return out;
+}
+
+Result<std::string> DecodeSnapshotFilename(const std::string& encoded) {
+  std::string out;
+  out.reserve(encoded.size());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    if (encoded[i] != '%') {
+      out.push_back(encoded[i]);
+      continue;
+    }
+    if (i + 2 >= encoded.size()) {
+      return Status::ParseError("truncated %-escape in '" + encoded + "'");
+    }
+    const int hi = HexValue(encoded[i + 1]);
+    const int lo = HexValue(encoded[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::ParseError("bad %-escape in '" + encoded + "'");
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+}  // namespace hbold::store

@@ -3,15 +3,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <sstream>
 #include <thread>
 
 #include "common/json.h"
 #include "store/collection.h"
 #include "store/database.h"
+#include "store/snapshot.h"
 
 namespace hbold::store {
 namespace {
@@ -213,19 +217,183 @@ TEST(DatabaseTest, SaveLeavesNoTempFiles) {
   // Saving again over existing files must atomically replace them.
   ASSERT_TRUE(db.SaveToDirectory(dir.string()).ok());
 
-  size_t jsonl = 0;
+  size_t snapshots = 0;
   for (const auto& entry : fs::directory_iterator(dir)) {
     EXPECT_NE(entry.path().extension(), ".tmp")
         << "temp file left behind: " << entry.path();
-    if (entry.path().extension() == ".jsonl") ++jsonl;
+    if (entry.path().extension() == ".hbsnap") ++snapshots;
   }
-  EXPECT_EQ(jsonl, 1u);
+  EXPECT_EQ(snapshots, 1u);
 
-  // A stale .tmp from a crashed save must not be loaded as a collection.
-  std::ofstream(dir / "summaries.jsonl.tmp") << "garbage\n";
+  // A stale .tmp from a crashed save must not be loaded as a collection —
+  // and the loader cleans it up so later saves start from a tidy directory.
+  std::ofstream(dir / "summaries.hbsnap.tmp") << "garbage\n";
   Database loaded;
   ASSERT_TRUE(loaded.LoadFromDirectory(dir.string()).ok());
   EXPECT_EQ(loaded.CollectionNames(), (std::vector<std::string>{"summaries"}));
+  EXPECT_FALSE(fs::exists(dir / "summaries.hbsnap.tmp"));
+  fs::remove_all(dir);
+}
+
+TEST(DatabaseTest, BinarySnapshotRoundTripIsByteIdentical) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "hbold_store_snap_test";
+  fs::remove_all(dir);
+
+  Database db;
+  Collection* summaries = db.GetCollection("summaries");
+  ASSERT_TRUE(
+      summaries->Insert(Obj(R"({"endpoint":"http://a","classes":3})")).ok());
+  ASSERT_TRUE(
+      summaries->Insert(Obj(R"({"endpoint":"http://b","classes":7})")).ok());
+  ASSERT_TRUE(db.GetCollection("clusters")
+                  ->Insert(Obj(R"({"cluster":1,"members":["a","b"]})"))
+                  .ok());
+  db.GetCollection("empty");
+  ASSERT_TRUE(db.SaveToDirectory(dir.string()).ok());
+
+  Database loaded;
+  ASSERT_TRUE(loaded.LoadFromDirectory(dir.string()).ok());
+  EXPECT_EQ(loaded.CanonicalDump(), db.CanonicalDump());
+  fs::remove_all(dir);
+}
+
+TEST(DatabaseTest, CollectionNamesRoundTripExactly) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "hbold_store_names_test";
+  fs::remove_all(dir);
+
+  // Names that defeat filename-based persistence: an embedded ".jsonl"
+  // suffix, case-only differences (collide on case-insensitive
+  // filesystems), spaces, and a literal '%' (collides with the escape
+  // character unless the codec round-trips it).
+  const std::vector<std::string> names = {
+      "data.jsonl", "Summaries", "summaries", "with space", "pct%20name"};
+  Database db;
+  for (const std::string& name : names) {
+    ASSERT_TRUE(db.GetCollection(name)
+                    ->Insert(Obj(R"({"owner":")" + name + R"("})"))
+                    .ok());
+  }
+  ASSERT_TRUE(db.SaveToDirectory(dir.string()).ok());
+
+  Database loaded;
+  ASSERT_TRUE(loaded.LoadFromDirectory(dir.string()).ok());
+  std::vector<std::string> expected = names;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(loaded.CollectionNames(), expected);
+  for (const std::string& name : names) {
+    const Collection* c = loaded.FindCollection(name);
+    ASSERT_NE(c, nullptr) << name;
+    EXPECT_EQ(c->FindOne(Obj("{}"))->GetString("owner"), name);
+  }
+  EXPECT_EQ(loaded.CanonicalDump(), db.CanonicalDump());
+  fs::remove_all(dir);
+}
+
+TEST(DatabaseTest, SnapshotFilenameCodecAvoidsCaseCollisions) {
+  // Distinct names must encode to filenames that stay distinct even under
+  // case folding: uppercase bytes are escaped, and the escape hex is
+  // always uppercase while literal letters are always lowercase.
+  const std::string a = EncodeSnapshotFilename("Summaries");
+  const std::string b = EncodeSnapshotFilename("summaries");
+  auto lower = [](std::string s) {
+    for (char& c : s) c = static_cast<char>(std::tolower(c));
+    return s;
+  };
+  EXPECT_NE(lower(a), lower(b));
+  for (const std::string& name :
+       {std::string("data.jsonl"), std::string("A/B c%"),
+        std::string("\xff\x00x", 3)}) {
+    auto decoded = DecodeSnapshotFilename(EncodeSnapshotFilename(name));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, name);
+  }
+}
+
+TEST(DatabaseTest, LegacyJsonlMigratesToBinary) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "hbold_store_migrate_test";
+  fs::remove_all(dir);
+
+  Database legacy;
+  ASSERT_TRUE(legacy.GetCollection("summaries")
+                  ->Insert(Obj(R"({"endpoint":"http://a"})"))
+                  .ok());
+  ASSERT_TRUE(
+      legacy.SaveToDirectory(dir.string(), Database::SnapshotFormat::kJsonl)
+          .ok());
+  ASSERT_TRUE(fs::exists(dir / "summaries.jsonl"));
+
+  // A database saved as JSONL loads transparently...
+  Database db;
+  ASSERT_TRUE(db.LoadFromDirectory(dir.string()).ok());
+  EXPECT_EQ(db.CanonicalDump(), legacy.CanonicalDump());
+
+  // ...and its next (binary) save supersedes the legacy file: loading a
+  // directory holding both formats must not double-apply or prefer the
+  // stale JSONL.
+  ASSERT_TRUE(db.GetCollection("summaries")
+                  ->Insert(Obj(R"({"endpoint":"http://b"})"))
+                  .ok());
+  ASSERT_TRUE(db.SaveToDirectory(dir.string()).ok());
+  ASSERT_TRUE(fs::exists(dir / "summaries.jsonl"));  // stale, still present
+
+  Database reloaded;
+  ASSERT_TRUE(reloaded.LoadFromDirectory(dir.string()).ok());
+  EXPECT_EQ(reloaded.CanonicalDump(), db.CanonicalDump());
+  EXPECT_EQ(reloaded.FindCollection("summaries")->size(), 2u);
+  fs::remove_all(dir);
+}
+
+TEST(DatabaseTest, CorruptedSnapshotIsRejectedWithCleanStatus) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "hbold_store_corrupt_test";
+  fs::remove_all(dir);
+
+  Database db;
+  ASSERT_TRUE(db.GetCollection("summaries")
+                  ->Insert(Obj(R"({"endpoint":"http://a"})"))
+                  .ok());
+  ASSERT_TRUE(db.SaveToDirectory(dir.string()).ok());
+  fs::path snap = dir / "summaries.hbsnap";
+  ASSERT_TRUE(fs::exists(snap));
+
+  // Truncated header.
+  {
+    std::ofstream(snap, std::ios::trunc | std::ios::binary) << "HBSN";
+    Database loaded;
+    Status st = loaded.LoadFromDirectory(dir.string());
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kParseError);
+  }
+  // Bad magic, full-size file.
+  {
+    std::string bogus(64, 'x');
+    std::ofstream(snap, std::ios::trunc | std::ios::binary) << bogus;
+    Database loaded;
+    Status st = loaded.LoadFromDirectory(dir.string());
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kParseError);
+  }
+  // Single flipped payload byte: checksum must catch it.
+  {
+    ASSERT_TRUE(db.SaveToDirectory(dir.string()).ok());
+    std::string bytes;
+    {
+      std::ifstream in(snap, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      bytes = buf.str();
+    }
+    ASSERT_GT(bytes.size(), 40u);
+    bytes[bytes.size() - 1] ^= 0x01;
+    std::ofstream(snap, std::ios::trunc | std::ios::binary) << bytes;
+    Database loaded;
+    Status st = loaded.LoadFromDirectory(dir.string());
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kParseError);
+  }
   fs::remove_all(dir);
 }
 

@@ -77,7 +77,16 @@ class Metric:
     def check(self, baseline, current):
         """Returns (ok, detail)."""
         if self.when is not None:
-            if not lookup(baseline, self.when) or not lookup(current, self.when):
+            # A missing gate flag is indistinguishable from "not enforced"
+            # only if we let it be: a bench that stops emitting the flag
+            # must fail loudly, not silently skip its wall-clock gate.
+            base_flag = lookup(baseline, self.when)
+            cur_flag = lookup(current, self.when)
+            if base_flag is None or cur_flag is None:
+                side = "baseline" if base_flag is None else "current"
+                return False, "gate flag %s missing from %s report" % (
+                    self.when, side)
+            if not base_flag or not cur_flag:
                 return True, "skipped (%s not enforced)" % self.when
         old, new = self.value(baseline), self.value(current)
         if new is None:
@@ -132,6 +141,16 @@ GATED = {
         # extraction strategies changed behavior.
         Metric(grid_total("queries"), "stable"),
         Metric(grid_total("endpoint_ms"), "lower"),
+        # Out-of-core leg (--ooc): the mmap-backed store must finish the
+        # full extraction under an RLIMIT_AS cap the in-RAM vectors cannot
+        # fit. A report without the "ooc" section fails these outright —
+        # CI always passes --ooc, and a silently dropped leg must not
+        # read as green.
+        Metric("ooc.gates.disk_completed_under_cap", "bool"),
+        Metric("ooc.gates.in_ram_exceeds_cap", "bool"),
+        Metric("ooc.strategy", "exact"),
+        Metric("ooc.triples", "stable"),
+        Metric("ooc.queries", "stable"),
     ],
     "BENCH_async_extraction.json": [
         Metric("intra_speedup_at_4", "higher"),
